@@ -1,0 +1,264 @@
+package identitybox
+
+// Supplementary benchmarks: substrate performance (real time, not
+// virtual), authentication handshakes, and Chirp wire throughput.
+// These measure the reproduction itself rather than reproducing a
+// specific paper figure.
+
+import (
+	"bytes"
+	"crypto/rsa"
+	"fmt"
+	"testing"
+	"time"
+
+	"identitybox/internal/acl"
+	"identitybox/internal/auth"
+	"identitybox/internal/chirp"
+	"identitybox/internal/core"
+	"identitybox/internal/harness"
+	"identitybox/internal/kernel"
+	"identitybox/internal/vclock"
+	"identitybox/internal/vfs"
+	"identitybox/internal/workload"
+)
+
+func BenchmarkVFSStat(b *testing.B) {
+	fs := vfs.New("u")
+	fs.MkdirAll("/a/b/c", 0o755, "u")
+	fs.WriteFile("/a/b/c/f", []byte("x"), 0o644, "u")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fs.Stat("/a/b/c/f"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVFSReadAt8k(b *testing.B) {
+	fs := vfs.New("u")
+	data := bytes.Repeat([]byte("x"), 1<<20)
+	fs.WriteFile("/f", data, 0o644, "u")
+	h, err := fs.OpenHandle("/f")
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 8192)
+	b.SetBytes(8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.ReadAt(buf, int64(i*8192)%(1<<20-8192)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVFSSnapshot(b *testing.B) {
+	fs := vfs.New("u")
+	for i := 0; i < 100; i++ {
+		fs.MkdirAll(fmt.Sprintf("/d%02d", i), 0o755, "u")
+		fs.WriteFile(fmt.Sprintf("/d%02d/f", i), bytes.Repeat([]byte("y"), 1024), 0o644, "u")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := fs.Save(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := vfs.Load(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkACLLookup(b *testing.B) {
+	for _, entries := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("entries-%d", entries), func(b *testing.B) {
+			a := &acl.ACL{}
+			for i := 0; i < entries; i++ {
+				a.Set(fmt.Sprintf("globus:/O=Org%d/*", i), acl.Read|acl.List, acl.None)
+			}
+			p := harness.BenchIdentity
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a.Lookup(p)
+			}
+		})
+	}
+}
+
+func BenchmarkNativeSyscall(b *testing.B) {
+	// Raw simulator speed: one untraced getpid round trip.
+	fs := vfs.New(kernel.RootAccount)
+	k := kernel.New(fs, vclock.Default())
+	var proc *kernel.Proc
+	done := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		k.Run(kernel.ProcSpec{Account: "u"}, func(p *kernel.Proc, _ []string) int {
+			proc = p
+			close(done)
+			<-release
+			return 0
+		})
+	}()
+	<-done
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		proc.Getpid()
+	}
+	b.StopTimer()
+	close(release)
+}
+
+func BenchmarkAuthHandshakes(b *testing.B) {
+	ca, err := auth.NewCA("CA")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cred, err := ca.Issue("/O=U/CN=Bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	kdc := auth.NewKDC("R")
+	key, _ := kdc.RegisterService("svc")
+	ticket, _ := kdc.Grant("bench@r", "svc", time.Hour)
+
+	fs := vfs.New("o")
+	k := kernel.New(fs, vclock.Default())
+	rootACL := &acl.ACL{}
+	rootACL.Set("*", acl.Read|acl.List, acl.None)
+	srv, err := chirp.NewServer(k, chirp.ServerOptions{
+		Owner: "o", RootACL: rootACL,
+		Verifiers: map[auth.Method]auth.Verifier{
+			auth.MethodGlobus:   &auth.GSIVerifier{TrustedCAs: map[string]*rsa.PublicKey{"CA": ca.PublicKey()}},
+			auth.MethodKerberos: &auth.KerberosVerifier{Service: "svc", ServiceKey: key},
+			auth.MethodUnix:     &auth.UnixVerifier{},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	cases := []struct {
+		name string
+		auth auth.Authenticator
+	}{
+		{"gsi", &auth.GSIClient{Cred: cred}},
+		{"kerberos", &auth.KerberosClient{Ticket: ticket}},
+		{"unix", &auth.UnixClient{User: "bench"}},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cl, err := chirp.Dial(srv.Addr(), []auth.Authenticator{c.auth})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cl.Close()
+			}
+		})
+	}
+}
+
+func BenchmarkChirpWireThroughput(b *testing.B) {
+	fs := vfs.New("o")
+	k := kernel.New(fs, vclock.Default())
+	rootACL := &acl.ACL{}
+	rootACL.Set("*", acl.All, acl.None)
+	srv, err := chirp.NewServer(k, chirp.ServerOptions{Owner: "o", RootACL: rootACL,
+		Verifiers: map[auth.Method]auth.Verifier{auth.MethodUnix: &auth.UnixVerifier{}}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := chirp.Dial(srv.Addr(), []auth.Authenticator{&auth.UnixClient{User: "bench"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	payload := bytes.Repeat([]byte("z"), 1<<16)
+	if err := cl.PutFile("/blob", payload, 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := cl.GetFile("/blob")
+		if err != nil || len(data) != len(payload) {
+			b.Fatalf("get = %d bytes, %v", len(data), err)
+		}
+	}
+}
+
+func BenchmarkRecorderOverhead(b *testing.B) {
+	// How much the recording tracer costs relative to a plain run.
+	app, _ := workload.AppByName("ibis")
+	a := app.Scaled(0.001)
+	for i := 0; i < b.N; i++ {
+		w, err := harness.NewWorld()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, st := workload.Record(w.K, "dthain", workload.BenchRoot, a.Program())
+		if st.Code != 0 {
+			b.Fatalf("recorded run exited %d", st.Code)
+		}
+	}
+}
+
+// BenchmarkPipeIPC measures pipe round trips native vs. boxed: the IPC
+// path the paper says interposition must support ("interprocess
+// communication ... supported in the same way as in a real kernel").
+func BenchmarkPipeIPC(b *testing.B) {
+	run := func(b *testing.B, boxed bool) {
+		w, err := harness.NewWorld()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var virtual float64
+		prog := func(p *kernel.Proc, _ []string) int {
+			r, wr, err := p.Pipe()
+			if err != nil {
+				return 1
+			}
+			buf := make([]byte, 256)
+			before := p.Clock().Now()
+			for i := 0; i < 100; i++ {
+				if _, err := p.Write(wr, buf); err != nil {
+					return 1
+				}
+				if _, err := p.Read(r, buf); err != nil {
+					return 1
+				}
+			}
+			virtual = float64(p.Clock().Now()-before) / 200
+			return 0
+		}
+		for i := 0; i < b.N; i++ {
+			var st kernel.ExitStatus
+			if boxed {
+				st, err = w.RunBoxed(core.Options{AuditLimit: 16}, prog)
+				if err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				st = w.RunNative(prog)
+			}
+			if st.Code != 0 {
+				b.Fatalf("exit %d", st.Code)
+			}
+		}
+		b.ReportMetric(virtual, "vus/pipe-op")
+	}
+	b.Run("native", func(b *testing.B) { run(b, false) })
+	b.Run("boxed", func(b *testing.B) { run(b, true) })
+}

@@ -1,0 +1,57 @@
+// Command catalogd runs a Chirp catalog: servers report themselves via
+// UDP heartbeats, and clients list the available servers via TCP.
+//
+// Usage:
+//
+//	catalogd [-addr host:port]           run a catalog
+//	catalogd -query host:port            list servers known to a catalog
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"identitybox/internal/chirp"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9097", "listen address (UDP heartbeats + TCP queries)")
+	query := flag.String("query", "", "query an existing catalog and exit")
+	flag.Parse()
+
+	if *query != "" {
+		entries, err := chirp.QueryCatalog(*query)
+		if err != nil {
+			log.Fatalf("catalogd: query: %v", err)
+		}
+		for _, e := range entries {
+			fmt.Printf("%-20s %-22s owner=%s\n", e.Name, e.Addr, e.Owner)
+		}
+		return
+	}
+
+	cat := chirp.NewCatalog()
+	if err := cat.Listen(*addr); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("catalogd: listening on %s (udp heartbeats, tcp queries)\n", cat.Addr())
+
+	ticker := time.NewTicker(30 * time.Second)
+	defer ticker.Stop()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	for {
+		select {
+		case <-ticker.C:
+			fmt.Printf("catalogd: %d live servers\n", len(cat.Entries()))
+		case <-sig:
+			fmt.Println("catalogd: shutting down")
+			cat.Close()
+			return
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Command chirp is the client tool for Chirp servers.
+//
+// Usage:
+//
+//	chirp -addr host:port [-user name] <command> [args...]
+//
+// Commands:
+//
+//	whoami                      show the principal the server recorded
+//	ls <dir>                    list a directory
+//	put <local> <remote>        upload a host file
+//	get <remote> [local]        download (prints to stdout without local)
+//	cat <remote>                print a remote file
+//	mkdir <dir>                 create a directory (reserve-right aware)
+//	rm <path>                   remove a file
+//	rmdir <dir>                 remove a directory
+//	mv <old> <new>              rename
+//	stat <path>                 show metadata
+//	getacl <dir>                print a directory's ACL
+//	setacl <dir> <pattern> <rights>   grant rights (requires 'a')
+//	exec <cwd> <path> [args...] run a staged program in an identity box
+//	stage <prog> <remote>       stage an executable dispatching to a
+//	                            server-registered program name
+//
+// Authentication: -user sends a unix assertion; with -user "" the
+// hostname method is used.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"identitybox/internal/acl"
+	"identitybox/internal/auth"
+	"identitybox/internal/chirp"
+	"identitybox/internal/kernel"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9094", "server address")
+	user := flag.String("user", "", "unix user to authenticate as (empty: hostname method)")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var auths []auth.Authenticator
+	if *user != "" {
+		auths = append(auths, &auth.UnixClient{User: *user})
+	}
+	auths = append(auths, &auth.HostnameClient{})
+
+	cl, err := chirp.Dial(*addr, auths)
+	if err != nil {
+		log.Fatalf("chirp: %v", err)
+	}
+	defer cl.Close()
+
+	if err := dispatch(cl, args[0], args[1:]); err != nil {
+		log.Fatalf("chirp: %s: %v", args[0], err)
+	}
+}
+
+func dispatch(cl *chirp.Client, cmd string, args []string) error {
+	need := func(n int) error {
+		if len(args) < n {
+			return fmt.Errorf("want %d arguments", n)
+		}
+		return nil
+	}
+	switch cmd {
+	case "whoami":
+		p, err := cl.Whoami()
+		if err != nil {
+			return err
+		}
+		fmt.Println(p)
+		return nil
+	case "ls":
+		if err := need(1); err != nil {
+			return err
+		}
+		ents, err := cl.ReadDir(args[0])
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			fmt.Printf("%-8s %s\n", e.Type, e.Name)
+		}
+		return nil
+	case "put":
+		if err := need(2); err != nil {
+			return err
+		}
+		data, err := os.ReadFile(args[0])
+		if err != nil {
+			return err
+		}
+		return cl.PutFile(args[1], data, 0o644)
+	case "get":
+		if err := need(1); err != nil {
+			return err
+		}
+		data, err := cl.GetFile(args[0])
+		if err != nil {
+			return err
+		}
+		if len(args) > 1 {
+			return os.WriteFile(args[1], data, 0o644)
+		}
+		os.Stdout.Write(data)
+		return nil
+	case "cat":
+		if err := need(1); err != nil {
+			return err
+		}
+		data, err := cl.GetFile(args[0])
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(data)
+		return nil
+	case "mkdir":
+		if err := need(1); err != nil {
+			return err
+		}
+		return cl.Mkdir(args[0], 0o755)
+	case "rm":
+		if err := need(1); err != nil {
+			return err
+		}
+		return cl.Unlink(args[0])
+	case "rmdir":
+		if err := need(1); err != nil {
+			return err
+		}
+		return cl.Rmdir(args[0])
+	case "mv":
+		if err := need(2); err != nil {
+			return err
+		}
+		return cl.Rename(args[0], args[1])
+	case "stat":
+		if err := need(1); err != nil {
+			return err
+		}
+		st, err := cl.Stat(args[0])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ino %d  type %s  mode %o  owner %s  nlink %d  size %d\n",
+			st.Ino, st.Type, st.Mode, st.Owner, st.Nlink, st.Size)
+		return nil
+	case "getacl":
+		if err := need(1); err != nil {
+			return err
+		}
+		text, err := cl.GetACL(args[0])
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
+		return nil
+	case "setacl":
+		if err := need(3); err != nil {
+			return err
+		}
+		text, err := cl.GetACL(args[0])
+		if err != nil {
+			return err
+		}
+		a, err := acl.Parse(text)
+		if err != nil {
+			return err
+		}
+		e, err := acl.ParseEntry(args[1] + " " + args[2])
+		if err != nil {
+			return err
+		}
+		a.Set(e.Pattern, e.Rights, e.ReserveRights)
+		return cl.SetACL(args[0], a.String())
+	case "exec":
+		if err := need(2); err != nil {
+			return err
+		}
+		res, err := cl.Exec(args[0], args[1], args[2:]...)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("exit %d (virtual runtime %.3fs)\n", res.Code, res.RuntimeSeconds)
+		return nil
+	case "stage":
+		if err := need(2); err != nil {
+			return err
+		}
+		return cl.PutFile(args[1], kernel.ExecutableBytes(args[0]), 0o755)
+	default:
+		return fmt.Errorf("unknown command")
+	}
+}

@@ -1,0 +1,150 @@
+// Command chirpd runs a Chirp file server: a personal file server for
+// grid computing that any ordinary user can deploy, exporting
+// ACL-protected space and remote execution inside identity boxes.
+//
+// Usage:
+//
+//	chirpd [-addr host:port] [-owner name] [-root-acl "pattern rights;..."]
+//	       [-catalog addr] [-name label] [-v]
+//
+// The exported file system is a fresh in-memory volume; a handful of
+// demo programs (echo, sum, sim) are pre-registered for remote exec.
+// Authentication methods offered: unix and hostname (GSI requires
+// sharing a CA with clients; see examples/gridjob for an end-to-end GSI
+// deployment in one process).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+
+	"identitybox/internal/acl"
+	"identitybox/internal/auth"
+	"identitybox/internal/chirp"
+	"identitybox/internal/kernel"
+	"identitybox/internal/vclock"
+	"identitybox/internal/vfs"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9094", "listen address")
+	owner := flag.String("owner", "chirp", "local account the server runs as")
+	rootACL := flag.String("root-acl", "unix:* rwlax; hostname:* rl", "semicolon-separated root ACL entries")
+	catalog := flag.String("catalog", "", "catalog address for heartbeats")
+	name := flag.String("name", "", "advertised server name")
+	state := flag.String("state", "", "snapshot file: loaded at startup, saved at shutdown")
+	verbose := flag.Bool("v", false, "log every request")
+	flag.Parse()
+
+	a, err := parseACLFlag(*rootACL)
+	if err != nil {
+		log.Fatalf("chirpd: -root-acl: %v", err)
+	}
+
+	fs := vfs.New(*owner)
+	if *state != "" {
+		if f, err := os.Open(*state); err == nil {
+			loaded, lerr := vfs.Load(f)
+			f.Close()
+			if lerr != nil {
+				log.Fatalf("chirpd: loading %s: %v", *state, lerr)
+			}
+			fs = loaded
+			fmt.Printf("chirpd: restored state from %s\n", *state)
+		}
+	}
+	k := kernel.New(fs, vclock.Default())
+	registerDemoPrograms(k)
+
+	opts := chirp.ServerOptions{
+		Name:        *name,
+		Owner:       *owner,
+		RootACL:     a,
+		CatalogAddr: *catalog,
+		Verifiers: map[auth.Method]auth.Verifier{
+			auth.MethodUnix:     &auth.UnixVerifier{},
+			auth.MethodHostname: &auth.HostnameVerifier{},
+		},
+	}
+	if *verbose {
+		opts.Logf = log.Printf
+	}
+	srv, err := chirp.NewServer(k, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Listen(*addr); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chirpd: serving on %s as %s (root ACL: %s)\n", srv.Addr(), *owner,
+		strings.ReplaceAll(strings.TrimSpace(a.String()), "\n", "; "))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("chirpd: shutting down")
+	srv.Close()
+	if *state != "" {
+		f, err := os.Create(*state)
+		if err != nil {
+			log.Fatalf("chirpd: saving state: %v", err)
+		}
+		if err := fs.Save(f); err != nil {
+			f.Close()
+			log.Fatalf("chirpd: saving state: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("chirpd: saving state: %v", err)
+		}
+		fmt.Printf("chirpd: state saved to %s\n", *state)
+	}
+}
+
+func parseACLFlag(s string) (*acl.ACL, error) {
+	return acl.Parse(strings.ReplaceAll(s, ";", "\n"))
+}
+
+// registerDemoPrograms installs a few programs that staged executables
+// can dispatch to with "#!prog <name>".
+func registerDemoPrograms(k *kernel.Kernel) {
+	k.RegisterProgram("echo", func(p *kernel.Proc, args []string) int {
+		out := strings.Join(args, " ") + "\n"
+		if err := p.WriteFile("echo.out", []byte(out), 0o644); err != nil {
+			return 1
+		}
+		return 0
+	})
+	k.RegisterProgram("sum", func(p *kernel.Proc, args []string) int {
+		data, err := p.ReadFile("input.dat")
+		if err != nil {
+			return 1
+		}
+		var sum uint64
+		for _, b := range data {
+			sum += uint64(b)
+		}
+		if err := p.WriteFile("sum.out", []byte(fmt.Sprintf("%d\n", sum)), 0o644); err != nil {
+			return 2
+		}
+		return 0
+	})
+	k.RegisterProgram("sim", func(p *kernel.Proc, args []string) int {
+		in, err := p.ReadFile("input.dat")
+		if err != nil {
+			return 1
+		}
+		out := make([]byte, len(in))
+		for i, b := range in {
+			out[i] = b ^ 0x5a
+		}
+		p.Compute(1e6) // a second of virtual computation
+		if err := p.WriteFile("out.dat", out, 0o644); err != nil {
+			return 2
+		}
+		return 0
+	})
+}

@@ -1,0 +1,171 @@
+// Command identbox is the library analogue of "parrot identity_box
+// <name> <command>": it runs a workload inside an identity box on a
+// freshly booted simulated machine and reports what happened, including
+// the forensic audit trail.
+//
+// Usage:
+//
+//	identbox -identity NAME [-app amanda|blast|cms|hf|ibis|make|snoop]
+//	         [-script FILE | -trace FILE] [-scale f] [-audit n] [-compare]
+//
+// The "snoop" app is a hostile probe that tries to read the supervising
+// user's files, demonstrating containment; the others are the paper's
+// Figure 5(b) applications. -script runs a shell script (see
+// internal/shell) inside the box; -trace replays a captured syscall
+// trace (see internal/workload). -compare also runs the workload
+// unmodified and prints the overhead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"identitybox/internal/core"
+	"identitybox/internal/harness"
+	"identitybox/internal/identity"
+	"identitybox/internal/kernel"
+	"identitybox/internal/shell"
+	"identitybox/internal/workload"
+)
+
+func main() {
+	ident := flag.String("identity", "globus:/O=UnivNowhere/CN=Fred", "identity to attach to the box")
+	app := flag.String("app", "snoop", "workload: amanda, blast, cms, hf, ibis, make, or snoop")
+	script := flag.String("script", "", "shell script file to run inside the box")
+	trace := flag.String("trace", "", "syscall trace file to replay inside the box")
+	scale := flag.Float64("scale", 0.01, "workload scale factor")
+	auditN := flag.Int("audit", 10, "audit-log lines to print (0 disables)")
+	compare := flag.Bool("compare", false, "also run unmodified and report overhead")
+	record := flag.String("record", "", "record the workload's syscalls (run unmodified) to this trace file and exit")
+	flag.Parse()
+
+	p := identity.Principal(*ident)
+	if !p.Valid() {
+		log.Fatalf("identbox: invalid identity %q", *ident)
+	}
+
+	w, err := harness.NewWorld()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Give the world something worth protecting.
+	fs := w.K.FS()
+	fs.MkdirAll("/home/dthain", 0o755, "dthain")
+	fs.WriteFile("/home/dthain/secret", []byte("supervisor's private key material"), 0o600, "dthain")
+
+	prog, name, homeCwd := selectProgram(*app, *script, *trace, *scale)
+
+	if *record != "" {
+		tr, st := workload.Record(w.K, "dthain", workload.BenchRoot, prog)
+		if st.Code != 0 {
+			log.Fatalf("identbox: recorded run exited %d", st.Code)
+		}
+		if err := os.WriteFile(*record, []byte(tr.Render()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("recorded %s: %d syscalls -> %s\n", name, tr.Syscalls(), *record)
+		return
+	}
+
+	box, err := core.New(w.K, "dthain", p, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("identity box for %s (home %s), running %s\n", p, box.Home(), name)
+	cwd := workload.BenchRoot
+	if homeCwd {
+		cwd = box.Home()
+	}
+	st := box.RunAt(cwd, prog)
+	fmt.Printf("exit code %d, %d syscalls, virtual runtime %v\n", st.Code, st.Syscalls, st.Runtime)
+	stats := box.Stats()
+	fmt.Printf("policy: %d syscalls trapped, %d ACL checks, %d denials\n",
+		stats.Syscalls, stats.ACLChecks, stats.Denials)
+
+	if *auditN > 0 {
+		audit := box.Audit()
+		fmt.Printf("audit trail (last %d of %d):\n", min(*auditN, len(audit)), len(audit))
+		start := len(audit) - *auditN
+		if start < 0 {
+			start = 0
+		}
+		for _, rec := range audit[start:] {
+			flag := " "
+			if rec.Denied {
+				flag = "!"
+			}
+			fmt.Printf("  %s pid=%d %s\n", flag, rec.PID, rec.Call)
+		}
+	}
+
+	if *compare {
+		nw, err := harness.NewWorld()
+		if err != nil {
+			log.Fatal(err)
+		}
+		nst := nw.RunNative(prog)
+		fmt.Printf("unmodified runtime %v; overhead %+.1f%%\n", nst.Runtime,
+			(st.Runtime.Seconds()-nst.Runtime.Seconds())/nst.Runtime.Seconds()*100)
+	}
+}
+
+func selectProgram(app, script, trace string, scale float64) (prog kernel.Program, name string, homeCwd bool) {
+	switch {
+	case script != "":
+		text, err := os.ReadFile(script)
+		if err != nil {
+			log.Fatalf("identbox: %v", err)
+		}
+		sh := shell.New(os.Stdout)
+		sh.Echo = true
+		return sh.Program(string(text)), "shell script " + script, true
+	case trace != "":
+		text, err := os.ReadFile(trace)
+		if err != nil {
+			log.Fatalf("identbox: %v", err)
+		}
+		tr, err := workload.ParseTrace(string(text))
+		if err != nil {
+			log.Fatalf("identbox: %v", err)
+		}
+		return tr.Program(), fmt.Sprintf("trace %s (%d calls)", trace, tr.Syscalls()), false
+	case app == "snoop":
+		return snoop, "snoop (hostile probe)", true
+	default:
+		a, ok := workload.AppByName(app)
+		if !ok {
+			log.Fatalf("identbox: unknown app %q", app)
+		}
+		return a.Scaled(scale).Program(), fmt.Sprintf("%s (scale %g)", a.Name, scale), false
+	}
+}
+
+// snoop behaves like untrusted code fetched from the web: it looks
+// around, tries to steal the supervisor's file, and writes a trophy in
+// its own home.
+func snoop(p *kernel.Proc, _ []string) int {
+	fmt.Printf("  snoop: I am %q (pid %d)\n", p.GetUserName(), p.Getpid())
+	if data, err := p.ReadFile("/home/dthain/secret"); err != nil {
+		fmt.Printf("  snoop: reading /home/dthain/secret: %v\n", err)
+	} else {
+		fmt.Printf("  snoop: STOLE %q\n", data)
+	}
+	if ents, err := p.ReadDir("/"); err == nil {
+		fmt.Printf("  snoop: / has %d entries\n", len(ents))
+	}
+	if err := p.WriteFile("trophy.txt", []byte("kilroy was here"), 0o644); err != nil {
+		fmt.Printf("  snoop: writing trophy: %v\n", err)
+		return 1
+	}
+	fmt.Printf("  snoop: wrote trophy.txt in my home\n")
+	return 0
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,175 @@
+package identitybox
+
+// Daemon-level end-to-end: build the real binaries, run chirpd and
+// catalogd as OS processes, drive them with the chirp CLI, restart the
+// server and verify state persistence. Skipped in -short mode.
+
+import (
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildTools compiles the CLI binaries once into a temp dir.
+func buildTools(t *testing.T, names ...string) map[string]string {
+	t.Helper()
+	dir := t.TempDir()
+	out := map[string]string{}
+	for _, n := range names {
+		bin := filepath.Join(dir, n)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+n)
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", n, err, b)
+		}
+		out[n] = bin
+	}
+	return out
+}
+
+// freePort grabs an ephemeral TCP port that is also free for UDP.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// waitDial polls until the address accepts connections.
+func waitDial(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		c, err := net.Dial("tcp", addr)
+		if err == nil {
+			c.Close()
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("server at %s never came up", addr)
+}
+
+func TestChirpDaemonEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real daemons")
+	}
+	bins := buildTools(t, "chirpd", "chirp", "catalogd")
+	stateFile := filepath.Join(t.TempDir(), "chirpd.state")
+	addr := freePort(t)
+	catAddr := freePort(t)
+
+	// Catalog daemon.
+	catalog := exec.Command(bins["catalogd"], "-addr", catAddr)
+	if err := catalog.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		catalog.Process.Signal(os.Interrupt)
+		catalog.Wait()
+	}()
+	waitDial(t, catAddr)
+
+	startServer := func() *exec.Cmd {
+		srv := exec.Command(bins["chirpd"],
+			"-addr", addr,
+			"-owner", "daemonowner",
+			"-root-acl", "unix:* rwlax",
+			"-catalog", catAddr,
+			"-name", "e2e-server",
+			"-state", stateFile)
+		srv.Stdout = os.Stderr
+		srv.Stderr = os.Stderr
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		waitDial(t, addr)
+		return srv
+	}
+	srv := startServer()
+	stopServer := func(c *exec.Cmd) {
+		c.Process.Signal(syscall.SIGINT)
+		done := make(chan error, 1)
+		go func() { done <- c.Wait() }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			c.Process.Kill()
+			t.Fatal("chirpd did not shut down on SIGINT")
+		}
+	}
+
+	cli := func(args ...string) string {
+		t.Helper()
+		full := append([]string{"-addr", addr, "-user", "alice"}, args...)
+		out, err := exec.Command(bins["chirp"], full...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("chirp %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	// Exercise the CLI against the live daemon.
+	if got := cli("whoami"); !strings.Contains(got, "unix:alice") {
+		t.Fatalf("whoami = %q", got)
+	}
+	cli("mkdir", "/work")
+	local := filepath.Join(t.TempDir(), "payload.txt")
+	os.WriteFile(local, []byte("persisted across restarts"), 0o644)
+	cli("put", local, "/work/payload.txt")
+	if got := cli("cat", "/work/payload.txt"); !strings.Contains(got, "persisted across restarts") {
+		t.Fatalf("cat = %q", got)
+	}
+	if got := cli("ls", "/work"); !strings.Contains(got, "payload.txt") {
+		t.Fatalf("ls = %q", got)
+	}
+	if got := cli("stat", "/work/payload.txt"); !strings.Contains(got, "size 25") {
+		t.Fatalf("stat = %q", got)
+	}
+	// Remote exec of a staged demo program.
+	cli("stage", "echo", "/work/echo.exe")
+	if got := cli("exec", "/work", "/work/echo.exe", "hello", "daemon"); !strings.Contains(got, "exit 0") {
+		t.Fatalf("exec = %q", got)
+	}
+	if got := cli("cat", "/work/echo.out"); !strings.Contains(got, "hello daemon") {
+		t.Fatalf("echo output = %q", got)
+	}
+	// ACL management.
+	if got := cli("getacl", "/work"); !strings.Contains(got, "unix:*") {
+		t.Fatalf("getacl = %q", got)
+	}
+	cli("setacl", "/work", "unix:bob", "rl")
+	if got := cli("getacl", "/work"); !strings.Contains(got, "unix:bob rl") {
+		t.Fatalf("getacl after set = %q", got)
+	}
+	// Catalog knows the server.
+	catOut, err := exec.Command(bins["catalogd"], "-query", catAddr).CombinedOutput()
+	if err != nil {
+		t.Fatalf("catalog query: %v\n%s", err, catOut)
+	}
+	if !strings.Contains(string(catOut), "e2e-server") {
+		t.Fatalf("catalog listing = %q", catOut)
+	}
+
+	// Restart the server: state (files AND ACLs) must survive.
+	stopServer(srv)
+	if _, err := os.Stat(stateFile); err != nil {
+		t.Fatalf("state file missing after shutdown: %v", err)
+	}
+	srv = startServer()
+	defer stopServer(srv)
+	if got := cli("cat", "/work/payload.txt"); !strings.Contains(got, "persisted across restarts") {
+		t.Fatalf("after restart, cat = %q", got)
+	}
+	if got := cli("getacl", "/work"); !strings.Contains(got, "unix:bob rl") {
+		t.Fatalf("after restart, getacl = %q", got)
+	}
+}

@@ -1,0 +1,18 @@
+// Package identitybox is a complete Go reproduction of "Identity
+// Boxing: A New Technique for Consistent Global Identity" (Douglas
+// Thain, SC 2005).
+//
+// The library lives under internal/: the identity box itself in
+// internal/core, the simulated kernel and interposition substrate in
+// internal/kernel, internal/trap and internal/parrot, the Chirp
+// distributed storage system in internal/chirp, authentication in
+// internal/auth, the Figure-1 baselines in internal/mapping, and the
+// evaluation workloads and harness in internal/workload and
+// internal/harness.
+//
+// This root package holds the top-level benchmarks (bench_test.go,
+// bench_extra_test.go) that regenerate every table and figure of the
+// paper's evaluation, plus end-to-end tests driving the example
+// programs and real daemons. See README.md, DESIGN.md and
+// EXPERIMENTS.md.
+package identitybox

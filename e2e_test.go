@@ -1,0 +1,118 @@
+package identitybox
+
+// End-to-end checks: every example and the main CLI flows must run
+// cleanly from a fresh checkout. These shell out to `go run`, so they
+// are skipped in -short mode.
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func goRun(t *testing.T, pkg string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append(append([]string{"run"}, pkg), args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %s %v failed: %v\n%s", pkg, args, err, out)
+	}
+	return string(out)
+}
+
+func TestExamplesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go run")
+	}
+	t.Parallel()
+	cases := []struct {
+		pkg  string
+		want []string
+	}{
+		{"./examples/quickstart", []string{
+			"permission denied",
+			"granted George read access",
+			`george reads fred's results: "42\n"`,
+		}},
+		{"./examples/interactive", []string{
+			"Freddy",
+			"cat: /home/dthain/secret: Permission denied",
+			"Freddy rwlax",
+			"no match",
+		}},
+		{"./examples/gridjob", []string{
+			"authenticated as globus:/O=UnivNowhere/CN=Fred",
+			"mkdir /work",
+			"exec sim.exe — exit 0",
+			"get out.dat",
+		}},
+		{"./examples/untrustedweb", []string{
+			"exfiltrating ~/.ssh/id_rsa",
+			"permission denied",
+			"suspicious activity",
+		}},
+		{"./examples/hierarchy", []string{
+			"root:dthain:grid:anon2",
+			"-> /O=UnivNowhere/CN=Freddy",
+			"5 domains remain",
+		}},
+		{"./examples/community", []string{
+			"job authenticates as globus:/O=UnivNowhere/CN=Fred",
+			"server acknowledges community \"cms-experiment\"",
+			"outside the granted prefix",
+		}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(strings.TrimPrefix(c.pkg, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			out := goRun(t, c.pkg)
+			for _, want := range c.want {
+				if !strings.Contains(out, want) {
+					t.Errorf("output missing %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+}
+
+func TestBenchfigEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go run")
+	}
+	t.Parallel()
+	out := goRun(t, "./cmd/benchfig", "-fig", "1")
+	if !strings.Contains(out, "identity box") || strings.Contains(out, "false") {
+		t.Fatalf("figure 1 output unexpected:\n%s", out)
+	}
+	out = goRun(t, "./cmd/benchfig", "-fig", "5a")
+	if !strings.Contains(out, "getpid") || !strings.Contains(out, "slowdown") {
+		t.Fatalf("figure 5a output unexpected:\n%s", out)
+	}
+	out = goRun(t, "./cmd/benchfig", "-fig", "burden")
+	if !strings.Contains(out, "identity box") {
+		t.Fatalf("burden output unexpected:\n%s", out)
+	}
+}
+
+func TestIdentboxEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go run")
+	}
+	t.Parallel()
+	out := goRun(t, "./cmd/identbox", "-identity", "JoeHacker", "-app", "snoop")
+	for _, want := range []string{
+		`snoop: I am "JoeHacker"`,
+		"permission denied",
+		"audit trail",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("identbox output missing %q:\n%s", want, out)
+		}
+	}
+	// Workload mode with comparison.
+	out = goRun(t, "./cmd/identbox", "-app", "ibis", "-scale", "0.001", "-audit", "0", "-compare")
+	if !strings.Contains(out, "overhead") {
+		t.Errorf("identbox -compare missing overhead:\n%s", out)
+	}
+}

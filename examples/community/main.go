@@ -1,0 +1,129 @@
+// Community demonstrates the admission-policy machinery around identity
+// boxing: Fred logs in once and delegates a GSI *proxy* credential to
+// his job; the job authenticates to a Chirp server as Fred's base
+// identity; and a *community authorization service* (CAS) assertion
+// grants the whole physics community rights over /data/cms without the
+// server listing a single member locally — the Section-4 point that
+// identity boxing supports complex admission policies without touching
+// any account database.
+//
+//	go run ./examples/community
+package main
+
+import (
+	"crypto/rsa"
+	"fmt"
+	"log"
+	"time"
+
+	"identitybox/internal/acl"
+	"identitybox/internal/auth"
+	"identitybox/internal/chirp"
+	"identitybox/internal/identity"
+	"identitybox/internal/kernel"
+	"identitybox/internal/vclock"
+	"identitybox/internal/vfs"
+)
+
+func main() {
+	// Certificate authority and community service.
+	ca, err := auth.NewCA("UnivNowhereCA")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cas, err := auth.NewCAS("physics-community")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fred := "globus:/O=UnivNowhere/CN=Fred"
+	cas.AddMember(identity.Principal(fred), "cms-experiment", []auth.Grant{
+		{PathPrefix: "/data/cms", Rights: "rwlx"},
+	})
+	fmt.Println("community 'physics-community' enrolls Fred in cms-experiment (rwlx on /data/cms)")
+
+	// The storage site: trusts the CA for authentication and the CAS
+	// for authorization; its local ACLs grant visitors nothing.
+	fs := vfs.New("siteowner")
+	k := kernel.New(fs, vclock.Default())
+	rootACL := &acl.ACL{}
+	rootACL.Set("unix:siteadmin", acl.All, acl.None)
+	srv, err := chirp.NewServer(k, chirp.ServerOptions{
+		Name:    "storage.site.edu",
+		Owner:   "siteowner",
+		RootACL: rootACL,
+		Verifiers: map[auth.Method]auth.Verifier{
+			auth.MethodGlobus: &auth.GSIVerifier{TrustedCAs: map[string]*rsa.PublicKey{"UnivNowhereCA": ca.PublicKey()}},
+			auth.MethodUnix:   &auth.UnixVerifier{},
+		},
+		CASTrust: &auth.CASVerifier{Trusted: map[string]*rsa.PublicKey{"physics-community": cas.PublicKey()}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	// The site admin prepares the community area (one action for the
+	// whole community, not one per member).
+	admin, err := chirp.Dial(srv.Addr(), []auth.Authenticator{&auth.UnixClient{User: "siteadmin"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer admin.Close()
+	admin.Mkdir("/data", 0o755)
+	admin.Mkdir("/data/cms", 0o755)
+	admin.PutFile("/data/cms/events.dat", []byte("collision events"), 0o644)
+	fmt.Printf("site %s exports /data/cms; local ACLs list no community members\n\n", srv.Addr())
+
+	// Fred's single login: he delegates a proxy to his job.
+	cred, err := ca.Issue("/O=UnivNowhere/CN=Fred")
+	if err != nil {
+		log.Fatal(err)
+	}
+	proxy, err := cred.Delegate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fred delegates a proxy: %s\n", proxy.Subject)
+
+	// The job dials with the proxy — and is known by Fred's base name.
+	job, err := chirp.Dial(srv.Addr(), []auth.Authenticator{&auth.GSIProxyClient{Proxy: proxy}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer job.Close()
+	who, _ := job.Whoami()
+	fmt.Printf("job authenticates as %s (consistent global identity)\n", who)
+
+	// Without the assertion: no access.
+	if _, err := job.GetFile("/data/cms/events.dat"); err != nil {
+		fmt.Printf("before assertion: read /data/cms/events.dat: %v\n", err)
+	}
+
+	// Present the community assertion.
+	assertion, err := cas.Issue(identity.Principal(fred), time.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob, _ := assertion.Encode()
+	community, err := job.PresentAssertion(blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("presented CAS assertion; server acknowledges community %q\n", community)
+
+	data, err := job.GetFile("/data/cms/events.dat")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after assertion: read %d bytes of community data\n", len(data))
+	if err := job.PutFile("/data/cms/histograms.out", []byte("results"), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after assertion: wrote /data/cms/histograms.out")
+	if err := job.PutFile("/private.out", []byte("x"), 0o644); err != nil {
+		fmt.Printf("outside the granted prefix: %v\n", err)
+	}
+}

@@ -1,0 +1,149 @@
+// Gridjob reproduces Figure 3 end to end over real TCP, in one
+// process: a Chirp server whose root ACL grants UnivNowhere users the
+// reserve right; the GSI-authenticated user Fred creates /work, stages
+// sim.exe and input data, runs the simulation remotely inside an
+// identity box named by his grid identity, and retrieves out.dat — all
+// without any account existing for him on the server.
+//
+//	go run ./examples/gridjob
+package main
+
+import (
+	"crypto/rsa"
+	"fmt"
+	"log"
+
+	"identitybox/internal/acl"
+	"identitybox/internal/auth"
+	"identitybox/internal/chirp"
+	"identitybox/internal/kernel"
+	"identitybox/internal/vclock"
+	"identitybox/internal/vfs"
+)
+
+func main() {
+	// --- Site side: an ordinary user deploys a Chirp server. ---------
+	ca, err := auth.NewCA("UnivNowhereCA")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fs := vfs.New("chirpowner")
+	k := kernel.New(fs, vclock.Default())
+	k.RegisterProgram("sim", simulation)
+
+	rootACL := &acl.ACL{}
+	rootACL.Set("globus:/O=NotreDame/*", acl.Reserve, acl.All)
+	rootACL.Set("globus:/O=UnivNowhere/*", acl.Reserve, acl.All)
+
+	srv, err := chirp.NewServer(k, chirp.ServerOptions{
+		Name:    "storage.nowhere.edu",
+		Owner:   "chirpowner",
+		RootACL: rootACL,
+		Verifiers: map[auth.Method]auth.Verifier{
+			auth.MethodGlobus: &auth.GSIVerifier{
+				TrustedCAs: map[string]*rsa.PublicKey{"UnivNowhereCA": ca.PublicKey()},
+			},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("chirp server up at %s (runs as ordinary user %q, no accounts for visitors)\n",
+		srv.Addr(), "chirpowner")
+	fmt.Printf("root ACL:\n%s", indent(rootACL.String()))
+
+	// --- User side: Fred, with nothing but his GSI credential. -------
+	cred, err := ca.Issue("/O=UnivNowhere/CN=Fred")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl, err := chirp.Dial(srv.Addr(), []auth.Authenticator{&auth.GSIClient{Cred: cred}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	who, _ := cl.Whoami()
+	fmt.Printf("\nauthenticated as %s\n", who)
+
+	// 1. mkdir /work — allowed via the reserve right; the fresh ACL
+	// grants Fred rwlax.
+	if err := cl.Mkdir("/work", 0o755); err != nil {
+		log.Fatalf("mkdir /work: %v", err)
+	}
+	workACL, _ := cl.GetACL("/work")
+	fmt.Printf("1. mkdir /work — fresh ACL:\n%s", indent(workACL))
+
+	// 2-3. Stage in the program and data.
+	if err := cl.PutFile("/work/sim.exe", kernel.ExecutableBytes("sim"), 0o755); err != nil {
+		log.Fatalf("put sim.exe: %v", err)
+	}
+	if err := cl.PutFile("/work/input.dat", []byte("raw detector samples: 3 1 4 1 5 9 2 6"), 0o644); err != nil {
+		log.Fatalf("put input.dat: %v", err)
+	}
+	fmt.Println("2. put sim.exe")
+	fmt.Println("3. put input.dat")
+
+	// 4. Remote exec, in an identity box named by the GSI identity.
+	res, err := cl.Exec("/work", "/work/sim.exe")
+	if err != nil {
+		log.Fatalf("exec: %v", err)
+	}
+	fmt.Printf("4. exec sim.exe — exit %d, virtual runtime %.3fs (ran inside an identity box for %s)\n",
+		res.Code, res.RuntimeSeconds, who)
+
+	// 5. Retrieve the output.
+	out, err := cl.GetFile("/work/out.dat")
+	if err != nil {
+		log.Fatalf("get out.dat: %v", err)
+	}
+	fmt.Printf("5. get out.dat — %q\n", out)
+}
+
+// simulation is the "sim.exe" binary: it verifies it runs under Fred's
+// grid identity, processes the staged input, and writes the output.
+func simulation(p *kernel.Proc, _ []string) int {
+	if p.GetUserName() != "globus:/O=UnivNowhere/CN=Fred" {
+		return 3
+	}
+	in, err := p.ReadFile("input.dat")
+	if err != nil {
+		return 1
+	}
+	p.Compute(2e6) // two virtual seconds of number crunching
+	result := fmt.Sprintf("processed %d bytes under identity %s", len(in), p.GetUserName())
+	if err := p.WriteFile("out.dat", []byte(result), 0o644); err != nil {
+		return 2
+	}
+	return 0
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "     " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	cur := ""
+	for _, r := range s {
+		if r == '\n' {
+			if cur != "" {
+				lines = append(lines, cur)
+			}
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		lines = append(lines, cur)
+	}
+	return lines
+}

@@ -1,0 +1,78 @@
+// Hierarchy demonstrates Figure 6: the hierarchical user namespace the
+// paper proposes as the in-kernel future of identity boxing. Every user
+// can create protection domains beneath their own name; authority
+// follows the prefix structure; grid servers bind external identities
+// to the domains they create.
+//
+//	go run ./examples/hierarchy
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"identitybox/internal/identity"
+)
+
+func main() {
+	ns := identity.NewNamespace()
+	must := func(name string, err error) string {
+		if err != nil {
+			log.Fatal(err)
+		}
+		return name
+	}
+
+	// Build the Figure-6 tree.
+	dthain := must(ns.Create(identity.Root, "dthain"))
+	httpd := must(ns.Create(dthain, "httpd"))
+	must(ns.Create(httpd, "webapp"))
+	must(ns.Create(dthain, "visitor"))
+	grid := must(ns.Create(dthain, "grid"))
+	anon2 := must(ns.Create(grid, "anon2"))
+	anon5 := must(ns.Create(grid, "anon5"))
+
+	// The grid server binds external identities to its domains.
+	ns.BindAlias(anon2, "/O=UnivNowhere/CN=Freddy")
+	ns.BindAlias(anon5, "/O=UnivNowhere/CN=George")
+
+	fmt.Println("Figure 6: hierarchical user identity")
+	printTree(ns, identity.Root, 0)
+
+	fmt.Println("\nprefix authority:")
+	cases := [][2]string{
+		{dthain, anon2},
+		{httpd, anon2},
+		{identity.Root, httpd},
+		{anon2, dthain},
+	}
+	for _, c := range cases {
+		fmt.Printf("  HasAuthority(%s, %s) = %v\n", c[0], c[1], ns.HasAuthority(c[0], c[1]))
+	}
+
+	// Domains are destroyed bottom-up, like processes reaped by a parent.
+	fmt.Println("\ntearing down the grid session:")
+	for _, d := range []string{anon2, anon5, grid} {
+		if err := ns.Destroy(d); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  destroyed %s\n", d)
+	}
+	fmt.Printf("%d domains remain\n", ns.Len())
+}
+
+func printTree(ns *identity.Namespace, node string, depth int) {
+	label := node
+	if i := strings.LastIndex(node, identity.Sep); i >= 0 {
+		label = node[i+1:]
+	}
+	alias := ""
+	if a, ok := ns.Alias(node); ok {
+		alias = "  -> " + a.String()
+	}
+	fmt.Printf("%s%s%s\n", strings.Repeat("    ", depth), label, alias)
+	for _, c := range ns.Children(node) {
+		printTree(ns, c, depth+1)
+	}
+}

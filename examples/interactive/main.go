@@ -1,0 +1,68 @@
+// Interactive reproduces Figure 2 of the paper as a live shell
+// transcript: the supervising user dthain creates a secret, then opens
+// an identity box for the visitor Freddy and runs a real command
+// interpreter inside it. Freddy cannot read dthain's "secret", but can
+// create "mydata" in his fresh home, and whoami reports "Freddy" — a
+// name that exists in no account database.
+//
+//	go run ./examples/interactive
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"identitybox/internal/core"
+	"identitybox/internal/kernel"
+	"identitybox/internal/shell"
+	"identitybox/internal/vclock"
+	"identitybox/internal/vfs"
+)
+
+func main() {
+	fs := vfs.New(kernel.RootAccount)
+	k := kernel.New(fs, vclock.Default())
+	fs.MkdirAll("/etc", 0o755, kernel.RootAccount)
+	fs.WriteFile("/etc/passwd",
+		[]byte("root:x:0:0:root:/root:/bin/sh\ndthain:x:1000:1000:Douglas Thain:/home/dthain:/bin/tcsh\n"),
+		0o644, kernel.RootAccount)
+	fs.MkdirAll("/home/dthain", 0o755, "dthain")
+	fs.MkdirAll("/tmp", 0o777, kernel.RootAccount)
+
+	sh := shell.New(os.Stdout)
+	sh.Echo = true
+
+	// The supervising user's own session (no box): create the secret.
+	k.Run(kernel.ProcSpec{Account: "dthain", Cwd: "/home/dthain"}, sh.Program(`
+		whoami
+		echo my private data > secret
+		chmod 600 secret
+	`))
+
+	// Enter the identity box as Freddy and run the same shell.
+	fmt.Println("% parrot identity_box Freddy tcsh")
+	box, err := core.New(k, "dthain", "Freddy", core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := box.Run(sh.Program(`
+		whoami
+		pwd
+		cat /home/dthain/secret
+		echo Freddy wuz here > mydata
+		cat mydata
+		getacl
+		ls -l
+	`))
+	fmt.Printf("%% exit  (box exited %d; %d syscalls mediated, %d denied)\n",
+		st.Code, box.Stats().Syscalls, box.Stats().Denials)
+
+	// Outside the box, Freddy exists nowhere.
+	raw, _ := fs.ReadFile("/etc/passwd")
+	fmt.Println("% grep Freddy /etc/passwd   (outside the box)")
+	if !strings.Contains(string(raw), "Freddy") {
+		fmt.Println("(no match — the visitor never entered the account database)")
+	}
+}

@@ -1,0 +1,82 @@
+// Quickstart: create an identity box, run a program under a high-level
+// identity, and watch ACL-based sharing work with no accounts and no
+// root.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"identitybox/internal/acl"
+	"identitybox/internal/core"
+	"identitybox/internal/identity"
+	"identitybox/internal/kernel"
+	"identitybox/internal/vclock"
+	"identitybox/internal/vfs"
+)
+
+func main() {
+	// 1. Boot a simulated machine. The supervising user is "dthain", an
+	// ordinary account — identity boxing never needs root.
+	fs := vfs.New(kernel.RootAccount)
+	k := kernel.New(fs, vclock.Default())
+	fs.MkdirAll("/tmp", 0o777, kernel.RootAccount)
+	fs.MkdirAll("/home/dthain", 0o755, "dthain")
+	fs.WriteFile("/home/dthain/secret", []byte("dthain's own data"), 0o600, "dthain")
+
+	// 2. Create a box for a visiting grid identity. The name is
+	// free-form: it appears in no account database.
+	fred := "globus:/O=UnivNowhere/CN=Fred"
+	box, err := core.New(k, "dthain", identity.Principal(fred), core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("created a box for %s\n  home: %s\n", fred, box.Home())
+
+	// 3. Run a program inside. Every syscall it makes is mediated.
+	st := box.Run(func(p *kernel.Proc, _ []string) int {
+		fmt.Printf("  inside: get_user_name() = %q\n", p.GetUserName())
+
+		// The supervisor's data is protected (no ACL there, and the
+		// visitor is treated as 'nobody' under Unix rules).
+		if _, err := p.ReadFile("/home/dthain/secret"); err != nil {
+			fmt.Printf("  inside: reading dthain's secret: %v\n", err)
+		}
+
+		// The fresh home directory carries an ACL granting the
+		// identity full rights.
+		if err := p.WriteFile("results.dat", []byte("42\n"), 0o644); err != nil {
+			return 1
+		}
+		aclText, _ := p.GetACL(".")
+		fmt.Printf("  inside: my home ACL:\n        %s", aclText)
+
+		// Share with a collaborator — by grid identity, not by any
+		// local account name.
+		a, _ := acl.Parse(aclText)
+		a.Set("globus:/O=UnivNowhere/CN=George", acl.Read|acl.List, acl.None)
+		if err := p.SetACL(".", a.String()); err != nil {
+			return 1
+		}
+		fmt.Println("  inside: granted George read access")
+		return 0
+	})
+	fmt.Printf("box exited %d after %d syscalls (virtual time %v)\n",
+		st.Code, st.Syscalls, st.Runtime)
+
+	// 4. George's box — same machine, same local account, different
+	// identity — can now read Fred's file, and only read it.
+	georgeBox, err := core.New(k, "dthain", "globus:/O=UnivNowhere/CN=George", core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	georgeBox.Run(func(p *kernel.Proc, _ []string) int {
+		data, err := p.ReadFile(box.Home() + "/results.dat")
+		fmt.Printf("george reads fred's results: %q (err=%v)\n", data, err)
+		_, werr := p.Open(box.Home()+"/results.dat", kernel.OWronly, 0)
+		fmt.Printf("george writing them: %v\n", werr)
+		return 0
+	})
+}

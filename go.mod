@@ -1,0 +1,3 @@
+module identitybox
+
+go 1.22

@@ -1,0 +1,63 @@
+package acl
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParse checks the ACL parser never panics and that anything it
+// accepts round-trips through String() unchanged.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"/O=UnivNowhere/CN=Fred rwlax\n",
+		"globus:/O=UnivNowhere/* v(rwlax)\n",
+		"hostname:*.nowhere.edu rlxv(rwl)\n# comment\n\n",
+		"a -\n",
+		"p v(\n",
+		"p rwv(q)\n",
+		"x y z\n",
+		"\x00\x01\x02",
+		"pattern rv()x\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		a, err := Parse(text)
+		if err != nil {
+			return
+		}
+		out := a.String()
+		b, err := Parse(out)
+		if err != nil {
+			t.Fatalf("rendered ACL failed to re-parse: %q: %v", out, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("round trip changed ACL:\n%q\nvs\n%q", a.String(), b.String())
+		}
+	})
+}
+
+// FuzzParseEntry checks single-entry parsing for panics and round-trip
+// stability.
+func FuzzParseEntry(f *testing.F) {
+	for _, s := range []string{
+		"p rwlax", "p v(rl)", "p -", "p rv(w)x", " p  rl ", "p", "p q", "",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		e, err := ParseEntry(line)
+		if err != nil {
+			return
+		}
+		e2, err := ParseEntry(e.String())
+		if err != nil {
+			t.Fatalf("rendered entry failed to re-parse: %q: %v", e.String(), err)
+		}
+		if e != e2 {
+			t.Fatalf("round trip changed entry: %+v vs %+v", e, e2)
+		}
+	})
+}

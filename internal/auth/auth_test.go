@@ -1,0 +1,220 @@
+package auth
+
+import (
+	"crypto/rsa"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"identitybox/internal/identity"
+)
+
+// rsaPub shortens map literals in tests.
+type rsaPub = rsa.PublicKey
+
+// pipeConns returns two connected Conns over an in-memory duplex pipe.
+func pipeConns(t *testing.T) (client, server *Conn) {
+	t.Helper()
+	c1, c2 := net.Pipe()
+	t.Cleanup(func() { c1.Close(); c2.Close() })
+	return NewConn(c1), NewConn(c2)
+}
+
+// negotiate runs both sides concurrently.
+func negotiate(t *testing.T, auths []Authenticator, verifiers map[Method]Verifier, remoteHost string) (clientP, serverP identity.Principal, clientErr, serverErr error) {
+	t.Helper()
+	cc, sc := pipeConns(t)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		serverP, serverErr = ServerNegotiate(sc, verifiers, remoteHost)
+	}()
+	go func() {
+		defer wg.Done()
+		clientP, clientErr = ClientNegotiate(cc, auths)
+	}()
+	wg.Wait()
+	return
+}
+
+func TestGSIRoundTrip(t *testing.T) {
+	ca, err := NewCA("UnivNowhereCA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred, err := ca.Issue("/O=UnivNowhere/CN=Fred")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, sp, cerr, serr := negotiate(t,
+		[]Authenticator{&GSIClient{Cred: cred}},
+		map[Method]Verifier{MethodGlobus: &GSIVerifier{TrustedCAs: map[string]*rsaPub{"UnivNowhereCA": ca.PublicKey()}}},
+		"client.host")
+	if cerr != nil || serr != nil {
+		t.Fatalf("errs: client %v, server %v", cerr, serr)
+	}
+	want := identity.Principal("globus:/O=UnivNowhere/CN=Fred")
+	if cp != want || sp != want {
+		t.Fatalf("principals = %q / %q, want %q", cp, sp, want)
+	}
+}
+
+func TestGSIUntrustedCARejected(t *testing.T) {
+	goodCA, _ := NewCA("Good")
+	rogueCA, _ := NewCA("Rogue")
+	cred, _ := rogueCA.Issue("/O=Evil/CN=Mallory")
+	_, _, cerr, serr := negotiate(t,
+		[]Authenticator{&GSIClient{Cred: cred}},
+		map[Method]Verifier{MethodGlobus: &GSIVerifier{TrustedCAs: map[string]*rsaPub{"Good": goodCA.PublicKey()}}},
+		"x")
+	if serr == nil || !errors.Is(serr, ErrRejected) {
+		t.Fatalf("server err = %v, want rejection", serr)
+	}
+	if cerr == nil {
+		t.Fatal("client should observe failure")
+	}
+}
+
+func TestGSIStolenCertWithoutKeyFails(t *testing.T) {
+	ca, _ := NewCA("CA")
+	victim, _ := ca.Issue("/O=U/CN=Victim")
+	attacker, _ := ca.Issue("/O=U/CN=Attacker")
+	// The attacker presents the victim's certificate but holds only its
+	// own private key: the nonce challenge must fail.
+	stolen := &Credential{Subject: victim.Subject, Key: attacker.Key, Cert: victim.Cert}
+	_, _, _, serr := negotiate(t,
+		[]Authenticator{&GSIClient{Cred: stolen}},
+		map[Method]Verifier{MethodGlobus: &GSIVerifier{TrustedCAs: map[string]*rsaPub{"CA": ca.PublicKey()}}},
+		"x")
+	if serr == nil || !errors.Is(serr, ErrRejected) {
+		t.Fatalf("server err = %v, want challenge rejection", serr)
+	}
+}
+
+func TestKerberosRoundTrip(t *testing.T) {
+	kdc := NewKDC("NOWHERE.EDU")
+	key, err := kdc.RegisterService("chirp/server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := kdc.Grant("fred@nowhere.edu", "chirp/server", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, sp, cerr, serr := negotiate(t,
+		[]Authenticator{&KerberosClient{Ticket: tk}},
+		map[Method]Verifier{MethodKerberos: &KerberosVerifier{Service: "chirp/server", ServiceKey: key}},
+		"x")
+	if cerr != nil || serr != nil {
+		t.Fatalf("errs: %v / %v", cerr, serr)
+	}
+	want := identity.Principal("kerberos:fred@nowhere.edu")
+	if cp != want || sp != want {
+		t.Fatalf("principals = %q / %q", cp, sp)
+	}
+}
+
+func TestKerberosExpiredTicket(t *testing.T) {
+	kdc := NewKDC("R")
+	key, _ := kdc.RegisterService("svc")
+	tk, _ := kdc.Grant("u@r", "svc", time.Hour)
+	verifier := &KerberosVerifier{
+		Service:    "svc",
+		ServiceKey: key,
+		Now:        func() time.Time { return time.Now().Add(2 * time.Hour) },
+	}
+	_, _, _, serr := negotiate(t,
+		[]Authenticator{&KerberosClient{Ticket: tk}},
+		map[Method]Verifier{MethodKerberos: verifier}, "x")
+	if serr == nil || !strings.Contains(serr.Error(), "expired") {
+		t.Fatalf("server err = %v, want expiry rejection", serr)
+	}
+}
+
+func TestKerberosForgedTicket(t *testing.T) {
+	kdc := NewKDC("R")
+	key, _ := kdc.RegisterService("svc")
+	tk, _ := kdc.Grant("u@r", "svc", time.Hour)
+	tk.User = "root@r" // tamper after issue
+	_, _, _, serr := negotiate(t,
+		[]Authenticator{&KerberosClient{Ticket: tk}},
+		map[Method]Verifier{MethodKerberos: &KerberosVerifier{Service: "svc", ServiceKey: key}}, "x")
+	if serr == nil || !errors.Is(serr, ErrRejected) {
+		t.Fatalf("server err = %v, want forgery rejection", serr)
+	}
+}
+
+func TestUnixRoundTrip(t *testing.T) {
+	cp, sp, cerr, serr := negotiate(t,
+		[]Authenticator{&UnixClient{User: "dthain"}},
+		map[Method]Verifier{MethodUnix: &UnixVerifier{}}, "x")
+	if cerr != nil || serr != nil {
+		t.Fatalf("errs: %v / %v", cerr, serr)
+	}
+	if cp != "unix:dthain" || sp != "unix:dthain" {
+		t.Fatalf("principals = %q / %q", cp, sp)
+	}
+}
+
+func TestUnixAllowList(t *testing.T) {
+	_, _, _, serr := negotiate(t,
+		[]Authenticator{&UnixClient{User: "mallory"}},
+		map[Method]Verifier{MethodUnix: &UnixVerifier{Allowed: map[string]bool{"dthain": true}}}, "x")
+	if serr == nil || !errors.Is(serr, ErrRejected) {
+		t.Fatalf("server err = %v, want rejection", serr)
+	}
+}
+
+func TestHostnameRoundTrip(t *testing.T) {
+	hosts := HostTable{"10.0.0.7": "laptop.cs.nowhere.edu"}
+	cp, sp, cerr, serr := negotiate(t,
+		[]Authenticator{&HostnameClient{}},
+		map[Method]Verifier{MethodHostname: &HostnameVerifier{Hosts: hosts}},
+		"10.0.0.7")
+	if cerr != nil || serr != nil {
+		t.Fatalf("errs: %v / %v", cerr, serr)
+	}
+	want := identity.Principal("hostname:laptop.cs.nowhere.edu")
+	if cp != want || sp != want {
+		t.Fatalf("principals = %q / %q", cp, sp)
+	}
+}
+
+func TestNegotiationFallsBack(t *testing.T) {
+	// Client prefers globus, server only supports unix: negotiation
+	// must fall through to the second method.
+	ca, _ := NewCA("CA")
+	cred, _ := ca.Issue("/O=U/CN=F")
+	cp, sp, cerr, serr := negotiate(t,
+		[]Authenticator{&GSIClient{Cred: cred}, &UnixClient{User: "fred"}},
+		map[Method]Verifier{MethodUnix: &UnixVerifier{}}, "x")
+	if cerr != nil || serr != nil {
+		t.Fatalf("errs: %v / %v", cerr, serr)
+	}
+	if cp != "unix:fred" || sp != "unix:fred" {
+		t.Fatalf("principals = %q / %q", cp, sp)
+	}
+}
+
+func TestNegotiationNoCommonMethod(t *testing.T) {
+	_, _, cerr, serr := negotiate(t,
+		[]Authenticator{&UnixClient{User: "u"}},
+		map[Method]Verifier{MethodHostname: &HostnameVerifier{}}, "x")
+	if !errors.Is(cerr, ErrNoCommonMethod) {
+		t.Fatalf("client err = %v", cerr)
+	}
+	if !errors.Is(serr, ErrNoCommonMethod) {
+		t.Fatalf("server err = %v", serr)
+	}
+}
+
+func TestConnRejectsEmbeddedNewline(t *testing.T) {
+	cc, _ := pipeConns(t)
+	if err := cc.WriteLine("evil\ninjection"); err == nil {
+		t.Fatal("embedded newline accepted")
+	}
+}

@@ -1,0 +1,109 @@
+package auth
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func casFixture(t *testing.T) (*CAS, *CASVerifier) {
+	t.Helper()
+	cas, err := NewCAS("physics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := &CASVerifier{Trusted: map[string]*rsaPub{"physics": cas.PublicKey()}}
+	return cas, v
+}
+
+func TestCASIssueAndVerify(t *testing.T) {
+	cas, v := casFixture(t)
+	cas.AddMember("globus:/O=U/CN=Fred", "cms", []Grant{{PathPrefix: "/data", Rights: "rl"}})
+	a, err := cas.Issue("globus:/O=U/CN=Fred", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Verify(a); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if a.Community != "cms" || len(a.Grants) != 1 || a.Grants[0].Rights != "rl" {
+		t.Fatalf("assertion = %+v", a)
+	}
+}
+
+func TestCASNonMemberRefused(t *testing.T) {
+	cas, _ := casFixture(t)
+	if _, err := cas.Issue("globus:/O=U/CN=Stranger", time.Hour); err == nil {
+		t.Fatal("non-member got an assertion")
+	}
+}
+
+func TestCASRevocation(t *testing.T) {
+	cas, _ := casFixture(t)
+	cas.AddMember("u", "c", nil)
+	if _, err := cas.Issue("u", time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	cas.RemoveMember("u")
+	if _, err := cas.Issue("u", time.Hour); err == nil {
+		t.Fatal("revoked member still issued")
+	}
+}
+
+func TestCASTamperDetected(t *testing.T) {
+	cas, v := casFixture(t)
+	cas.AddMember("u", "c", []Grant{{PathPrefix: "/narrow", Rights: "r"}})
+	a, _ := cas.Issue("u", time.Hour)
+	cases := []func(*Assertion){
+		func(a *Assertion) { a.Subject = "someone-else" },
+		func(a *Assertion) { a.Community = "other" },
+		func(a *Assertion) { a.Grants[0].PathPrefix = "/" },
+		func(a *Assertion) { a.Grants[0].Rights = "rwlax" },
+		func(a *Assertion) { a.Expiry += 1e6 },
+	}
+	for i, mutate := range cases {
+		fresh, _ := cas.Issue("u", time.Hour)
+		mutate(fresh)
+		if err := v.Verify(fresh); !errors.Is(err, ErrRejected) {
+			t.Errorf("mutation %d: verify = %v, want rejection", i, err)
+		}
+	}
+	// The untampered one still verifies.
+	if err := v.Verify(a); err != nil {
+		t.Fatalf("control assertion rejected: %v", err)
+	}
+}
+
+func TestCASUntrustedIssuer(t *testing.T) {
+	cas, _ := casFixture(t)
+	rogue, _ := NewCAS("rogue")
+	rogue.AddMember("u", "c", []Grant{{PathPrefix: "/", Rights: "rwlax"}})
+	a, _ := rogue.Issue("u", time.Hour)
+	v := &CASVerifier{Trusted: map[string]*rsaPub{"physics": cas.PublicKey()}}
+	if err := v.Verify(a); !errors.Is(err, ErrRejected) {
+		t.Fatalf("untrusted issuer = %v, want rejection", err)
+	}
+}
+
+func TestCASEncodeDecodeRoundTrip(t *testing.T) {
+	cas, v := casFixture(t)
+	cas.AddMember("u", "c", []Grant{{PathPrefix: "/a b/c", Rights: "rwl"}})
+	a, _ := cas.Issue("u", time.Hour)
+	blob, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeAssertion(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Verify(back); err != nil {
+		t.Fatalf("decoded assertion rejected: %v", err)
+	}
+	if back.Grants[0].PathPrefix != "/a b/c" {
+		t.Fatalf("grant lost: %+v", back.Grants)
+	}
+	if _, err := DecodeAssertion([]byte("{broken")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}

@@ -1,0 +1,153 @@
+package auth
+
+import (
+	"errors"
+	"testing"
+
+	"identitybox/internal/identity"
+)
+
+func proxyFixture(t *testing.T) (*CA, *Credential, *ProxyCredential) {
+	t.Helper()
+	ca, err := NewCA("UnivNowhereCA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred, err := ca.Issue("/O=UnivNowhere/CN=Fred")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := cred.Delegate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ca, cred, proxy
+}
+
+func verifierFor(ca *CA) map[Method]Verifier {
+	return map[Method]Verifier{
+		MethodGlobus: &GSIVerifier{TrustedCAs: map[string]*rsaPub{ca.Name: ca.PublicKey()}},
+	}
+}
+
+func TestProxyRoundTrip(t *testing.T) {
+	ca, _, proxy := proxyFixture(t)
+	cp, sp, cerr, serr := negotiate(t,
+		[]Authenticator{&GSIProxyClient{Proxy: proxy}},
+		verifierFor(ca), "x")
+	if cerr != nil || serr != nil {
+		t.Fatalf("errs: %v / %v", cerr, serr)
+	}
+	// The recorded principal is the *base* identity: consistent global
+	// identity across delegation.
+	want := identity.Principal("globus:/O=UnivNowhere/CN=Fred")
+	if cp != want || sp != want {
+		t.Fatalf("principals = %q / %q, want %q", cp, sp, want)
+	}
+}
+
+func TestProxyOfProxy(t *testing.T) {
+	ca, _, proxy := proxyFixture(t)
+	proxy2, err := proxy.Delegate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proxy2.Chain) != 3 {
+		t.Fatalf("chain length = %d, want 3", len(proxy2.Chain))
+	}
+	if proxy2.BaseSubject() != "/O=UnivNowhere/CN=Fred" {
+		t.Fatalf("base subject = %q", proxy2.BaseSubject())
+	}
+	_, sp, cerr, serr := negotiate(t,
+		[]Authenticator{&GSIProxyClient{Proxy: proxy2}},
+		verifierFor(ca), "x")
+	if cerr != nil || serr != nil {
+		t.Fatalf("errs: %v / %v", cerr, serr)
+	}
+	if sp != "globus:/O=UnivNowhere/CN=Fred" {
+		t.Fatalf("second-level proxy principal = %q", sp)
+	}
+}
+
+func TestProxyWithoutKeyFails(t *testing.T) {
+	ca, _, proxy := proxyFixture(t)
+	// The attacker captured the chain but not the proxy's private key.
+	other, _ := ca.Issue("/O=UnivNowhere/CN=Attacker")
+	stolen := &ProxyCredential{Subject: proxy.Subject, Key: other.Key, Chain: proxy.Chain}
+	_, _, _, serr := negotiate(t,
+		[]Authenticator{&GSIProxyClient{Proxy: stolen}},
+		verifierFor(ca), "x")
+	if !errors.Is(serr, ErrRejected) {
+		t.Fatalf("server err = %v, want rejection", serr)
+	}
+}
+
+func TestProxyForgedLinkRejected(t *testing.T) {
+	ca, _, _ := proxyFixture(t)
+	// Mallory forges a chain claiming to descend from Fred, but signs
+	// the delegation link with her own key.
+	mallory, _ := ca.Issue("/O=UnivNowhere/CN=Mallory")
+	forged, err := mallory.Delegate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the subjects to impersonate Fred; signatures no longer
+	// match the digests.
+	forged.Chain[0].Subject = "/O=UnivNowhere/CN=Fred"
+	forged.Chain[1].Subject = "/O=UnivNowhere/CN=Fred" + proxySuffix
+	forged.Chain[1].Issuer = "/O=UnivNowhere/CN=Fred"
+	forged.Subject = forged.Chain[1].Subject
+	_, _, _, serr := negotiate(t,
+		[]Authenticator{&GSIProxyClient{Proxy: forged}},
+		verifierFor(ca), "x")
+	if !errors.Is(serr, ErrRejected) {
+		t.Fatalf("server err = %v, want rejection", serr)
+	}
+}
+
+func TestProxyChainMustExtendSubject(t *testing.T) {
+	ca, cred, _ := proxyFixture(t)
+	// A delegation link whose subject is not parent+"/CN=proxy" must be
+	// rejected even if the signature verifies: otherwise a proxy could
+	// rename itself to a different principal.
+	evil, err := cred.Delegate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-sign a link with a rogue subject (the holder of the parent key
+	// can sign anything, so the signature itself is valid).
+	rogueSubject := "/O=UnivNowhere/CN=Root"
+	sig, err := signLink(cred.Key, cred.Subject, rogueSubject, evil.Chain[1].PubKeyDER)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evil.Chain[1].Subject = rogueSubject
+	evil.Chain[1].Sig = sig
+	evil.Subject = rogueSubject
+	_, _, _, serr := negotiate(t,
+		[]Authenticator{&GSIProxyClient{Proxy: evil}},
+		verifierFor(ca), "x")
+	if !errors.Is(serr, ErrRejected) {
+		t.Fatalf("server err = %v, want rejection (subject must extend parent)", serr)
+	}
+}
+
+func TestProxyChainLengthBounded(t *testing.T) {
+	ca, cred, _ := proxyFixture(t)
+	p, err := cred.Delegate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < maxChainLength; i++ {
+		p, err = p.Delegate()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, _, serr := negotiate(t,
+		[]Authenticator{&GSIProxyClient{Proxy: p}},
+		verifierFor(ca), "x")
+	if !errors.Is(serr, ErrRejected) {
+		t.Fatalf("over-long chain = %v, want rejection", serr)
+	}
+}

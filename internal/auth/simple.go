@@ -1,0 +1,120 @@
+package auth
+
+import (
+	"fmt"
+	"strings"
+
+	"identitybox/internal/identity"
+)
+
+// This file implements the two lightweight methods: asserted unix names
+// (trusted for local connections, as the paper's Chirp does over
+// filesystem-authenticated channels) and hostname identification by
+// reverse lookup of the peer address.
+
+// UnixClient asserts a local account name.
+type UnixClient struct {
+	User string
+}
+
+// Method implements Authenticator.
+func (u *UnixClient) Method() Method { return MethodUnix }
+
+// Prove implements Authenticator.
+func (u *UnixClient) Prove(c *Conn) (identity.Principal, error) {
+	if err := c.WriteLine("user " + u.User); err != nil {
+		return "", err
+	}
+	return identity.New(string(MethodUnix), u.User), nil
+}
+
+// UnixVerifier accepts asserted names, optionally restricted to an
+// allow list. With no list, any syntactically valid name is accepted —
+// appropriate only where the transport itself is trusted.
+type UnixVerifier struct {
+	Allowed map[string]bool // nil means accept all
+}
+
+// Method implements Verifier.
+func (u *UnixVerifier) Method() Method { return MethodUnix }
+
+// Verify implements Verifier.
+func (u *UnixVerifier) Verify(c *Conn, _ string) (identity.Principal, error) {
+	line, err := c.ReadLine()
+	if err != nil {
+		return "", err
+	}
+	name, ok := strings.CutPrefix(line, "user ")
+	if !ok || name == "" {
+		return "", fmt.Errorf("auth: malformed unix assertion %q", line)
+	}
+	if u.Allowed != nil && !u.Allowed[name] {
+		return "", fmt.Errorf("%w: unix user %q not allowed", ErrRejected, name)
+	}
+	return identity.New(string(MethodUnix), name), nil
+}
+
+// HostTable maps peer addresses to hostnames, standing in for reverse
+// DNS. Addresses not in the table resolve to themselves.
+type HostTable map[string]string
+
+// Lookup resolves an address to a hostname.
+func (t HostTable) Lookup(addr string) string {
+	if t != nil {
+		if h, ok := t[addr]; ok {
+			return h
+		}
+	}
+	return addr
+}
+
+// HostnameClient requests hostname identification; the proof is the
+// connection itself.
+type HostnameClient struct{}
+
+// Method implements Authenticator.
+func (h *HostnameClient) Method() Method { return MethodHostname }
+
+// Prove implements Authenticator: nothing to send; the server derives
+// the principal from the peer address and confirms it in the final
+// "ok" line. We cannot predict the name, so read it back from the
+// server's echo.
+func (h *HostnameClient) Prove(c *Conn) (identity.Principal, error) {
+	if err := c.WriteLine("hostname"); err != nil {
+		return "", err
+	}
+	echo, err := c.ReadLine()
+	if err != nil {
+		return "", err
+	}
+	name, ok := strings.CutPrefix(echo, "you-are ")
+	if !ok {
+		return "", fmt.Errorf("auth: malformed hostname echo %q", echo)
+	}
+	return identity.Principal(name), nil
+}
+
+// HostnameVerifier identifies the client by its address.
+type HostnameVerifier struct {
+	Hosts HostTable
+}
+
+// Method implements Verifier.
+func (h *HostnameVerifier) Method() Method { return MethodHostname }
+
+// Verify implements Verifier.
+func (h *HostnameVerifier) Verify(c *Conn, remoteHost string) (identity.Principal, error) {
+	line, err := c.ReadLine()
+	if err != nil {
+		return "", err
+	}
+	if line != "hostname" {
+		return "", fmt.Errorf("auth: malformed hostname request %q", line)
+	}
+	name := h.Hosts.Lookup(remoteHost)
+	p := identity.New(string(MethodHostname), name)
+	if err := c.WriteLine("you-are " + p.String()); err != nil {
+		return "", err
+	}
+	return p, nil
+}

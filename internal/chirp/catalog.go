@@ -1,0 +1,183 @@
+package chirp
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Catalog collects heartbeats from Chirp servers over UDP and publishes
+// the set of available servers to interested parties over TCP, one
+// server per line: name address owner age-seconds.
+type Catalog struct {
+	mu      sync.Mutex
+	servers map[string]*CatalogEntry
+	now     func() time.Time
+
+	udp    *net.UDPConn
+	tcp    net.Listener
+	wg     sync.WaitGroup
+	closed bool
+
+	// Expiry drops servers not heard from within this window (default
+	// 15 minutes, matching production Chirp catalogs).
+	Expiry time.Duration
+}
+
+// CatalogEntry describes one known server.
+type CatalogEntry struct {
+	Name      string
+	Addr      string
+	Owner     string
+	LastHeard time.Time
+}
+
+// NewCatalog creates an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		servers: make(map[string]*CatalogEntry),
+		now:     time.Now,
+		Expiry:  15 * time.Minute,
+	}
+}
+
+// SetClock overrides the catalog clock (tests).
+func (c *Catalog) SetClock(now func() time.Time) { c.now = now }
+
+// Listen binds the heartbeat (UDP) and query (TCP) endpoints to the
+// same address string and begins serving.
+func (c *Catalog) Listen(addr string) error {
+	uaddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return err
+	}
+	c.udp, err = net.ListenUDP("udp", uaddr)
+	if err != nil {
+		return err
+	}
+	// Use the resolved UDP port for TCP too, so one address serves both.
+	c.tcp, err = net.Listen("tcp", c.udp.LocalAddr().String())
+	if err != nil {
+		c.udp.Close()
+		return err
+	}
+	c.wg.Add(2)
+	go c.heartbeatLoop()
+	go c.queryLoop()
+	return nil
+}
+
+// Addr reports the bound address (same for UDP heartbeats and TCP
+// queries).
+func (c *Catalog) Addr() string {
+	if c.udp == nil {
+		return ""
+	}
+	return c.udp.LocalAddr().String()
+}
+
+// Close stops both listeners.
+func (c *Catalog) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	if c.udp != nil {
+		c.udp.Close()
+	}
+	if c.tcp != nil {
+		c.tcp.Close()
+	}
+	c.wg.Wait()
+	return nil
+}
+
+func (c *Catalog) heartbeatLoop() {
+	defer c.wg.Done()
+	buf := make([]byte, 4096)
+	for {
+		n, _, err := c.udp.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		c.Record(string(buf[:n]))
+	}
+}
+
+// Record parses one heartbeat datagram: `chirp <name> <addr> <owner>`.
+func (c *Catalog) Record(datagram string) {
+	fields, err := splitFields(strings.TrimSpace(datagram))
+	if err != nil || len(fields) != 4 || fields[0] != "chirp" {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.servers[fields[2]] = &CatalogEntry{
+		Name:      fields[1],
+		Addr:      fields[2],
+		Owner:     fields[3],
+		LastHeard: c.now(),
+	}
+}
+
+// Entries lists the live servers, sorted by name.
+func (c *Catalog) Entries() []CatalogEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	out := make([]CatalogEntry, 0, len(c.servers))
+	for addr, e := range c.servers {
+		if now.Sub(e.LastHeard) > c.Expiry {
+			delete(c.servers, addr)
+			continue
+		}
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (c *Catalog) queryLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.tcp.Accept()
+		if err != nil {
+			return
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			defer conn.Close()
+			now := c.now()
+			for _, e := range c.Entries() {
+				age := int(now.Sub(e.LastHeard).Seconds())
+				fmt.Fprintf(conn, "%s %s %s %d\n", q(e.Name), q(e.Addr), q(e.Owner), age)
+			}
+		}()
+	}
+}
+
+// QueryCatalog fetches the server list from a catalog.
+func QueryCatalog(addr string) ([]CatalogEntry, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	c := newCodec(conn)
+	var out []CatalogEntry
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			break // EOF ends the listing
+		}
+		fields, err := splitFields(line)
+		if err != nil || len(fields) != 4 {
+			continue
+		}
+		out = append(out, CatalogEntry{Name: fields[0], Addr: fields[1], Owner: fields[2]})
+	}
+	return out, nil
+}

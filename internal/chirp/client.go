@@ -1,0 +1,403 @@
+package chirp
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+
+	"identitybox/internal/auth"
+	"identitybox/internal/identity"
+	"identitybox/internal/vfs"
+)
+
+// Client is one authenticated connection to a Chirp server. Methods
+// mirror the Unix-like protocol. A Client is not safe for concurrent
+// use; open one per goroutine (as Parrot opens one per mount).
+type Client struct {
+	conn  net.Conn
+	c     *codec
+	ident identity.Principal
+	addr  string
+}
+
+// Dial connects to a Chirp server and authenticates with the first
+// mutually acceptable method.
+func Dial(addr string, auths []auth.Authenticator) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	ac := auth.NewConn(conn)
+	ident, err := auth.ClientNegotiate(ac, auths)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &Client{conn: conn, c: newCodec(conn), ident: ident, addr: addr}, nil
+}
+
+// Identity reports the principal this client proved to the server.
+func (cl *Client) Identity() identity.Principal { return cl.ident }
+
+// Addr reports the server address.
+func (cl *Client) Addr() string { return cl.addr }
+
+// Close ends the session.
+func (cl *Client) Close() error {
+	cl.c.writeLine("quit")
+	return cl.conn.Close()
+}
+
+// rpc sends a request line and parses the response line.
+func (cl *Client) rpc(fields ...string) ([]string, error) {
+	if err := cl.c.writeLine(fields...); err != nil {
+		return nil, err
+	}
+	return cl.response()
+}
+
+func (cl *Client) response() ([]string, error) {
+	line, err := cl.c.readLine()
+	if err != nil {
+		return nil, err
+	}
+	parts, err := splitFields(line)
+	if err != nil {
+		return nil, err
+	}
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("chirp: empty reply")
+	}
+	switch parts[0] {
+	case "ok":
+		return parts[1:], nil
+	case "err":
+		name, msg := "EIO", "unknown"
+		if len(parts) > 1 {
+			name = parts[1]
+		}
+		if len(parts) > 2 {
+			msg = parts[2]
+		}
+		return nil, remoteError(name, msg)
+	default:
+		return nil, fmt.Errorf("chirp: malformed reply %q", line)
+	}
+}
+
+// Stats reports server-side counters: live connections, this session's
+// open descriptors and CAS grants, and the server name.
+func (cl *Client) Stats() (conns, fds, grants int, name string, err error) {
+	r, err := cl.rpc("stats")
+	if err != nil {
+		return 0, 0, 0, "", err
+	}
+	if len(r) != 4 {
+		return 0, 0, 0, "", fmt.Errorf("chirp: bad stats reply %v", r)
+	}
+	if conns, err = strconv.Atoi(r[0]); err != nil {
+		return
+	}
+	if fds, err = strconv.Atoi(r[1]); err != nil {
+		return
+	}
+	if grants, err = strconv.Atoi(r[2]); err != nil {
+		return
+	}
+	name = r[3]
+	return
+}
+
+// Whoami asks the server which principal it recorded.
+func (cl *Client) Whoami() (identity.Principal, error) {
+	r, err := cl.rpc("whoami")
+	if err != nil {
+		return "", err
+	}
+	if len(r) != 1 {
+		return "", fmt.Errorf("chirp: bad whoami reply %v", r)
+	}
+	return identity.Principal(r[0]), nil
+}
+
+// Open opens a remote file and returns its descriptor.
+func (cl *Client) Open(path string, flags int, mode uint32) (int, error) {
+	r, err := cl.rpc("open", strconv.Itoa(flags), strconv.FormatUint(uint64(mode), 8), q(path))
+	if err != nil {
+		return 0, err
+	}
+	return strconv.Atoi(r[0])
+}
+
+// CloseFD releases a remote descriptor.
+func (cl *Client) CloseFD(fd int) error {
+	_, err := cl.rpc("close", strconv.Itoa(fd))
+	return err
+}
+
+// Pread reads up to len(buf) bytes at off.
+func (cl *Client) Pread(fd int, buf []byte, off int64) (int, error) {
+	r, err := cl.rpc("pread", strconv.Itoa(fd), strconv.Itoa(len(buf)), strconv.FormatInt(off, 10))
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(r[0])
+	if err != nil {
+		return 0, err
+	}
+	data, err := cl.c.readPayload(n)
+	if err != nil {
+		return 0, err
+	}
+	copy(buf, data)
+	return n, nil
+}
+
+// Pwrite writes buf at off.
+func (cl *Client) Pwrite(fd int, buf []byte, off int64) (int, error) {
+	if err := cl.c.writeLine("pwrite", strconv.Itoa(fd), strconv.FormatInt(off, 10), strconv.Itoa(len(buf))); err != nil {
+		return 0, err
+	}
+	if err := cl.c.writePayload(buf); err != nil {
+		return 0, err
+	}
+	r, err := cl.response()
+	if err != nil {
+		return 0, err
+	}
+	return strconv.Atoi(r[0])
+}
+
+// FstatFD reports metadata for an open descriptor.
+func (cl *Client) FstatFD(fd int) (vfs.Stat, error) {
+	r, err := cl.rpc("fstat", strconv.Itoa(fd))
+	if err != nil {
+		return vfs.Stat{}, err
+	}
+	return parseStat(r)
+}
+
+// Stat reports metadata for a path, following symlinks.
+func (cl *Client) Stat(path string) (vfs.Stat, error) {
+	r, err := cl.rpc("stat", q(path))
+	if err != nil {
+		return vfs.Stat{}, err
+	}
+	return parseStat(r)
+}
+
+// Lstat reports metadata without following a final symlink.
+func (cl *Client) Lstat(path string) (vfs.Stat, error) {
+	r, err := cl.rpc("lstat", q(path))
+	if err != nil {
+		return vfs.Stat{}, err
+	}
+	return parseStat(r)
+}
+
+// ReadDir lists a remote directory.
+func (cl *Client) ReadDir(path string) ([]vfs.DirEntry, error) {
+	r, err := cl.rpc("getdir", q(path))
+	if err != nil {
+		return nil, err
+	}
+	if len(r) < 1 {
+		return nil, fmt.Errorf("chirp: bad getdir reply")
+	}
+	n, err := strconv.Atoi(r[0])
+	if err != nil || len(r) != 1+2*n {
+		return nil, fmt.Errorf("chirp: bad getdir reply %v", r)
+	}
+	out := make([]vfs.DirEntry, 0, n)
+	for i := 0; i < n; i++ {
+		t, err := strconv.Atoi(r[2+2*i])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vfs.DirEntry{Name: r[1+2*i], Type: vfs.FileType(t)})
+	}
+	return out, nil
+}
+
+// Mkdir creates a remote directory (with reserve-right semantics when
+// the client holds only v in the parent).
+func (cl *Client) Mkdir(path string, mode uint32) error {
+	_, err := cl.rpc("mkdir", strconv.FormatUint(uint64(mode), 8), q(path))
+	return err
+}
+
+// Rmdir removes an empty remote directory.
+func (cl *Client) Rmdir(path string) error {
+	_, err := cl.rpc("rmdir", q(path))
+	return err
+}
+
+// Unlink removes a remote file.
+func (cl *Client) Unlink(path string) error {
+	_, err := cl.rpc("unlink", q(path))
+	return err
+}
+
+// Rename moves a remote file.
+func (cl *Client) Rename(oldPath, newPath string) error {
+	_, err := cl.rpc("rename", q(oldPath), q(newPath))
+	return err
+}
+
+// Link creates a remote hard link.
+func (cl *Client) Link(oldPath, newPath string) error {
+	_, err := cl.rpc("link", q(oldPath), q(newPath))
+	return err
+}
+
+// Symlink creates a remote symbolic link.
+func (cl *Client) Symlink(target, linkPath string) error {
+	_, err := cl.rpc("symlink", q(target), q(linkPath))
+	return err
+}
+
+// Readlink reads a remote symlink target.
+func (cl *Client) Readlink(path string) (string, error) {
+	r, err := cl.rpc("readlink", q(path))
+	if err != nil {
+		return "", err
+	}
+	return r[0], nil
+}
+
+// Truncate sets a remote file's size.
+func (cl *Client) Truncate(path string, size int64) error {
+	_, err := cl.rpc("truncate", q(path), strconv.FormatInt(size, 10))
+	return err
+}
+
+// GetACL fetches the ACL text protecting a remote directory.
+func (cl *Client) GetACL(path string) (string, error) {
+	r, err := cl.rpc("getacl", q(path))
+	if err != nil {
+		return "", err
+	}
+	n, err := strconv.Atoi(r[0])
+	if err != nil {
+		return "", err
+	}
+	data, err := cl.c.readPayload(n)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+// SetACL replaces the ACL protecting a remote directory (requires the
+// A right).
+func (cl *Client) SetACL(path, aclText string) error {
+	if err := cl.c.writeLine("setacl", q(path), strconv.Itoa(len(aclText))); err != nil {
+		return err
+	}
+	if err := cl.c.writePayload([]byte(aclText)); err != nil {
+		return err
+	}
+	_, err := cl.response()
+	return err
+}
+
+// PresentAssertion hands a community-authorization assertion to the
+// server; on success the server unions the granted rights with the
+// local ACLs for this session. Returns the community name the server
+// acknowledged.
+func (cl *Client) PresentAssertion(encoded []byte) (string, error) {
+	if err := cl.c.writeLine("assert", strconv.Itoa(len(encoded))); err != nil {
+		return "", err
+	}
+	if err := cl.c.writePayload(encoded); err != nil {
+		return "", err
+	}
+	r, err := cl.response()
+	if err != nil {
+		return "", err
+	}
+	if len(r) != 1 {
+		return "", fmt.Errorf("chirp: bad assert reply %v", r)
+	}
+	return r[0], nil
+}
+
+// ExecResult reports a remote execution.
+type ExecResult struct {
+	Code           int
+	RuntimeSeconds float64
+}
+
+// Exec runs the staged program at path on the server, inside an
+// identity box carrying this client's principal, with working
+// directory cwd.
+func (cl *Client) Exec(cwd, path string, args ...string) (ExecResult, error) {
+	fields := []string{"exec", q(cwd), q(path)}
+	for _, a := range args {
+		fields = append(fields, q(a))
+	}
+	r, err := cl.rpc(fields...)
+	if err != nil {
+		return ExecResult{}, err
+	}
+	if len(r) != 2 {
+		return ExecResult{}, fmt.Errorf("chirp: bad exec reply %v", r)
+	}
+	code, err := strconv.Atoi(r[0])
+	if err != nil {
+		return ExecResult{}, err
+	}
+	rt, err := strconv.ParseFloat(r[1], 64)
+	if err != nil {
+		return ExecResult{}, err
+	}
+	return ExecResult{Code: code, RuntimeSeconds: rt}, nil
+}
+
+// PutFile stages a whole file onto the server in one call sequence.
+func (cl *Client) PutFile(path string, data []byte, mode uint32) error {
+	fd, err := cl.Open(path, 0x1|0x40|0x200, mode) // O_WRONLY|O_CREAT|O_TRUNC
+	if err != nil {
+		return err
+	}
+	const chunk = 65536
+	for off := 0; off < len(data); off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		if _, err := cl.Pwrite(fd, data[off:end], int64(off)); err != nil {
+			cl.CloseFD(fd)
+			return err
+		}
+	}
+	return cl.CloseFD(fd)
+}
+
+// GetFile fetches a whole remote file.
+func (cl *Client) GetFile(path string) ([]byte, error) {
+	fd, err := cl.Open(path, 0x0, 0) // O_RDONLY
+	if err != nil {
+		return nil, err
+	}
+	defer cl.CloseFD(fd)
+	st, err := cl.FstatFD(fd)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, st.Size)
+	buf := make([]byte, 65536)
+	var off int64
+	for {
+		n, err := cl.Pread(fd, buf, off)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			break
+		}
+		out = append(out, buf[:n]...)
+		off += int64(n)
+	}
+	return out, nil
+}

@@ -1,0 +1,62 @@
+package chirp
+
+import (
+	"testing"
+
+	"identitybox/internal/workload"
+)
+
+// FuzzSplitFields checks the protocol tokenizer never panics and that
+// quoting any token yields a line that parses back to the same token.
+func FuzzSplitFields(f *testing.F) {
+	f.Add(`open 0 644 "/plain"`)
+	f.Add(`stat "/with space"`)
+	f.Add(`x "esc \" quote"`)
+	f.Add(`bad "unterminated`)
+	f.Add("")
+	f.Add(`""`)
+	f.Fuzz(func(t *testing.T, line string) {
+		fields, err := splitFields(line)
+		if err != nil {
+			return
+		}
+		// Re-quote every field: must parse back identically.
+		requoted := ""
+		for i, tok := range fields {
+			if i > 0 {
+				requoted += " "
+			}
+			requoted += q(tok)
+		}
+		back, err := splitFields(requoted)
+		if err != nil {
+			t.Fatalf("requoted line failed: %q: %v", requoted, err)
+		}
+		if len(back) != len(fields) {
+			t.Fatalf("token count changed: %v vs %v", back, fields)
+		}
+		for i := range fields {
+			if back[i] != fields[i] {
+				t.Fatalf("token %d changed: %q vs %q", i, back[i], fields[i])
+			}
+		}
+	})
+}
+
+// FuzzTraceParse lives here to avoid an extra fuzz package; it checks
+// the workload trace parser is panic-free and render-stable.
+func FuzzTraceParse(f *testing.F) {
+	f.Add("open f /x ro\nread f 10\nclose f\n")
+	f.Add("compute 5\nstat /a\n")
+	f.Add("spawn /x # note\n")
+	f.Add("read\x00 f 1")
+	f.Fuzz(func(t *testing.T, text string) {
+		tr, err := workload.ParseTrace(text)
+		if err != nil {
+			return
+		}
+		if _, err := workload.ParseTrace(tr.Render()); err != nil {
+			t.Fatalf("rendered trace failed to re-parse: %v\n%s", err, tr.Render())
+		}
+	})
+}

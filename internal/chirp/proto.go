@@ -1,0 +1,239 @@
+// Package chirp implements the Chirp distributed storage system used to
+// demonstrate identity boxing in a distributed setting: a personal file
+// server any ordinary user can deploy, exporting file space through a
+// Unix-like protocol protected by ACLs over high-level identities, plus
+// the paper's remote "exec" extension that runs staged programs inside
+// an identity box corresponding to the authenticated client.
+//
+// The wire protocol is line-oriented: one request line (paths are
+// Go-quoted so they may contain spaces), optionally followed by a
+// counted binary payload; one response line ("ok ..." or "err ENAME
+// message"), optionally followed by a counted payload. Authentication
+// (package auth) runs first on every connection.
+package chirp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"identitybox/internal/kernel"
+	"identitybox/internal/vfs"
+)
+
+// errno names carried on the wire, mapped to the kernel/vfs sentinels.
+var errnoByName = map[string]error{
+	"ENOENT":    vfs.ErrNotExist,
+	"EEXIST":    vfs.ErrExist,
+	"EPERM":     vfs.ErrPermission,
+	"EISDIR":    vfs.ErrIsDir,
+	"ENOTDIR":   vfs.ErrNotDir,
+	"ENOTEMPTY": vfs.ErrNotEmpty,
+	"EINVAL":    vfs.ErrInvalid,
+	"ELOOP":     vfs.ErrLoop,
+	"EXDEV":     vfs.ErrCrossDevice,
+	"EBADF":     kernel.ErrBadFD,
+	"ENOSYS":    kernel.ErrNoSys,
+	"ESRCH":     kernel.ErrSearch,
+	"EIO":       errors.New("input/output error"),
+}
+
+// nameForError picks the wire name for an error.
+func nameForError(err error) string {
+	switch {
+	case errors.Is(err, vfs.ErrNotExist):
+		return "ENOENT"
+	case errors.Is(err, vfs.ErrExist):
+		return "EEXIST"
+	case errors.Is(err, vfs.ErrPermission):
+		return "EPERM"
+	case errors.Is(err, vfs.ErrIsDir):
+		return "EISDIR"
+	case errors.Is(err, vfs.ErrNotDir):
+		return "ENOTDIR"
+	case errors.Is(err, vfs.ErrNotEmpty):
+		return "ENOTEMPTY"
+	case errors.Is(err, vfs.ErrInvalid):
+		return "EINVAL"
+	case errors.Is(err, vfs.ErrLoop):
+		return "ELOOP"
+	case errors.Is(err, vfs.ErrCrossDevice):
+		return "EXDEV"
+	case errors.Is(err, kernel.ErrBadFD):
+		return "EBADF"
+	case errors.Is(err, kernel.ErrSearch):
+		return "ESRCH"
+	case errors.Is(err, kernel.ErrNoSys):
+		return "ENOSYS"
+	default:
+		return "EIO"
+	}
+}
+
+// RemoteError is an error reported by a Chirp server.
+type RemoteError struct {
+	Name    string // wire errno name
+	Message string
+	Err     error // mapped sentinel
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("chirp: %s: %s", e.Name, e.Message)
+}
+
+// Unwrap lets errors.Is match the sentinel (e.g. vfs.ErrPermission).
+func (e *RemoteError) Unwrap() error { return e.Err }
+
+func remoteError(name, msg string) *RemoteError {
+	err, ok := errnoByName[name]
+	if !ok {
+		err = errnoByName["EIO"]
+	}
+	return &RemoteError{Name: name, Message: msg, Err: err}
+}
+
+// codec frames protocol lines and counted payloads over a transport.
+type codec struct {
+	r *bufio.Reader
+	w *bufio.Writer
+}
+
+func newCodec(rw io.ReadWriter) *codec {
+	return &codec{r: bufio.NewReader(rw), w: bufio.NewWriter(rw)}
+}
+
+func (c *codec) writeLine(fields ...string) error {
+	line := strings.Join(fields, " ")
+	if strings.ContainsAny(line, "\n\r") {
+		return fmt.Errorf("chirp: embedded newline in %q", line)
+	}
+	if _, err := c.w.WriteString(line + "\n"); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+func (c *codec) readLine() (string, error) {
+	s, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(s, "\r\n"), nil
+}
+
+// writePayload sends a counted binary payload after a line.
+func (c *codec) writePayload(data []byte) error {
+	if _, err := c.w.Write(data); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// readPayload receives exactly n payload bytes.
+func (c *codec) readPayload(n int) ([]byte, error) {
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(c.r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// q quotes a path for the wire.
+func q(path string) string { return strconv.Quote(path) }
+
+// splitFields tokenizes a protocol line, honoring Go-quoted fields.
+func splitFields(line string) ([]string, error) {
+	var out []string
+	i := 0
+	for i < len(line) {
+		for i < len(line) && line[i] == ' ' {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		if line[i] == '"' {
+			// Find the end of the quoted token (handling escapes).
+			j := i + 1
+			for j < len(line) {
+				if line[j] == '\\' {
+					j += 2
+					continue
+				}
+				if line[j] == '"' {
+					break
+				}
+				j++
+			}
+			if j >= len(line) {
+				return nil, fmt.Errorf("chirp: unterminated quote in %q", line)
+			}
+			tok, err := strconv.Unquote(line[i : j+1])
+			if err != nil {
+				return nil, fmt.Errorf("chirp: bad quoting in %q: %v", line, err)
+			}
+			out = append(out, tok)
+			i = j + 1
+			continue
+		}
+		j := strings.IndexByte(line[i:], ' ')
+		if j < 0 {
+			out = append(out, line[i:])
+			break
+		}
+		out = append(out, line[i:i+j])
+		i += j
+	}
+	return out, nil
+}
+
+// statFields serializes a stat for the wire.
+func statFields(st vfs.Stat) []string {
+	return []string{
+		strconv.FormatUint(st.Ino, 10),
+		strconv.Itoa(int(st.Type)),
+		strconv.FormatUint(uint64(st.Mode), 8),
+		q(st.Owner),
+		q(st.Group),
+		strconv.Itoa(st.Nlink),
+		strconv.FormatInt(st.Size, 10),
+		strconv.FormatInt(st.Mtime, 10),
+	}
+}
+
+// parseStat deserializes statFields output.
+func parseStat(fields []string) (vfs.Stat, error) {
+	if len(fields) != 8 {
+		return vfs.Stat{}, fmt.Errorf("chirp: bad stat reply (%d fields)", len(fields))
+	}
+	var st vfs.Stat
+	var err error
+	if st.Ino, err = strconv.ParseUint(fields[0], 10, 64); err != nil {
+		return st, err
+	}
+	t, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return st, err
+	}
+	st.Type = vfs.FileType(t)
+	mode, err := strconv.ParseUint(fields[2], 8, 32)
+	if err != nil {
+		return st, err
+	}
+	st.Mode = uint32(mode)
+	st.Owner = fields[3]
+	st.Group = fields[4]
+	if st.Nlink, err = strconv.Atoi(fields[5]); err != nil {
+		return st, err
+	}
+	if st.Size, err = strconv.ParseInt(fields[6], 10, 64); err != nil {
+		return st, err
+	}
+	if st.Mtime, err = strconv.ParseInt(fields[7], 10, 64); err != nil {
+		return st, err
+	}
+	return st, nil
+}

@@ -1,0 +1,851 @@
+package chirp
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"identitybox/internal/acl"
+	"identitybox/internal/auth"
+	"identitybox/internal/core"
+	"identitybox/internal/identity"
+	"identitybox/internal/kernel"
+	"identitybox/internal/vfs"
+)
+
+// ServerOptions configure a Chirp server.
+type ServerOptions struct {
+	// Name is the server's advertised name (defaults to the listen
+	// address).
+	Name string
+	// Owner is the local account the server runs as: an ordinary user,
+	// not root. Files created on behalf of clients are owned by it.
+	Owner string
+	// RootACL is installed at the export root if no ACL exists there.
+	RootACL *acl.ACL
+	// Verifiers are the accepted authentication methods.
+	Verifiers map[auth.Method]auth.Verifier
+	// Hosts resolves peer addresses for the hostname method and for
+	// logging.
+	Hosts auth.HostTable
+	// CatalogAddr, when set, receives UDP heartbeats.
+	CatalogAddr string
+	// CASTrust, when set, lets clients present community-authorization
+	// assertions ("assert" command); verified grants are unioned with
+	// the local ACL rights for paths under the granted prefixes.
+	CASTrust *auth.CASVerifier
+	// Logf, when set, receives one line per request (debugging).
+	Logf func(format string, args ...any)
+	// AuthTimeout bounds the authentication dialogue, so an
+	// unauthenticated socket cannot pin a server goroutine (default
+	// 10 seconds).
+	AuthTimeout time.Duration
+}
+
+// Server is a Chirp file server exporting the file system of a simulated
+// kernel. It requires no privilege to run: deploying one is an
+// ordinary-user operation, and visiting users are admitted purely by
+// ACL policy over their authenticated identities.
+type Server struct {
+	k    *kernel.Kernel
+	fs   *vfs.FS
+	opts ServerOptions
+
+	ln     net.Listener
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]bool
+	wg     sync.WaitGroup
+}
+
+// NewServer creates a server exporting k's file system. The root ACL is
+// installed if the export root has none.
+func NewServer(k *kernel.Kernel, opts ServerOptions) (*Server, error) {
+	if opts.Owner == "" {
+		opts.Owner = "chirp"
+	}
+	s := &Server{k: k, fs: k.FS(), opts: opts, conns: make(map[net.Conn]bool)}
+	if opts.RootACL != nil && !s.fs.Exists("/"+acl.FileName) {
+		if err := s.fs.WriteFile("/"+acl.FileName, []byte(opts.RootACL.String()), 0o644, opts.Owner); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Listen binds the server to addr ("127.0.0.1:0" for an ephemeral port)
+// and begins serving in background goroutines.
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	if s.opts.Name == "" {
+		s.opts.Name = ln.Addr().String()
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	if s.opts.CatalogAddr != "" {
+		s.SendHeartbeat()
+	}
+	return nil
+}
+
+// Addr reports the bound address.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops accepting, severs live sessions, and waits for the
+// connection goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// track registers a live connection; it reports false when the server
+// is already closing (the caller should drop the connection).
+func (s *Server) track(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[c] = true
+	return true
+}
+
+func (s *Server) untrack(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// SendHeartbeat reports the server to its catalog over UDP.
+func (s *Server) SendHeartbeat() error {
+	if s.opts.CatalogAddr == "" {
+		return errors.New("chirp: no catalog configured")
+	}
+	conn, err := net.Dial("udp", s.opts.CatalogAddr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	_, err = fmt.Fprintf(conn, "chirp %s %s %s\n", q(s.opts.Name), q(s.Addr()), q(s.opts.Owner))
+	return err
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			log.Printf("chirp: accept: %v", err)
+			return
+		}
+		if !s.track(conn) {
+			conn.Close()
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.untrack(conn)
+			defer conn.Close()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// session is one authenticated connection.
+type session struct {
+	s      *Server
+	ident  identity.Principal
+	c      *codec
+	fds    map[int]*sessionFD
+	nextFD int
+	// grants are CAS-granted rights, verified against CASTrust.
+	grants []auth.Grant
+}
+
+type sessionFD struct {
+	h     *vfs.Handle
+	path  string
+	flags int
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	remoteHost, _, _ := net.SplitHostPort(conn.RemoteAddr().String())
+	authTimeout := s.opts.AuthTimeout
+	if authTimeout <= 0 {
+		authTimeout = 10 * time.Second
+	}
+	conn.SetDeadline(time.Now().Add(authTimeout))
+	ac := auth.NewConn(conn)
+	ident, err := auth.ServerNegotiate(ac, s.opts.Verifiers, remoteHost)
+	if err != nil {
+		s.logf("auth failed from %s: %v", remoteHost, err)
+		return
+	}
+	conn.SetDeadline(time.Time{})
+	s.logf("session for %s from %s", ident, remoteHost)
+	sess := &session{s: s, ident: ident, c: newCodec(conn), fds: make(map[int]*sessionFD), nextFD: 1}
+	sess.loop()
+}
+
+func (sess *session) loop() {
+	for {
+		line, err := sess.c.readLine()
+		if err != nil {
+			return // connection closed
+		}
+		fields, err := splitFields(line)
+		if err != nil || len(fields) == 0 {
+			sess.fail(vfs.ErrInvalid, "malformed request")
+			continue
+		}
+		if fields[0] == "quit" {
+			sess.c.writeLine("ok")
+			return
+		}
+		if err := sess.dispatch(fields); err != nil {
+			return // transport error
+		}
+	}
+}
+
+// ok sends a success reply.
+func (sess *session) ok(fields ...string) error {
+	return sess.c.writeLine(append([]string{"ok"}, fields...)...)
+}
+
+// fail sends an error reply.
+func (sess *session) fail(err error, context string) error {
+	msg := context
+	if err != nil {
+		msg = err.Error()
+	}
+	return sess.c.writeLine("err", nameForError(err), q(msg))
+}
+
+func (sess *session) dispatch(fields []string) error {
+	cmd, args := fields[0], fields[1:]
+	s := sess.s
+	s.logf("%s: %s %v", sess.ident, cmd, args)
+	switch cmd {
+	case "whoami":
+		return sess.ok(q(sess.ident.String()))
+
+	case "stats": // server-side counters for this session and globally
+		s.mu.Lock()
+		conns := len(s.conns)
+		s.mu.Unlock()
+		return sess.ok(
+			strconv.Itoa(conns),
+			strconv.Itoa(len(sess.fds)),
+			strconv.Itoa(len(sess.grants)),
+			q(s.opts.Name))
+
+	case "open": // open <flags> <mode> <path>
+		if len(args) != 3 {
+			return sess.fail(vfs.ErrInvalid, "open wants 3 args")
+		}
+		flags, err1 := strconv.Atoi(args[0])
+		mode, err2 := strconv.ParseUint(args[1], 8, 32)
+		if err1 != nil || err2 != nil {
+			return sess.fail(vfs.ErrInvalid, "bad open args")
+		}
+		fd, err := sess.open(args[2], flags, uint32(mode))
+		if err != nil {
+			return sess.fail(err, "open")
+		}
+		return sess.ok(strconv.Itoa(fd))
+
+	case "close":
+		fd, err := strconv.Atoi(args[0])
+		if err != nil {
+			return sess.fail(vfs.ErrInvalid, "bad fd")
+		}
+		if _, ok := sess.fds[fd]; !ok {
+			return sess.fail(kernel.ErrBadFD, "close")
+		}
+		delete(sess.fds, fd)
+		return sess.ok()
+
+	case "pread": // pread <fd> <len> <off>
+		if len(args) != 3 {
+			return sess.fail(vfs.ErrInvalid, "pread wants 3 args")
+		}
+		fd, _ := strconv.Atoi(args[0])
+		n, _ := strconv.Atoi(args[1])
+		off, _ := strconv.ParseInt(args[2], 10, 64)
+		d, ok := sess.fds[fd]
+		if !ok {
+			return sess.fail(kernel.ErrBadFD, "pread")
+		}
+		if n < 0 || n > 1<<22 {
+			return sess.fail(vfs.ErrInvalid, "pread size")
+		}
+		buf := make([]byte, n)
+		rn, err := d.h.ReadAt(buf, off)
+		if err != nil {
+			return sess.fail(err, "pread")
+		}
+		if err := sess.ok(strconv.Itoa(rn)); err != nil {
+			return err
+		}
+		return sess.c.writePayload(buf[:rn])
+
+	case "pwrite": // pwrite <fd> <off> <len> + payload
+		if len(args) != 3 {
+			return sess.fail(vfs.ErrInvalid, "pwrite wants 3 args")
+		}
+		fd, _ := strconv.Atoi(args[0])
+		off, _ := strconv.ParseInt(args[1], 10, 64)
+		n, _ := strconv.Atoi(args[2])
+		if n < 0 || n > 1<<22 {
+			return sess.fail(vfs.ErrInvalid, "pwrite size")
+		}
+		data, err := sess.c.readPayload(n)
+		if err != nil {
+			return err
+		}
+		d, ok := sess.fds[fd]
+		if !ok {
+			return sess.fail(kernel.ErrBadFD, "pwrite")
+		}
+		if d.flags&3 == kernel.ORdonly {
+			return sess.fail(kernel.ErrBadFD, "fd not writable")
+		}
+		wn, err := d.h.WriteAt(data, off)
+		if err != nil {
+			return sess.fail(err, "pwrite")
+		}
+		return sess.ok(strconv.Itoa(wn))
+
+	case "fstat":
+		fd, _ := strconv.Atoi(args[0])
+		d, ok := sess.fds[fd]
+		if !ok {
+			return sess.fail(kernel.ErrBadFD, "fstat")
+		}
+		return sess.ok(statFields(d.h.Stat())...)
+
+	case "stat", "lstat":
+		if len(args) != 1 {
+			return sess.fail(vfs.ErrInvalid, "stat wants a path")
+		}
+		if err := sess.checkF(args[0], acl.List); err != nil {
+			return sess.fail(err, "stat")
+		}
+		var st vfs.Stat
+		var err error
+		if cmd == "stat" {
+			st, err = s.fs.Stat(args[0])
+		} else {
+			st, err = s.fs.Lstat(args[0])
+		}
+		if err != nil {
+			return sess.fail(err, "stat")
+		}
+		return sess.ok(statFields(st)...)
+
+	case "getdir":
+		if err := sess.checkD(args[0], acl.List); err != nil {
+			return sess.fail(err, "getdir")
+		}
+		ents, err := s.fs.ReadDir(args[0])
+		if err != nil {
+			return sess.fail(err, "getdir")
+		}
+		out := make([]string, 0, 2*len(ents)+1)
+		out = append(out, strconv.Itoa(len(ents)))
+		for _, e := range ents {
+			out = append(out, q(e.Name), strconv.Itoa(int(e.Type)))
+		}
+		return sess.ok(out...)
+
+	case "mkdir": // mkdir <mode> <path>
+		if len(args) != 2 {
+			return sess.fail(vfs.ErrInvalid, "mkdir wants 2 args")
+		}
+		mode, err := strconv.ParseUint(args[0], 8, 32)
+		if err != nil {
+			return sess.fail(vfs.ErrInvalid, "bad mode")
+		}
+		if err := sess.mkdir(args[1], uint32(mode)); err != nil {
+			return sess.fail(err, "mkdir")
+		}
+		return sess.ok()
+
+	case "rmdir":
+		if err := sess.checkF(args[0], acl.Write); err != nil {
+			return sess.fail(err, "rmdir")
+		}
+		// A directory holding only its ACL file counts as empty: the
+		// ACL is removed with the directory.
+		if ents, lerr := s.fs.ReadDir(args[0]); lerr == nil &&
+			len(ents) == 1 && ents[0].Name == acl.FileName {
+			if uerr := s.fs.Unlink(vfs.Join(args[0], acl.FileName)); uerr != nil {
+				return sess.fail(uerr, "rmdir")
+			}
+		}
+		if err := s.fs.Rmdir(args[0]); err != nil {
+			return sess.fail(err, "rmdir")
+		}
+		return sess.ok()
+
+	case "unlink":
+		if err := sess.checkACLFileWrite(args[0]); err != nil {
+			return sess.fail(err, "unlink")
+		}
+		if err := s.fs.Unlink(args[0]); err != nil {
+			return sess.fail(err, "unlink")
+		}
+		return sess.ok()
+
+	case "rename":
+		if len(args) != 2 {
+			return sess.fail(vfs.ErrInvalid, "rename wants 2 args")
+		}
+		if err := sess.checkACLFileWrite(args[0]); err != nil {
+			return sess.fail(err, "rename")
+		}
+		if err := sess.checkACLFileWrite(args[1]); err != nil {
+			return sess.fail(err, "rename")
+		}
+		if err := s.fs.Rename(args[0], args[1]); err != nil {
+			return sess.fail(err, "rename")
+		}
+		return sess.ok()
+
+	case "link": // link <old> <new>: refuse links to unreadable files
+		if len(args) != 2 {
+			return sess.fail(vfs.ErrInvalid, "link wants 2 args")
+		}
+		if err := sess.checkF(args[0], acl.Read); err != nil {
+			return sess.fail(err, "link")
+		}
+		if err := sess.checkACLFileWrite(args[1]); err != nil {
+			return sess.fail(err, "link")
+		}
+		if err := s.fs.Link(args[0], args[1]); err != nil {
+			return sess.fail(err, "link")
+		}
+		return sess.ok()
+
+	case "symlink": // symlink <target> <link>
+		if len(args) != 2 {
+			return sess.fail(vfs.ErrInvalid, "symlink wants 2 args")
+		}
+		if err := sess.checkACLFileWrite(args[1]); err != nil {
+			return sess.fail(err, "symlink")
+		}
+		if err := s.fs.Symlink(args[0], args[1], s.opts.Owner); err != nil {
+			return sess.fail(err, "symlink")
+		}
+		return sess.ok()
+
+	case "readlink":
+		if err := s.checkFileNoFollow(sess.ident, args[0], acl.List); err != nil {
+			return sess.fail(err, "readlink")
+		}
+		t, err := s.fs.Readlink(args[0])
+		if err != nil {
+			return sess.fail(err, "readlink")
+		}
+		return sess.ok(q(t))
+
+	case "truncate": // truncate <path> <size>
+		if len(args) != 2 {
+			return sess.fail(vfs.ErrInvalid, "truncate wants 2 args")
+		}
+		size, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			return sess.fail(vfs.ErrInvalid, "bad size")
+		}
+		if err := sess.checkF(args[0], acl.Write); err != nil {
+			return sess.fail(err, "truncate")
+		}
+		if err := s.fs.Truncate(args[0], size); err != nil {
+			return sess.fail(err, "truncate")
+		}
+		return sess.ok()
+
+	case "getacl":
+		if err := sess.checkD(args[0], acl.List); err != nil {
+			return sess.fail(err, "getacl")
+		}
+		a, err := s.aclFor(args[0])
+		if err != nil {
+			return sess.fail(err, "getacl")
+		}
+		text := a.String()
+		if err := sess.ok(strconv.Itoa(len(text))); err != nil {
+			return err
+		}
+		return sess.c.writePayload([]byte(text))
+
+	case "setacl": // setacl <path> <len> + payload
+		if len(args) != 2 {
+			return sess.fail(vfs.ErrInvalid, "setacl wants 2 args")
+		}
+		n, err := strconv.Atoi(args[1])
+		if err != nil || n < 0 || n > 1<<20 {
+			return sess.fail(vfs.ErrInvalid, "bad length")
+		}
+		data, err := sess.c.readPayload(n)
+		if err != nil {
+			return err
+		}
+		if err := sess.checkD(args[0], acl.Admin); err != nil {
+			return sess.fail(err, "setacl")
+		}
+		if _, err := acl.Parse(string(data)); err != nil {
+			return sess.fail(vfs.ErrInvalid, "malformed ACL")
+		}
+		aclPath := vfs.Join(args[0], acl.FileName)
+		if err := s.fs.WriteFile(aclPath, data, 0o644, s.opts.Owner); err != nil {
+			return sess.fail(err, "setacl")
+		}
+		return sess.ok()
+
+	case "assert": // assert <len> + JSON assertion payload
+		if len(args) != 1 {
+			return sess.fail(vfs.ErrInvalid, "assert wants a length")
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n < 0 || n > 1<<20 {
+			return sess.fail(vfs.ErrInvalid, "bad length")
+		}
+		data, err := sess.c.readPayload(n)
+		if err != nil {
+			return err
+		}
+		community, err := sess.present(data)
+		if err != nil {
+			return sess.fail(vfs.ErrPermission, err.Error())
+		}
+		return sess.ok(q(community))
+
+	case "exec": // exec <cwd> <path> [args...]
+		if len(args) < 2 {
+			return sess.fail(vfs.ErrInvalid, "exec wants cwd and path")
+		}
+		code, runtime, err := sess.exec(args[0], args[1], args[2:])
+		if err != nil {
+			return sess.fail(err, "exec")
+		}
+		return sess.ok(strconv.Itoa(code), strconv.FormatFloat(runtime, 'f', -1, 64))
+
+	default:
+		return sess.fail(kernel.ErrNoSys, "unknown command "+cmd)
+	}
+}
+
+// open authorizes and opens a file for the session.
+func (sess *session) open(path string, flags int, mode uint32) (int, error) {
+	s := sess.s
+	var classes []acl.Rights
+	switch flags & 3 {
+	case kernel.ORdonly:
+		classes = []acl.Rights{acl.Read}
+	case kernel.OWronly:
+		classes = []acl.Rights{acl.Write}
+	case kernel.ORdwr:
+		classes = []acl.Rights{acl.Read, acl.Write}
+	}
+	if flags&kernel.OCreat != 0 {
+		classes = append(classes, acl.Write)
+	}
+	for _, cl := range classes {
+		if cl == acl.Write {
+			if err := sess.checkACLFileWrite(path); err != nil {
+				return 0, err
+			}
+		} else if err := sess.checkF(path, cl); err != nil {
+			return 0, err
+		}
+	}
+	st, err := s.fs.Stat(path)
+	exists := err == nil
+	switch {
+	case !exists && flags&kernel.OCreat == 0:
+		return 0, err
+	case exists && flags&(kernel.OCreat|kernel.OExcl) == kernel.OCreat|kernel.OExcl:
+		return 0, vfs.ErrExist
+	case exists && st.IsDir():
+		return 0, vfs.ErrIsDir
+	}
+	if !exists {
+		if _, err := s.fs.Create(path, mode, s.opts.Owner); err != nil {
+			return 0, err
+		}
+	}
+	h, err := s.fs.OpenHandle(path)
+	if err != nil {
+		return 0, err
+	}
+	if flags&kernel.OTrunc != 0 && flags&3 != kernel.ORdonly {
+		if err := h.Truncate(0); err != nil {
+			return 0, err
+		}
+	}
+	fd := sess.nextFD
+	sess.nextFD++
+	sess.fds[fd] = &sessionFD{h: h, path: path, flags: flags}
+	return fd, nil
+}
+
+// present verifies a CAS assertion and installs its grants.
+func (sess *session) present(data []byte) (community string, err error) {
+	s := sess.s
+	if s.opts.CASTrust == nil {
+		return "", errors.New("server trusts no community authorization service")
+	}
+	a, err := auth.DecodeAssertion(data)
+	if err != nil {
+		return "", err
+	}
+	if a.Subject != sess.ident {
+		return "", fmt.Errorf("assertion subject %q is not this session's identity", a.Subject)
+	}
+	if err := s.opts.CASTrust.Verify(a); err != nil {
+		return "", err
+	}
+	sess.grants = append(sess.grants, a.Grants...)
+	s.logf("%s: presented CAS assertion from %s (%s), %d grants", sess.ident, a.CAS, a.Community, len(a.Grants))
+	return a.Community, nil
+}
+
+// grantsAllow reports whether a verified CAS grant covers the path with
+// the wanted rights. Prefix matching respects component boundaries.
+func (sess *session) grantsAllow(path string, want acl.Rights) bool {
+	final := sess.s.resolveFinal(path)
+	for _, g := range sess.grants {
+		prefix := vfs.Clean(g.PathPrefix)
+		if !(prefix == "/" || final == prefix ||
+			(len(final) > len(prefix) && final[:len(prefix)] == prefix && final[len(prefix)] == '/')) {
+			continue
+		}
+		r, err := acl.ParseRights(g.Rights)
+		if err != nil {
+			continue
+		}
+		if r.Has(want) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkF is the per-session file check: local ACLs first, then
+// community grants.
+func (sess *session) checkF(path string, want acl.Rights) error {
+	if err := sess.s.checkFile(sess.ident, path, want); err == nil {
+		return nil
+	}
+	if sess.grantsAllow(path, want) {
+		return nil
+	}
+	return vfs.ErrPermission
+}
+
+// checkD is the per-session directory check.
+func (sess *session) checkD(dir string, want acl.Rights) error {
+	if err := sess.s.checkDir(sess.ident, dir, want); err == nil {
+		return nil
+	}
+	if sess.grantsAllow(dir, want) {
+		return nil
+	}
+	return vfs.ErrPermission
+}
+
+// checkACLFileWrite is the write check plus the rule that the ACL file
+// itself takes Admin to modify.
+func (sess *session) checkACLFileWrite(path string) error {
+	class := acl.Write
+	if vfs.Base(path) == acl.FileName {
+		class = acl.Admin
+	}
+	return sess.checkF(path, class)
+}
+
+// mkdir implements the reserve-right semantics on the server side.
+func (sess *session) mkdir(path string, mode uint32) error {
+	s := sess.s
+	parent := vfs.Dir(path)
+	a, err := s.aclFor(parent)
+	if err != nil {
+		return err
+	}
+	rights, reserve := a.Lookup(sess.ident)
+	var childACL *acl.ACL
+	switch {
+	case rights.Has(acl.Write):
+		childACL = a.Clone()
+	case rights.Has(acl.Reserve):
+		childACL = acl.ReserveChild(sess.ident, reserve)
+	case sess.grantsAllow(parent, acl.Write):
+		// Community-granted write: inherit like a local w holder, and
+		// keep the creator in control of the new directory.
+		childACL = a.Clone()
+		childACL.Set(sess.ident.String(), acl.All, acl.None)
+	default:
+		return vfs.ErrPermission
+	}
+	if err := s.fs.Mkdir(path, mode, s.opts.Owner); err != nil {
+		return err
+	}
+	return s.fs.WriteFile(vfs.Join(path, acl.FileName), []byte(childACL.String()), 0o644, s.opts.Owner)
+}
+
+// exec runs the staged program at path inside an identity box carrying
+// the session's principal, with the given working directory: the heart
+// of Figure 3.
+func (sess *session) exec(cwd, path string, args []string) (code int, runtimeSeconds float64, err error) {
+	s := sess.s
+	if err := sess.checkF(path, acl.Read); err != nil {
+		return 0, 0, err
+	}
+	if err := sess.checkF(path, acl.Execute); err != nil {
+		return 0, 0, err
+	}
+	box, err := core.New(s.k, s.opts.Owner, sess.ident, core.Options{
+		HomeBase:  "/.boxhomes",
+		ShadowDir: "/.boxshadow",
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	st := box.RunAt(cwd, func(p *kernel.Proc, bootArgs []string) int {
+		pid, err := p.Spawn(path, bootArgs...)
+		if err != nil {
+			return 127
+		}
+		_, status, err := p.Wait(pid)
+		if err != nil {
+			return 127
+		}
+		return status
+	}, args...)
+	return st.Code, st.Runtime.Seconds(), nil
+}
+
+// --- server-side ACL checks ---------------------------------------------
+
+// aclFor finds the effective ACL for dir: its own ACL file, or the
+// nearest ancestor's (Chirp's space is fully virtual: ACLs exist from
+// the root down, and mkdir always installs one).
+func (s *Server) aclFor(dir string) (*acl.ACL, error) {
+	dir = vfs.Clean(dir)
+	for {
+		data, err := s.fs.ReadFile(vfs.Join(dir, acl.FileName))
+		if err == nil {
+			a, perr := acl.Parse(string(data))
+			if perr != nil {
+				return &acl.ACL{}, nil // fail closed on malformed ACLs
+			}
+			return a, nil
+		}
+		if !errors.Is(err, vfs.ErrNotExist) {
+			return nil, err
+		}
+		if dir == "/" {
+			return &acl.ACL{}, nil // no ACL anywhere: grant nothing
+		}
+		dir = vfs.Dir(dir)
+	}
+}
+
+const maxServerSymlinks = 10
+
+// resolveFinal chases symlinks so checks apply to targets.
+func (s *Server) resolveFinal(path string) string {
+	cur := vfs.Clean(path)
+	for i := 0; i < maxServerSymlinks; i++ {
+		st, err := s.fs.Lstat(cur)
+		if err != nil || st.Type != vfs.TypeSymlink {
+			return cur
+		}
+		target, err := s.fs.Readlink(cur)
+		if err != nil {
+			return cur
+		}
+		if len(target) > 0 && target[0] == '/' {
+			cur = vfs.Clean(target)
+		} else {
+			cur = vfs.Join(vfs.Dir(cur), target)
+		}
+	}
+	return cur
+}
+
+// checkFile authorizes an operation on the file at path, governed by
+// the ACL of the directory containing the (symlink-resolved) target.
+func (s *Server) checkFile(ident identity.Principal, path string, want acl.Rights) error {
+	final := s.resolveFinal(path)
+	a, err := s.aclFor(vfs.Dir(final))
+	if err != nil {
+		return err
+	}
+	if !a.Allows(ident, want) {
+		return vfs.ErrPermission
+	}
+	return nil
+}
+
+// checkFileNoFollow authorizes an operation on the link itself.
+func (s *Server) checkFileNoFollow(ident identity.Principal, path string, want acl.Rights) error {
+	a, err := s.aclFor(vfs.Dir(vfs.Clean(path)))
+	if err != nil {
+		return err
+	}
+	if !a.Allows(ident, want) {
+		return vfs.ErrPermission
+	}
+	return nil
+}
+
+// checkDir authorizes an operation governed by the directory's own ACL.
+func (s *Server) checkDir(ident identity.Principal, dir string, want acl.Rights) error {
+	a, err := s.aclFor(s.resolveFinal(dir))
+	if err != nil {
+		return err
+	}
+	if !a.Allows(ident, want) {
+		return vfs.ErrPermission
+	}
+	return nil
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"identitybox/internal/acl"
+	"identitybox/internal/identity"
+	"identitybox/internal/kernel"
+	"identitybox/internal/vfs"
+)
+
+// TestConfinementProperty: for any path under the supervisor's
+// 0700-protected tree, a boxed visitor can neither read nor write it —
+// whatever the path shape (dots, traversal attempts, trailing slashes).
+func TestConfinementProperty(t *testing.T) {
+	k := newWorld(t)
+	fs := k.FS()
+	fs.MkdirAll("/vault/inner", 0o700, "dthain")
+	fs.WriteFile("/vault/inner/key", []byte("sensitive"), 0o600, "dthain")
+	b := newBox(t, k, "Mallory", Options{})
+
+	segments := []string{"vault", "inner", "key", ".", "..", "", "vault/inner"}
+	r := rand.New(rand.NewSource(42))
+	build := func() string {
+		p := "/"
+		for i := 0; i < 1+r.Intn(4); i++ {
+			p += segments[r.Intn(len(segments))] + "/"
+		}
+		return p + "key"
+	}
+	st := b.Run(func(p *kernel.Proc, _ []string) int {
+		for i := 0; i < 300; i++ {
+			path := build()
+			if vfs.Clean(path) == "/vault/inner/key" || vfs.Clean(path) == "/key" {
+				// The interesting cases: the real target (must be
+				// denied) or a nonexistent root file (must not be
+				// created).
+				if data, err := p.ReadFile(path); err == nil && bytes.Equal(data, []byte("sensitive")) {
+					t.Errorf("confinement broken via %q", path)
+					return 1
+				}
+				if _, err := p.Open(path, kernel.OWronly|kernel.OCreat, 0o644); err == nil {
+					if vfs.Clean(path) == "/vault/inner/key" {
+						t.Errorf("write confinement broken via %q", path)
+						return 1
+					}
+				}
+			}
+		}
+		return 0
+	})
+	if st.Code != 0 {
+		t.Fatal("confinement property violated")
+	}
+	if fs.Exists("/vault/inner/key") {
+		data, _ := fs.ReadFile("/vault/inner/key")
+		if !bytes.Equal(data, []byte("sensitive")) {
+			t.Fatal("visitor modified the protected file")
+		}
+	}
+}
+
+// TestBoxCannotEscapeViaDotDot checks traversal out of the home
+// directory still lands in policy-checked territory.
+func TestBoxCannotEscapeViaDotDot(t *testing.T) {
+	k := newWorld(t)
+	b := newBox(t, k, "Freddy", Options{})
+	b.Run(func(p *kernel.Proc, _ []string) int {
+		// From the home dir, climb out and try the secret.
+		if _, err := p.ReadFile("../../../home/dthain/secret"); !errors.Is(err, vfs.ErrPermission) {
+			t.Errorf("dot-dot escape = %v, want denied", err)
+		}
+		// Absolute climb through home.
+		if _, err := p.ReadFile(b.Home() + "/../../../home/dthain/secret"); !errors.Is(err, vfs.ErrPermission) {
+			t.Errorf("absolute dot-dot escape = %v, want denied", err)
+		}
+		return 0
+	})
+}
+
+// TestIdentitySpoofingViaACLText: a visitor holding 'a' cannot grant
+// rights to a *pattern* that would be rejected by the parser, and a
+// malformed ACL written outside the box fails closed.
+func TestMalformedACLFailsClosed(t *testing.T) {
+	k := newWorld(t)
+	fs := k.FS()
+	fs.MkdirAll("/broken", 0o755, "dthain")
+	fs.WriteFile("/broken/"+acl.FileName, []byte("this is ! not an ACL @@@"), 0o644, "dthain")
+	fs.WriteFile("/broken/data", []byte("x"), 0o644, "dthain")
+	b := newBox(t, k, "Freddy", Options{})
+	b.Run(func(p *kernel.Proc, _ []string) int {
+		if _, err := p.ReadFile("/broken/data"); !errors.Is(err, vfs.ErrPermission) {
+			t.Errorf("read under malformed ACL = %v, want denied (fail closed)", err)
+		}
+		return 0
+	})
+}
+
+func TestSetACLRejectsMalformedText(t *testing.T) {
+	k := newWorld(t)
+	b := newBox(t, k, "Freddy", Options{})
+	b.Run(func(p *kernel.Proc, _ []string) int {
+		if err := p.SetACL(".", "broken line with too many fields here\n"); err == nil {
+			t.Error("malformed setacl accepted")
+		}
+		// The home ACL survives intact.
+		text, err := p.GetACL(".")
+		if err != nil {
+			t.Fatalf("getacl after rejected set: %v", err)
+		}
+		a, err := acl.Parse(text)
+		if err != nil || !a.Allows("Freddy", acl.All) {
+			t.Errorf("home ACL damaged: %q", text)
+		}
+		return 0
+	})
+}
+
+// TestDeniedWriteLeavesNoTrace: a denied create must not leave a
+// zero-length file behind (no side effects of denied calls).
+func TestDeniedWriteLeavesNoTrace(t *testing.T) {
+	k := newWorld(t)
+	b := newBox(t, k, "Freddy", Options{})
+	b.Run(func(p *kernel.Proc, _ []string) int {
+		p.Open("/pub/new.txt", kernel.OWronly|kernel.OCreat, 0o644)
+		return 0
+	})
+	if k.FS().Exists("/pub/new.txt") {
+		t.Fatal("denied create left a file behind")
+	}
+}
+
+// TestRapidBoxCreation exercises the "create and destroy protection
+// domains as needed" claim: many boxes, no interference, no admin.
+func TestRapidBoxCreation(t *testing.T) {
+	k := newWorld(t)
+	for i := 0; i < 50; i++ {
+		ident := identity.Principal(identityFor(i))
+		b, err := New(k, "dthain", ident, Options{})
+		if err != nil {
+			t.Fatalf("box %d: %v", i, err)
+		}
+		st := b.Run(func(p *kernel.Proc, _ []string) int {
+			if p.GetUserName() != ident.String() {
+				return 1
+			}
+			return boolToCode(p.WriteFile("mark", []byte(ident), 0o644) == nil)
+		})
+		if st.Code != 0 {
+			t.Fatalf("box %d failed", i)
+		}
+	}
+	// Each visitor sees only their own mark.
+	b, _ := New(k, "dthain", identity.Principal(identityFor(7)), Options{})
+	b.Run(func(p *kernel.Proc, _ []string) int {
+		data, err := p.ReadFile("mark")
+		if err != nil || string(data) != identityFor(7) {
+			t.Errorf("own mark = %q, %v", data, err)
+		}
+		home0 := "/tmp/boxhome/" + identity.Principal(identityFor(0)).Sanitized()
+		if _, err := p.ReadFile(home0 + "/mark"); !errors.Is(err, vfs.ErrPermission) {
+			t.Errorf("foreign mark read = %v, want denied", err)
+		}
+		return 0
+	})
+}
+
+func identityFor(i int) string {
+	return "globus:/O=Org" + string(rune('A'+i%26)) + "/CN=User" + string(rune('0'+i%10)) + string(rune('a'+i%26))
+}
+
+// TestGetUserNamePropertyAcrossIdentities: get_user_name always equals
+// the box identity, for arbitrary valid identities.
+func TestGetUserNamePropertyAcrossIdentities(t *testing.T) {
+	k := newWorld(t)
+	f := func(raw string) bool {
+		ident := identity.Principal(raw)
+		if !ident.Valid() {
+			return true
+		}
+		b, err := New(k, "dthain", ident, Options{})
+		if err != nil {
+			return false
+		}
+		ok := false
+		b.Run(func(p *kernel.Proc, _ []string) int {
+			ok = p.GetUserName() == raw
+			return 0
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"identitybox/internal/identity"
+	"identitybox/internal/kernel"
+)
+
+// This file implements the paper's future-work proposal (Section 9,
+// Figure 6) on top of identity boxes: a hierarchical space of
+// protection domains in which every user can create domains beneath
+// their own name on the fly — a web server creating identities for
+// service processes, a grid server creating domains for visiting grid
+// identities — with authority following the prefix structure.
+//
+// A DomainSupervisor owns the subtree root:<account> of a namespace and
+// backs each domain with an identity box. A domain may carry an alias
+// binding it to an external principal; the box then enforces under that
+// external identity, so ACLs keep working with grid names while the
+// domain tree provides lifecycle and authority structure.
+
+// DomainSupervisor manages protection domains under root:<account>.
+type DomainSupervisor struct {
+	k       *kernel.Kernel
+	account string
+	ns      *identity.Namespace
+	root    string
+
+	mu    sync.Mutex
+	boxes map[string]*Box
+	opts  Options
+}
+
+// NewDomainSupervisor creates a supervisor whose authority is the
+// subtree root:<account>. Like the identity box itself this needs no
+// privilege.
+func NewDomainSupervisor(k *kernel.Kernel, account string, opts Options) (*DomainSupervisor, error) {
+	ns := identity.NewNamespace()
+	root, err := ns.Create(identity.Root, account)
+	if err != nil {
+		return nil, err
+	}
+	return &DomainSupervisor{
+		k:       k,
+		account: account,
+		ns:      ns,
+		root:    root,
+		boxes:   make(map[string]*Box),
+		opts:    opts,
+	}, nil
+}
+
+// Root reports the supervisor's own domain, e.g. "root:dthain".
+func (d *DomainSupervisor) Root() string { return d.root }
+
+// Namespace exposes the underlying domain tree (read-mostly).
+func (d *DomainSupervisor) Namespace() *identity.Namespace { return d.ns }
+
+// CreateDomain makes a new protection domain under parent and returns
+// its full name. The parent must lie within this supervisor's
+// authority.
+func (d *DomainSupervisor) CreateDomain(parent, component string) (string, error) {
+	if !d.ns.HasAuthority(d.root, parent) {
+		return "", fmt.Errorf("core: %s has no authority over %s", d.root, parent)
+	}
+	return d.ns.Create(parent, component)
+}
+
+// BindAlias associates an external principal (e.g. a GSI identity) with
+// a domain, as a grid server does for its visitors.
+func (d *DomainSupervisor) BindAlias(domain string, p identity.Principal) error {
+	if !d.ns.HasAuthority(d.root, domain) {
+		return fmt.Errorf("core: %s has no authority over %s", d.root, domain)
+	}
+	return d.ns.BindAlias(domain, p)
+}
+
+// BoxFor returns (creating on first use) the identity box backing a
+// domain. The box's identity is the domain's alias when one is bound,
+// otherwise the domain name itself — so ACLs may name either grid
+// identities or domain paths.
+func (d *DomainSupervisor) BoxFor(domain string) (*Box, error) {
+	if !d.ns.HasAuthority(d.root, domain) {
+		return nil, fmt.Errorf("core: %s has no authority over %s", d.root, domain)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if b, ok := d.boxes[domain]; ok {
+		return b, nil
+	}
+	ident := identity.Principal(domain)
+	if alias, ok := d.ns.Alias(domain); ok {
+		ident = alias
+	}
+	b, err := New(d.k, d.account, ident, d.opts)
+	if err != nil {
+		return nil, err
+	}
+	d.boxes[domain] = b
+	return b, nil
+}
+
+// DestroyDomain removes a leaf domain and forgets its box. Data the
+// domain created remains on disk, owned by its (now unbound) identity —
+// exactly the "return" semantics of the flat identity box.
+func (d *DomainSupervisor) DestroyDomain(domain string) error {
+	if !d.ns.HasAuthority(d.root, domain) {
+		return fmt.Errorf("core: %s has no authority over %s", d.root, domain)
+	}
+	if domain == d.root {
+		return fmt.Errorf("core: cannot destroy the supervisor's own domain")
+	}
+	if err := d.ns.Destroy(domain); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	delete(d.boxes, domain)
+	d.mu.Unlock()
+	return nil
+}
+
+// Domains lists the live domains under the supervisor's root, sorted.
+func (d *DomainSupervisor) Domains() []string {
+	var out []string
+	d.ns.Walk(func(name string) {
+		if d.ns.HasAuthority(d.root, name) {
+			out = append(out, name)
+		}
+	})
+	return out
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"identitybox/internal/kernel"
+	"identitybox/internal/vfs"
+)
+
+func newDomainWorld(t *testing.T) (*kernel.Kernel, *DomainSupervisor) {
+	t.Helper()
+	k := newWorld(t)
+	d, err := NewDomainSupervisor(k, "dthain", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, d
+}
+
+func TestDomainSupervisorRoot(t *testing.T) {
+	_, d := newDomainWorld(t)
+	if d.Root() != "root:dthain" {
+		t.Fatalf("root = %q", d.Root())
+	}
+	if !d.Namespace().Exists("root:dthain") {
+		t.Fatal("root domain missing from namespace")
+	}
+}
+
+func TestDomainCreateAndBox(t *testing.T) {
+	_, d := newDomainWorld(t)
+	grid, err := d.CreateDomain(d.Root(), "grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	anon, err := d.CreateDomain(grid, "anon2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without an alias the box identity is the domain path itself.
+	box, err := d.BoxFor(anon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if box.Identity() != "root:dthain:grid:anon2" {
+		t.Fatalf("box identity = %q", box.Identity())
+	}
+	st := box.Run(func(p *kernel.Proc, _ []string) int {
+		if p.GetUserName() != "root:dthain:grid:anon2" {
+			t.Errorf("get_user_name = %q", p.GetUserName())
+		}
+		// Confinement still applies to domain-named boxes.
+		if _, err := p.ReadFile("/home/dthain/secret"); !errors.Is(err, vfs.ErrPermission) {
+			t.Errorf("domain box read secret = %v", err)
+		}
+		return 0
+	})
+	if st.Code != 0 {
+		t.Fatalf("exit = %d", st.Code)
+	}
+	// The box is cached per domain.
+	again, err := d.BoxFor(anon)
+	if err != nil || again != box {
+		t.Fatal("BoxFor should cache per domain")
+	}
+}
+
+func TestDomainAlias(t *testing.T) {
+	_, d := newDomainWorld(t)
+	grid, _ := d.CreateDomain(d.Root(), "grid")
+	anon, _ := d.CreateDomain(grid, "anon5")
+	if err := d.BindAlias(anon, "globus:/O=UnivNowhere/CN=George"); err != nil {
+		t.Fatal(err)
+	}
+	box, err := d.BoxFor(anon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if box.Identity() != "globus:/O=UnivNowhere/CN=George" {
+		t.Fatalf("aliased box identity = %q", box.Identity())
+	}
+}
+
+func TestDomainAuthorityEnforced(t *testing.T) {
+	k, d := newDomainWorld(t)
+	// A second supervisor for a different account shares no authority
+	// with the first one's tree.
+	d2, err := NewDomainSupervisor(k, "other", Options{HomeBase: "/tmp/otherhomes"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d2.CreateDomain(d.Root(), "sneaky"); err == nil {
+		t.Fatal("cross-tree create should fail")
+	}
+	grid, _ := d.CreateDomain(d.Root(), "grid")
+	if _, err := d2.BoxFor(grid); err == nil {
+		t.Fatal("cross-tree BoxFor should fail")
+	}
+	if err := d2.DestroyDomain(grid); err == nil {
+		t.Fatal("cross-tree destroy should fail")
+	}
+}
+
+func TestDomainDestroy(t *testing.T) {
+	_, d := newDomainWorld(t)
+	grid, _ := d.CreateDomain(d.Root(), "grid")
+	anon, _ := d.CreateDomain(grid, "anon2")
+	if _, err := d.BoxFor(anon); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.DestroyDomain(grid); err == nil {
+		t.Fatal("destroying a domain with children should fail")
+	}
+	if err := d.DestroyDomain(anon); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.DestroyDomain(grid); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.DestroyDomain(d.Root()); err == nil {
+		t.Fatal("destroying the supervisor's root should fail")
+	}
+	doms := d.Domains()
+	if len(doms) != 1 || doms[0] != d.Root() {
+		t.Fatalf("domains = %v", doms)
+	}
+}
+
+func TestDomainDataOutlivesDomain(t *testing.T) {
+	// The "return" property: data created by a domain's box persists
+	// after the domain is destroyed and is reachable again when a
+	// domain with the same identity is recreated.
+	_, d := newDomainWorld(t)
+	grid, _ := d.CreateDomain(d.Root(), "grid")
+	anon, _ := d.CreateDomain(grid, "visitor")
+	d.BindAlias(anon, "globus:/O=U/CN=V")
+	box, _ := d.BoxFor(anon)
+	box.Run(func(p *kernel.Proc, _ []string) int {
+		return boolToCode(p.WriteFile("state.txt", []byte("v1"), 0o644) == nil)
+	})
+	if err := d.DestroyDomain(anon); err != nil {
+		t.Fatal(err)
+	}
+	anon2, _ := d.CreateDomain(grid, "visitor2")
+	d.BindAlias(anon2, "globus:/O=U/CN=V") // same external identity
+	box2, _ := d.BoxFor(anon2)
+	st := box2.Run(func(p *kernel.Proc, _ []string) int {
+		data, err := p.ReadFile("state.txt")
+		return boolToCode(err == nil && string(data) == "v1")
+	})
+	if st.Code != 0 {
+		t.Fatal("external identity did not return to its data")
+	}
+}
+
+func boolToCode(ok bool) int {
+	if ok {
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"identitybox/internal/kernel"
+)
+
+func TestMaxOpenFilesQuota(t *testing.T) {
+	k := newWorld(t)
+	b := newBox(t, k, "Freddy", Options{MaxOpenFiles: 3})
+	b.Run(func(p *kernel.Proc, _ []string) int {
+		var fds []int
+		for i := 0; i < 3; i++ {
+			fd, err := p.Open(fmt.Sprintf("f%d", i), kernel.OWronly|kernel.OCreat, 0o644)
+			if err != nil {
+				t.Fatalf("open %d: %v", i, err)
+			}
+			fds = append(fds, fd)
+		}
+		// The fourth open hits the quota.
+		if _, err := p.Open("f3", kernel.OWronly|kernel.OCreat, 0o644); !errors.Is(err, ErrTooManyFiles) {
+			t.Errorf("over-quota open = %v, want EMFILE", err)
+		}
+		// Closing one frees a slot.
+		if err := p.Close(fds[0]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Open("f3", kernel.OWronly|kernel.OCreat, 0o644); err != nil {
+			t.Errorf("open after close = %v", err)
+		}
+		return 0
+	})
+}
+
+func TestNoQuotaByDefault(t *testing.T) {
+	k := newWorld(t)
+	b := newBox(t, k, "Freddy", Options{})
+	b.Run(func(p *kernel.Proc, _ []string) int {
+		for i := 0; i < 64; i++ {
+			if _, err := p.Open(fmt.Sprintf("g%d", i), kernel.OWronly|kernel.OCreat, 0o644); err != nil {
+				t.Fatalf("open %d: %v", i, err)
+			}
+		}
+		return 0
+	})
+}
+
+func TestQuotaCountsInheritedFDs(t *testing.T) {
+	// Children inherit the parent's descriptors (fork semantics), and
+	// those count against the child's own quota, as RLIMIT_NOFILE does.
+	k := newWorld(t)
+	k.RegisterProgram("opener", func(p *kernel.Proc, _ []string) int {
+		// Two inherited + two fresh = at the limit of 4.
+		for i := 0; i < 2; i++ {
+			if _, err := p.Open(fmt.Sprintf("child%d", i), kernel.OWronly|kernel.OCreat, 0o644); err != nil {
+				return 1
+			}
+		}
+		if _, err := p.Open("childover", kernel.OWronly|kernel.OCreat, 0o644); !errors.Is(err, ErrTooManyFiles) {
+			return 2
+		}
+		return 0
+	})
+	k.InstallExecutable("/tmp/opener.exe", "opener", "dthain")
+	k.FS().Chmod("/tmp/opener.exe", 0o755)
+	b := newBox(t, k, "Freddy", Options{MaxOpenFiles: 4})
+	st := b.Run(func(p *kernel.Proc, _ []string) int {
+		p.Open("p0", kernel.OWronly|kernel.OCreat, 0o644)
+		p.Open("p1", kernel.OWronly|kernel.OCreat, 0o644)
+		pid, err := p.Spawn("/tmp/opener.exe")
+		if err != nil {
+			t.Fatalf("spawn: %v", err)
+		}
+		_, status, _ := p.Wait(pid)
+		return status
+	})
+	if st.Code != 0 {
+		t.Fatalf("quota semantics wrong: exit %d", st.Code)
+	}
+}

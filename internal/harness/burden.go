@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"identitybox/internal/mapping"
+)
+
+// This file quantifies Figure 1's "admin burden" column: the paper
+// gives labels (per user / per group / per pool / -); here we measure
+// the actual number of manual root interventions needed to admit N
+// users under each method, for growing N. The shape is the point:
+// private accounts scale linearly with users, group accounts with
+// communities, pools are a single setup action, and the identity box
+// (like anonymous accounts) needs none at any scale.
+
+// BurdenRow reports admin interventions for one method at one scale.
+type BurdenRow struct {
+	Method  string
+	Users   int
+	Actions int
+}
+
+// burdenMethods are the methods with interesting admission mechanics.
+var burdenMethods = []struct {
+	name string
+	mk   func(w *mapping.World) mapping.Mapper
+}{
+	{"private", func(w *mapping.World) mapping.Mapper { return mapping.NewPrivateMapper(w) }},
+	{"group", func(w *mapping.World) mapping.Mapper { return mapping.NewGroupMapper(w, mapping.StandardGroups()) }},
+	{"pool", func(w *mapping.World) mapping.Mapper { return mapping.NewPoolMapper(w, 1<<16) }},
+	{"anonymous", func(w *mapping.World) mapping.Mapper { return &mapping.AnonymousMapper{W: w} }},
+	{"identity box", func(w *mapping.World) mapping.Mapper { return &mapping.BoxMapper{W: w} }},
+}
+
+// RunBurdenScaling admits each user count under each method and counts
+// manual interventions.
+func RunBurdenScaling(userCounts []int) ([]BurdenRow, error) {
+	var rows []BurdenRow
+	for _, method := range burdenMethods {
+		for _, n := range userCounts {
+			w, err := mapping.NewWorld("svcowner")
+			if err != nil {
+				return nil, err
+			}
+			m := method.mk(w)
+			for _, u := range mapping.ProbeUsers(n) {
+				s, err := m.Login(u)
+				if err != nil {
+					return nil, fmt.Errorf("harness: burden: %s admitting user: %w", method.name, err)
+				}
+				s.End()
+			}
+			rows = append(rows, BurdenRow{Method: method.name, Users: n, Actions: m.AdminActions()})
+		}
+	}
+	return rows, nil
+}
+
+// RenderBurdenScaling formats the sweep as a table: one row per method,
+// one column per user count.
+func RenderBurdenScaling(rows []BurdenRow, userCounts []int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Admission burden: manual admin interventions to admit N users\n")
+	fmt.Fprintf(&b, "%-14s", "method")
+	for _, n := range userCounts {
+		fmt.Fprintf(&b, " %6s", fmt.Sprintf("N=%d", n))
+	}
+	fmt.Fprintln(&b)
+	byMethod := map[string]map[int]int{}
+	order := []string{}
+	for _, r := range rows {
+		if byMethod[r.Method] == nil {
+			byMethod[r.Method] = map[int]int{}
+			order = append(order, r.Method)
+		}
+		byMethod[r.Method][r.Users] = r.Actions
+	}
+	for _, m := range order {
+		fmt.Fprintf(&b, "%-14s", m)
+		for _, n := range userCounts {
+			fmt.Fprintf(&b, " %6d", byMethod[m][n])
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}

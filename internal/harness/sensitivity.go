@@ -1,0 +1,197 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"identitybox/internal/core"
+	"identitybox/internal/kernel"
+	"identitybox/internal/vclock"
+	"identitybox/internal/vfs"
+	"identitybox/internal/workload"
+)
+
+// Sensitivity analysis: the cost model is calibrated to one 2005-era
+// machine, so the reproduction should show its *conclusions* — an
+// order-of-magnitude per-call slowdown, small overhead on bulk-I/O
+// applications, large overhead on metadata-bound builds — survive
+// large perturbations of the calibration. ScaleTrapCosts multiplies
+// every mechanism cost (context switches, decode, peek/poke, channel
+// copy, ACL evaluation) while leaving native costs alone.
+
+// ScaleTrapCosts returns a model with all interposition-mechanism costs
+// multiplied by f.
+func ScaleTrapCosts(m vclock.CostModel, f float64) vclock.CostModel {
+	s := m
+	s.ContextSwitch = vclock.Micros(float64(m.ContextSwitch) * f)
+	s.TrapDecode = vclock.Micros(float64(m.TrapDecode) * f)
+	s.PeekPokeWord = vclock.Micros(float64(m.PeekPokeWord) * f)
+	s.PeekPokeSetup = vclock.Micros(float64(m.PeekPokeSetup) * f)
+	s.ChannelPerByte = vclock.Micros(float64(m.ChannelPerByte) * f)
+	s.ACLCheck = vclock.Micros(float64(m.ACLCheck) * f)
+	s.SupervisorFixed = vclock.Micros(float64(m.SupervisorFixed) * f)
+	return s
+}
+
+// SensitivityRow reports the headline conclusions under one trap-cost
+// scaling.
+type SensitivityRow struct {
+	TrapScale       float64
+	GetpidSlowdown  float64 // boxed/native per-call ratio
+	IbisOverheadPct float64 // cheapest scientific app
+	MakeOverheadPct float64 // the metadata-bound build
+}
+
+// newWorldWithModel builds a benchmark world under a custom cost model.
+func newWorldWithModel(m vclock.CostModel) (*World, error) {
+	fs := vfs.New(kernel.RootAccount)
+	k := kernel.New(fs, m)
+	if err := fs.MkdirAll("/tmp", 0o777, kernel.RootAccount); err != nil {
+		return nil, err
+	}
+	if err := workload.Setup(fs, benchAccount); err != nil {
+		return nil, err
+	}
+	return &World{K: k}, nil
+}
+
+// RunSensitivity measures the headline results under each trap-cost
+// scaling, with the workloads shrunk by scale.
+func RunSensitivity(trapScales []float64, scale float64) ([]SensitivityRow, error) {
+	var rows []SensitivityRow
+	for _, f := range trapScales {
+		model := ScaleTrapCosts(vclock.Default(), f)
+
+		// Per-call getpid ratio.
+		micro, _ := workload.MicroByName("getpid")
+		nw, err := newWorldWithModel(model)
+		if err != nil {
+			return nil, err
+		}
+		native, err := workload.MeasureMicro(micro, nw.RunNative)
+		if err != nil {
+			return nil, err
+		}
+		bw, err := newWorldWithModel(model)
+		if err != nil {
+			return nil, err
+		}
+		box, err := core.New(bw.K, benchAccount, BenchIdentity, core.Options{AuditLimit: 16})
+		if err != nil {
+			return nil, err
+		}
+		boxed, err := workload.MeasureMicro(micro, func(prog kernel.Program) kernel.ExitStatus {
+			return box.RunAt(workload.BenchRoot, prog)
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		row := SensitivityRow{TrapScale: f, GetpidSlowdown: boxed / native}
+		for _, name := range []string{"ibis", "make"} {
+			app, _ := workload.AppByName(name)
+			a := app.Scaled(scale)
+			nw, err := newWorldWithModel(model)
+			if err != nil {
+				return nil, err
+			}
+			nst := nw.RunNative(a.Program())
+			if nst.Code != 0 {
+				return nil, fmt.Errorf("harness: native %s exited %d", name, nst.Code)
+			}
+			bw, err := newWorldWithModel(model)
+			if err != nil {
+				return nil, err
+			}
+			bx, err := core.New(bw.K, benchAccount, BenchIdentity, core.Options{AuditLimit: 16})
+			if err != nil {
+				return nil, err
+			}
+			bst := bx.RunAt(workload.BenchRoot, a.Program())
+			if bst.Code != 0 {
+				return nil, fmt.Errorf("harness: boxed %s exited %d", name, bst.Code)
+			}
+			ovh := (bst.Runtime.Seconds() - nst.Runtime.Seconds()) / nst.Runtime.Seconds() * 100
+			if name == "ibis" {
+				row.IbisOverheadPct = ovh
+			} else {
+				row.MakeOverheadPct = ovh
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderSensitivity formats the sweep.
+func RenderSensitivity(rows []SensitivityRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sensitivity: headline results vs. trap-cost calibration\n")
+	fmt.Fprintf(&b, "%-11s %16s %14s %14s\n", "trap scale", "getpid slowdown", "ibis overhead", "make overhead")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%10.2fx %15.1fx %+13.1f%% %+13.1f%%\n",
+			r.TrapScale, r.GetpidSlowdown, r.IbisOverheadPct, r.MakeOverheadPct)
+	}
+	return b.String()
+}
+
+// --- overhead vs. syscall intensity ---------------------------------------
+
+// IntensityRow reports boxed overhead for a workload issuing the given
+// number of metadata calls per virtual second of compute.
+type IntensityRow struct {
+	CallsPerSecond float64
+	OverheadPct    float64
+}
+
+// RunOverheadVsIntensity sweeps a synthetic workload's stat-call rate
+// and measures boxed overhead, locating the crossover between
+// "scientific" (<1000 calls/s, paper: 0.7-6.5%) and "build-like"
+// (>10000 calls/s, paper: 35%) behavior.
+func RunOverheadVsIntensity(rates []float64) ([]IntensityRow, error) {
+	const computeSeconds = 2.0
+	var rows []IntensityRow
+	for _, rate := range rates {
+		calls := int(rate * computeSeconds)
+		app := workload.App{
+			Name:           fmt.Sprintf("intensity-%g", rate),
+			ComputeSeconds: computeSeconds,
+			Mix:            workload.Mix{Stats: calls},
+		}
+		nw, err := NewWorld()
+		if err != nil {
+			return nil, err
+		}
+		nst := nw.RunNative(app.Program())
+		if nst.Code != 0 {
+			return nil, fmt.Errorf("harness: intensity native exited %d", nst.Code)
+		}
+		bw, err := NewWorld()
+		if err != nil {
+			return nil, err
+		}
+		bst, err := bw.RunBoxed(core.Options{AuditLimit: 16}, app.Program())
+		if err != nil {
+			return nil, err
+		}
+		if bst.Code != 0 {
+			return nil, fmt.Errorf("harness: intensity boxed exited %d", bst.Code)
+		}
+		rows = append(rows, IntensityRow{
+			CallsPerSecond: rate,
+			OverheadPct:    (bst.Runtime.Seconds() - nst.Runtime.Seconds()) / nst.Runtime.Seconds() * 100,
+		})
+	}
+	return rows, nil
+}
+
+// RenderIntensity formats the sweep.
+func RenderIntensity(rows []IntensityRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Boxed overhead vs. metadata-call intensity (stat calls per virtual second)\n")
+	fmt.Fprintf(&b, "%12s %10s\n", "calls/sec", "overhead")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%12.0f %+9.1f%%\n", r.CallsPerSecond, r.OverheadPct)
+	}
+	return b.String()
+}

@@ -1,0 +1,55 @@
+package identity
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzMatch checks the glob matcher never panics and satisfies basic
+// algebraic properties on arbitrary input.
+func FuzzMatch(f *testing.F) {
+	f.Add("globus:/O=*/CN=Fred", "globus:/O=UnivNowhere/CN=Fred")
+	f.Add("*", "")
+	f.Add("", "")
+	f.Add("a*b*c", "abc")
+	f.Add("**", "x")
+	f.Add("\x00*", "\x00y")
+	f.Fuzz(func(t *testing.T, pattern, name string) {
+		got := Match(pattern, Principal(name))
+		// "*" matches everything.
+		if pattern == "*" && !got {
+			t.Fatal("star failed to match")
+		}
+		// Wildcard-free patterns match exactly themselves.
+		if !strings.ContainsRune(pattern, '*') {
+			if got != (pattern == name) {
+				t.Fatalf("literal pattern %q vs %q: got %v", pattern, name, got)
+			}
+		}
+		// Adding a trailing star never removes a prefix match.
+		if got && Match(pattern+"*", Principal(name)) == false {
+			t.Fatalf("appending * lost match: %q vs %q", pattern, name)
+		}
+	})
+}
+
+// FuzzSanitized checks sanitized names are always single safe path
+// components.
+func FuzzSanitized(f *testing.F) {
+	f.Add("globus:/O=U/CN=F")
+	f.Add("")
+	f.Add("../../etc/passwd")
+	f.Add("a b\tc\nd")
+	f.Fuzz(func(t *testing.T, raw string) {
+		s := Principal(raw).Sanitized()
+		if s == "" {
+			t.Fatal("empty sanitized name")
+		}
+		if strings.ContainsAny(s, "/ \t\n:") {
+			t.Fatalf("sanitized %q contains separators", s)
+		}
+		if s == ".." || s == "." {
+			t.Fatalf("sanitized %q is a relative path component", s)
+		}
+	})
+}

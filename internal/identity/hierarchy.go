@@ -1,0 +1,210 @@
+package identity
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// This file implements the hierarchical user namespace sketched in
+// Figure 6 of the paper as future work: an operating system in which any
+// user can create new protection domains on the fly, named by a
+// colon-separated path rooted at "root", e.g.
+//
+//	root
+//	└── root:dthain
+//	    ├── root:dthain:httpd
+//	    │   └── root:dthain:httpd:webapp
+//	    └── root:dthain:grid
+//	        ├── root:dthain:grid:anon2
+//	        └── root:dthain:grid:anon5
+//
+// A domain may carry an alias binding it to an external grid identity
+// (e.g. root:dthain:grid:anon2 -> /O=UnivNowhere/CN=Freddy). The key
+// property is prefix authority: a domain has authority over exactly its
+// descendants, so every user can create and destroy protection domains
+// beneath their own name without involving the superuser.
+
+// Sep separates components of a hierarchical domain name.
+const Sep = ":"
+
+// Root is the name of the namespace root domain.
+const Root = "root"
+
+// Namespace is a tree of protection domains. It is safe for concurrent
+// use. Use NewNamespace to create one containing only the root.
+type Namespace struct {
+	mu    sync.RWMutex
+	nodes map[string]*domain
+}
+
+type domain struct {
+	name     string          // full name, e.g. "root:dthain:grid"
+	parent   string          // "" for the root
+	children map[string]bool // full names of children
+	alias    Principal       // optional external identity bound to this domain
+}
+
+// NewNamespace returns a namespace containing only the root domain.
+func NewNamespace() *Namespace {
+	ns := &Namespace{nodes: make(map[string]*domain)}
+	ns.nodes[Root] = &domain{name: Root, children: make(map[string]bool)}
+	return ns
+}
+
+// validComponent reports whether a single name component is acceptable:
+// non-empty and free of separators, whitespace and wildcards.
+func validComponent(c string) bool {
+	if c == "" {
+		return false
+	}
+	for _, r := range c {
+		if r <= ' ' || r == 0x7f || r == '*' || strings.ContainsRune(Sep, r) {
+			return false
+		}
+	}
+	return true
+}
+
+// Create makes a new domain named component under parent and returns its
+// full name. The parent must exist; the component must be valid and not
+// already present.
+func (ns *Namespace) Create(parent, component string) (string, error) {
+	if !validComponent(component) {
+		return "", fmt.Errorf("identity: invalid domain component %q", component)
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	p, ok := ns.nodes[parent]
+	if !ok {
+		return "", fmt.Errorf("identity: parent domain %q does not exist", parent)
+	}
+	full := parent + Sep + component
+	if _, dup := ns.nodes[full]; dup {
+		return "", fmt.Errorf("identity: domain %q already exists", full)
+	}
+	ns.nodes[full] = &domain{name: full, parent: parent, children: make(map[string]bool)}
+	p.children[full] = true
+	return full, nil
+}
+
+// Destroy removes a domain. The root cannot be destroyed, and a domain
+// with live children cannot be destroyed (destroy bottom-up, as a real
+// kernel would require to keep process ownership sane).
+func (ns *Namespace) Destroy(name string) error {
+	if name == Root {
+		return fmt.Errorf("identity: cannot destroy the root domain")
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	d, ok := ns.nodes[name]
+	if !ok {
+		return fmt.Errorf("identity: domain %q does not exist", name)
+	}
+	if len(d.children) > 0 {
+		return fmt.Errorf("identity: domain %q has %d children", name, len(d.children))
+	}
+	delete(ns.nodes, name)
+	if p, ok := ns.nodes[d.parent]; ok {
+		delete(p.children, name)
+	}
+	return nil
+}
+
+// Exists reports whether the named domain is present.
+func (ns *Namespace) Exists(name string) bool {
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	_, ok := ns.nodes[name]
+	return ok
+}
+
+// Parent reports the parent of the named domain. The root has no parent.
+func (ns *Namespace) Parent(name string) (string, bool) {
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	d, ok := ns.nodes[name]
+	if !ok || d.parent == "" {
+		return "", false
+	}
+	return d.parent, true
+}
+
+// Children reports the sorted full names of the domain's children.
+func (ns *Namespace) Children(name string) []string {
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	d, ok := ns.nodes[name]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(d.children))
+	for c := range d.children {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the number of domains in the namespace, including the root.
+func (ns *Namespace) Len() int {
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	return len(ns.nodes)
+}
+
+// BindAlias associates an external principal with a domain, as when a
+// grid server creates root:dthain:grid:anon2 for /O=UnivNowhere/CN=Freddy.
+func (ns *Namespace) BindAlias(name string, p Principal) error {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	d, ok := ns.nodes[name]
+	if !ok {
+		return fmt.Errorf("identity: domain %q does not exist", name)
+	}
+	d.alias = p
+	return nil
+}
+
+// Alias reports the external principal bound to the domain, if any.
+func (ns *Namespace) Alias(name string) (Principal, bool) {
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	d, ok := ns.nodes[name]
+	if !ok || d.alias == "" {
+		return "", false
+	}
+	return d.alias, true
+}
+
+// HasAuthority reports whether supervisor has authority over subject:
+// true when supervisor is subject itself or a (proper) ancestor of it.
+// This is the prefix-authority property of the hierarchical namespace:
+// root:dthain may manage root:dthain:visitor but not root:httpd.
+func (ns *Namespace) HasAuthority(supervisor, subject string) bool {
+	ns.mu.RLock()
+	defer ns.mu.RUnlock()
+	if _, ok := ns.nodes[supervisor]; !ok {
+		return false
+	}
+	if _, ok := ns.nodes[subject]; !ok {
+		return false
+	}
+	return supervisor == subject ||
+		strings.HasPrefix(subject, supervisor+Sep)
+}
+
+// Walk visits every domain name in sorted order.
+func (ns *Namespace) Walk(fn func(name string)) {
+	ns.mu.RLock()
+	names := make([]string, 0, len(ns.nodes))
+	for n := range ns.nodes {
+		names = append(names, n)
+	}
+	ns.mu.RUnlock()
+	sort.Strings(names)
+	for _, n := range names {
+		fn(n)
+	}
+}

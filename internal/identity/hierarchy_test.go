@@ -1,0 +1,196 @@
+package identity
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func buildFigure6(t *testing.T) *Namespace {
+	t.Helper()
+	ns := NewNamespace()
+	mustCreate := func(parent, child string) string {
+		full, err := ns.Create(parent, child)
+		if err != nil {
+			t.Fatalf("Create(%q, %q): %v", parent, child, err)
+		}
+		return full
+	}
+	dthain := mustCreate(Root, "dthain")
+	httpd := mustCreate(dthain, "httpd")
+	mustCreate(httpd, "webapp")
+	mustCreate(dthain, "visitor")
+	grid := mustCreate(dthain, "grid")
+	anon2 := mustCreate(grid, "anon2")
+	mustCreate(grid, "anon5")
+	if err := ns.BindAlias(anon2, "/O=UnivNowhere/CN=Freddy"); err != nil {
+		t.Fatalf("BindAlias: %v", err)
+	}
+	return ns
+}
+
+func TestFigure6Tree(t *testing.T) {
+	ns := buildFigure6(t)
+	if ns.Len() != 8 {
+		t.Fatalf("Len = %d, want 8 (root + 7 domains)", ns.Len())
+	}
+	for _, name := range []string{
+		"root", "root:dthain", "root:dthain:httpd", "root:dthain:httpd:webapp",
+		"root:dthain:visitor", "root:dthain:grid", "root:dthain:grid:anon2",
+		"root:dthain:grid:anon5",
+	} {
+		if !ns.Exists(name) {
+			t.Errorf("domain %q should exist", name)
+		}
+	}
+	kids := ns.Children("root:dthain")
+	want := []string{"root:dthain:grid", "root:dthain:httpd", "root:dthain:visitor"}
+	if len(kids) != len(want) {
+		t.Fatalf("children = %v, want %v", kids, want)
+	}
+	for i := range want {
+		if kids[i] != want[i] {
+			t.Errorf("children[%d] = %q, want %q", i, kids[i], want[i])
+		}
+	}
+}
+
+func TestAlias(t *testing.T) {
+	ns := buildFigure6(t)
+	p, ok := ns.Alias("root:dthain:grid:anon2")
+	if !ok || p != "/O=UnivNowhere/CN=Freddy" {
+		t.Fatalf("Alias = %q, %v", p, ok)
+	}
+	if _, ok := ns.Alias("root:dthain:grid:anon5"); ok {
+		t.Fatal("anon5 should have no alias")
+	}
+	if err := ns.BindAlias("root:nonesuch", "x"); err == nil {
+		t.Fatal("BindAlias on missing domain should fail")
+	}
+}
+
+func TestPrefixAuthority(t *testing.T) {
+	ns := buildFigure6(t)
+	cases := []struct {
+		sup, sub string
+		want     bool
+	}{
+		{"root", "root:dthain:grid:anon2", true},
+		{"root:dthain", "root:dthain:visitor", true},
+		{"root:dthain", "root:dthain", true},
+		{"root:dthain:visitor", "root:dthain", false},
+		{"root:dthain:httpd", "root:dthain:grid:anon2", false},
+		{"root:dthain", "root:dthainX", false}, // not a real domain
+	}
+	for _, c := range cases {
+		if got := ns.HasAuthority(c.sup, c.sub); got != c.want {
+			t.Errorf("HasAuthority(%q, %q) = %v, want %v", c.sup, c.sub, got, c.want)
+		}
+	}
+}
+
+func TestAuthorityIsNotMerePrefix(t *testing.T) {
+	// "root:dt" is a string prefix of "root:dthain" but not an ancestor
+	// domain; authority must respect component boundaries.
+	ns := NewNamespace()
+	if _, err := ns.Create(Root, "dt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ns.Create(Root, "dthain"); err != nil {
+		t.Fatal(err)
+	}
+	if ns.HasAuthority("root:dt", "root:dthain") {
+		t.Fatal("string-prefix domain must not gain authority")
+	}
+}
+
+func TestCreateErrors(t *testing.T) {
+	ns := NewNamespace()
+	if _, err := ns.Create("nope", "x"); err == nil {
+		t.Error("Create under missing parent should fail")
+	}
+	if _, err := ns.Create(Root, ""); err == nil {
+		t.Error("empty component should fail")
+	}
+	if _, err := ns.Create(Root, "a:b"); err == nil {
+		t.Error("component containing separator should fail")
+	}
+	if _, err := ns.Create(Root, "a b"); err == nil {
+		t.Error("component containing space should fail")
+	}
+	if _, err := ns.Create(Root, "x"); err != nil {
+		t.Fatalf("first create failed: %v", err)
+	}
+	if _, err := ns.Create(Root, "x"); err == nil {
+		t.Error("duplicate create should fail")
+	}
+}
+
+func TestDestroy(t *testing.T) {
+	ns := buildFigure6(t)
+	if err := ns.Destroy(Root); err == nil {
+		t.Error("destroying root should fail")
+	}
+	if err := ns.Destroy("root:dthain:grid"); err == nil {
+		t.Error("destroying a domain with children should fail")
+	}
+	if err := ns.Destroy("root:dthain:grid:anon2"); err != nil {
+		t.Errorf("Destroy leaf: %v", err)
+	}
+	if ns.Exists("root:dthain:grid:anon2") {
+		t.Error("destroyed domain still exists")
+	}
+	if err := ns.Destroy("root:dthain:grid:anon2"); err == nil {
+		t.Error("double destroy should fail")
+	}
+	// After removing all children the parent becomes destroyable.
+	if err := ns.Destroy("root:dthain:grid:anon5"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.Destroy("root:dthain:grid"); err != nil {
+		t.Errorf("Destroy emptied domain: %v", err)
+	}
+}
+
+func TestWalkVisitsAllSorted(t *testing.T) {
+	ns := buildFigure6(t)
+	var got []string
+	ns.Walk(func(name string) { got = append(got, name) })
+	if len(got) != ns.Len() {
+		t.Fatalf("Walk visited %d, want %d", len(got), ns.Len())
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("Walk order not sorted: %q before %q", got[i-1], got[i])
+		}
+	}
+}
+
+func TestAuthorityProperty(t *testing.T) {
+	// For any two valid components a != b under root, root has authority
+	// over both, and neither sibling has authority over the other.
+	ns := NewNamespace()
+	seen := map[string]bool{}
+	f := func(a, b string) bool {
+		if !validComponent(a) || !validComponent(b) || a == b {
+			return true
+		}
+		if !seen[a] {
+			if _, err := ns.Create(Root, a); err != nil {
+				return false
+			}
+			seen[a] = true
+		}
+		if !seen[b] {
+			if _, err := ns.Create(Root, b); err != nil {
+				return false
+			}
+			seen[b] = true
+		}
+		fa, fb := Root+Sep+a, Root+Sep+b
+		return ns.HasAuthority(Root, fa) && ns.HasAuthority(Root, fb) &&
+			!ns.HasAuthority(fa, fb) && !ns.HasAuthority(fb, fa)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,572 @@
+package kernel
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"identitybox/internal/vclock"
+	"identitybox/internal/vfs"
+)
+
+func newKernel() *Kernel {
+	fs := vfs.New(RootAccount)
+	// Tests write at "/" for brevity; make the root sticky-style
+	// world-writable like /tmp.
+	if err := fs.Chmod("/", 0o777); err != nil {
+		panic(err)
+	}
+	return New(fs, vclock.Default())
+}
+
+// run executes a program as the given account and returns its status.
+func run(t *testing.T, k *Kernel, account string, prog Program) ExitStatus {
+	t.Helper()
+	return k.Run(ProcSpec{Account: account}, prog)
+}
+
+func TestGetpidAndPpid(t *testing.T) {
+	k := newKernel()
+	st := run(t, k, "u", func(p *Proc, _ []string) int {
+		if p.Getpid() <= 0 {
+			t.Error("pid should be positive")
+		}
+		if p.Getppid() != 0 {
+			t.Error("top-level ppid should be 0")
+		}
+		return 0
+	})
+	if st.Code != 0 {
+		t.Fatalf("exit = %d", st.Code)
+	}
+}
+
+func TestOpenWriteReadClose(t *testing.T) {
+	k := newKernel()
+	run(t, k, "u", func(p *Proc, _ []string) int {
+		fd, err := p.Open("/f", OWronly|OCreat, 0o644)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		if n, err := p.Write(fd, []byte("hello world")); err != nil || n != 11 {
+			t.Fatalf("write = %d, %v", n, err)
+		}
+		if err := p.Close(fd); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		fd, err = p.Open("/f", ORdonly, 0)
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		buf := make([]byte, 64)
+		n, err := p.Read(fd, buf)
+		if err != nil || string(buf[:n]) != "hello world" {
+			t.Fatalf("read = %q, %v", buf[:n], err)
+		}
+		// EOF.
+		n, err = p.Read(fd, buf)
+		if err != nil || n != 0 {
+			t.Fatalf("eof read = %d, %v", n, err)
+		}
+		return 0
+	})
+}
+
+func TestOpenFlags(t *testing.T) {
+	k := newKernel()
+	run(t, k, "u", func(p *Proc, _ []string) int {
+		if _, err := p.Open("/missing", ORdonly, 0); !errors.Is(err, vfs.ErrNotExist) {
+			t.Errorf("open missing = %v", err)
+		}
+		fd, _ := p.Open("/f", OWronly|OCreat, 0o644)
+		p.Write(fd, []byte("0123456789"))
+		p.Close(fd)
+		if _, err := p.Open("/f", OWronly|OCreat|OExcl, 0o644); !errors.Is(err, vfs.ErrExist) {
+			t.Errorf("O_EXCL on existing = %v", err)
+		}
+		// O_TRUNC empties the file.
+		fd, _ = p.Open("/f", OWronly|OTrunc, 0)
+		p.Close(fd)
+		st, _ := p.Stat("/f")
+		if st.Size != 0 {
+			t.Errorf("after O_TRUNC size = %d", st.Size)
+		}
+		// Write to read-only fd fails.
+		fd, _ = p.Open("/f", ORdonly, 0)
+		if _, err := p.Write(fd, []byte("x")); !errors.Is(err, ErrBadFD) {
+			t.Errorf("write to O_RDONLY = %v", err)
+		}
+		// Read from write-only fd fails.
+		fd2, _ := p.Open("/f", OWronly, 0)
+		if _, err := p.Read(fd2, make([]byte, 1)); !errors.Is(err, ErrBadFD) {
+			t.Errorf("read from O_WRONLY = %v", err)
+		}
+		return 0
+	})
+}
+
+func TestAppendMode(t *testing.T) {
+	k := newKernel()
+	run(t, k, "u", func(p *Proc, _ []string) int {
+		p.WriteFile("/log", []byte("one\n"), 0o644)
+		fd, _ := p.Open("/log", OWronly|OAppend, 0)
+		p.Write(fd, []byte("two\n"))
+		p.Close(fd)
+		data, _ := p.ReadFile("/log")
+		if string(data) != "one\ntwo\n" {
+			t.Errorf("append result = %q", data)
+		}
+		return 0
+	})
+}
+
+func TestPreadPwriteDoNotMoveOffset(t *testing.T) {
+	k := newKernel()
+	run(t, k, "u", func(p *Proc, _ []string) int {
+		p.WriteFile("/f", []byte("abcdef"), 0o644)
+		fd, _ := p.Open("/f", ORdwr, 0)
+		buf := make([]byte, 2)
+		if n, err := p.Pread(fd, buf, 2); err != nil || string(buf[:n]) != "cd" {
+			t.Fatalf("pread = %q, %v", buf[:n], err)
+		}
+		if _, err := p.Pwrite(fd, []byte("XY"), 4); err != nil {
+			t.Fatal(err)
+		}
+		// Sequential read still starts at 0.
+		n, _ := p.Read(fd, buf)
+		if string(buf[:n]) != "ab" {
+			t.Fatalf("offset moved: %q", buf[:n])
+		}
+		data, _ := p.ReadFile("/f")
+		if string(data) != "abcdXY" {
+			t.Fatalf("contents = %q", data)
+		}
+		return 0
+	})
+}
+
+func TestLseek(t *testing.T) {
+	k := newKernel()
+	run(t, k, "u", func(p *Proc, _ []string) int {
+		p.WriteFile("/f", []byte("0123456789"), 0o644)
+		fd, _ := p.Open("/f", ORdonly, 0)
+		if off, err := p.Lseek(fd, 4, SeekSet); err != nil || off != 4 {
+			t.Fatalf("seek set = %d, %v", off, err)
+		}
+		if off, err := p.Lseek(fd, 2, SeekCur); err != nil || off != 6 {
+			t.Fatalf("seek cur = %d, %v", off, err)
+		}
+		if off, err := p.Lseek(fd, -1, SeekEnd); err != nil || off != 9 {
+			t.Fatalf("seek end = %d, %v", off, err)
+		}
+		buf := make([]byte, 1)
+		p.Read(fd, buf)
+		if buf[0] != '9' {
+			t.Fatalf("read after seek = %q", buf)
+		}
+		if _, err := p.Lseek(fd, -100, SeekSet); !errors.Is(err, vfs.ErrInvalid) {
+			t.Fatalf("negative seek = %v", err)
+		}
+		return 0
+	})
+}
+
+func TestDupSharesOpenFileDescription(t *testing.T) {
+	k := newKernel()
+	run(t, k, "u", func(p *Proc, _ []string) int {
+		p.WriteFile("/f", []byte("abcdef"), 0o644)
+		fd, _ := p.Open("/f", ORdonly, 0)
+		fd2, err := p.Dup(fd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 3)
+		p.Read(fd, buf)
+		// dup(2): both descriptors share one offset.
+		n, err := p.Read(fd2, buf)
+		if err != nil || n != 3 || string(buf[:n]) != "def" {
+			t.Fatalf("dup read = %q (%d), %v; want def", buf[:n], n, err)
+		}
+		// Closing one leaves the other usable.
+		if err := p.Close(fd); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Lseek(fd2, 0, SeekSet); err != nil {
+			t.Fatalf("dup after close: %v", err)
+		}
+		return 0
+	})
+}
+
+func TestFdSurvivesRenameAndUnlink(t *testing.T) {
+	k := newKernel()
+	run(t, k, "u", func(p *Proc, _ []string) int {
+		p.WriteFile("/f", []byte("pinned"), 0o644)
+		fd, _ := p.Open("/f", ORdonly, 0)
+		p.Rename("/f", "/g")
+		p.Unlink("/g")
+		buf := make([]byte, 6)
+		n, err := p.Read(fd, buf)
+		if err != nil || string(buf[:n]) != "pinned" {
+			t.Fatalf("read after unlink = %q, %v", buf[:n], err)
+		}
+		return 0
+	})
+}
+
+func TestUnixPermissions(t *testing.T) {
+	k := newKernel()
+	// alice creates a private file.
+	run(t, k, "alice", func(p *Proc, _ []string) int {
+		p.WriteFile("/private", []byte("secret"), 0o600)
+		p.WriteFile("/public", []byte("open"), 0o644)
+		return 0
+	})
+	run(t, k, "bob", func(p *Proc, _ []string) int {
+		if _, err := p.Open("/private", ORdonly, 0); !errors.Is(err, ErrPermission) {
+			t.Errorf("bob opening alice's 0600 file = %v, want permission denied", err)
+		}
+		if _, err := p.Open("/public", ORdonly, 0); err != nil {
+			t.Errorf("bob opening 0644 file = %v", err)
+		}
+		if _, err := p.Open("/public", OWronly, 0); !errors.Is(err, ErrPermission) {
+			t.Errorf("bob writing 0644 file = %v, want permission denied", err)
+		}
+		if err := p.Chmod("/public", 0o666); !errors.Is(err, ErrPermission) {
+			t.Errorf("bob chmod of alice's file = %v, want permission denied", err)
+		}
+		return 0
+	})
+	// root bypasses.
+	run(t, k, RootAccount, func(p *Proc, _ []string) int {
+		if _, err := p.Open("/private", ORdwr, 0); err != nil {
+			t.Errorf("root open = %v", err)
+		}
+		return 0
+	})
+}
+
+func TestCreateNeedsWritableParent(t *testing.T) {
+	k := newKernel()
+	run(t, k, "alice", func(p *Proc, _ []string) int {
+		p.Mkdir("/mine", 0o755)
+		return 0
+	})
+	run(t, k, "bob", func(p *Proc, _ []string) int {
+		if _, err := p.Open("/mine/f", OWronly|OCreat, 0o644); !errors.Is(err, ErrPermission) {
+			t.Errorf("create in 0755 foreign dir = %v, want permission denied", err)
+		}
+		return 0
+	})
+}
+
+func TestAccess(t *testing.T) {
+	k := newKernel()
+	run(t, k, "alice", func(p *Proc, _ []string) int {
+		p.WriteFile("/f", []byte("x"), 0o640)
+		if err := p.Access("/f", AccessR|AccessW); err != nil {
+			t.Errorf("owner access rw = %v", err)
+		}
+		return 0
+	})
+	run(t, k, "bob", func(p *Proc, _ []string) int {
+		if err := p.Access("/f", AccessExists); err != nil {
+			t.Errorf("existence check = %v", err)
+		}
+		if err := p.Access("/f", AccessR); !errors.Is(err, ErrPermission) {
+			t.Errorf("bob read access = %v", err)
+		}
+		return 0
+	})
+}
+
+func TestCwdAndRelativePaths(t *testing.T) {
+	k := newKernel()
+	run(t, k, "u", func(p *Proc, _ []string) int {
+		p.Mkdir("/work", 0o755)
+		if err := p.Chdir("/work"); err != nil {
+			t.Fatal(err)
+		}
+		if p.Getcwd() != "/work" {
+			t.Fatalf("cwd = %q", p.Getcwd())
+		}
+		p.WriteFile("rel.txt", []byte("data"), 0o644)
+		if _, err := p.Stat("/work/rel.txt"); err != nil {
+			t.Fatalf("relative create landed elsewhere: %v", err)
+		}
+		if err := p.Chdir("/nope"); !errors.Is(err, vfs.ErrNotExist) {
+			t.Fatalf("chdir to missing = %v", err)
+		}
+		if err := p.Chdir("/work/rel.txt"); !errors.Is(err, vfs.ErrNotDir) {
+			t.Fatalf("chdir to file = %v", err)
+		}
+		return 0
+	})
+}
+
+func TestReadDirAndMetadataCalls(t *testing.T) {
+	k := newKernel()
+	run(t, k, "u", func(p *Proc, _ []string) int {
+		p.Mkdir("/d", 0o755)
+		p.WriteFile("/d/a", nil, 0o644)
+		p.WriteFile("/d/b", nil, 0o644)
+		p.Symlink("a", "/d/ln")
+		ents, err := p.ReadDir("/d")
+		if err != nil || len(ents) != 3 {
+			t.Fatalf("readdir = %v, %v", ents, err)
+		}
+		if tgt, err := p.Readlink("/d/ln"); err != nil || tgt != "a" {
+			t.Fatalf("readlink = %q, %v", tgt, err)
+		}
+		st, err := p.Lstat("/d/ln")
+		if err != nil || st.Type != vfs.TypeSymlink {
+			t.Fatalf("lstat = %+v, %v", st, err)
+		}
+		fd, _ := p.Open("/d/a", ORdonly, 0)
+		fst, err := p.Fstat(fd)
+		if err != nil || fst.Type != vfs.TypeRegular {
+			t.Fatalf("fstat = %+v, %v", fst, err)
+		}
+		if err := p.Link("/d/a", "/d/a2"); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Truncate("/d/b", 100); err != nil {
+			t.Fatal(err)
+		}
+		st2, _ := p.Stat("/d/b")
+		if st2.Size != 100 {
+			t.Fatalf("truncate size = %d", st2.Size)
+		}
+		return 0
+	})
+}
+
+func TestSpawnWaitAndExitCodes(t *testing.T) {
+	k := newKernel()
+	k.RegisterProgram("child", func(p *Proc, args []string) int {
+		if len(args) > 0 && args[0] == "fail" {
+			return 3
+		}
+		p.WriteFile("/child-was-here", []byte("yes"), 0o644)
+		return 0
+	})
+	if err := k.InstallExecutable("/bin/child", "child", RootAccount); err != nil {
+		t.Fatal(err)
+	}
+	st := run(t, k, "u", func(p *Proc, _ []string) int {
+		pid, err := p.Spawn("/bin/child")
+		if err != nil {
+			t.Fatalf("spawn: %v", err)
+		}
+		wpid, status, err := p.Wait(-1)
+		if err != nil || wpid != pid || status != 0 {
+			t.Fatalf("wait = %d, %d, %v", wpid, status, err)
+		}
+		pid2, _ := p.Spawn("/bin/child", "fail")
+		wpid, status, err = p.Wait(pid2)
+		if err != nil || wpid != pid2 || status != 3 {
+			t.Fatalf("wait(pid) = %d, %d, %v", wpid, status, err)
+		}
+		if _, _, err := p.Wait(-1); !errors.Is(err, ErrNoChild) {
+			t.Fatalf("extra wait = %v", err)
+		}
+		return 0
+	})
+	if st.Code != 0 {
+		t.Fatalf("exit = %d", st.Code)
+	}
+	if _, err := k.FS().Stat("/child-was-here"); err != nil {
+		t.Fatal("child side effect missing")
+	}
+}
+
+func TestSpawnErrors(t *testing.T) {
+	k := newKernel()
+	k.FS().WriteFile("/notaprog", []byte("just data"), 0o755, "u")
+	k.FS().WriteFile("/noexec", []byte(ProgHeader+"x\n"), 0o644, "u")
+	k.FS().WriteFile("/unregistered", []byte(ProgHeader+"ghost\n"), 0o755, "u")
+	run(t, k, "u", func(p *Proc, _ []string) int {
+		if _, err := p.Spawn("/missing"); !errors.Is(err, vfs.ErrNotExist) {
+			t.Errorf("spawn missing = %v", err)
+		}
+		if _, err := p.Spawn("/notaprog"); !errors.Is(err, ErrNoSys) {
+			t.Errorf("spawn non-executable content = %v", err)
+		}
+		if _, err := p.Spawn("/noexec"); !errors.Is(err, ErrPermission) {
+			t.Errorf("spawn without x bit = %v", err)
+		}
+		if _, err := p.Spawn("/unregistered"); !errors.Is(err, ErrNotExist) {
+			t.Errorf("spawn unregistered = %v", err)
+		}
+		return 0
+	})
+}
+
+func TestExitPanicUnwinds(t *testing.T) {
+	k := newKernel()
+	st := run(t, k, "u", func(p *Proc, _ []string) int {
+		p.Exit(7)
+		t.Error("Exit returned")
+		return 0
+	})
+	if st.Code != 7 {
+		t.Fatalf("exit code = %d, want 7", st.Code)
+	}
+}
+
+func TestKillSameAccount(t *testing.T) {
+	k := newKernel()
+	k.RegisterProgram("killer", func(p *Proc, args []string) int {
+		// Kill our parent (same account).
+		if err := p.Kill(p.Getppid(), SigKill); err != nil {
+			t.Errorf("kill parent: %v", err)
+		}
+		return 0
+	})
+	k.InstallExecutable("/bin/killer", "killer", RootAccount)
+	st := run(t, k, "u", func(p *Proc, _ []string) int {
+		p.Spawn("/bin/killer")
+		// Parent should now be killed; next syscall fails.
+		if _, err := p.Stat("/"); !errors.Is(err, ErrKilled) {
+			t.Errorf("syscall after kill = %v", err)
+		}
+		return 0
+	})
+	if !st.Killed || st.Code != 128+SigKill {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestKillCrossAccountDenied(t *testing.T) {
+	k := newKernel()
+	// Run bob's process "concurrently" by starting it inside alice's run
+	// via direct proc creation.
+	bob := k.newProc(ProcSpec{Account: "bob"})
+	defer k.removeProc(bob)
+	run(t, k, "alice", func(p *Proc, _ []string) int {
+		if err := p.Kill(bob.PID(), SigKill); !errors.Is(err, ErrPermission) {
+			t.Errorf("cross-account kill = %v, want permission denied", err)
+		}
+		if err := p.Kill(999999, SigKill); !errors.Is(err, ErrSearch) {
+			t.Errorf("kill missing pid = %v", err)
+		}
+		return 0
+	})
+	if bob.Killed() {
+		t.Fatal("bob should not be killed")
+	}
+	// Root may kill anyone.
+	run(t, k, RootAccount, func(p *Proc, _ []string) int {
+		if err := p.Kill(bob.PID(), SigTerm); err != nil {
+			t.Errorf("root kill = %v", err)
+		}
+		return 0
+	})
+	if !bob.Killed() {
+		t.Fatal("root's kill not delivered")
+	}
+}
+
+func TestGetSetACLSyscalls(t *testing.T) {
+	k := newKernel()
+	run(t, k, "alice", func(p *Proc, _ []string) int {
+		p.Mkdir("/shared", 0o755)
+		if _, err := p.GetACL("/shared"); !errors.Is(err, vfs.ErrNotExist) {
+			t.Errorf("getacl on ACL-less dir = %v", err)
+		}
+		if err := p.SetACL("/shared", "alice rwlax\n"); err != nil {
+			t.Fatalf("setacl: %v", err)
+		}
+		text, err := p.GetACL("/shared")
+		if err != nil || text != "alice rwlax\n" {
+			t.Fatalf("getacl = %q, %v", text, err)
+		}
+		return 0
+	})
+	run(t, k, "bob", func(p *Proc, _ []string) int {
+		if err := p.SetACL("/shared", "bob rwlax\n"); !errors.Is(err, ErrPermission) {
+			t.Errorf("bob setacl on alice's dir = %v", err)
+		}
+		return 0
+	})
+}
+
+func TestGetUserNameNative(t *testing.T) {
+	k := newKernel()
+	run(t, k, "dthain", func(p *Proc, _ []string) int {
+		if got := p.GetUserName(); got != "dthain" {
+			t.Errorf("GetUserName = %q", got)
+		}
+		return 0
+	})
+}
+
+func TestVirtualTimeCharged(t *testing.T) {
+	k := newKernel()
+	st := run(t, k, "u", func(p *Proc, _ []string) int {
+		before := p.Clock().Now()
+		p.Getpid()
+		after := p.Clock().Now()
+		m := k.Model()
+		want := m.SyscallFixed + m.GetPID
+		if d := after - before; d != want {
+			t.Errorf("getpid charged %v, want %v", d, want)
+		}
+		p.Compute(100)
+		if p.Clock().Now()-after != 100 {
+			t.Error("Compute did not advance clock")
+		}
+		return 0
+	})
+	if st.Runtime <= 0 {
+		t.Fatal("runtime should be positive")
+	}
+	if st.Syscalls == 0 {
+		t.Fatal("syscall count missing")
+	}
+}
+
+func TestChildSharesJobClock(t *testing.T) {
+	k := newKernel()
+	k.RegisterProgram("spin", func(p *Proc, _ []string) int {
+		p.Compute(500)
+		return 0
+	})
+	k.InstallExecutable("/bin/spin", "spin", RootAccount)
+	st := run(t, k, "u", func(p *Proc, _ []string) int {
+		p.Spawn("/bin/spin")
+		p.Wait(-1)
+		return 0
+	})
+	if st.Runtime < 500 {
+		t.Fatalf("child compute time not rolled up: runtime = %v", st.Runtime)
+	}
+}
+
+func TestWriteFileReadFileHelpers(t *testing.T) {
+	k := newKernel()
+	run(t, k, "u", func(p *Proc, _ []string) int {
+		payload := bytes.Repeat([]byte("x"), 20000) // multiple 8k chunks
+		if err := p.WriteFile("/big", payload, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.ReadFile("/big")
+		if err != nil || !bytes.Equal(got, payload) {
+			t.Fatalf("round trip failed: %d bytes, %v", len(got), err)
+		}
+		return 0
+	})
+}
+
+func TestUnimplementedSyscalls(t *testing.T) {
+	k := newKernel()
+	run(t, k, "u", func(p *Proc, _ []string) int {
+		if err := p.Ptrace(1); !errors.Is(err, ErrNoSys) {
+			t.Errorf("ptrace = %v, want ENOSYS", err)
+		}
+		if err := p.Mount("dev", "/mnt"); !errors.Is(err, ErrNoSys) {
+			t.Errorf("mount = %v, want ENOSYS", err)
+		}
+		return 0
+	})
+}

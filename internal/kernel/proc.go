@@ -1,0 +1,435 @@
+package kernel
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"identitybox/internal/identity"
+	"identitybox/internal/vclock"
+	"identitybox/internal/vfs"
+)
+
+// Program is the body of a simulated process: ordinary Go code that
+// performs its external effects exclusively through the Proc's syscall
+// wrappers, the way a real binary's effects all pass through the kernel.
+// The returned int is the exit code.
+type Program func(p *Proc, args []string) int
+
+// Proc is one simulated process. All syscall wrappers charge virtual
+// time to the process's clock; a traced process additionally stops at
+// syscall entry and exit for its supervisor.
+type Proc struct {
+	k       *Kernel
+	pid     int
+	ppid    int
+	account string // local Unix account the process runs under
+	ident   identity.Principal
+	cwd     string
+	fds     map[int]*fdesc
+	nextFD  int
+	tracer  Tracer
+	clock   *vclock.Clock
+	killed  atomic.Bool
+	killSig atomic.Int32
+
+	// blockedOn is the condition the process is parked on during a
+	// blocking syscall, so a fatal signal can wake it.
+	blockMu   sync.Mutex
+	blockedOn *sync.Cond
+
+	// statuses holds exit statuses of children not yet waited for,
+	// keyed by pid, plus the order they finished in.
+	statuses map[int]int
+	finished []int
+
+	syscalls int64 // count of syscalls issued, for traces and tests
+}
+
+type fdesc struct {
+	h     *vfs.Handle
+	pipe  *PipeEnd // non-nil for pipe descriptors
+	path  string
+	off   int64
+	flags int
+	refs  int // descriptors (across dup and inheritance) sharing this
+}
+
+// PID reports the process id.
+func (p *Proc) PID() int { return p.pid }
+
+// Account reports the local Unix account the process runs under.
+func (p *Proc) Account() string { return p.account }
+
+// Identity reports the high-level identity attached by a supervisor, if
+// any. Inside an identity box this is the visiting principal.
+func (p *Proc) Identity() identity.Principal { return p.ident }
+
+// SetIdentity attaches a high-level identity; called by the identity-box
+// supervisor when it adopts the process.
+func (p *Proc) SetIdentity(id identity.Principal) { p.ident = id }
+
+// Clock returns the process's virtual CPU clock.
+func (p *Proc) Clock() *vclock.Clock { return p.clock }
+
+// Kernel returns the kernel this process runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Cwd reports the current working directory.
+func (p *Proc) Cwd() string { return p.cwd }
+
+// SetCwd changes the working directory without a syscall; supervisors
+// use it when they implement chdir on behalf of a traced child (e.g.
+// into a remote mount the kernel cannot resolve natively).
+func (p *Proc) SetCwd(dir string) { p.cwd = vfs.Clean(dir) }
+
+// Charge adds virtual time to the process's clock. Supervisors use it to
+// bill their own work (ACL checks, peeks and pokes, channel copies) to
+// the stopped child.
+func (p *Proc) Charge(d vclock.Micros) { p.clock.Advance(d) }
+
+// Compute models application CPU work between system calls: it advances
+// virtual time without entering the kernel.
+func (p *Proc) Compute(d vclock.Micros) { p.clock.Advance(d) }
+
+// SyscallCount reports how many system calls the process has issued.
+func (p *Proc) SyscallCount() int64 { return p.syscalls }
+
+// Killed reports whether a fatal signal has been delivered.
+func (p *Proc) Killed() bool { return p.killed.Load() }
+
+// setBlockedOn records (or clears) the condition this process is parked
+// on, so DeliverSignal can wake it.
+func (p *Proc) setBlockedOn(c *sync.Cond) {
+	p.blockMu.Lock()
+	p.blockedOn = c
+	p.blockMu.Unlock()
+}
+
+// wake broadcasts whatever condition the process is blocked on.
+func (p *Proc) wake() {
+	p.blockMu.Lock()
+	c := p.blockedOn
+	p.blockMu.Unlock()
+	if c != nil {
+		c.Broadcast()
+	}
+}
+
+// abs joins a possibly relative path against the cwd and cleans it, so
+// every Frame carries an absolute path (the supervisor depends on this,
+// just as Parrot tracks each child's cwd).
+func (p *Proc) abs(path string) string {
+	if strings.HasPrefix(path, "/") {
+		return vfs.Clean(path)
+	}
+	return vfs.Join(p.cwd, path)
+}
+
+// --- syscall wrappers -------------------------------------------------
+
+// Getpid returns the process id.
+func (p *Proc) Getpid() int {
+	f := Frame{Sys: SysGetpid}
+	p.k.doSyscall(p, &f)
+	return int(f.Ret)
+}
+
+// Getppid returns the parent process id.
+func (p *Proc) Getppid() int {
+	f := Frame{Sys: SysGetppid}
+	p.k.doSyscall(p, &f)
+	return int(f.Ret)
+}
+
+// GetUserName returns the identity attached to the process: inside an
+// identity box, the visiting principal; outside, the local account.
+// This is the one new system call identity boxing introduces.
+func (p *Proc) GetUserName() string {
+	f := Frame{Sys: SysGetUserName}
+	p.k.doSyscall(p, &f)
+	return f.Str
+}
+
+// Open opens path with Unix-style flags, returning a file descriptor.
+func (p *Proc) Open(path string, flags int, mode uint32) (int, error) {
+	f := Frame{Sys: SysOpen, Path: p.abs(path), Flags: flags, Mode: mode}
+	p.k.doSyscall(p, &f)
+	return int(f.Ret), f.Err
+}
+
+// Close releases a file descriptor.
+func (p *Proc) Close(fd int) error {
+	f := Frame{Sys: SysClose, FD: fd}
+	p.k.doSyscall(p, &f)
+	return f.Err
+}
+
+// Read reads up to len(buf) bytes at the descriptor's offset.
+func (p *Proc) Read(fd int, buf []byte) (int, error) {
+	f := Frame{Sys: SysRead, FD: fd, Buf: buf}
+	p.k.doSyscall(p, &f)
+	return int(f.Ret), f.Err
+}
+
+// Write writes len(buf) bytes at the descriptor's offset.
+func (p *Proc) Write(fd int, buf []byte) (int, error) {
+	f := Frame{Sys: SysWrite, FD: fd, Buf: buf}
+	p.k.doSyscall(p, &f)
+	return int(f.Ret), f.Err
+}
+
+// Pread reads at an explicit offset without moving the descriptor.
+func (p *Proc) Pread(fd int, buf []byte, off int64) (int, error) {
+	f := Frame{Sys: SysPread, FD: fd, Buf: buf, Off: off}
+	p.k.doSyscall(p, &f)
+	return int(f.Ret), f.Err
+}
+
+// Pwrite writes at an explicit offset without moving the descriptor.
+func (p *Proc) Pwrite(fd int, buf []byte, off int64) (int, error) {
+	f := Frame{Sys: SysPwrite, FD: fd, Buf: buf, Off: off}
+	p.k.doSyscall(p, &f)
+	return int(f.Ret), f.Err
+}
+
+// Lseek repositions the descriptor's offset.
+func (p *Proc) Lseek(fd int, off int64, whence int) (int64, error) {
+	f := Frame{Sys: SysLseek, FD: fd, Off: off, Flags: whence}
+	p.k.doSyscall(p, &f)
+	return f.Ret, f.Err
+}
+
+// Dup duplicates a file descriptor.
+func (p *Proc) Dup(fd int) (int, error) {
+	f := Frame{Sys: SysDup, FD: fd}
+	p.k.doSyscall(p, &f)
+	return int(f.Ret), f.Err
+}
+
+// Pipe creates a unidirectional channel and returns (readFD, writeFD).
+// Children spawned afterwards inherit both ends, enabling IPC within
+// the process tree.
+func (p *Proc) Pipe() (readFD, writeFD int, err error) {
+	f := Frame{Sys: SysPipe}
+	p.k.doSyscall(p, &f)
+	return int(f.Ret), f.FD, f.Err
+}
+
+// Stat reports metadata for path, following symlinks.
+func (p *Proc) Stat(path string) (vfs.Stat, error) {
+	f := Frame{Sys: SysStat, Path: p.abs(path)}
+	p.k.doSyscall(p, &f)
+	return f.Stat, f.Err
+}
+
+// Lstat reports metadata without following a final symlink.
+func (p *Proc) Lstat(path string) (vfs.Stat, error) {
+	f := Frame{Sys: SysLstat, Path: p.abs(path)}
+	p.k.doSyscall(p, &f)
+	return f.Stat, f.Err
+}
+
+// Fstat reports metadata for an open descriptor.
+func (p *Proc) Fstat(fd int) (vfs.Stat, error) {
+	f := Frame{Sys: SysFstat, FD: fd}
+	p.k.doSyscall(p, &f)
+	return f.Stat, f.Err
+}
+
+// Access checks whether the process may access path with the given mode.
+func (p *Proc) Access(path string, mode int) error {
+	f := Frame{Sys: SysAccess, Path: p.abs(path), Flags: mode}
+	p.k.doSyscall(p, &f)
+	return f.Err
+}
+
+// Mkdir creates a directory.
+func (p *Proc) Mkdir(path string, mode uint32) error {
+	f := Frame{Sys: SysMkdir, Path: p.abs(path), Mode: mode}
+	p.k.doSyscall(p, &f)
+	return f.Err
+}
+
+// Rmdir removes an empty directory.
+func (p *Proc) Rmdir(path string) error {
+	f := Frame{Sys: SysRmdir, Path: p.abs(path)}
+	p.k.doSyscall(p, &f)
+	return f.Err
+}
+
+// Unlink removes a file or symlink.
+func (p *Proc) Unlink(path string) error {
+	f := Frame{Sys: SysUnlink, Path: p.abs(path)}
+	p.k.doSyscall(p, &f)
+	return f.Err
+}
+
+// Link creates a hard link newPath to oldPath.
+func (p *Proc) Link(oldPath, newPath string) error {
+	f := Frame{Sys: SysLink, Path: p.abs(oldPath), Path2: p.abs(newPath)}
+	p.k.doSyscall(p, &f)
+	return f.Err
+}
+
+// Symlink creates a symbolic link at linkPath pointing at target.
+// The target is stored verbatim (it may be relative).
+func (p *Proc) Symlink(target, linkPath string) error {
+	f := Frame{Sys: SysSymlink, Path: p.abs(linkPath), Path2: target}
+	p.k.doSyscall(p, &f)
+	return f.Err
+}
+
+// Readlink reports a symlink's target.
+func (p *Proc) Readlink(path string) (string, error) {
+	f := Frame{Sys: SysReadlink, Path: p.abs(path)}
+	p.k.doSyscall(p, &f)
+	return f.Str, f.Err
+}
+
+// Rename moves oldPath to newPath.
+func (p *Proc) Rename(oldPath, newPath string) error {
+	f := Frame{Sys: SysRename, Path: p.abs(oldPath), Path2: p.abs(newPath)}
+	p.k.doSyscall(p, &f)
+	return f.Err
+}
+
+// Chmod changes permission bits.
+func (p *Proc) Chmod(path string, mode uint32) error {
+	f := Frame{Sys: SysChmod, Path: p.abs(path), Mode: mode}
+	p.k.doSyscall(p, &f)
+	return f.Err
+}
+
+// Truncate sets a file's length.
+func (p *Proc) Truncate(path string, size int64) error {
+	f := Frame{Sys: SysTruncate, Path: p.abs(path), Off: size}
+	p.k.doSyscall(p, &f)
+	return f.Err
+}
+
+// ReadDir lists a directory.
+func (p *Proc) ReadDir(path string) ([]vfs.DirEntry, error) {
+	f := Frame{Sys: SysGetdents, Path: p.abs(path)}
+	p.k.doSyscall(p, &f)
+	return f.Entries, f.Err
+}
+
+// Getcwd reports the working directory.
+func (p *Proc) Getcwd() string {
+	f := Frame{Sys: SysGetcwd}
+	p.k.doSyscall(p, &f)
+	return f.Str
+}
+
+// Chdir changes the working directory.
+func (p *Proc) Chdir(path string) error {
+	f := Frame{Sys: SysChdir, Path: p.abs(path)}
+	p.k.doSyscall(p, &f)
+	return f.Err
+}
+
+// Spawn forks and execs the program stored at path, passing args. The
+// child runs to completion (a vfork-then-wait model); its status becomes
+// collectable with Wait. Returns the child pid.
+func (p *Proc) Spawn(path string, args ...string) (int, error) {
+	f := Frame{Sys: SysSpawn, Path: p.abs(path), Args: args}
+	p.k.doSyscall(p, &f)
+	return int(f.Ret), f.Err
+}
+
+// Wait collects the status of a finished child: pid < 0 waits for any.
+func (p *Proc) Wait(pid int) (childPID, status int, err error) {
+	f := Frame{Sys: SysWait, PID: pid}
+	p.k.doSyscall(p, &f)
+	return int(f.Ret), f.Flags, f.Err
+}
+
+// Kill sends a signal to another process.
+func (p *Proc) Kill(pid, sig int) error {
+	f := Frame{Sys: SysKill, PID: pid, Sig: sig}
+	p.k.doSyscall(p, &f)
+	return f.Err
+}
+
+// Exit terminates the process with the given code. It does not return.
+func (p *Proc) Exit(code int) {
+	f := Frame{Sys: SysExit, Ret: int64(code)}
+	p.k.doSyscall(p, &f)
+	panic(procExit{code})
+}
+
+// Ptrace is deliberately unimplemented (ENOSYS): processes under the
+// supervisor cannot debug each other, matching the paper's Parrot.
+func (p *Proc) Ptrace(pid int) error {
+	f := Frame{Sys: SysPtrace, PID: pid}
+	p.k.doSyscall(p, &f)
+	return f.Err
+}
+
+// Mount is deliberately unimplemented (ENOSYS): administrator-only
+// calls are refused, matching the paper's Parrot.
+func (p *Proc) Mount(source, target string) error {
+	f := Frame{Sys: SysMount, Path: p.abs(target), Path2: source}
+	p.k.doSyscall(p, &f)
+	return f.Err
+}
+
+// GetACL reports the ACL text protecting the directory at path.
+func (p *Proc) GetACL(path string) (string, error) {
+	f := Frame{Sys: SysGetACL, Path: p.abs(path)}
+	p.k.doSyscall(p, &f)
+	return f.Str, f.Err
+}
+
+// SetACL replaces the ACL text protecting the directory at path.
+func (p *Proc) SetACL(path, aclText string) error {
+	f := Frame{Sys: SysSetACL, Path: p.abs(path), Str: aclText}
+	p.k.doSyscall(p, &f)
+	return f.Err
+}
+
+// --- conveniences built on the wrappers --------------------------------
+
+// WriteFile creates path and writes data through ordinary open/write/
+// close syscalls, in chunks of at most chunk bytes (0 means one call).
+func (p *Proc) WriteFile(path string, data []byte, mode uint32) error {
+	fd, err := p.Open(path, OWronly|OCreat|OTrunc, mode)
+	if err != nil {
+		return err
+	}
+	for len(data) > 0 {
+		n, err := p.Write(fd, data)
+		if err != nil {
+			p.Close(fd)
+			return err
+		}
+		data = data[n:]
+	}
+	return p.Close(fd)
+}
+
+// ReadFile reads the whole file through ordinary syscalls.
+func (p *Proc) ReadFile(path string) ([]byte, error) {
+	fd, err := p.Open(path, ORdonly, 0)
+	if err != nil {
+		return nil, err
+	}
+	var out []byte
+	buf := make([]byte, 8192)
+	for {
+		n, err := p.Read(fd, buf)
+		if err != nil {
+			p.Close(fd)
+			return nil, err
+		}
+		if n == 0 {
+			break
+		}
+		out = append(out, buf[:n]...)
+	}
+	return out, p.Close(fd)
+}
+
+// procExit is the panic value used to implement Exit.
+type procExit struct{ code int }

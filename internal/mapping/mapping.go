@@ -1,0 +1,512 @@
+// Package mapping implements the identity-mapping methods compared in
+// Figure 1 of the paper: the six pre-existing ways grid sites admit
+// visiting users (single account, untrusted account, private accounts
+// with a gridmap file, group accounts, anonymous accounts, account
+// pools) and the identity box, all behind one Mapper interface.
+//
+// Each mapper admits a grid principal to a local system, yielding a
+// Session that can run programs. The experiment harness then *measures*
+// the Figure-1 properties instead of asserting them: does the method
+// protect the resource owner, give visitors privacy, let them share
+// deliberately, let them return to stored data, and how many manual
+// administrator interventions did admitting N users take?
+package mapping
+
+import (
+	"fmt"
+	"sync"
+
+	"identitybox/internal/core"
+	"identitybox/internal/identity"
+	"identitybox/internal/kernel"
+	"identitybox/internal/vfs"
+)
+
+// Session is one visiting user's login under some mapping method.
+type Session interface {
+	// Principal is the grid identity this session was created for.
+	Principal() identity.Principal
+	// Account is the local account the session runs under ("" when the
+	// method does not surface one, as in the identity box).
+	Account() string
+	// Run executes a program in the session's context.
+	Run(prog kernel.Program, args ...string) kernel.ExitStatus
+	// Home is the directory the user is expected to work in.
+	Home() string
+	// End logs the session out. Anonymous and pool accounts reclaim
+	// the local account here.
+	End()
+}
+
+// Mapper admits grid users to a local system by some method.
+type Mapper interface {
+	// Name is the Figure-1 row label.
+	Name() string
+	// RequiresRoot reports whether operating this method needs
+	// superuser privilege (account creation, setuid).
+	RequiresRoot() bool
+	// DeclaredBurden is the Figure-1 administrative-burden label.
+	DeclaredBurden() string
+	// Login admits a principal and starts a session.
+	Login(p identity.Principal) (Session, error)
+	// Share asks the method to grant `to` (a grid identity) access to
+	// path, on behalf of the session owner — and to no one else.
+	// Methods with no mechanism for this return an error.
+	Share(s Session, path string, to identity.Principal) error
+	// AdminActions counts manual administrator interventions so far.
+	AdminActions() int
+}
+
+// World is the host system the mappers operate on: a kernel owned by a
+// service owner with a private file, plus account/home bookkeeping.
+type World struct {
+	K     *kernel.Kernel
+	Owner string // the service owner's local account
+
+	mu       sync.Mutex
+	accounts map[string]bool
+}
+
+// NewWorld builds a host with the service owner's private data in
+// place.
+func NewWorld(owner string) (*World, error) {
+	fs := vfs.New(kernel.RootAccount)
+	k := kernel.New(fs, defaultModel())
+	w := &World{K: k, Owner: owner, accounts: map[string]bool{owner: true, kernel.RootAccount: true}}
+	if err := fs.MkdirAll("/home/"+owner, 0o755, owner); err != nil {
+		return nil, err
+	}
+	if err := fs.WriteFile("/home/"+owner+"/secret", []byte("the owner's private data"), 0o600, owner); err != nil {
+		return nil, err
+	}
+	if err := fs.MkdirAll("/tmp", 0o777, kernel.RootAccount); err != nil {
+		return nil, err
+	}
+	if err := fs.MkdirAll("/etc", 0o755, kernel.RootAccount); err != nil {
+		return nil, err
+	}
+	if err := fs.WriteFile("/etc/passwd", []byte(owner+":x:1000:1000::/home/"+owner+":/bin/sh\n"), 0o644, kernel.RootAccount); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// OwnerSecretPath is where the owner's private file lives.
+func (w *World) OwnerSecretPath() string { return "/home/" + w.Owner + "/secret" }
+
+// createAccount registers a local account and its home directory: the
+// operation only root can perform on a real system.
+func (w *World) createAccount(name string, homeMode uint32) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.accounts[name] {
+		return nil
+	}
+	w.accounts[name] = true
+	return w.K.FS().MkdirAll("/home/"+name, homeMode, name)
+}
+
+// retireAccount removes an account from the database, leaving its files
+// behind owned by a dead uid (exactly the anonymous-account failure
+// mode the paper describes).
+func (w *World) retireAccount(name string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	delete(w.accounts, name)
+}
+
+// accountExists reports whether the local account is live.
+func (w *World) accountExists(name string) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.accounts[name]
+}
+
+// unixSession is a login bound to a plain local account.
+type unixSession struct {
+	w       *World
+	p       identity.Principal
+	account string
+	home    string
+	onEnd   func()
+}
+
+func (s *unixSession) Principal() identity.Principal { return s.p }
+func (s *unixSession) Account() string               { return s.account }
+func (s *unixSession) Home() string                  { return s.home }
+
+func (s *unixSession) Run(prog kernel.Program, args ...string) kernel.ExitStatus {
+	return s.w.K.Run(kernel.ProcSpec{Account: s.account, Cwd: s.home}, prog, args...)
+}
+
+func (s *unixSession) End() {
+	if s.onEnd != nil {
+		s.onEnd()
+	}
+}
+
+// ErrNoSharing is returned by methods with no controlled-sharing
+// mechanism.
+var ErrNoSharing = fmt.Errorf("mapping: method cannot express controlled sharing")
+
+// --- 1. Single account ---------------------------------------------------
+
+// SingleMapper runs every visitor in the service owner's own account:
+// no privilege required, no protection, everything shared (the personal
+// GASS server configuration).
+type SingleMapper struct {
+	W *World
+}
+
+// Name implements Mapper.
+func (m *SingleMapper) Name() string { return "single" }
+
+// RequiresRoot implements Mapper.
+func (m *SingleMapper) RequiresRoot() bool { return false }
+
+// DeclaredBurden implements Mapper.
+func (m *SingleMapper) DeclaredBurden() string { return "-" }
+
+// AdminActions implements Mapper.
+func (m *SingleMapper) AdminActions() int { return 0 }
+
+// Login implements Mapper.
+func (m *SingleMapper) Login(p identity.Principal) (Session, error) {
+	return &unixSession{w: m.W, p: p, account: m.W.Owner, home: "/home/" + m.W.Owner}, nil
+}
+
+// Share implements Mapper: everyone in the account already sees
+// everything, so sharing trivially succeeds.
+func (m *SingleMapper) Share(_ Session, _ string, _ identity.Principal) error { return nil }
+
+// --- 2. Untrusted account ------------------------------------------------
+
+// UntrustedMapper runs every visitor as "nobody": the WWW/FTP model.
+// Creating and using the special account requires root.
+type UntrustedMapper struct {
+	W     *World
+	setup bool
+}
+
+// Name implements Mapper.
+func (m *UntrustedMapper) Name() string { return "untrusted" }
+
+// RequiresRoot implements Mapper.
+func (m *UntrustedMapper) RequiresRoot() bool { return true }
+
+// DeclaredBurden implements Mapper.
+func (m *UntrustedMapper) DeclaredBurden() string { return "-" }
+
+// AdminActions implements Mapper.
+func (m *UntrustedMapper) AdminActions() int { return 0 }
+
+// Login implements Mapper.
+func (m *UntrustedMapper) Login(p identity.Principal) (Session, error) {
+	if !m.setup {
+		// One-time creation of the nobody account (root, but not a
+		// per-user burden).
+		if err := m.W.createAccount("nobody", 0o777); err != nil {
+			return nil, err
+		}
+		m.setup = true
+	}
+	return &unixSession{w: m.W, p: p, account: "nobody", home: "/home/nobody"}, nil
+}
+
+// Share implements Mapper: one shared account — trivially shared.
+func (m *UntrustedMapper) Share(_ Session, _ string, _ identity.Principal) error { return nil }
+
+// --- 3. Private accounts (gridmap) ----------------------------------------
+
+// PrivateMapper gives every grid user a distinct local account, mapped
+// through a gridmap file maintained by the administrator — the I-WAY
+// model. Every new user costs one manual root intervention.
+type PrivateMapper struct {
+	W       *World
+	gridmap map[identity.Principal]string
+	actions int
+	seq     int
+}
+
+// NewPrivateMapper creates an empty gridmap.
+func NewPrivateMapper(w *World) *PrivateMapper {
+	return &PrivateMapper{W: w, gridmap: make(map[identity.Principal]string)}
+}
+
+// Name implements Mapper.
+func (m *PrivateMapper) Name() string { return "private" }
+
+// RequiresRoot implements Mapper.
+func (m *PrivateMapper) RequiresRoot() bool { return true }
+
+// DeclaredBurden implements Mapper.
+func (m *PrivateMapper) DeclaredBurden() string { return "per user" }
+
+// AdminActions implements Mapper.
+func (m *PrivateMapper) AdminActions() int { return m.actions }
+
+// Login implements Mapper.
+func (m *PrivateMapper) Login(p identity.Principal) (Session, error) {
+	account, ok := m.gridmap[p]
+	if !ok {
+		// The administrator must create an account and edit the
+		// gridmap: one manual action per new user.
+		m.actions++
+		m.seq++
+		account = fmt.Sprintf("user%d", m.seq)
+		if err := m.W.createAccount(account, 0o700); err != nil {
+			return nil, err
+		}
+		m.gridmap[p] = account
+	}
+	return &unixSession{w: m.W, p: p, account: account, home: "/home/" + account}, nil
+}
+
+// Share implements Mapper: Unix accounts give no way to grant access to
+// one specific *grid identity* — the mapping to a local account is the
+// administrator's private business, and mode bits can only open a file
+// to everyone.
+func (m *PrivateMapper) Share(_ Session, _ string, _ identity.Principal) error {
+	return ErrNoSharing
+}
+
+// --- 4. Group accounts -----------------------------------------------------
+
+// GroupMapper maps users to a shared account per collaboration, chosen
+// by matching the principal against configured patterns — the Grid3
+// model. Privacy and sharing become fixed properties of the grouping.
+type GroupMapper struct {
+	W *World
+	// Groups maps an identity pattern to a group account name.
+	Groups  []GroupRule
+	actions int
+	created map[string]bool
+}
+
+// GroupRule assigns principals matching Pattern to Account.
+type GroupRule struct {
+	Pattern string
+	Account string
+}
+
+// NewGroupMapper creates a mapper with the given group rules.
+func NewGroupMapper(w *World, rules []GroupRule) *GroupMapper {
+	return &GroupMapper{W: w, Groups: rules, created: make(map[string]bool)}
+}
+
+// Name implements Mapper.
+func (m *GroupMapper) Name() string { return "group" }
+
+// RequiresRoot implements Mapper.
+func (m *GroupMapper) RequiresRoot() bool { return true }
+
+// DeclaredBurden implements Mapper.
+func (m *GroupMapper) DeclaredBurden() string { return "per group" }
+
+// AdminActions implements Mapper.
+func (m *GroupMapper) AdminActions() int { return m.actions }
+
+// Login implements Mapper.
+func (m *GroupMapper) Login(p identity.Principal) (Session, error) {
+	for _, rule := range m.Groups {
+		if identity.Match(rule.Pattern, p) {
+			if !m.created[rule.Account] {
+				// One root intervention per group.
+				m.actions++
+				if err := m.W.createAccount(rule.Account, 0o770); err != nil {
+					return nil, err
+				}
+				m.created[rule.Account] = true
+			}
+			return &unixSession{w: m.W, p: p, account: rule.Account, home: "/home/" + rule.Account}, nil
+		}
+	}
+	return nil, fmt.Errorf("mapping: no group admits %q", p)
+}
+
+// Share implements Mapper: sharing is fixed by the grouping — within a
+// group everything is already shared; across groups there is no
+// mechanism.
+func (m *GroupMapper) Share(s Session, _ string, to identity.Principal) error {
+	for _, rule := range m.Groups {
+		if identity.Match(rule.Pattern, to) {
+			if rule.Account == s.Account() {
+				return nil // same group: already shared
+			}
+			return ErrNoSharing // different group: no mechanism
+		}
+	}
+	return ErrNoSharing
+}
+
+// --- 5. Anonymous accounts --------------------------------------------------
+
+// AnonymousMapper creates a fresh throwaway account for every login and
+// destroys it at logout — Condor on Windows NT. No admin involvement,
+// but an ID has no meaning after the job completes, so there is no
+// return to stored data.
+type AnonymousMapper struct {
+	W   *World
+	seq int
+}
+
+// Name implements Mapper.
+func (m *AnonymousMapper) Name() string { return "anonymous" }
+
+// RequiresRoot implements Mapper.
+func (m *AnonymousMapper) RequiresRoot() bool { return true }
+
+// DeclaredBurden implements Mapper.
+func (m *AnonymousMapper) DeclaredBurden() string { return "-" }
+
+// AdminActions implements Mapper.
+func (m *AnonymousMapper) AdminActions() int { return 0 }
+
+// Login implements Mapper.
+func (m *AnonymousMapper) Login(p identity.Principal) (Session, error) {
+	m.seq++
+	account := fmt.Sprintf("anon%d", m.seq)
+	if err := m.W.createAccount(account, 0o700); err != nil {
+		return nil, err
+	}
+	s := &unixSession{w: m.W, p: p, account: account, home: "/home/" + account}
+	s.onEnd = func() { m.W.retireAccount(account) }
+	return s, nil
+}
+
+// Share implements Mapper: the peer's transient account name is
+// unknowable in advance.
+func (m *AnonymousMapper) Share(_ Session, _ string, _ identity.Principal) error {
+	return ErrNoSharing
+}
+
+// --- 6. Account pool ----------------------------------------------------------
+
+// PoolMapper assigns accounts from a fixed pool (grid0..gridN) on the
+// fly and returns them at logout — the Globus/Legion model. A given
+// user might be grid9 today and grid33 tomorrow, so there is no return.
+type PoolMapper struct {
+	W       *World
+	size    int
+	free    []string
+	actions int
+	setup   bool
+}
+
+// NewPoolMapper creates a pool of the given size (one admin action to
+// create the whole pool on first use).
+func NewPoolMapper(w *World, size int) *PoolMapper {
+	return &PoolMapper{W: w, size: size}
+}
+
+// Name implements Mapper.
+func (m *PoolMapper) Name() string { return "pool" }
+
+// RequiresRoot implements Mapper.
+func (m *PoolMapper) RequiresRoot() bool { return true }
+
+// DeclaredBurden implements Mapper.
+func (m *PoolMapper) DeclaredBurden() string { return "per pool" }
+
+// AdminActions implements Mapper.
+func (m *PoolMapper) AdminActions() int { return m.actions }
+
+// Login implements Mapper.
+func (m *PoolMapper) Login(p identity.Principal) (Session, error) {
+	if !m.setup {
+		// The administrator creates the whole pool once.
+		m.actions++
+		for i := 0; i < m.size; i++ {
+			name := fmt.Sprintf("grid%d", i)
+			if err := m.W.createAccount(name, 0o700); err != nil {
+				return nil, err
+			}
+			m.free = append(m.free, name)
+		}
+		m.setup = true
+	}
+	if len(m.free) == 0 {
+		return nil, fmt.Errorf("mapping: account pool exhausted")
+	}
+	account := m.free[0]
+	m.free = m.free[1:]
+	s := &unixSession{w: m.W, p: p, account: account, home: "/home/" + account}
+	s.onEnd = func() {
+		// Returned to the *back* of the free list, so the next login by
+		// the same user usually lands on a different account.
+		m.free = append(m.free, account)
+	}
+	return s, nil
+}
+
+// Share implements Mapper: pool assignments are transient.
+func (m *PoolMapper) Share(_ Session, _ string, _ identity.Principal) error {
+	return ErrNoSharing
+}
+
+// --- 7. Identity box -----------------------------------------------------------
+
+// BoxMapper admits users into identity boxes supervised by the service
+// owner: no privilege, no admin actions, named protection domains
+// created on the fly.
+type BoxMapper struct {
+	W *World
+}
+
+// Name implements Mapper.
+func (m *BoxMapper) Name() string { return "identity box" }
+
+// RequiresRoot implements Mapper.
+func (m *BoxMapper) RequiresRoot() bool { return false }
+
+// DeclaredBurden implements Mapper.
+func (m *BoxMapper) DeclaredBurden() string { return "-" }
+
+// AdminActions implements Mapper.
+func (m *BoxMapper) AdminActions() int { return 0 }
+
+type boxSession struct {
+	p   identity.Principal
+	box *core.Box
+}
+
+func (s *boxSession) Principal() identity.Principal { return s.p }
+func (s *boxSession) Account() string               { return "" }
+func (s *boxSession) Home() string                  { return s.box.Home() }
+func (s *boxSession) Run(prog kernel.Program, args ...string) kernel.ExitStatus {
+	return s.box.Run(prog, args...)
+}
+func (s *boxSession) End() {}
+
+// Login implements Mapper.
+func (m *BoxMapper) Login(p identity.Principal) (Session, error) {
+	box, err := core.New(m.W.K, m.W.Owner, p, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &boxSession{p: p, box: box}, nil
+}
+
+// Share implements Mapper: the owner grants access by editing the ACL
+// with the peer's own grid identity — exactly one principal gains
+// access.
+func (m *BoxMapper) Share(s Session, path string, to identity.Principal) error {
+	bs, ok := s.(*boxSession)
+	if !ok {
+		return fmt.Errorf("mapping: not a box session")
+	}
+	st := bs.box.Run(func(p *kernel.Proc, _ []string) int {
+		text, err := p.GetACL(vfs.Dir(path))
+		if err != nil {
+			return 1
+		}
+		if err := p.SetACL(vfs.Dir(path), text+to.String()+" rl\n"); err != nil {
+			return 1
+		}
+		return 0
+	})
+	if st.Code != 0 {
+		return fmt.Errorf("mapping: ACL edit failed")
+	}
+	return nil
+}

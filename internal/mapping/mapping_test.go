@@ -1,0 +1,292 @@
+package mapping
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"identitybox/internal/identity"
+	"identitybox/internal/kernel"
+)
+
+func world(t *testing.T) *World {
+	t.Helper()
+	w, err := NewWorld("svcowner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestFigure1Table is the headline reproduction: every measured row
+// must match the published table.
+func TestFigure1Table(t *testing.T) {
+	mappers, worlds, err := AllMappers("svcowner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := ProbeUsers(20)
+	paper := PaperFigure1()
+	for i, m := range mappers {
+		got, err := Probe(m, worlds[i], users)
+		if err != nil {
+			t.Fatalf("%s: probe: %v", m.Name(), err)
+		}
+		want := paper[i]
+		if got.Method != want.Method {
+			t.Fatalf("row %d method = %q, want %q", i, got.Method, want.Method)
+		}
+		if got.RequiresRoot != want.RequiresRoot {
+			t.Errorf("%s: requires root = %v, paper says %v", got.Method, got.RequiresRoot, want.RequiresRoot)
+		}
+		if got.ProtectsOwner != want.ProtectsOwner {
+			t.Errorf("%s: protects owner = %v, paper says %v", got.Method, got.ProtectsOwner, want.ProtectsOwner)
+		}
+		if got.Privacy != want.Privacy {
+			t.Errorf("%s: privacy = %v, paper says %v", got.Method, got.Privacy, want.Privacy)
+		}
+		if got.Sharing != want.Sharing {
+			t.Errorf("%s: sharing = %v, paper says %v", got.Method, got.Sharing, want.Sharing)
+		}
+		if got.Return != want.Return {
+			t.Errorf("%s: return = %v, paper says %v", got.Method, got.Return, want.Return)
+		}
+		if got.AdminBurden != want.AdminBurden {
+			t.Errorf("%s: burden = %q, paper says %q", got.Method, got.AdminBurden, want.AdminBurden)
+		}
+	}
+}
+
+func TestAdminActionScaling(t *testing.T) {
+	// Private accounts cost one admin action per user; groups one per
+	// group; pools one per pool; the box and anonymous none.
+	users := ProbeUsers(20)
+	cases := []struct {
+		make    func(w *World) Mapper
+		actions int
+	}{
+		{func(w *World) Mapper { return NewPrivateMapper(w) }, 20},
+		{func(w *World) Mapper { return NewGroupMapper(w, StandardGroups()) }, 2},
+		{func(w *World) Mapper { return NewPoolMapper(w, 30) }, 1},
+		{func(w *World) Mapper { return &AnonymousMapper{W: w} }, 0},
+		{func(w *World) Mapper { return &BoxMapper{W: w} }, 0},
+		{func(w *World) Mapper { return &SingleMapper{W: w} }, 0},
+	}
+	for _, c := range cases {
+		w := world(t)
+		m := c.make(w)
+		for _, u := range users {
+			s, err := m.Login(u)
+			if err != nil {
+				t.Fatalf("%s: %v", m.Name(), err)
+			}
+			s.End()
+		}
+		if got := m.AdminActions(); got != c.actions {
+			t.Errorf("%s: admin actions for 20 users = %d, want %d", m.Name(), got, c.actions)
+		}
+	}
+}
+
+func TestPrivateMapperStableMapping(t *testing.T) {
+	w := world(t)
+	m := NewPrivateMapper(w)
+	s1, err := m.Login(probeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acct := s1.Account()
+	s1.End()
+	s2, err := m.Login(probeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Account() != acct {
+		t.Fatalf("gridmap remapped %q -> %q", acct, s2.Account())
+	}
+	// Second login costs no new admin action.
+	if m.AdminActions() != 1 {
+		t.Fatalf("admin actions = %d, want 1", m.AdminActions())
+	}
+}
+
+func TestPoolExhaustionAndRecycling(t *testing.T) {
+	w := world(t)
+	m := NewPoolMapper(w, 2)
+	s1, err := m.Login(probeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := m.Login(probeB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Login(probeC); err == nil {
+		t.Fatal("exhausted pool still admitted a user")
+	}
+	a1 := s1.Account()
+	s1.End()
+	s3, err := m.Login(probeC)
+	if err != nil {
+		t.Fatalf("freed slot not reusable: %v", err)
+	}
+	if s3.Account() != a1 {
+		t.Fatalf("recycled account = %q, want %q", s3.Account(), a1)
+	}
+	s2.End()
+	s3.End()
+}
+
+func TestAnonymousAccountsAreFresh(t *testing.T) {
+	w := world(t)
+	m := &AnonymousMapper{W: w}
+	s1, _ := m.Login(probeA)
+	s2, _ := m.Login(probeA)
+	if s1.Account() == s2.Account() {
+		t.Fatal("anonymous accounts must be fresh per login")
+	}
+	acct := s1.Account()
+	s1.End()
+	if w.accountExists(acct) {
+		t.Fatal("anonymous account not retired at logout")
+	}
+}
+
+func TestGroupMapperPlacement(t *testing.T) {
+	w := world(t)
+	m := NewGroupMapper(w, StandardGroups())
+	sa, err := m.Login(probeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, _ := m.Login(probeB)
+	sc, _ := m.Login(probeC)
+	if sa.Account() != sb.Account() {
+		t.Error("same-org users should share a group account")
+	}
+	if sa.Account() == sc.Account() {
+		t.Error("cross-org users should be in different groups")
+	}
+	if _, err := m.Login("kerberos:nobody@unknown.org"); err == nil {
+		t.Error("user matching no group should be refused")
+	}
+}
+
+func TestBoxMapperControlledSharing(t *testing.T) {
+	w := world(t)
+	m := &BoxMapper{W: w}
+	sa, err := m.Login(probeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := sa.Home() + "/doc.txt"
+	if err := write(sa, path, "payload"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Share(sa, path, probeB); err != nil {
+		t.Fatal(err)
+	}
+	sb, _ := m.Login(probeB)
+	if !canRead(sb, path, "payload") {
+		t.Error("granted peer cannot read")
+	}
+	// Sharing is *controlled*: Carol was not granted and stays out.
+	sc, _ := m.Login(probeC)
+	if canRead(sc, path, "payload") {
+		t.Error("ungranted peer can read: sharing is not controlled")
+	}
+}
+
+func TestSingleMapperDoesNotProtectOwner(t *testing.T) {
+	w := world(t)
+	m := &SingleMapper{W: w}
+	s, _ := m.Login(probeA)
+	if !canRead(s, w.OwnerSecretPath(), "the owner's private data") {
+		t.Fatal("single-account visitor should see the owner's files (that is the method's flaw)")
+	}
+}
+
+func TestUntrustedMapperProtectsOwnerButNoPrivacy(t *testing.T) {
+	w := world(t)
+	m := &UntrustedMapper{W: w}
+	sa, err := m.Login(probeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canRead(sa, w.OwnerSecretPath(), "the owner's private data") {
+		t.Error("nobody should not read the owner's 0600 file")
+	}
+	if err := write(sa, sa.Home()+"/af.txt", "a's"); err != nil {
+		t.Fatal(err)
+	}
+	sb, _ := m.Login(probeB)
+	if !canRead(sb, sa.Home()+"/af.txt", "a's") {
+		t.Error("shared nobody account should expose files between users")
+	}
+}
+
+func TestProbeUsersDistinct(t *testing.T) {
+	users := ProbeUsers(50)
+	seen := map[identity.Principal]bool{}
+	for _, u := range users {
+		if seen[u] {
+			t.Fatalf("duplicate probe user %s", u)
+		}
+		seen[u] = true
+		if !u.Valid() {
+			t.Fatalf("invalid probe user %s", u)
+		}
+	}
+}
+
+func TestWorldBootstrap(t *testing.T) {
+	w := world(t)
+	st := w.K.Run(kernel.ProcSpec{Account: "svcowner"}, func(p *kernel.Proc, _ []string) int {
+		data, err := p.ReadFile(w.OwnerSecretPath())
+		if err != nil || len(data) == 0 {
+			return 1
+		}
+		return 0
+	})
+	if st.Code != 0 {
+		t.Fatal("owner cannot read own secret")
+	}
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("acct%d", i)
+		if err := w.createAccount(name, 0o700); err != nil {
+			t.Fatal(err)
+		}
+		if !w.accountExists(name) {
+			t.Fatal("account not registered")
+		}
+	}
+}
+
+func TestPoolNeverDoubleAssignsProperty(t *testing.T) {
+	// Under any random login/logout sequence, no two live sessions
+	// share a local account.
+	w := world(t)
+	m := NewPoolMapper(w, 4)
+	r := rand.New(rand.NewSource(5))
+	var live []Session
+	for step := 0; step < 500; step++ {
+		if len(live) > 0 && (r.Intn(2) == 0 || len(live) == 4) {
+			i := r.Intn(len(live))
+			live[i].End()
+			live = append(live[:i], live[i+1:]...)
+			continue
+		}
+		s, err := m.Login(ProbeUsers(50)[r.Intn(50)])
+		if err != nil {
+			continue // pool exhausted
+		}
+		live = append(live, s)
+		seen := map[string]bool{}
+		for _, l := range live {
+			if seen[l.Account()] {
+				t.Fatalf("step %d: account %q assigned twice", step, l.Account())
+			}
+			seen[l.Account()] = true
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package mapping
+
+import (
+	"errors"
+	"fmt"
+
+	"identitybox/internal/identity"
+	"identitybox/internal/kernel"
+	"identitybox/internal/vclock"
+	"identitybox/internal/vfs"
+)
+
+func defaultModel() vclock.CostModel { return vclock.Default() }
+
+// Tri is a three-valued property: some Figure-1 cells are "fixed" —
+// true within a group and false across groups.
+type Tri int
+
+// Tri values.
+const (
+	No Tri = iota
+	Yes
+	Fixed
+)
+
+func (t Tri) String() string {
+	switch t {
+	case Yes:
+		return "yes"
+	case Fixed:
+		return "fixed"
+	default:
+		return "no"
+	}
+}
+
+// triOf combines a within-organization and a cross-organization
+// measurement into one cell.
+func triOf(within, across bool) Tri {
+	switch {
+	case within && across:
+		return Yes
+	case !within && !across:
+		return No
+	default:
+		return Fixed
+	}
+}
+
+// Measured is one empirically determined row of Figure 1.
+type Measured struct {
+	Method        string
+	RequiresRoot  bool
+	ProtectsOwner bool
+	Privacy       Tri
+	Sharing       Tri
+	Return        bool
+	AdminBurden   string
+	AdminActions  int // manual interventions to admit the probe users
+	Users         int
+}
+
+// probe principals: A and B belong to the same organization; C comes
+// from another, so group methods place C in a different group.
+var (
+	probeA = identity.Principal("globus:/O=UnivNowhere/CN=Alice")
+	probeB = identity.Principal("globus:/O=UnivNowhere/CN=Bob")
+	probeC = identity.Principal("globus:/O=Elsewhere/CN=Carol")
+)
+
+// ProbeUsers returns n distinct principals from alternating
+// organizations, used to measure admission burden.
+func ProbeUsers(n int) []identity.Principal {
+	out := make([]identity.Principal, 0, n)
+	for i := 0; i < n; i++ {
+		org := "UnivNowhere"
+		if i%2 == 1 {
+			org = "Elsewhere"
+		}
+		out = append(out, identity.Principal(fmt.Sprintf("globus:/O=%s/CN=User%d", org, i)))
+	}
+	return out
+}
+
+// StandardGroups is the group configuration used by the probes: one
+// group per organization, as Grid3 assigns one account per experiment.
+func StandardGroups() []GroupRule {
+	return []GroupRule{
+		{Pattern: "globus:/O=UnivNowhere/*", Account: "grp_nowhere"},
+		{Pattern: "globus:/O=Elsewhere/*", Account: "grp_elsewhere"},
+	}
+}
+
+// write stores contents at path (relative to the session home when not
+// absolute) through ordinary syscalls, with owner-only permissions.
+func write(s Session, path string, contents string) error {
+	st := s.Run(func(p *kernel.Proc, _ []string) int {
+		if err := p.WriteFile(path, []byte(contents), 0o600); err != nil {
+			return 1
+		}
+		return 0
+	})
+	if st.Code != 0 {
+		return fmt.Errorf("mapping: write %s failed", path)
+	}
+	return nil
+}
+
+// canRead reports whether the session can read back the expected
+// contents at path.
+func canRead(s Session, path, want string) bool {
+	st := s.Run(func(p *kernel.Proc, _ []string) int {
+		data, err := p.ReadFile(path)
+		if err != nil || string(data) != want {
+			return 1
+		}
+		return 0
+	})
+	return st.Code == 0
+}
+
+// Probe measures the Figure-1 properties of a mapper on a fresh world.
+// The mapper must have been constructed over w.
+func Probe(m Mapper, w *World, burdenUsers []identity.Principal) (Measured, error) {
+	out := Measured{
+		Method:       m.Name(),
+		RequiresRoot: m.RequiresRoot(),
+		AdminBurden:  m.DeclaredBurden(),
+		Users:        len(burdenUsers),
+	}
+
+	// 1. Admission burden: admit every probe user once, and snapshot
+	// the intervention count before the scenario logins below add
+	// their own.
+	for _, u := range burdenUsers {
+		s, err := m.Login(u)
+		if err != nil {
+			return out, fmt.Errorf("admitting %s: %w", u, err)
+		}
+		s.End()
+	}
+	out.AdminActions = m.AdminActions()
+
+	// 2. Protecting the owner: a visitor tries to read the owner's
+	// private file.
+	sa, err := m.Login(probeA)
+	if err != nil {
+		return out, err
+	}
+	out.ProtectsOwner = !canRead(sa, w.OwnerSecretPath(), "the owner's private data")
+
+	// 3. Privacy: Alice stores a private file; Bob (same org) and
+	// Carol (other org) try to read it.
+	privatePath := vfs.Join(sa.Home(), "private.txt")
+	if err := write(sa, privatePath, "alice private"); err != nil {
+		return out, err
+	}
+	sb, err := m.Login(probeB)
+	if err != nil {
+		return out, err
+	}
+	sc, err := m.Login(probeC)
+	if err != nil {
+		return out, err
+	}
+	privacyWithin := !canRead(sb, privatePath, "alice private")
+	privacyAcross := !canRead(sc, privatePath, "alice private")
+	out.Privacy = triOf(privacyWithin, privacyAcross)
+
+	// 4. Sharing: Alice deliberately grants Bob (same org) and Carol
+	// (other org) access to a file, by their grid identities.
+	sharedPath := vfs.Join(sa.Home(), "shared.txt")
+	if err := write(sa, sharedPath, "alice shared"); err != nil {
+		return out, err
+	}
+	shareTo := func(to identity.Principal, reader Session) bool {
+		if err := m.Share(sa, sharedPath, to); err != nil {
+			if errors.Is(err, ErrNoSharing) {
+				return false
+			}
+			return false
+		}
+		return canRead(reader, sharedPath, "alice shared")
+	}
+	sharingWithin := shareTo(probeB, sb)
+	sharingAcross := shareTo(probeC, sc)
+	out.Sharing = triOf(sharingWithin, sharingAcross)
+	sb.End()
+	sc.End()
+
+	// 5. Return: Alice stores data, logs out, logs back in later and
+	// looks for it. (Another user cycles through in between, as on a
+	// busy site, which is what defeats pool accounts.)
+	returnPath := vfs.Join(sa.Home(), "comeback.txt")
+	if err := write(sa, returnPath, "see you soon"); err != nil {
+		return out, err
+	}
+	sa.End()
+	interloper, err := m.Login(probeC)
+	if err != nil {
+		return out, err
+	}
+	interloper.End()
+	sa2, err := m.Login(probeA)
+	if err != nil {
+		return out, err
+	}
+	// The user returns to wherever the method now places them and asks
+	// for the file stored last time, at its recorded absolute path.
+	out.Return = canRead(sa2, returnPath, "see you soon")
+	sa2.End()
+	return out, nil
+}
+
+// AllMappers constructs the seven Figure-1 methods over fresh worlds
+// and returns (mapper, world) pairs in row order.
+func AllMappers(owner string) (ms []Mapper, ws []*World, err error) {
+	mk := func(f func(w *World) Mapper) error {
+		w, err := NewWorld(owner)
+		if err != nil {
+			return err
+		}
+		ms = append(ms, f(w))
+		ws = append(ws, w)
+		return nil
+	}
+	steps := []func(w *World) Mapper{
+		func(w *World) Mapper { return &SingleMapper{W: w} },
+		func(w *World) Mapper { return &UntrustedMapper{W: w} },
+		func(w *World) Mapper { return NewPrivateMapper(w) },
+		func(w *World) Mapper { return NewGroupMapper(w, StandardGroups()) },
+		func(w *World) Mapper { return &AnonymousMapper{W: w} },
+		func(w *World) Mapper { return NewPoolMapper(w, 8) },
+		func(w *World) Mapper { return &BoxMapper{W: w} },
+	}
+	for _, f := range steps {
+		if err := mk(f); err != nil {
+			return nil, nil, err
+		}
+	}
+	return ms, ws, nil
+}
+
+// PaperRow is the value Figure 1 reports for a method.
+type PaperRow struct {
+	Method        string
+	RequiresRoot  bool
+	ProtectsOwner bool
+	Privacy       Tri
+	Sharing       Tri
+	Return        bool
+	AdminBurden   string
+}
+
+// PaperFigure1 encodes the published table for comparison.
+func PaperFigure1() []PaperRow {
+	return []PaperRow{
+		{"single", false, false, No, Yes, true, "-"},
+		{"untrusted", true, true, No, Yes, true, "-"},
+		{"private", true, true, Yes, No, true, "per user"},
+		{"group", true, true, Fixed, Fixed, true, "per group"},
+		{"anonymous", true, true, Yes, No, false, "-"},
+		{"pool", true, true, Yes, No, false, "per pool"},
+		{"identity box", false, true, Yes, Yes, true, "-"},
+	}
+}

@@ -1,0 +1,218 @@
+package parrot
+
+import (
+	"identitybox/internal/kernel"
+	"identitybox/internal/vclock"
+	"identitybox/internal/vfs"
+)
+
+// LocalDriver serves the supervisor's own file system. Operations are
+// the supervisor's own system calls: they run under the supervising
+// user's account (the host kernel checks Unix permissions against that
+// account, not the visitor's) and charge native syscall costs to the
+// stopped child, since the child waits while the supervisor works.
+type LocalDriver struct {
+	fs      *vfs.FS
+	account string // the supervising user's Unix account
+	model   vclock.CostModel
+}
+
+// NewLocalDriver builds a driver over fs acting as account.
+func NewLocalDriver(fs *vfs.FS, account string, model vclock.CostModel) *LocalDriver {
+	return &LocalDriver{fs: fs, account: account, model: model}
+}
+
+// Account reports the supervising account the driver acts as.
+func (d *LocalDriver) Account() string { return d.account }
+
+func (d *LocalDriver) pathCost(path string) vclock.Micros {
+	return d.model.DirEntry * vclock.Micros(vfs.PathComponents(path))
+}
+
+// allowed applies host Unix permissions for the supervising account.
+func (d *LocalDriver) allowed(st vfs.Stat, want uint32) bool {
+	if d.account == kernel.RootAccount {
+		return true
+	}
+	var bits uint32
+	if st.Owner == d.account {
+		bits = (st.Mode >> 6) & 7
+	} else {
+		bits = st.Mode & 7
+	}
+	return bits&want == want
+}
+
+type localFile struct {
+	d *LocalDriver
+	h *vfs.Handle
+}
+
+func (f *localFile) ReadAt(p []byte, off int64) (int, error)  { return f.h.ReadAt(p, off) }
+func (f *localFile) WriteAt(p []byte, off int64) (int, error) { return f.h.WriteAt(p, off) }
+func (f *localFile) Truncate(size int64) error                { return f.h.Truncate(size) }
+func (f *localFile) Stat() (vfs.Stat, error)                  { return f.h.Stat(), nil }
+func (f *localFile) Close() error                             { return nil }
+
+// Open implements Driver.
+func (d *LocalDriver) Open(p *kernel.Proc, path string, flags int, mode uint32) (File, error) {
+	p.Charge(d.model.SyscallFixed + d.model.Open + d.pathCost(path))
+	st, err := d.fs.Stat(path)
+	exists := err == nil
+	switch {
+	case !exists && flags&kernel.OCreat == 0:
+		return nil, err
+	case exists && flags&(kernel.OCreat|kernel.OExcl) == kernel.OCreat|kernel.OExcl:
+		return nil, &vfs.PathError{Op: "open", Path: path, Err: vfs.ErrExist}
+	case exists && st.IsDir() && flags&3 != kernel.ORdonly:
+		return nil, &vfs.PathError{Op: "open", Path: path, Err: vfs.ErrIsDir}
+	}
+	if !exists {
+		pst, perr := d.fs.Stat(vfs.Dir(path))
+		if perr != nil {
+			return nil, perr
+		}
+		if !d.allowed(pst, 2) {
+			return nil, &vfs.PathError{Op: "open", Path: path, Err: vfs.ErrPermission}
+		}
+		if _, cerr := d.fs.Create(path, mode, d.account); cerr != nil {
+			return nil, cerr
+		}
+	} else {
+		var want uint32
+		switch flags & 3 {
+		case kernel.ORdonly:
+			want = 4
+		case kernel.OWronly:
+			want = 2
+		case kernel.ORdwr:
+			want = 6
+		}
+		if !d.allowed(st, want) {
+			return nil, &vfs.PathError{Op: "open", Path: path, Err: vfs.ErrPermission}
+		}
+	}
+	h, err := d.fs.OpenHandle(path)
+	if err != nil {
+		return nil, err
+	}
+	if flags&kernel.OTrunc != 0 && flags&3 != kernel.ORdonly {
+		if err := h.Truncate(0); err != nil {
+			return nil, err
+		}
+	}
+	return &localFile{d: d, h: h}, nil
+}
+
+// Stat implements Driver.
+func (d *LocalDriver) Stat(p *kernel.Proc, path string) (vfs.Stat, error) {
+	p.Charge(d.model.SyscallFixed + d.model.Stat + d.pathCost(path))
+	return d.fs.Stat(path)
+}
+
+// Lstat implements Driver.
+func (d *LocalDriver) Lstat(p *kernel.Proc, path string) (vfs.Stat, error) {
+	p.Charge(d.model.SyscallFixed + d.model.Stat + d.pathCost(path))
+	return d.fs.Lstat(path)
+}
+
+// Readlink implements Driver.
+func (d *LocalDriver) Readlink(p *kernel.Proc, path string) (string, error) {
+	p.Charge(d.model.SyscallFixed + d.model.Stat + d.pathCost(path))
+	return d.fs.Readlink(path)
+}
+
+// ReadDir implements Driver.
+func (d *LocalDriver) ReadDir(p *kernel.Proc, path string) ([]vfs.DirEntry, error) {
+	ents, err := d.fs.ReadDir(path)
+	p.Charge(d.model.SyscallFixed + d.model.ReadFixed +
+		d.model.DirEntry*vclock.Micros(len(ents)) + d.pathCost(path))
+	return ents, err
+}
+
+// Mkdir implements Driver.
+func (d *LocalDriver) Mkdir(p *kernel.Proc, path string, mode uint32) error {
+	p.Charge(d.model.SyscallFixed + d.model.Open + d.pathCost(path))
+	pst, err := d.fs.Stat(vfs.Dir(path))
+	if err != nil {
+		return err
+	}
+	if !d.allowed(pst, 2) {
+		return &vfs.PathError{Op: "mkdir", Path: path, Err: vfs.ErrPermission}
+	}
+	return d.fs.Mkdir(path, mode, d.account)
+}
+
+// Rmdir implements Driver.
+func (d *LocalDriver) Rmdir(p *kernel.Proc, path string) error {
+	p.Charge(d.model.SyscallFixed + d.model.Open + d.pathCost(path))
+	return d.fs.Rmdir(path)
+}
+
+// Unlink implements Driver.
+func (d *LocalDriver) Unlink(p *kernel.Proc, path string) error {
+	p.Charge(d.model.SyscallFixed + d.model.Open + d.pathCost(path))
+	pst, err := d.fs.Stat(vfs.Dir(path))
+	if err != nil {
+		return err
+	}
+	if !d.allowed(pst, 2) {
+		return &vfs.PathError{Op: "unlink", Path: path, Err: vfs.ErrPermission}
+	}
+	return d.fs.Unlink(path)
+}
+
+// Link implements Driver.
+func (d *LocalDriver) Link(p *kernel.Proc, oldPath, newPath string) error {
+	p.Charge(d.model.SyscallFixed + d.model.Open + d.pathCost(oldPath) + d.pathCost(newPath))
+	return d.fs.Link(oldPath, newPath)
+}
+
+// Symlink implements Driver.
+func (d *LocalDriver) Symlink(p *kernel.Proc, target, linkPath string) error {
+	p.Charge(d.model.SyscallFixed + d.model.Open + d.pathCost(linkPath))
+	return d.fs.Symlink(target, linkPath, d.account)
+}
+
+// Rename implements Driver.
+func (d *LocalDriver) Rename(p *kernel.Proc, oldPath, newPath string) error {
+	p.Charge(d.model.SyscallFixed + d.model.Open + d.pathCost(oldPath) + d.pathCost(newPath))
+	return d.fs.Rename(oldPath, newPath)
+}
+
+// Chmod implements Driver.
+func (d *LocalDriver) Chmod(p *kernel.Proc, path string, mode uint32) error {
+	p.Charge(d.model.SyscallFixed + d.model.Stat + d.pathCost(path))
+	st, err := d.fs.Stat(path)
+	if err != nil {
+		return err
+	}
+	if d.account != kernel.RootAccount && st.Owner != d.account {
+		return &vfs.PathError{Op: "chmod", Path: path, Err: vfs.ErrPermission}
+	}
+	return d.fs.Chmod(path, mode)
+}
+
+// Truncate implements Driver.
+func (d *LocalDriver) Truncate(p *kernel.Proc, path string, size int64) error {
+	p.Charge(d.model.SyscallFixed + d.model.Open + d.pathCost(path))
+	return d.fs.Truncate(path, size)
+}
+
+// ReadFileSmall implements Driver.
+func (d *LocalDriver) ReadFileSmall(p *kernel.Proc, path string) ([]byte, error) {
+	data, err := d.fs.ReadFile(path)
+	n := len(data)
+	p.Charge(d.model.SyscallFixed + d.model.Open + d.model.ReadFixed +
+		d.model.CopyPerByte*vclock.Micros(n) + d.pathCost(path))
+	return data, err
+}
+
+// WriteFileSmall implements Driver.
+func (d *LocalDriver) WriteFileSmall(p *kernel.Proc, path string, data []byte, mode uint32) error {
+	p.Charge(d.model.SyscallFixed + d.model.Open + d.model.WriteFixed +
+		d.model.CopyPerByte*vclock.Micros(len(data)) + d.pathCost(path))
+	return d.fs.WriteFile(path, data, mode, d.account)
+}
+
+var _ Driver = (*LocalDriver)(nil)

@@ -1,0 +1,181 @@
+package parrot
+
+import (
+	"errors"
+	"testing"
+
+	"identitybox/internal/kernel"
+	"identitybox/internal/vclock"
+	"identitybox/internal/vfs"
+)
+
+func testEnv(t *testing.T) (*kernel.Kernel, *LocalDriver, *kernel.Proc) {
+	t.Helper()
+	fs := vfs.New(kernel.RootAccount)
+	fs.Chmod("/", 0o777)
+	k := kernel.New(fs, vclock.Default())
+	d := NewLocalDriver(fs, "dthain", vclock.Default())
+	var proc *kernel.Proc
+	k.Run(kernel.ProcSpec{Account: "dthain"}, func(p *kernel.Proc, _ []string) int {
+		proc = p
+		return 0
+	})
+	return k, d, proc
+}
+
+func TestMountTableLongestPrefix(t *testing.T) {
+	var mt MountTable
+	root := &LocalDriver{}
+	chirp := &LocalDriver{}
+	deep := &LocalDriver{}
+	mt.Add("/", root)
+	mt.Add("/chirp/host:9094", chirp)
+	mt.Add("/chirp/host:9094/deep", deep)
+
+	cases := []struct {
+		path    string
+		want    Driver
+		wantRel string
+	}{
+		{"/etc/passwd", root, "/etc/passwd"},
+		{"/chirp/host:9094", chirp, "/"},
+		{"/chirp/host:9094/data/f", chirp, "/data/f"},
+		{"/chirp/host:9094/deep/x", deep, "/x"},
+		{"/chirp/other:1", root, "/chirp/other:1"},
+	}
+	for _, c := range cases {
+		d, rel := mt.Resolve(c.path)
+		if d != c.want || rel != c.wantRel {
+			t.Errorf("Resolve(%q) = %v/%q, want %v/%q", c.path, d, rel, c.want, c.wantRel)
+		}
+	}
+}
+
+func TestMountTableNoRootMount(t *testing.T) {
+	var mt MountTable
+	d := &LocalDriver{}
+	mt.Add("/chirp/h", d)
+	if got, _ := mt.Resolve("/elsewhere"); got != nil {
+		t.Fatal("unmounted path should resolve to nil")
+	}
+	// A prefix match must respect component boundaries.
+	if got, _ := mt.Resolve("/chirp/hh"); got != nil {
+		t.Fatal("/chirp/hh must not match mount /chirp/h")
+	}
+}
+
+func TestMountTableMountsListed(t *testing.T) {
+	var mt MountTable
+	mt.Add("/", &LocalDriver{})
+	mt.Add("/chirp/a", &LocalDriver{})
+	ms := mt.Mounts()
+	if len(ms) != 2 || ms[0].Prefix != "/chirp/a" || ms[1].Prefix != "/" {
+		t.Fatalf("Mounts = %+v", ms)
+	}
+}
+
+func TestLocalDriverOpenReadWrite(t *testing.T) {
+	_, d, p := testEnv(t)
+	f, err := d.Open(p, "/x", kernel.OWronly|kernel.OCreat, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("data"), 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	f2, err := d.Open(p, "/x", kernel.ORdonly, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if n, err := f2.ReadAt(buf, 0); err != nil || string(buf[:n]) != "data" {
+		t.Fatalf("read = %q, %v", buf[:n], err)
+	}
+	st, err := f2.Stat()
+	if err != nil || st.Size != 4 {
+		t.Fatalf("stat = %+v, %v", st, err)
+	}
+}
+
+func TestLocalDriverUnixPermsAsSupervisor(t *testing.T) {
+	k, d, p := testEnv(t)
+	fs := k.FS()
+	// A file owned by someone else, 0600: the supervising account
+	// (dthain) must not be able to read it — the host kernel would
+	// refuse the supervisor's own syscall.
+	fs.WriteFile("/others", []byte("x"), 0o600, "alice")
+	if _, err := d.Open(p, "/others", kernel.ORdonly, 0); !errors.Is(err, vfs.ErrPermission) {
+		t.Fatalf("open foreign 0600 = %v, want denied", err)
+	}
+	// Own file is fine regardless of other bits.
+	fs.WriteFile("/own", []byte("y"), 0o600, "dthain")
+	if _, err := d.Open(p, "/own", kernel.ORdonly, 0); err != nil {
+		t.Fatalf("open own 0600 = %v", err)
+	}
+	// Creating in a foreign 0755 dir: denied.
+	fs.MkdirAll("/foreign", 0o755, "alice")
+	if _, err := d.Open(p, "/foreign/new", kernel.OWronly|kernel.OCreat, 0o644); !errors.Is(err, vfs.ErrPermission) {
+		t.Fatalf("create in foreign dir = %v, want denied", err)
+	}
+	if err := d.Mkdir(p, "/foreign/sub", 0o755); !errors.Is(err, vfs.ErrPermission) {
+		t.Fatalf("mkdir in foreign dir = %v, want denied", err)
+	}
+}
+
+func TestLocalDriverMetadataOps(t *testing.T) {
+	_, d, p := testEnv(t)
+	if err := d.Mkdir(p, "/dir", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteFileSmall(p, "/dir/f", []byte("small"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := d.ReadFileSmall(p, "/dir/f")
+	if err != nil || string(data) != "small" {
+		t.Fatalf("ReadFileSmall = %q, %v", data, err)
+	}
+	if st, err := d.Stat(p, "/dir/f"); err != nil || st.Size != 5 {
+		t.Fatalf("stat = %+v, %v", st, err)
+	}
+	if err := d.Symlink(p, "f", "/dir/ln"); err != nil {
+		t.Fatal(err)
+	}
+	if tgt, err := d.Readlink(p, "/dir/ln"); err != nil || tgt != "f" {
+		t.Fatalf("readlink = %q, %v", tgt, err)
+	}
+	if st, err := d.Lstat(p, "/dir/ln"); err != nil || st.Type != vfs.TypeSymlink {
+		t.Fatalf("lstat = %+v, %v", st, err)
+	}
+	ents, err := d.ReadDir(p, "/dir")
+	if err != nil || len(ents) != 2 {
+		t.Fatalf("readdir = %v, %v", ents, err)
+	}
+	if err := d.Rename(p, "/dir/f", "/dir/g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Link(p, "/dir/g", "/dir/h"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Truncate(p, "/dir/g", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Chmod(p, "/dir/g", 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Unlink(p, "/dir/h"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Rmdir(p, "/dir"); !errors.Is(err, vfs.ErrNotEmpty) {
+		t.Fatalf("rmdir non-empty = %v", err)
+	}
+}
+
+func TestLocalDriverChargesTime(t *testing.T) {
+	_, d, p := testEnv(t)
+	before := p.Clock().Now()
+	d.Stat(p, "/")
+	if p.Clock().Now() <= before {
+		t.Fatal("driver did not charge virtual time")
+	}
+}

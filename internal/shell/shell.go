@@ -1,0 +1,393 @@
+// Package shell implements a small command interpreter that runs as a
+// simulated process, providing the coreutils-style programs the paper
+// reports using daily under Parrot (cat, ls, cp, mv, rm, mkdir, ln,
+// chmod, whoami, ...). It exists so examples and tests can drive an
+// identity box the way Figure 2's interactive session does — through an
+// actual shell issuing actual system calls — rather than through
+// hand-written Go.
+//
+// Supported grammar, one command per line:
+//
+//	echo WORDS... [> FILE | >> FILE]
+//	cat FILE...
+//	ls [DIR]
+//	cp SRC DST | mv SRC DST | rm FILE... | ln [-s] TARGET LINK
+//	mkdir DIR... | rmdir DIR...
+//	cd DIR | pwd | whoami | id
+//	stat FILE | chmod MODE FILE | touch FILE
+//	getacl [DIR] | setacl DIR PATTERN RIGHTS
+//	true | false | # comment
+//
+// Each command's exit status follows Unix convention; Run returns the
+// status of the last command (or the first failure when StopOnError).
+package shell
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"identitybox/internal/acl"
+	"identitybox/internal/kernel"
+	"identitybox/internal/vfs"
+)
+
+// Shell interprets commands against a simulated process.
+type Shell struct {
+	// Out receives command output (stdout and stderr interleaved, as a
+	// terminal would show them).
+	Out io.Writer
+	// Echo prints each command line with a "% " prompt before running
+	// it, producing Figure-2-style transcripts.
+	Echo bool
+	// StopOnError aborts a script at the first failing command.
+	StopOnError bool
+}
+
+// New creates a shell writing to out.
+func New(out io.Writer) *Shell { return &Shell{Out: out} }
+
+// Run executes a script line by line and returns the final status.
+func (s *Shell) Run(p *kernel.Proc, script string) int {
+	status := 0
+	for _, line := range strings.Split(script, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if s.Echo {
+			fmt.Fprintf(s.Out, "%% %s\n", line)
+		}
+		status = s.Exec(p, line)
+		if status != 0 && s.StopOnError {
+			return status
+		}
+	}
+	return status
+}
+
+// Exec runs a single command line.
+func (s *Shell) Exec(p *kernel.Proc, line string) int {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return 0
+	}
+	cmd, args := fields[0], fields[1:]
+	switch cmd {
+	case "true":
+		return 0
+	case "false":
+		return 1
+	case "echo":
+		return s.echo(p, args)
+	case "cat":
+		return s.cat(p, args)
+	case "ls":
+		return s.ls(p, args)
+	case "cp":
+		return s.cp(p, args)
+	case "mv":
+		return s.simple2(p, "mv", args, p.Rename)
+	case "rm":
+		return s.each(p, "rm", args, p.Unlink)
+	case "mkdir":
+		return s.each(p, "mkdir", args, func(d string) error { return p.Mkdir(d, 0o755) })
+	case "rmdir":
+		return s.each(p, "rmdir", args, p.Rmdir)
+	case "ln":
+		return s.ln(p, args)
+	case "cd":
+		if len(args) != 1 {
+			return s.usage("cd DIR")
+		}
+		if err := p.Chdir(args[0]); err != nil {
+			return s.fail("cd", args[0], err)
+		}
+		return 0
+	case "pwd":
+		fmt.Fprintln(s.Out, p.Getcwd())
+		return 0
+	case "whoami":
+		fmt.Fprintln(s.Out, p.GetUserName())
+		return 0
+	case "id":
+		fmt.Fprintf(s.Out, "uid=%s pid=%d\n", p.GetUserName(), p.Getpid())
+		return 0
+	case "stat":
+		return s.stat(p, args)
+	case "chmod":
+		return s.chmod(p, args)
+	case "touch":
+		return s.each(p, "touch", args, func(f string) error {
+			fd, err := p.Open(f, kernel.OWronly|kernel.OCreat, 0o644)
+			if err != nil {
+				return err
+			}
+			return p.Close(fd)
+		})
+	case "getacl":
+		dir := "."
+		if len(args) > 0 {
+			dir = args[0]
+		}
+		text, err := p.GetACL(dir)
+		if err != nil {
+			return s.fail("getacl", dir, err)
+		}
+		fmt.Fprint(s.Out, text)
+		return 0
+	case "setacl":
+		return s.setacl(p, args)
+	default:
+		fmt.Fprintf(s.Out, "%s: command not found\n", cmd)
+		return 127
+	}
+}
+
+func (s *Shell) usage(u string) int {
+	fmt.Fprintf(s.Out, "usage: %s\n", u)
+	return 2
+}
+
+// fail prints a Unix-style error message and returns status 1.
+func (s *Shell) fail(cmd, arg string, err error) int {
+	msg := err.Error()
+	switch {
+	case errors.Is(err, vfs.ErrPermission):
+		msg = "Permission denied"
+	case errors.Is(err, vfs.ErrNotExist):
+		msg = "No such file or directory"
+	case errors.Is(err, vfs.ErrIsDir):
+		msg = "Is a directory"
+	case errors.Is(err, vfs.ErrNotDir):
+		msg = "Not a directory"
+	case errors.Is(err, vfs.ErrNotEmpty):
+		msg = "Directory not empty"
+	case errors.Is(err, vfs.ErrExist):
+		msg = "File exists"
+	}
+	fmt.Fprintf(s.Out, "%s: %s: %s\n", cmd, arg, msg)
+	return 1
+}
+
+func (s *Shell) each(p *kernel.Proc, cmd string, args []string, f func(string) error) int {
+	if len(args) == 0 {
+		return s.usage(cmd + " FILE...")
+	}
+	status := 0
+	for _, a := range args {
+		if err := f(a); err != nil {
+			status = s.fail(cmd, a, err)
+		}
+	}
+	return status
+}
+
+func (s *Shell) simple2(p *kernel.Proc, cmd string, args []string, f func(a, b string) error) int {
+	if len(args) != 2 {
+		return s.usage(cmd + " SRC DST")
+	}
+	if err := f(args[0], args[1]); err != nil {
+		return s.fail(cmd, args[0], err)
+	}
+	return 0
+}
+
+func (s *Shell) echo(p *kernel.Proc, args []string) int {
+	// Detect > / >> redirection.
+	mode := 0
+	target := ""
+	for i, a := range args {
+		if a == ">" || a == ">>" {
+			if i+1 >= len(args) {
+				return s.usage("echo WORDS > FILE")
+			}
+			target = args[i+1]
+			if a == ">>" {
+				mode = kernel.OAppend
+			}
+			args = args[:i]
+			break
+		}
+	}
+	text := strings.Join(args, " ") + "\n"
+	if target == "" {
+		fmt.Fprint(s.Out, text)
+		return 0
+	}
+	flags := kernel.OWronly | kernel.OCreat
+	if mode == kernel.OAppend {
+		flags |= kernel.OAppend
+	} else {
+		flags |= kernel.OTrunc
+	}
+	fd, err := p.Open(target, flags, 0o644)
+	if err != nil {
+		return s.fail("echo", target, err)
+	}
+	if _, err := p.Write(fd, []byte(text)); err != nil {
+		p.Close(fd)
+		return s.fail("echo", target, err)
+	}
+	if err := p.Close(fd); err != nil {
+		return s.fail("echo", target, err)
+	}
+	return 0
+}
+
+func (s *Shell) cat(p *kernel.Proc, args []string) int {
+	if len(args) == 0 {
+		return s.usage("cat FILE...")
+	}
+	status := 0
+	for _, f := range args {
+		data, err := p.ReadFile(f)
+		if err != nil {
+			status = s.fail("cat", f, err)
+			continue
+		}
+		s.Out.Write(data)
+	}
+	return status
+}
+
+func (s *Shell) ls(p *kernel.Proc, args []string) int {
+	dir := "."
+	long := false
+	for _, a := range args {
+		if a == "-l" {
+			long = true
+		} else {
+			dir = a
+		}
+	}
+	ents, err := p.ReadDir(dir)
+	if err != nil {
+		return s.fail("ls", dir, err)
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].Name < ents[j].Name })
+	for _, e := range ents {
+		if long {
+			// Keep the path relative when dir is relative, so the
+			// process's cwd applies (vfs.Join would absolutize it).
+			st, err := p.Lstat(strings.TrimSuffix(dir, "/") + "/" + e.Name)
+			if err != nil {
+				fmt.Fprintf(s.Out, "?????????? %s\n", e.Name)
+				continue
+			}
+			fmt.Fprintf(s.Out, "%s %4o %-10s %8d %s\n", typeChar(st.Type), st.Mode, st.Owner, st.Size, e.Name)
+		} else {
+			fmt.Fprintln(s.Out, e.Name)
+		}
+	}
+	return 0
+}
+
+func typeChar(t vfs.FileType) string {
+	switch t {
+	case vfs.TypeDir:
+		return "d"
+	case vfs.TypeSymlink:
+		return "l"
+	default:
+		return "-"
+	}
+}
+
+func (s *Shell) cp(p *kernel.Proc, args []string) int {
+	if len(args) != 2 {
+		return s.usage("cp SRC DST")
+	}
+	data, err := p.ReadFile(args[0])
+	if err != nil {
+		return s.fail("cp", args[0], err)
+	}
+	if err := p.WriteFile(args[1], data, 0o644); err != nil {
+		return s.fail("cp", args[1], err)
+	}
+	return 0
+}
+
+func (s *Shell) ln(p *kernel.Proc, args []string) int {
+	symlink := false
+	if len(args) > 0 && args[0] == "-s" {
+		symlink = true
+		args = args[1:]
+	}
+	if len(args) != 2 {
+		return s.usage("ln [-s] TARGET LINK")
+	}
+	var err error
+	if symlink {
+		err = p.Symlink(args[0], args[1])
+	} else {
+		err = p.Link(args[0], args[1])
+	}
+	if err != nil {
+		return s.fail("ln", args[1], err)
+	}
+	return 0
+}
+
+func (s *Shell) stat(p *kernel.Proc, args []string) int {
+	if len(args) != 1 {
+		return s.usage("stat FILE")
+	}
+	st, err := p.Stat(args[0])
+	if err != nil {
+		return s.fail("stat", args[0], err)
+	}
+	fmt.Fprintf(s.Out, "  File: %s\n  Size: %d\n  Type: %s\n  Mode: %04o\n Owner: %s\n Links: %d\n",
+		args[0], st.Size, st.Type, st.Mode, st.Owner, st.Nlink)
+	return 0
+}
+
+func (s *Shell) chmod(p *kernel.Proc, args []string) int {
+	if len(args) != 2 {
+		return s.usage("chmod MODE FILE")
+	}
+	mode, err := strconv.ParseUint(args[0], 8, 32)
+	if err != nil {
+		return s.usage("chmod MODE FILE")
+	}
+	if err := p.Chmod(args[1], uint32(mode)); err != nil {
+		return s.fail("chmod", args[1], err)
+	}
+	return 0
+}
+
+func (s *Shell) setacl(p *kernel.Proc, args []string) int {
+	if len(args) != 3 {
+		return s.usage("setacl DIR PATTERN RIGHTS")
+	}
+	dir, pattern, rights := args[0], args[1], args[2]
+	text, err := p.GetACL(dir)
+	if err != nil && !errors.Is(err, vfs.ErrNotExist) {
+		return s.fail("setacl", dir, err)
+	}
+	a, perr := acl.Parse(text)
+	if perr != nil {
+		a = &acl.ACL{}
+	}
+	entry, eerr := acl.ParseEntry(pattern + " " + rights)
+	if eerr != nil {
+		fmt.Fprintf(s.Out, "setacl: bad rights %q: %v\n", rights, eerr)
+		return 2
+	}
+	a.Set(entry.Pattern, entry.Rights, entry.ReserveRights)
+	if err := p.SetACL(dir, a.String()); err != nil {
+		return s.fail("setacl", dir, err)
+	}
+	return 0
+}
+
+// Program wraps a script as a kernel.Program, so a whole shell session
+// can be spawned or boxed like any other executable.
+func (s *Shell) Program(script string) kernel.Program {
+	return func(p *kernel.Proc, _ []string) int {
+		return s.Run(p, script)
+	}
+}

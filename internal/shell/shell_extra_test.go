@@ -1,0 +1,125 @@
+package shell
+
+import (
+	"strings"
+	"testing"
+
+	"identitybox/internal/kernel"
+)
+
+// Usage and error-path coverage for every command.
+
+func out(t *testing.T, script string) (string, int) {
+	t.Helper()
+	k := shellWorld(t)
+	return runScript(t, k, "u", script)
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := []string{
+		"cd",           // missing arg
+		"cd a b",       // too many
+		"cat",          // no files
+		"cp one",       // one arg
+		"mv one",       // one arg
+		"rm",           // no files
+		"mkdir",        // no dirs
+		"ln onlyone",   // one arg
+		"ln -s single", // one arg after flag
+		"stat",         // no arg
+		"chmod 644",    // missing file
+		"chmod zz f",   // bad mode
+		"setacl d p",   // missing rights
+		"echo a >",     // dangling redirect
+	}
+	for _, c := range cases {
+		o, code := out(t, c)
+		if code == 0 {
+			t.Errorf("%q succeeded; output %q", c, o)
+		}
+	}
+}
+
+func TestTrueFalseAndComments(t *testing.T) {
+	o, code := out(t, "# comment only\ntrue\n\nfalse")
+	if code != 1 || o != "" {
+		t.Fatalf("= %d, %q", code, o)
+	}
+	if _, code := out(t, "true"); code != 0 {
+		t.Fatal("true failed")
+	}
+}
+
+func TestIdCommand(t *testing.T) {
+	o, code := out(t, "id")
+	if code != 0 || !strings.Contains(o, "uid=u") {
+		t.Fatalf("id = %d, %q", code, o)
+	}
+}
+
+func TestLnHardAndErrors(t *testing.T) {
+	o, code := out(t, "echo x > f\nln f g\nstat g\nln missing h")
+	if code != 1 {
+		t.Fatalf("last ln should fail: %q", o)
+	}
+	if !strings.Contains(o, "Links: 2") {
+		t.Fatalf("hard link stat missing: %q", o)
+	}
+}
+
+func TestRmdirCommand(t *testing.T) {
+	o, code := out(t, "mkdir d\nrmdir d\nrmdir d")
+	if code != 1 || !strings.Contains(o, "No such file") {
+		t.Fatalf("= %d, %q", code, o)
+	}
+}
+
+func TestLsOfMissingDir(t *testing.T) {
+	o, code := out(t, "ls /nope")
+	if code != 1 || !strings.Contains(o, "No such file") {
+		t.Fatalf("= %d, %q", code, o)
+	}
+}
+
+func TestCpSourceMissing(t *testing.T) {
+	_, code := out(t, "cp ghost dst")
+	if code != 1 {
+		t.Fatal("cp of missing source should fail")
+	}
+}
+
+func TestSetaclGetaclNative(t *testing.T) {
+	// Natively (no box), setacl works when the account owns the dir.
+	o, code := out(t, `
+		mkdir proj
+		setacl proj Friend rl
+		getacl proj
+	`)
+	if code != 0 {
+		t.Fatalf("= %d, %q", code, o)
+	}
+	if !strings.Contains(o, "Friend rl") {
+		t.Fatalf("getacl output = %q", o)
+	}
+	// Malformed rights are refused with a usage error.
+	o, code = out(t, "mkdir p2\nsetacl p2 Friend zz")
+	if code != 2 || !strings.Contains(o, "bad rights") {
+		t.Fatalf("= %d, %q", code, o)
+	}
+}
+
+func TestEchoAppendRedirect(t *testing.T) {
+	o, code := out(t, "echo a > f\necho b >> f\ncat f")
+	if code != 0 || o != "a\nb\n" {
+		t.Fatalf("= %d, %q", code, o)
+	}
+}
+
+func TestShellProgramExitStatus(t *testing.T) {
+	k := shellWorld(t)
+	var sb strings.Builder
+	st := k.Run(kernel.ProcSpec{Account: "u"}, New(&sb).Program("false"))
+	if st.Code != 1 {
+		t.Fatalf("program status = %d", st.Code)
+	}
+}

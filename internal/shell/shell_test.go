@@ -1,0 +1,241 @@
+package shell
+
+import (
+	"strings"
+	"testing"
+
+	"identitybox/internal/acl"
+	"identitybox/internal/core"
+	"identitybox/internal/kernel"
+	"identitybox/internal/vclock"
+	"identitybox/internal/vfs"
+)
+
+func shellWorld(t *testing.T) *kernel.Kernel {
+	t.Helper()
+	fs := vfs.New(kernel.RootAccount)
+	fs.Chmod("/", 0o777)
+	fs.MkdirAll("/tmp", 0o777, kernel.RootAccount)
+	return kernel.New(fs, vclock.Default())
+}
+
+// runScript executes a script natively as the given account, returning
+// output and status.
+func runScript(t *testing.T, k *kernel.Kernel, account, script string) (string, int) {
+	t.Helper()
+	var out strings.Builder
+	sh := New(&out)
+	st := k.Run(kernel.ProcSpec{Account: account}, sh.Program(script))
+	return out.String(), st.Code
+}
+
+func TestEchoCatRoundTrip(t *testing.T) {
+	k := shellWorld(t)
+	out, code := runScript(t, k, "u", `
+		echo hello world > f.txt
+		cat f.txt
+		echo again >> f.txt
+		cat f.txt
+	`)
+	if code != 0 {
+		t.Fatalf("status = %d, out:\n%s", code, out)
+	}
+	want := "hello world\nhello world\nagain\n"
+	if out != want {
+		t.Fatalf("out = %q, want %q", out, want)
+	}
+}
+
+func TestLsAndMkdir(t *testing.T) {
+	k := shellWorld(t)
+	out, code := runScript(t, k, "u", `
+		mkdir d
+		touch d/b d/a
+		ls d
+	`)
+	if code != 0 {
+		t.Fatalf("status = %d: %s", code, out)
+	}
+	if out != "a\nb\n" {
+		t.Fatalf("ls out = %q", out)
+	}
+	out, _ = runScript(t, k, "u", "ls -l d")
+	if !strings.Contains(out, "a") || !strings.Contains(out, "u") {
+		t.Fatalf("ls -l out = %q", out)
+	}
+}
+
+func TestCpMvRm(t *testing.T) {
+	k := shellWorld(t)
+	out, code := runScript(t, k, "u", `
+		echo data > a
+		cp a b
+		mv b c
+		cat c
+		rm a c
+		cat a
+	`)
+	if code != 1 {
+		t.Fatalf("final cat of removed file should fail; out:\n%s", out)
+	}
+	if !strings.Contains(out, "data\n") || !strings.Contains(out, "No such file") {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestCdPwd(t *testing.T) {
+	k := shellWorld(t)
+	out, code := runScript(t, k, "u", `
+		mkdir /w
+		cd /w
+		pwd
+		echo x > rel
+		stat /w/rel
+	`)
+	if code != 0 {
+		t.Fatalf("status = %d: %s", code, out)
+	}
+	if !strings.Contains(out, "/w\n") {
+		t.Fatalf("pwd missing: %q", out)
+	}
+}
+
+func TestLnAndStat(t *testing.T) {
+	k := shellWorld(t)
+	out, code := runScript(t, k, "u", `
+		echo x > orig
+		ln orig hard
+		ln -s orig soft
+		stat hard
+	`)
+	if code != 0 {
+		t.Fatalf("status = %d: %s", code, out)
+	}
+	if !strings.Contains(out, "Links: 2") {
+		t.Fatalf("stat output = %q", out)
+	}
+}
+
+func TestChmodDeniesAfter(t *testing.T) {
+	k := shellWorld(t)
+	runScript(t, k, "alice", "echo top > secret\nchmod 600 secret")
+	out, code := runScript(t, k, "bob", "cat /secret")
+	if code != 1 || !strings.Contains(out, "Permission denied") {
+		t.Fatalf("bob's cat = %d, %q", code, out)
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	k := shellWorld(t)
+	out, code := runScript(t, k, "u", "frobnicate")
+	if code != 127 || !strings.Contains(out, "command not found") {
+		t.Fatalf("= %d, %q", code, out)
+	}
+}
+
+func TestStopOnError(t *testing.T) {
+	k := shellWorld(t)
+	var out strings.Builder
+	sh := New(&out)
+	sh.StopOnError = true
+	st := k.Run(kernel.ProcSpec{Account: "u"}, sh.Program("cat missing\necho never"))
+	if st.Code != 1 {
+		t.Fatalf("status = %d", st.Code)
+	}
+	if strings.Contains(out.String(), "never") {
+		t.Fatal("script continued past failure")
+	}
+}
+
+func TestEchoPrompt(t *testing.T) {
+	k := shellWorld(t)
+	var out strings.Builder
+	sh := New(&out)
+	sh.Echo = true
+	k.Run(kernel.ProcSpec{Account: "u"}, sh.Program("pwd"))
+	if !strings.HasPrefix(out.String(), "% pwd\n") {
+		t.Fatalf("transcript = %q", out.String())
+	}
+}
+
+// TestFigure2ViaShell drives the Figure-2 session through the shell
+// inside a real identity box — the closest this reproduction gets to
+// the paper's screenshot.
+func TestFigure2ViaShell(t *testing.T) {
+	fs := vfs.New(kernel.RootAccount)
+	k := kernel.New(fs, vclock.Default())
+	fs.MkdirAll("/etc", 0o755, kernel.RootAccount)
+	fs.WriteFile("/etc/passwd", []byte("dthain:x:1000:1000::/home/dthain:/bin/tcsh\n"), 0o644, kernel.RootAccount)
+	fs.MkdirAll("/home/dthain", 0o755, "dthain")
+	fs.WriteFile("/home/dthain/secret", []byte("private\n"), 0o600, "dthain")
+	fs.MkdirAll("/tmp", 0o777, kernel.RootAccount)
+
+	box, err := core.New(k, "dthain", "Freddy", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	sh := New(&out)
+	st := box.Run(sh.Program(`
+		whoami
+		cat /home/dthain/secret
+		echo freddy wuz here > mydata
+		cat mydata
+		getacl
+	`))
+	if st.Code != 1 && st.Code != 0 {
+		t.Fatalf("status = %d", st.Code)
+	}
+	text := out.String()
+	if !strings.Contains(text, "Freddy\n") {
+		t.Errorf("whoami missing: %q", text)
+	}
+	if !strings.Contains(text, "cat: /home/dthain/secret: Permission denied") {
+		t.Errorf("secret not denied: %q", text)
+	}
+	if !strings.Contains(text, "freddy wuz here") {
+		t.Errorf("mydata missing: %q", text)
+	}
+	if !strings.Contains(text, "Freddy rwlax") {
+		t.Errorf("home ACL missing: %q", text)
+	}
+}
+
+// TestShellSharingScenario: Fred shares a directory with George through
+// setacl, all via shell commands in two boxes.
+func TestShellSharingScenario(t *testing.T) {
+	fs := vfs.New(kernel.RootAccount)
+	k := kernel.New(fs, vclock.Default())
+	fs.MkdirAll("/tmp", 0o777, kernel.RootAccount)
+	fs.MkdirAll("/proj", 0o700, "dthain")
+	a := &acl.ACL{}
+	a.Set("Fred", acl.All, acl.None)
+	fs.WriteFile("/proj/"+acl.FileName, []byte(a.String()), 0o644, "dthain")
+
+	fred, _ := core.New(k, "dthain", "Fred", core.Options{})
+	var out1 strings.Builder
+	st := fred.Run(New(&out1).Program(`
+		cd /proj
+		echo results > data.txt
+		setacl /proj George rl
+	`))
+	if st.Code != 0 {
+		t.Fatalf("fred's script failed: %s", out1.String())
+	}
+
+	george, _ := core.New(k, "dthain", "George", core.Options{})
+	var out2 strings.Builder
+	st = george.Run(New(&out2).Program(`
+		cat /proj/data.txt
+		echo sneaky > /proj/evil.txt
+	`))
+	if !strings.Contains(out2.String(), "results\n") {
+		t.Errorf("george cannot read shared file: %q", out2.String())
+	}
+	if !strings.Contains(out2.String(), "Permission denied") {
+		t.Errorf("george's write should be denied: %q", out2.String())
+	}
+	if st.Code != 1 {
+		t.Errorf("final status = %d", st.Code)
+	}
+}

@@ -1,0 +1,132 @@
+package vclock
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	var c Clock
+	if got := c.Now(); got != 0 {
+		t.Fatalf("new clock Now() = %v, want 0", got)
+	}
+}
+
+func TestClockAdvanceAccumulates(t *testing.T) {
+	var c Clock
+	c.Advance(1.5)
+	c.Advance(2.5)
+	if got := c.Now(); got != 4.0 {
+		t.Fatalf("Now() = %v, want 4.0", got)
+	}
+}
+
+func TestClockIgnoresNegativeAdvance(t *testing.T) {
+	var c Clock
+	c.Advance(10)
+	c.Advance(-5)
+	c.Advance(0)
+	if got := c.Now(); got != 10 {
+		t.Fatalf("Now() = %v, want 10 (negative/zero advances ignored)", got)
+	}
+}
+
+func TestClockReset(t *testing.T) {
+	var c Clock
+	c.Advance(42)
+	c.Reset()
+	if got := c.Now(); got != 0 {
+		t.Fatalf("Now() after Reset = %v, want 0", got)
+	}
+}
+
+func TestClockMonotoneProperty(t *testing.T) {
+	f := func(deltas []float64) bool {
+		var c Clock
+		prev := c.Now()
+		for _, d := range deltas {
+			c.Advance(Micros(d))
+			now := c.Now()
+			if now < prev {
+				return false
+			}
+			prev = now
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMicrosDuration(t *testing.T) {
+	if got := Micros(1500).Duration(); got != 1500*time.Microsecond {
+		t.Fatalf("Duration = %v, want 1.5ms", got)
+	}
+}
+
+func TestMicrosSeconds(t *testing.T) {
+	if got := Micros(2.5e6).Seconds(); got != 2.5 {
+		t.Fatalf("Seconds = %v, want 2.5", got)
+	}
+}
+
+func TestMicrosString(t *testing.T) {
+	cases := []struct {
+		in   Micros
+		want string
+	}{
+		{0.5, "0.500us"},
+		{12, "12.000us"},
+		{1500, "1.500ms"},
+		{2.5e6, "2.500s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Micros(%v).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestDefaultModelPositive(t *testing.T) {
+	m := Default()
+	fields := map[string]Micros{
+		"SyscallFixed":    m.SyscallFixed,
+		"GetPID":          m.GetPID,
+		"Stat":            m.Stat,
+		"Open":            m.Open,
+		"Close":           m.Close,
+		"ReadFixed":       m.ReadFixed,
+		"WriteFixed":      m.WriteFixed,
+		"CopyPerByte":     m.CopyPerByte,
+		"DirEntry":        m.DirEntry,
+		"ProcessSpawn":    m.ProcessSpawn,
+		"ProcessWait":     m.ProcessWait,
+		"ContextSwitch":   m.ContextSwitch,
+		"TrapDecode":      m.TrapDecode,
+		"PeekPokeWord":    m.PeekPokeWord,
+		"PeekPokeSetup":   m.PeekPokeSetup,
+		"ChannelPerByte":  m.ChannelPerByte,
+		"ACLCheck":        m.ACLCheck,
+		"SupervisorFixed": m.SupervisorFixed,
+		"NetworkRTT":      m.NetworkRTT,
+		"NetworkPerByte":  m.NetworkPerByte,
+	}
+	for name, v := range fields {
+		if v <= 0 {
+			t.Errorf("Default().%s = %v, want > 0", name, v)
+		}
+	}
+}
+
+func TestDefaultModelTrapDominatesNativeGetpid(t *testing.T) {
+	// The heart of Figure 5(a): six context switches alone must exceed
+	// the native getpid cost by a wide margin.
+	m := Default()
+	native := m.SyscallFixed + m.GetPID
+	trapFloor := 6 * m.ContextSwitch
+	if trapFloor < 5*native {
+		t.Fatalf("trap floor %v < 5x native getpid %v: boxed syscalls would not show order-of-magnitude slowdown", trapFloor, native)
+	}
+}

@@ -1,0 +1,101 @@
+package vfs
+
+// Handle pins an inode, giving file-descriptor semantics: I/O through a
+// handle keeps working after the name is renamed or unlinked, exactly as
+// an open fd does in Unix. The kernel's file-descriptor table and the
+// identity-box supervisor's open-file table are built on handles.
+type Handle struct {
+	fs *FS
+	n  *Inode
+}
+
+// OpenHandle resolves path (following symlinks) and pins its inode.
+func (fs *FS) OpenHandle(path string) (*Handle, error) {
+	fs.mu.RLock()
+	n, _, _, err := fs.resolve(path, true, 0)
+	fs.mu.RUnlock()
+	if err != nil {
+		return nil, &PathError{"open", path, err}
+	}
+	return &Handle{fs: fs, n: n}, nil
+}
+
+// Stat reports the pinned inode's metadata.
+func (h *Handle) Stat() Stat {
+	h.fs.mu.RLock()
+	defer h.fs.mu.RUnlock()
+	return h.fs.statOf(h.n)
+}
+
+// IsDir reports whether the handle refers to a directory.
+func (h *Handle) IsDir() bool { return h.Stat().Type == TypeDir }
+
+// ReadAt copies data starting at off into p. Reads at or past EOF return
+// 0, nil.
+func (h *Handle) ReadAt(p []byte, off int64) (int, error) {
+	h.fs.mu.RLock()
+	defer h.fs.mu.RUnlock()
+	if h.n.ftype == TypeDir {
+		return 0, &PathError{"read", "(fd)", ErrIsDir}
+	}
+	if off < 0 {
+		return 0, &PathError{"read", "(fd)", ErrInvalid}
+	}
+	if off >= int64(len(h.n.data)) {
+		return 0, nil
+	}
+	return copy(p, h.n.data[off:]), nil
+}
+
+// WriteAt writes p at off, extending the file (zero-filled) as needed.
+func (h *Handle) WriteAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.n.ftype == TypeDir {
+		return 0, &PathError{"write", "(fd)", ErrIsDir}
+	}
+	if off < 0 {
+		return 0, &PathError{"write", "(fd)", ErrInvalid}
+	}
+	end := off + int64(len(p))
+	if end > int64(len(h.n.data)) {
+		grown := make([]byte, end)
+		copy(grown, h.n.data)
+		h.n.data = grown
+	}
+	copy(h.n.data[off:end], p)
+	h.n.mtime = h.fs.tick()
+	return len(p), nil
+}
+
+// Truncate sets the pinned file's length.
+func (h *Handle) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.n.ftype == TypeDir {
+		return &PathError{"truncate", "(fd)", ErrIsDir}
+	}
+	if size < 0 {
+		return &PathError{"truncate", "(fd)", ErrInvalid}
+	}
+	switch {
+	case size <= int64(len(h.n.data)):
+		h.n.data = h.n.data[:size]
+	default:
+		grown := make([]byte, size)
+		copy(grown, h.n.data)
+		h.n.data = grown
+	}
+	h.n.mtime = h.fs.tick()
+	return nil
+}
+
+// Size reports the current file length.
+func (h *Handle) Size() int64 {
+	h.fs.mu.RLock()
+	defer h.fs.mu.RUnlock()
+	if h.n.ftype == TypeSymlink {
+		return int64(len(h.n.target))
+	}
+	return int64(len(h.n.data))
+}

@@ -1,0 +1,141 @@
+package vfs
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Snapshot support: Save serializes the whole file system (preserving
+// hard-link sharing, symlinks, owners and modes) and Load rebuilds it.
+// A Chirp server uses this so visiting users' data — and the ACLs
+// protecting it — survive server restarts, completing the "return"
+// property across service lifetimes.
+
+// snapNode is the wire form of one inode.
+type snapNode struct {
+	ID       uint64 // snapshot-local id; hard links share it
+	Type     FileType
+	Mode     uint32
+	Owner    string
+	Group    string
+	Data     []byte
+	Target   string
+	Children map[string]uint64 // name -> node ID (directories)
+	Mtime    int64
+}
+
+// snapImage is the serialized file system.
+type snapImage struct {
+	Version int
+	Nodes   []snapNode
+	Root    uint64
+	Clock   int64
+}
+
+const snapVersion = 1
+
+// Save writes a snapshot of the file system.
+func (fs *FS) Save(w io.Writer) error {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+
+	ids := map[*Inode]uint64{}
+	var nodes []snapNode
+	var walk func(n *Inode) uint64
+	walk = func(n *Inode) uint64 {
+		if id, ok := ids[n]; ok {
+			return id
+		}
+		id := uint64(len(nodes) + 1)
+		ids[n] = id
+		nodes = append(nodes, snapNode{}) // reserve slot
+		sn := snapNode{
+			ID:    id,
+			Type:  n.ftype,
+			Mode:  n.mode,
+			Owner: n.owner,
+			Group: n.group,
+			Mtime: n.mtime,
+		}
+		switch n.ftype {
+		case TypeRegular:
+			sn.Data = append([]byte(nil), n.data...)
+		case TypeSymlink:
+			sn.Target = n.target
+		case TypeDir:
+			sn.Children = make(map[string]uint64, len(n.children))
+			for name, child := range n.children {
+				sn.Children[name] = walk(child)
+			}
+		}
+		nodes[id-1] = sn
+		return id
+	}
+	root := walk(fs.root)
+	img := snapImage{Version: snapVersion, Nodes: nodes, Root: root, Clock: fs.clock}
+	return gob.NewEncoder(w).Encode(&img)
+}
+
+// Load reconstructs a file system from a snapshot.
+func Load(r io.Reader) (*FS, error) {
+	var img snapImage
+	if err := gob.NewDecoder(r).Decode(&img); err != nil {
+		return nil, fmt.Errorf("vfs: decoding snapshot: %w", err)
+	}
+	if img.Version != snapVersion {
+		return nil, fmt.Errorf("vfs: unsupported snapshot version %d", img.Version)
+	}
+	byID := make(map[uint64]*Inode, len(img.Nodes))
+	for _, sn := range img.Nodes {
+		n := &Inode{
+			ino:   nextIno(),
+			ftype: sn.Type,
+			mode:  sn.Mode,
+			owner: sn.Owner,
+			group: sn.Group,
+			mtime: sn.Mtime,
+		}
+		switch sn.Type {
+		case TypeRegular:
+			n.data = append([]byte(nil), sn.Data...)
+		case TypeSymlink:
+			n.target = sn.Target
+		case TypeDir:
+			n.children = make(map[string]*Inode)
+		}
+		byID[sn.ID] = n
+	}
+	// Second pass: wire directories and recount link counts.
+	for _, sn := range img.Nodes {
+		if sn.Type != TypeDir {
+			continue
+		}
+		dir := byID[sn.ID]
+		for name, childID := range sn.Children {
+			child, ok := byID[childID]
+			if !ok {
+				return nil, fmt.Errorf("vfs: snapshot references missing node %d", childID)
+			}
+			dir.children[name] = child
+			if child.ftype == TypeDir {
+				dir.nlink++
+			}
+			child.nlink++
+		}
+	}
+	root, ok := byID[img.Root]
+	if !ok || root.ftype != TypeDir {
+		return nil, fmt.Errorf("vfs: snapshot has no directory root")
+	}
+	root.nlink += 2 // "." and the notional parent
+	for _, sn := range img.Nodes {
+		if sn.Type == TypeDir {
+			n := byID[sn.ID]
+			if n != root {
+				n.nlink++ // its own "."
+			}
+		}
+	}
+	return &FS{root: root, clock: img.Clock}, nil
+}

@@ -1,0 +1,735 @@
+// Package vfs implements an in-memory POSIX-like file system: the
+// storage substrate beneath the simulated kernel and beneath every Chirp
+// server in this repository.
+//
+// The file system supports regular files, directories, symbolic links
+// and hard links, Unix permission bits with string owners, rename,
+// truncate and deterministic (sorted) directory listing. It is safe for
+// concurrent use; a single file-system lock is sufficient at simulation
+// scale and keeps the semantics easy to audit.
+//
+// Access control is intentionally split: the VFS enforces nothing by
+// itself. Unix-permission checks and ACL checks are made by the callers
+// (the kernel for ordinary processes; the identity-box supervisor for
+// boxed processes), mirroring how Parrot sits above the real kernel.
+package vfs
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FileType distinguishes the kinds of inode.
+type FileType int
+
+const (
+	TypeRegular FileType = iota
+	TypeDir
+	TypeSymlink
+)
+
+func (t FileType) String() string {
+	switch t {
+	case TypeRegular:
+		return "file"
+	case TypeDir:
+		return "dir"
+	case TypeSymlink:
+		return "symlink"
+	default:
+		return "unknown"
+	}
+}
+
+// Mode bits follow the Unix convention (owner/group/other rwx).
+const (
+	ModeOwnerRead  = 0o400
+	ModeOwnerWrite = 0o200
+	ModeOwnerExec  = 0o100
+	ModeGroupRead  = 0o040
+	ModeGroupWrite = 0o020
+	ModeGroupExec  = 0o010
+	ModeOtherRead  = 0o004
+	ModeOtherWrite = 0o002
+	ModeOtherExec  = 0o001
+)
+
+// Sentinel errors, in the spirit of errno.
+var (
+	ErrNotExist    = errors.New("no such file or directory")
+	ErrExist       = errors.New("file exists")
+	ErrNotDir      = errors.New("not a directory")
+	ErrIsDir       = errors.New("is a directory")
+	ErrNotEmpty    = errors.New("directory not empty")
+	ErrInvalid     = errors.New("invalid argument")
+	ErrLoop        = errors.New("too many levels of symbolic links")
+	ErrPermission  = errors.New("permission denied")
+	ErrCrossDevice = errors.New("invalid cross-device link")
+)
+
+// PathError annotates an error with the operation and path, matching the
+// style of os.PathError.
+type PathError struct {
+	Op   string
+	Path string
+	Err  error
+}
+
+func (e *PathError) Error() string { return e.Op + " " + e.Path + ": " + e.Err.Error() }
+
+// Unwrap supports errors.Is against the sentinel errors.
+func (e *PathError) Unwrap() error { return e.Err }
+
+const maxSymlinks = 40
+
+var inoCounter struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+func nextIno() uint64 {
+	inoCounter.mu.Lock()
+	defer inoCounter.mu.Unlock()
+	inoCounter.n++
+	return inoCounter.n
+}
+
+// Inode is one file-system object. Fields are owned by the enclosing FS
+// lock; callers outside this package must treat inodes as opaque except
+// through FS methods and the Stat result.
+type Inode struct {
+	ino      uint64
+	ftype    FileType
+	mode     uint32
+	owner    string
+	group    string
+	nlink    int
+	data     []byte
+	children map[string]*Inode
+	target   string // symlink target
+	mtime    int64  // virtual timestamp, monotonic event counter
+}
+
+// Stat is the metadata snapshot returned by stat-family calls.
+type Stat struct {
+	Ino   uint64
+	Type  FileType
+	Mode  uint32
+	Owner string
+	Group string
+	Nlink int
+	Size  int64
+	Mtime int64
+}
+
+// IsDir reports whether the stat describes a directory.
+func (s Stat) IsDir() bool { return s.Type == TypeDir }
+
+// DirEntry is one directory-listing element.
+type DirEntry struct {
+	Name string
+	Type FileType
+}
+
+// FS is an in-memory file system rooted at "/". Create one with New.
+type FS struct {
+	mu    sync.RWMutex
+	root  *Inode
+	clock int64 // monotonic event counter used for mtimes
+}
+
+// New returns an empty file system whose root directory is owned by
+// owner with mode 0755.
+func New(owner string) *FS {
+	fs := &FS{}
+	fs.root = &Inode{
+		ino:      nextIno(),
+		ftype:    TypeDir,
+		mode:     0o755,
+		owner:    owner,
+		nlink:    2,
+		children: make(map[string]*Inode),
+	}
+	return fs
+}
+
+func (fs *FS) tick() int64 {
+	fs.clock++
+	return fs.clock
+}
+
+// SplitPath cleans an absolute slash-separated path into components.
+// "" and "/" yield an empty slice. Relative paths are interpreted
+// against "/" (the kernel joins cwd before calling the VFS).
+func SplitPath(path string) []string {
+	var out []string
+	for _, c := range strings.Split(path, "/") {
+		switch c {
+		case "", ".":
+		case "..":
+			if len(out) > 0 {
+				out = out[:len(out)-1]
+			}
+		default:
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Clean returns the canonical absolute form of path.
+func Clean(path string) string {
+	return "/" + strings.Join(SplitPath(path), "/")
+}
+
+// Join joins path elements with slashes and cleans the result.
+func Join(elem ...string) string {
+	return Clean(strings.Join(elem, "/"))
+}
+
+// Dir returns the parent directory of path ("/" for the root).
+func Dir(path string) string {
+	parts := SplitPath(path)
+	if len(parts) == 0 {
+		return "/"
+	}
+	return "/" + strings.Join(parts[:len(parts)-1], "/")
+}
+
+// Base returns the final component of path ("/" for the root).
+func Base(path string) string {
+	parts := SplitPath(path)
+	if len(parts) == 0 {
+		return "/"
+	}
+	return parts[len(parts)-1]
+}
+
+// resolve walks the path and returns the target inode. When followLast
+// is false a trailing symlink is returned rather than followed.
+// It also returns the parent directory inode and the final component
+// name (empty for the root). Callers hold fs.mu.
+func (fs *FS) resolve(path string, followLast bool, depth int) (node, parent *Inode, base string, err error) {
+	if depth > maxSymlinks {
+		return nil, nil, "", ErrLoop
+	}
+	parts := SplitPath(path)
+	cur := fs.root
+	var par *Inode
+	for i, comp := range parts {
+		if cur.ftype != TypeDir {
+			return nil, nil, "", ErrNotDir
+		}
+		child, ok := cur.children[comp]
+		if !ok {
+			if i == len(parts)-1 {
+				// Parent exists; target missing. Report the parent so
+				// create-style operations can proceed.
+				return nil, cur, comp, ErrNotExist
+			}
+			return nil, nil, "", ErrNotExist
+		}
+		last := i == len(parts)-1
+		if child.ftype == TypeSymlink && (!last || followLast) {
+			rest := strings.Join(parts[i+1:], "/")
+			targ := child.target
+			if !strings.HasPrefix(targ, "/") {
+				// Relative symlink: resolve against the link's directory.
+				targ = "/" + strings.Join(parts[:i], "/") + "/" + targ
+			}
+			if rest != "" {
+				targ = targ + "/" + rest
+			}
+			return fs.resolve(targ, followLast, depth+1)
+		}
+		par = cur
+		cur = child
+	}
+	if len(parts) == 0 {
+		return fs.root, nil, "", nil
+	}
+	return cur, par, parts[len(parts)-1], nil
+}
+
+// lookupDir resolves path to an existing directory.
+func (fs *FS) lookupDir(op, path string) (*Inode, error) {
+	n, _, _, err := fs.resolve(path, true, 0)
+	if err != nil {
+		return nil, &PathError{op, path, err}
+	}
+	if n.ftype != TypeDir {
+		return nil, &PathError{op, path, ErrNotDir}
+	}
+	return n, nil
+}
+
+// Mkdir creates a directory. The parent must exist.
+func (fs *FS) Mkdir(path string, mode uint32, owner string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n, parent, base, err := fs.resolve(path, true, 0)
+	if err == nil {
+		_ = n
+		return &PathError{"mkdir", path, ErrExist}
+	}
+	if !errors.Is(err, ErrNotExist) || parent == nil {
+		return &PathError{"mkdir", path, err}
+	}
+	child := &Inode{
+		ino:      nextIno(),
+		ftype:    TypeDir,
+		mode:     mode,
+		owner:    owner,
+		nlink:    2,
+		children: make(map[string]*Inode),
+		mtime:    fs.tick(),
+	}
+	parent.children[base] = child
+	parent.nlink++
+	parent.mtime = fs.tick()
+	return nil
+}
+
+// MkdirAll creates path and any missing parents.
+func (fs *FS) MkdirAll(path string, mode uint32, owner string) error {
+	parts := SplitPath(path)
+	cur := ""
+	for _, c := range parts {
+		cur += "/" + c
+		err := fs.Mkdir(cur, mode, owner)
+		if err != nil && !errors.Is(err, ErrExist) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Create makes (or truncates) a regular file and returns its stat.
+func (fs *FS) Create(path string, mode uint32, owner string) (Stat, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n, parent, base, err := fs.resolve(path, true, 0)
+	switch {
+	case err == nil:
+		if n.ftype == TypeDir {
+			return Stat{}, &PathError{"create", path, ErrIsDir}
+		}
+		n.data = n.data[:0]
+		n.mtime = fs.tick()
+		return fs.statOf(n), nil
+	case errors.Is(err, ErrNotExist) && parent != nil:
+		child := &Inode{
+			ino:   nextIno(),
+			ftype: TypeRegular,
+			mode:  mode,
+			owner: owner,
+			nlink: 1,
+			mtime: fs.tick(),
+		}
+		parent.children[base] = child
+		parent.mtime = fs.tick()
+		return fs.statOf(child), nil
+	default:
+		return Stat{}, &PathError{"create", path, err}
+	}
+}
+
+func (fs *FS) statOf(n *Inode) Stat {
+	size := int64(len(n.data))
+	if n.ftype == TypeSymlink {
+		size = int64(len(n.target))
+	}
+	return Stat{
+		Ino:   n.ino,
+		Type:  n.ftype,
+		Mode:  n.mode,
+		Owner: n.owner,
+		Group: n.group,
+		Nlink: n.nlink,
+		Size:  size,
+		Mtime: n.mtime,
+	}
+}
+
+// Stat follows symlinks and reports metadata for path.
+func (fs *FS) Stat(path string) (Stat, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n, _, _, err := fs.resolve(path, true, 0)
+	if err != nil {
+		return Stat{}, &PathError{"stat", path, err}
+	}
+	return fs.statOf(n), nil
+}
+
+// Lstat reports metadata for path without following a final symlink.
+func (fs *FS) Lstat(path string) (Stat, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n, _, _, err := fs.resolve(path, false, 0)
+	if err != nil {
+		return Stat{}, &PathError{"lstat", path, err}
+	}
+	return fs.statOf(n), nil
+}
+
+// Exists reports whether path resolves to an object.
+func (fs *FS) Exists(path string) bool {
+	_, err := fs.Stat(path)
+	return err == nil
+}
+
+// ReadDir lists a directory in sorted order.
+func (fs *FS) ReadDir(path string) ([]DirEntry, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	dir, err := fs.lookupDir("readdir", path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DirEntry, 0, len(dir.children))
+	for name, child := range dir.children {
+		out = append(out, DirEntry{Name: name, Type: child.ftype})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// ReadAt copies file data starting at off into p and reports the number
+// of bytes copied. Reading at or past EOF returns 0, nil (the kernel
+// layers EOF semantics above this).
+func (fs *FS) ReadAt(path string, p []byte, off int64) (int, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n, _, _, err := fs.resolve(path, true, 0)
+	if err != nil {
+		return 0, &PathError{"read", path, err}
+	}
+	if n.ftype == TypeDir {
+		return 0, &PathError{"read", path, ErrIsDir}
+	}
+	if off < 0 {
+		return 0, &PathError{"read", path, ErrInvalid}
+	}
+	if off >= int64(len(n.data)) {
+		return 0, nil
+	}
+	return copy(p, n.data[off:]), nil
+}
+
+// WriteAt writes p into the file at off, extending it (zero-filled) as
+// needed, and reports the number of bytes written.
+func (fs *FS) WriteAt(path string, p []byte, off int64) (int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n, _, _, err := fs.resolve(path, true, 0)
+	if err != nil {
+		return 0, &PathError{"write", path, err}
+	}
+	if n.ftype == TypeDir {
+		return 0, &PathError{"write", path, ErrIsDir}
+	}
+	if off < 0 {
+		return 0, &PathError{"write", path, ErrInvalid}
+	}
+	end := off + int64(len(p))
+	if end > int64(len(n.data)) {
+		grown := make([]byte, end)
+		copy(grown, n.data)
+		n.data = grown
+	}
+	copy(n.data[off:end], p)
+	n.mtime = fs.tick()
+	return len(p), nil
+}
+
+// Truncate sets the file's length, extending with zeros if needed.
+func (fs *FS) Truncate(path string, size int64) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n, _, _, err := fs.resolve(path, true, 0)
+	if err != nil {
+		return &PathError{"truncate", path, err}
+	}
+	if n.ftype == TypeDir {
+		return &PathError{"truncate", path, ErrIsDir}
+	}
+	if size < 0 {
+		return &PathError{"truncate", path, ErrInvalid}
+	}
+	switch {
+	case size <= int64(len(n.data)):
+		n.data = n.data[:size]
+	default:
+		grown := make([]byte, size)
+		copy(grown, n.data)
+		n.data = grown
+	}
+	n.mtime = fs.tick()
+	return nil
+}
+
+// Unlink removes a file or symlink (not a directory).
+func (fs *FS) Unlink(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n, parent, base, err := fs.resolve(path, false, 0)
+	if err != nil {
+		return &PathError{"unlink", path, err}
+	}
+	if n.ftype == TypeDir {
+		return &PathError{"unlink", path, ErrIsDir}
+	}
+	delete(parent.children, base)
+	n.nlink--
+	parent.mtime = fs.tick()
+	return nil
+}
+
+// Rmdir removes an empty directory.
+func (fs *FS) Rmdir(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n, parent, base, err := fs.resolve(path, false, 0)
+	if err != nil {
+		return &PathError{"rmdir", path, err}
+	}
+	if n.ftype != TypeDir {
+		return &PathError{"rmdir", path, ErrNotDir}
+	}
+	if n == fs.root {
+		return &PathError{"rmdir", path, ErrInvalid}
+	}
+	if len(n.children) > 0 {
+		return &PathError{"rmdir", path, ErrNotEmpty}
+	}
+	delete(parent.children, base)
+	parent.nlink--
+	parent.mtime = fs.tick()
+	return nil
+}
+
+// Symlink creates a symbolic link at linkPath pointing at target.
+func (fs *FS) Symlink(target, linkPath string, owner string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, parent, base, err := fs.resolve(linkPath, false, 0)
+	if err == nil {
+		return &PathError{"symlink", linkPath, ErrExist}
+	}
+	if !errors.Is(err, ErrNotExist) || parent == nil {
+		return &PathError{"symlink", linkPath, err}
+	}
+	parent.children[base] = &Inode{
+		ino:    nextIno(),
+		ftype:  TypeSymlink,
+		mode:   0o777,
+		owner:  owner,
+		nlink:  1,
+		target: target,
+		mtime:  fs.tick(),
+	}
+	parent.mtime = fs.tick()
+	return nil
+}
+
+// Readlink reports the target of a symlink.
+func (fs *FS) Readlink(path string) (string, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n, _, _, err := fs.resolve(path, false, 0)
+	if err != nil {
+		return "", &PathError{"readlink", path, err}
+	}
+	if n.ftype != TypeSymlink {
+		return "", &PathError{"readlink", path, ErrInvalid}
+	}
+	return n.target, nil
+}
+
+// Link creates a hard link newPath referring to the same inode as
+// oldPath. Directories cannot be hard-linked.
+func (fs *FS) Link(oldPath, newPath string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	src, _, _, err := fs.resolve(oldPath, true, 0)
+	if err != nil {
+		return &PathError{"link", oldPath, err}
+	}
+	if src.ftype == TypeDir {
+		return &PathError{"link", oldPath, ErrIsDir}
+	}
+	_, parent, base, err := fs.resolve(newPath, false, 0)
+	if err == nil {
+		return &PathError{"link", newPath, ErrExist}
+	}
+	if !errors.Is(err, ErrNotExist) || parent == nil {
+		return &PathError{"link", newPath, err}
+	}
+	parent.children[base] = src
+	src.nlink++
+	parent.mtime = fs.tick()
+	return nil
+}
+
+// Rename atomically moves oldPath to newPath, replacing a non-directory
+// target if one exists.
+func (fs *FS) Rename(oldPath, newPath string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	src, srcParent, srcBase, err := fs.resolve(oldPath, false, 0)
+	if err != nil {
+		return &PathError{"rename", oldPath, err}
+	}
+	if src == fs.root {
+		return &PathError{"rename", oldPath, ErrInvalid}
+	}
+	dst, dstParent, dstBase, err := fs.resolve(newPath, false, 0)
+	switch {
+	case err == nil:
+		if dst == src {
+			return nil
+		}
+		if dst.ftype == TypeDir {
+			if src.ftype != TypeDir {
+				return &PathError{"rename", newPath, ErrIsDir}
+			}
+			if len(dst.children) > 0 {
+				return &PathError{"rename", newPath, ErrNotEmpty}
+			}
+		} else if src.ftype == TypeDir {
+			return &PathError{"rename", newPath, ErrNotDir}
+		}
+	case errors.Is(err, ErrNotExist) && dstParent != nil:
+		// Target absent; fine.
+	default:
+		return &PathError{"rename", newPath, err}
+	}
+	// Refuse to move a directory into its own subtree.
+	if src.ftype == TypeDir && fs.isAncestor(src, dstParent) {
+		return &PathError{"rename", newPath, ErrInvalid}
+	}
+	delete(srcParent.children, srcBase)
+	if dst != nil && dst != src {
+		dst.nlink--
+		if dst.ftype == TypeDir {
+			dstParent.nlink--
+		}
+	}
+	dstParent.children[dstBase] = src
+	if src.ftype == TypeDir && srcParent != dstParent {
+		srcParent.nlink--
+		dstParent.nlink++
+	}
+	srcParent.mtime = fs.tick()
+	dstParent.mtime = fs.tick()
+	return nil
+}
+
+func (fs *FS) isAncestor(maybeAncestor, n *Inode) bool {
+	if n == nil {
+		return false
+	}
+	if maybeAncestor == n {
+		return true
+	}
+	for _, child := range maybeAncestor.children {
+		if child.ftype == TypeDir && fs.isAncestor(child, n) {
+			return true
+		}
+	}
+	return false
+}
+
+// Chmod sets the permission bits.
+func (fs *FS) Chmod(path string, mode uint32) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n, _, _, err := fs.resolve(path, true, 0)
+	if err != nil {
+		return &PathError{"chmod", path, err}
+	}
+	n.mode = mode & 0o7777
+	n.mtime = fs.tick()
+	return nil
+}
+
+// Chown sets the owner (and optionally group) of path.
+func (fs *FS) Chown(path, owner, group string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n, _, _, err := fs.resolve(path, true, 0)
+	if err != nil {
+		return &PathError{"chown", path, err}
+	}
+	n.owner = owner
+	if group != "" {
+		n.group = group
+	}
+	n.mtime = fs.tick()
+	return nil
+}
+
+// WriteFile creates (or replaces) a file with the given contents.
+func (fs *FS) WriteFile(path string, data []byte, mode uint32, owner string) error {
+	if _, err := fs.Create(path, mode, owner); err != nil {
+		return err
+	}
+	if err := fs.Truncate(path, 0); err != nil {
+		return err
+	}
+	_, err := fs.WriteAt(path, data, 0)
+	return err
+}
+
+// ReadFile returns the full contents of a file.
+func (fs *FS) ReadFile(path string) ([]byte, error) {
+	st, err := fs.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if st.IsDir() {
+		return nil, &PathError{"read", path, ErrIsDir}
+	}
+	buf := make([]byte, st.Size)
+	n, err := fs.ReadAt(path, buf, 0)
+	if err != nil {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+// Size reports the length of a file in bytes.
+func (fs *FS) Size(path string) (int64, error) {
+	st, err := fs.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return st.Size, nil
+}
+
+// TotalInodes walks the tree and reports the number of distinct inodes,
+// a useful invariant for tests.
+func (fs *FS) TotalInodes() int {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	seen := map[*Inode]bool{}
+	var walk func(n *Inode)
+	walk = func(n *Inode) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(fs.root)
+	return len(seen)
+}
+
+// PathComponents reports the number of components the path resolves
+// through; the kernel uses it to charge per-component lookup cost.
+func PathComponents(path string) int { return len(SplitPath(path)) }

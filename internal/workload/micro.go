@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"identitybox/internal/kernel"
+)
+
+// Micro is one system-call microbenchmark of Figure 5(a). Each measures
+// the per-call latency of one operation against a warm file.
+type Micro struct {
+	Name string
+	// Iterations per measurement cycle. The paper ran 1000 cycles of
+	// 100000 iterations on real hardware; virtual time is deterministic
+	// so far fewer suffice for an exact answer.
+	Iterations int
+	// op issues one operation; i is the iteration index.
+	op func(p *kernel.Proc, st *microState, i int)
+	// CallsPerIteration divides the measured time (open/close pairs
+	// issue two calls but are reported as one bar).
+	CallsPerIteration int
+	// PaperUnmodified / PaperBoxed are the approximate bar heights in
+	// microseconds read off Figure 5(a), for shape comparison.
+	PaperUnmodified float64
+	PaperBoxed      float64
+}
+
+type microState struct {
+	fd   int
+	buf1 []byte
+	buf8 []byte
+}
+
+// Micros returns the seven microbenchmarks in figure order.
+func Micros() []Micro {
+	return []Micro{
+		{
+			Name: "getpid", Iterations: 2000, CallsPerIteration: 1,
+			op:              func(p *kernel.Proc, _ *microState, _ int) { p.Getpid() },
+			PaperUnmodified: 0.4, PaperBoxed: 6,
+		},
+		{
+			Name: "stat", Iterations: 2000, CallsPerIteration: 1,
+			op: func(p *kernel.Proc, _ *microState, _ int) {
+				p.Stat(dataFile)
+			},
+			PaperUnmodified: 2, PaperBoxed: 22,
+		},
+		{
+			Name: "open/close", Iterations: 1000, CallsPerIteration: 1,
+			op: func(p *kernel.Proc, _ *microState, _ int) {
+				fd, err := p.Open(dataFile, kernel.ORdonly, 0)
+				if err == nil {
+					p.Close(fd)
+				}
+			},
+			PaperUnmodified: 4, PaperBoxed: 35,
+		},
+		{
+			Name: "read 1 byte", Iterations: 2000, CallsPerIteration: 1,
+			op: func(p *kernel.Proc, st *microState, i int) {
+				p.Pread(st.fd, st.buf1, int64(i)%DataFileSize)
+			},
+			PaperUnmodified: 1.2, PaperBoxed: 13,
+		},
+		{
+			Name: "read 8 kbyte", Iterations: 1000, CallsPerIteration: 1,
+			op: func(p *kernel.Proc, st *microState, i int) {
+				p.Pread(st.fd, st.buf8, int64(i*BlockSize)%(DataFileSize-BlockSize))
+			},
+			PaperUnmodified: 6, PaperBoxed: 27,
+		},
+		{
+			Name: "write 1 byte", Iterations: 2000, CallsPerIteration: 1,
+			op: func(p *kernel.Proc, st *microState, i int) {
+				p.Pwrite(st.fd, st.buf1, int64(i)%DataFileSize)
+			},
+			PaperUnmodified: 1.4, PaperBoxed: 14,
+		},
+		{
+			Name: "write 8 kbyte", Iterations: 1000, CallsPerIteration: 1,
+			op: func(p *kernel.Proc, st *microState, i int) {
+				p.Pwrite(st.fd, st.buf8, int64(i*BlockSize)%(DataFileSize-BlockSize))
+			},
+			PaperUnmodified: 7, PaperBoxed: 32,
+		},
+	}
+}
+
+// MicroByName looks up a microbenchmark.
+func MicroByName(name string) (Micro, bool) {
+	for _, m := range Micros() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Micro{}, false
+}
+
+// Program compiles the microbenchmark into a kernel program that
+// records the per-call latency in virtual microseconds through the
+// result channel.
+func (m Micro) Program(result *float64) kernel.Program {
+	return func(p *kernel.Proc, _ []string) int {
+		st := &microState{buf1: make([]byte, 1), buf8: make([]byte, BlockSize)}
+		fd, err := p.Open(dataFile, kernel.ORdwr, 0)
+		if err != nil {
+			return 1
+		}
+		st.fd = fd
+		// Warm up once (populates supervisor fd tables the way a real
+		// run would already be warm).
+		m.op(p, st, 0)
+		start := p.Clock().Now()
+		for i := 0; i < m.Iterations; i++ {
+			m.op(p, st, i)
+		}
+		elapsed := p.Clock().Now() - start
+		*result = float64(elapsed) / float64(m.Iterations*m.CallsPerIteration)
+		p.Close(fd)
+		return 0
+	}
+}
+
+// MeasureMicro runs the microbenchmark natively and boxed on the given
+// runners, returning per-call latency in virtual microseconds.
+func MeasureMicro(m Micro, run func(prog kernel.Program) kernel.ExitStatus) (perCall float64, err error) {
+	var out float64
+	stt := run(m.Program(&out))
+	if stt.Code != 0 {
+		return 0, errMicroFailed(m.Name, stt.Code)
+	}
+	return out, nil
+}
+
+type microError struct {
+	name string
+	code int
+}
+
+func (e *microError) Error() string {
+	return "workload: micro " + e.name + " failed"
+}
+
+func errMicroFailed(name string, code int) error {
+	return &microError{name: name, code: code}
+}

@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"testing"
+
+	"identitybox/internal/kernel"
+)
+
+func TestRecorderCapturesCalls(t *testing.T) {
+	k := benchWorld(t)
+	trace, st := Record(k, "bench", BenchRoot, func(p *kernel.Proc, _ []string) int {
+		p.Compute(100)
+		fd, err := p.Open(BenchRoot+"/input.dat", kernel.ORdonly, 0)
+		if err != nil {
+			return 1
+		}
+		buf := make([]byte, 512)
+		p.Read(fd, buf)
+		p.Pread(fd, buf, 4096)
+		p.Close(fd)
+		p.Stat(BenchRoot + "/src00.c")
+		p.Mkdir(BenchRoot+"/recdir", 0o755)
+		p.Rmdir(BenchRoot + "/recdir")
+		p.GetUserName()
+		return 0
+	})
+	if st.Code != 0 {
+		t.Fatalf("recorded program exited %d", st.Code)
+	}
+	verbs := []string{}
+	for _, op := range trace.Ops {
+		if op.Verb != "compute" {
+			verbs = append(verbs, op.Verb)
+		}
+	}
+	want := []string{"open", "read", "pread", "close", "stat", "mkdir", "rmdir", "whoami"}
+	if len(verbs) != len(want) {
+		t.Fatalf("verbs = %v, want %v", verbs, want)
+	}
+	for i := range want {
+		if verbs[i] != want[i] {
+			t.Fatalf("verb %d = %q, want %q", i, verbs[i], want[i])
+		}
+	}
+	// The initial compute gap is represented.
+	if trace.Ops[0].Verb != "compute" || trace.Ops[0].Micros < 100 {
+		t.Fatalf("first op = %+v, want compute >= 100", trace.Ops[0])
+	}
+}
+
+func TestRecordedTraceReplays(t *testing.T) {
+	k := benchWorld(t)
+	trace, st := Record(k, "bench", BenchRoot, func(p *kernel.Proc, _ []string) int {
+		p.WriteFile(BenchRoot+"/rec.out", []byte("0123456789"), 0o644)
+		data, err := p.ReadFile(BenchRoot + "/rec.out")
+		if err != nil || len(data) != 10 {
+			return 1
+		}
+		return 0
+	})
+	if st.Code != 0 {
+		t.Fatalf("recording run exited %d", st.Code)
+	}
+	// Replay on a fresh world.
+	k2 := benchWorld(t)
+	rst := runNative(k2, trace.Program())
+	if rst.Code != 0 {
+		t.Fatalf("replay exited %d\ntrace:\n%s", rst.Code, trace.Render())
+	}
+	if !k2.FS().Exists(BenchRoot + "/rec.out") {
+		t.Fatal("replay did not recreate the file")
+	}
+	// And the textual form round-trips.
+	if _, err := ParseTrace(trace.Render()); err != nil {
+		t.Fatalf("rendered recording unparseable: %v", err)
+	}
+}
+
+func TestRecorderSkipsFailedCalls(t *testing.T) {
+	k := benchWorld(t)
+	trace, _ := Record(k, "bench", BenchRoot, func(p *kernel.Proc, _ []string) int {
+		p.Stat("/does/not/exist") // fails; must not be recorded
+		p.Getpid()
+		return 0
+	})
+	for _, op := range trace.Ops {
+		if op.Verb == "stat" {
+			t.Fatalf("failed stat was recorded: %+v", op)
+		}
+	}
+}
+
+func TestRecorderFlattensChildren(t *testing.T) {
+	k := benchWorld(t)
+	k.RegisterProgram("recchild", func(p *kernel.Proc, _ []string) int {
+		p.Stat(BenchRoot + "/src01.c")
+		return 0
+	})
+	k.InstallExecutable(BenchRoot+"/recchild.exe", "recchild", "bench")
+	k.FS().Chmod(BenchRoot+"/recchild.exe", 0o755)
+	trace, st := Record(k, "bench", BenchRoot, func(p *kernel.Proc, _ []string) int {
+		pid, err := p.Spawn(BenchRoot + "/recchild.exe")
+		if err != nil {
+			return 1
+		}
+		p.Wait(pid)
+		return 0
+	})
+	if st.Code != 0 {
+		t.Fatalf("exit %d", st.Code)
+	}
+	var stats, spawns int
+	for _, op := range trace.Ops {
+		switch op.Verb {
+		case "stat":
+			stats++
+		case "spawn":
+			spawns++
+		}
+	}
+	if stats != 1 || spawns != 0 {
+		t.Fatalf("stats=%d spawns=%d; children should be flattened inline", stats, spawns)
+	}
+}

@@ -1,0 +1,268 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"identitybox/internal/kernel"
+	"identitybox/internal/vclock"
+)
+
+// This file implements trace replay: a workload described as a plain
+// text system-call trace, replayed verbatim against the simulated
+// kernel. It lets users benchmark identity boxing against their own
+// applications' traces (e.g. captured with strace on a real system and
+// converted), not just the six built-in mixes.
+//
+// Format: one operation per line; '#' starts a comment. File handles
+// are named, not numbered, so traces compose:
+//
+//	# name     operation
+//	compute 250                 ; burn 250 virtual microseconds
+//	open    f /bench/input.dat ro
+//	read    f 8192
+//	pread   f 4096 65536
+//	close   f
+//	open    g /bench/out.dat creat
+//	write   g 8192
+//	close   g
+//	stat    /bench/src00.c
+//	readdir /bench
+//	mkdir   /bench/tracedir
+//	unlink  /bench/out.dat
+//	spawn   /bench/cc-make.exe
+
+// TraceOp is one parsed trace operation.
+type TraceOp struct {
+	Verb   string
+	Handle string // named fd, for open/read/write/pread/pwrite/close
+	Path   string
+	Size   int
+	Off    int64
+	Micros float64 // for compute
+	Flags  int     // for open
+}
+
+// Trace is a parsed syscall trace.
+type Trace struct {
+	Ops []TraceOp
+}
+
+// openFlagNames maps trace mode words to open flags.
+var openFlagNames = map[string]int{
+	"ro":    kernel.ORdonly,
+	"wo":    kernel.OWronly,
+	"rw":    kernel.ORdwr,
+	"creat": kernel.OWronly | kernel.OCreat | kernel.OTrunc,
+	"app":   kernel.OWronly | kernel.OCreat | kernel.OAppend,
+}
+
+// ParseTrace parses the text format above.
+func ParseTrace(text string) (*Trace, error) {
+	t := &Trace{}
+	for ln, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		op := TraceOp{Verb: fields[0]}
+		args := fields[1:]
+		bad := func(want string) error {
+			return fmt.Errorf("workload: trace line %d: %s wants %s", ln+1, op.Verb, want)
+		}
+		var err error
+		switch op.Verb {
+		case "compute":
+			if len(args) != 1 {
+				return nil, bad("<microseconds>")
+			}
+			op.Micros, err = strconv.ParseFloat(args[0], 64)
+			if err != nil || op.Micros < 0 {
+				return nil, bad("a non-negative number")
+			}
+		case "open":
+			if len(args) != 3 {
+				return nil, bad("<handle> <path> <ro|wo|rw|creat|app>")
+			}
+			op.Handle, op.Path = args[0], args[1]
+			flags, ok := openFlagNames[args[2]]
+			if !ok {
+				return nil, bad("mode ro|wo|rw|creat|app")
+			}
+			op.Flags = flags
+		case "read", "write":
+			if len(args) != 2 {
+				return nil, bad("<handle> <bytes>")
+			}
+			op.Handle = args[0]
+			op.Size, err = strconv.Atoi(args[1])
+			if err != nil || op.Size < 0 {
+				return nil, bad("a byte count")
+			}
+		case "pread", "pwrite":
+			if len(args) != 3 {
+				return nil, bad("<handle> <bytes> <offset>")
+			}
+			op.Handle = args[0]
+			op.Size, err = strconv.Atoi(args[1])
+			if err != nil || op.Size < 0 {
+				return nil, bad("a byte count")
+			}
+			op.Off, err = strconv.ParseInt(args[2], 10, 64)
+			if err != nil || op.Off < 0 {
+				return nil, bad("an offset")
+			}
+		case "close":
+			if len(args) != 1 {
+				return nil, bad("<handle>")
+			}
+			op.Handle = args[0]
+		case "stat", "lstat", "readdir", "mkdir", "rmdir", "unlink", "spawn", "chdir":
+			if len(args) != 1 {
+				return nil, bad("<path>")
+			}
+			op.Path = args[0]
+		case "rename", "symlink", "link":
+			if len(args) != 2 {
+				return nil, bad("<a> <b>")
+			}
+			op.Path = args[0]
+			op.Handle = args[1] // second path reuses the Handle slot
+		case "getpid", "whoami":
+			if len(args) != 0 {
+				return nil, bad("no arguments")
+			}
+		default:
+			return nil, fmt.Errorf("workload: trace line %d: unknown verb %q", ln+1, op.Verb)
+		}
+		t.Ops = append(t.Ops, op)
+	}
+	return t, nil
+}
+
+// Syscalls estimates the number of system calls the trace issues.
+func (t *Trace) Syscalls() int {
+	n := 0
+	for _, op := range t.Ops {
+		if op.Verb != "compute" {
+			n++
+		}
+	}
+	return n
+}
+
+// Program compiles the trace into a runnable kernel program. Replay is
+// strict: any failing operation aborts with a nonzero exit code equal
+// to 100 + the index of the failing op (mod 100), which tests decode.
+func (t *Trace) Program() kernel.Program {
+	return func(p *kernel.Proc, _ []string) int {
+		fds := make(map[string]int)
+		var buf []byte
+		need := func(n int) []byte {
+			if cap(buf) < n {
+				buf = make([]byte, n)
+			}
+			return buf[:n]
+		}
+		for i, op := range t.Ops {
+			fail := 100 + i%100
+			var err error
+			switch op.Verb {
+			case "compute":
+				p.Compute(vclock.Micros(op.Micros))
+			case "open":
+				var fd int
+				fd, err = p.Open(op.Path, op.Flags, 0o644)
+				if err == nil {
+					fds[op.Handle] = fd
+				}
+			case "read":
+				_, err = p.Read(fds[op.Handle], need(op.Size))
+			case "write":
+				_, err = p.Write(fds[op.Handle], need(op.Size))
+			case "pread":
+				_, err = p.Pread(fds[op.Handle], need(op.Size), op.Off)
+			case "pwrite":
+				_, err = p.Pwrite(fds[op.Handle], need(op.Size), op.Off)
+			case "close":
+				err = p.Close(fds[op.Handle])
+				delete(fds, op.Handle)
+			case "stat":
+				_, err = p.Stat(op.Path)
+			case "lstat":
+				_, err = p.Lstat(op.Path)
+			case "readdir":
+				_, err = p.ReadDir(op.Path)
+			case "mkdir":
+				err = p.Mkdir(op.Path, 0o755)
+			case "rmdir":
+				err = p.Rmdir(op.Path)
+			case "unlink":
+				err = p.Unlink(op.Path)
+			case "chdir":
+				err = p.Chdir(op.Path)
+			case "rename":
+				err = p.Rename(op.Path, op.Handle)
+			case "symlink":
+				err = p.Symlink(op.Path, op.Handle)
+			case "link":
+				err = p.Link(op.Path, op.Handle)
+			case "spawn":
+				var pid int
+				pid, err = p.Spawn(op.Path)
+				if err == nil {
+					_, _, err = p.Wait(pid)
+				}
+			case "getpid":
+				p.Getpid()
+			case "whoami":
+				p.GetUserName()
+			}
+			if err != nil {
+				return fail
+			}
+		}
+		return 0
+	}
+}
+
+// Render serializes the trace back to its text form.
+func (t *Trace) Render() string {
+	var b strings.Builder
+	for _, op := range t.Ops {
+		switch op.Verb {
+		case "compute":
+			fmt.Fprintf(&b, "compute %g\n", op.Micros)
+		case "open":
+			mode := "ro"
+			for name, flags := range openFlagNames {
+				if flags == op.Flags {
+					mode = name
+					break
+				}
+			}
+			fmt.Fprintf(&b, "open %s %s %s\n", op.Handle, op.Path, mode)
+		case "read", "write":
+			fmt.Fprintf(&b, "%s %s %d\n", op.Verb, op.Handle, op.Size)
+		case "pread", "pwrite":
+			fmt.Fprintf(&b, "%s %s %d %d\n", op.Verb, op.Handle, op.Size, op.Off)
+		case "close":
+			fmt.Fprintf(&b, "close %s\n", op.Handle)
+		case "rename", "symlink", "link":
+			fmt.Fprintf(&b, "%s %s %s\n", op.Verb, op.Path, op.Handle)
+		case "getpid", "whoami":
+			fmt.Fprintf(&b, "%s\n", op.Verb)
+		default:
+			fmt.Fprintf(&b, "%s %s\n", op.Verb, op.Path)
+		}
+	}
+	return b.String()
+}

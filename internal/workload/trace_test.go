@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"identitybox/internal/kernel"
+)
+
+const sampleTrace = `
+# a small application trace
+compute 500
+open in /bench/input.dat ro
+pread in 8192 0
+read in 4096
+close in
+open out /bench/trace-out.dat creat
+write out 1024
+close out
+stat /bench/src00.c
+readdir /bench
+mkdir /bench/tracedir
+rmdir /bench/tracedir
+getpid
+whoami
+`
+
+func TestParseTrace(t *testing.T) {
+	tr, err := ParseTrace(sampleTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Ops) != 14 {
+		t.Fatalf("ops = %d, want 14", len(tr.Ops))
+	}
+	if tr.Syscalls() != 13 {
+		t.Fatalf("syscalls = %d, want 13 (compute is not a call)", tr.Syscalls())
+	}
+	if tr.Ops[0].Verb != "compute" || tr.Ops[0].Micros != 500 {
+		t.Fatalf("op0 = %+v", tr.Ops[0])
+	}
+	if tr.Ops[1].Flags != kernel.ORdonly {
+		t.Fatalf("open flags = %#x", tr.Ops[1].Flags)
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	bad := []string{
+		"open f /x",               // missing mode
+		"open f /x banana",        // unknown mode
+		"read f",                  // missing size
+		"read f notanumber",       // bad size
+		"pread f 10",              // missing offset
+		"compute -5",              // negative
+		"teleport /x",             // unknown verb
+		"rename /only",            // missing second path
+		"getpid extra",            // surplus args
+		"pwrite f 10 -3",          // negative offset
+		"stat",                    // missing path
+		"open f /x ro extrajunk7", // surplus
+	}
+	for _, text := range bad {
+		if _, err := ParseTrace(text); err == nil {
+			t.Errorf("ParseTrace(%q) should fail", text)
+		}
+	}
+}
+
+func TestTraceReplayNative(t *testing.T) {
+	tr, err := ParseTrace(sampleTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := benchWorld(t)
+	st := runNative(k, tr.Program())
+	if st.Code != 0 {
+		t.Fatalf("replay exited %d", st.Code)
+	}
+	if st.Syscalls < int64(tr.Syscalls()) {
+		t.Fatalf("only %d syscalls issued, trace has %d", st.Syscalls, tr.Syscalls())
+	}
+	if !k.FS().Exists("/bench/trace-out.dat") {
+		t.Fatal("trace writes did not land")
+	}
+}
+
+func TestTraceFailureIndexDecodable(t *testing.T) {
+	tr, err := ParseTrace("stat /does/not/exist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := benchWorld(t)
+	st := runNative(k, tr.Program())
+	if st.Code != 100 {
+		t.Fatalf("exit = %d, want 100 (failure at op 0)", st.Code)
+	}
+}
+
+func TestTraceRenderRoundTrip(t *testing.T) {
+	tr, err := ParseTrace(sampleTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := ParseTrace(tr.Render())
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, tr.Render())
+	}
+	if len(tr2.Ops) != len(tr.Ops) {
+		t.Fatalf("round trip: %d vs %d ops", len(tr2.Ops), len(tr.Ops))
+	}
+	for i := range tr.Ops {
+		if tr.Ops[i] != tr2.Ops[i] {
+			t.Fatalf("op %d changed: %+v vs %+v", i, tr.Ops[i], tr2.Ops[i])
+		}
+	}
+}
+
+func TestTraceDeterministicRuntime(t *testing.T) {
+	tr, _ := ParseTrace(sampleTrace)
+	k1, k2 := benchWorld(t), benchWorld(t)
+	r1 := runNative(k1, tr.Program()).Runtime
+	r2 := runNative(k2, tr.Program()).Runtime
+	if r1 != r2 || r1 <= 500 {
+		t.Fatalf("runtimes %v vs %v", r1, r2)
+	}
+}
+
+func TestTraceSpawn(t *testing.T) {
+	k := benchWorld(t)
+	k.RegisterProgram("traced-child", func(p *kernel.Proc, _ []string) int {
+		return 0
+	})
+	if err := k.InstallExecutable("/bench/child.exe", "traced-child", "bench"); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ParseTrace("spawn /bench/child.exe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := runNative(k, tr.Program())
+	if st.Code != 0 {
+		t.Fatalf("spawn replay exited %d", st.Code)
+	}
+}
+
+func TestTraceCommentsAndSemicolons(t *testing.T) {
+	tr, err := ParseTrace("getpid ; trailing comment\n# whole line\n  \nwhoami # tail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Ops) != 2 {
+		t.Fatalf("ops = %d, want 2", len(tr.Ops))
+	}
+	if !strings.Contains(tr.Render(), "whoami") {
+		t.Fatal("render lost ops")
+	}
+}

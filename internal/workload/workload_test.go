@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"testing"
+
+	"identitybox/internal/kernel"
+	"identitybox/internal/vclock"
+	"identitybox/internal/vfs"
+)
+
+func benchWorld(t *testing.T) *kernel.Kernel {
+	t.Helper()
+	fs := vfs.New(kernel.RootAccount)
+	k := kernel.New(fs, vclock.Default())
+	if err := Setup(fs, "bench"); err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func runNative(k *kernel.Kernel, prog kernel.Program) kernel.ExitStatus {
+	return k.Run(kernel.ProcSpec{Account: "bench", Cwd: BenchRoot}, prog)
+}
+
+func TestSetupCreatesTree(t *testing.T) {
+	k := benchWorld(t)
+	fs := k.FS()
+	st, err := fs.Stat(BenchRoot + "/input.dat")
+	if err != nil || st.Size != DataFileSize {
+		t.Fatalf("input.dat = %+v, %v", st, err)
+	}
+	if !fs.Exists(BenchRoot+"/src00.c") || !fs.Exists(BenchRoot+"/src99.c") {
+		t.Fatal("source tree missing")
+	}
+	if !fs.Exists(BenchRoot + "/.__acl") {
+		t.Fatal("bench ACL missing")
+	}
+	// Idempotent.
+	if err := Setup(fs, "bench"); err != nil {
+		t.Fatalf("second setup: %v", err)
+	}
+}
+
+func TestAppsCatalog(t *testing.T) {
+	apps := Apps()
+	if len(apps) != 6 {
+		t.Fatalf("apps = %d, want 6", len(apps))
+	}
+	names := []string{"amanda", "blast", "cms", "hf", "ibis", "make"}
+	for i, want := range names {
+		if apps[i].Name != want {
+			t.Errorf("apps[%d] = %q, want %q", i, apps[i].Name, want)
+		}
+		if apps[i].Mix.Ops() == 0 {
+			t.Errorf("%s: empty mix", want)
+		}
+		if apps[i].ComputeSeconds <= 0 || apps[i].PaperRuntimeSeconds <= 0 {
+			t.Errorf("%s: missing calibration", want)
+		}
+	}
+	if _, ok := AppByName("blast"); !ok {
+		t.Error("AppByName(blast) failed")
+	}
+	if _, ok := AppByName("doom"); ok {
+		t.Error("AppByName(doom) should fail")
+	}
+	// Only make spawns children.
+	for _, a := range apps {
+		if (a.Mix.Children > 0) != (a.Name == "make") {
+			t.Errorf("%s: children = %d", a.Name, a.Mix.Children)
+		}
+	}
+}
+
+func TestScaledShrinksProportionally(t *testing.T) {
+	a, _ := AppByName("blast")
+	s := a.Scaled(0.1)
+	if s.Mix.Reads8k != a.Mix.Reads8k/10 {
+		t.Errorf("scaled reads = %d", s.Mix.Reads8k)
+	}
+	if s.ComputeSeconds != a.ComputeSeconds*0.1 {
+		t.Errorf("scaled compute = %v", s.ComputeSeconds)
+	}
+}
+
+func TestAppProgramRunsClean(t *testing.T) {
+	for _, app := range Apps() {
+		a := app.Scaled(0.002)
+		k := benchWorld(t)
+		st := runNative(k, a.Program())
+		if st.Code != 0 {
+			t.Errorf("%s exited %d", a.Name, st.Code)
+		}
+		if st.Runtime <= 0 {
+			t.Errorf("%s runtime = %v", a.Name, st.Runtime)
+		}
+	}
+}
+
+func TestAppRuntimeDeterministic(t *testing.T) {
+	a, _ := AppByName("cms")
+	a = a.Scaled(0.002)
+	k1 := benchWorld(t)
+	k2 := benchWorld(t)
+	r1 := runNative(k1, a.Program()).Runtime
+	r2 := runNative(k2, a.Program()).Runtime
+	if r1 != r2 {
+		t.Fatalf("nondeterministic runtime: %v vs %v", r1, r2)
+	}
+}
+
+func TestAppRuntimeNearPaperBar(t *testing.T) {
+	// At full scale the native runtime approximates the paper's bar; at
+	// scale f it should be f times that.
+	a, _ := AppByName("ibis")
+	s := a.Scaled(0.01)
+	k := benchWorld(t)
+	st := runNative(k, s.Program())
+	got := st.Runtime.Seconds()
+	want := a.PaperRuntimeSeconds * 0.01
+	if got < want*0.8 || got > want*1.2 {
+		t.Fatalf("scaled ibis runtime = %.2fs, want about %.2fs", got, want)
+	}
+}
+
+func TestMakeSpawnsChildren(t *testing.T) {
+	a, _ := AppByName("make")
+	a = a.Scaled(0.002)
+	if a.Mix.Children < 1 {
+		t.Fatal("scaled make lost its children")
+	}
+	k := benchWorld(t)
+	st := runNative(k, a.Program())
+	if st.Code != 0 {
+		t.Fatalf("make exited %d", st.Code)
+	}
+}
+
+func TestMicrosCatalog(t *testing.T) {
+	ms := Micros()
+	if len(ms) != 7 {
+		t.Fatalf("micros = %d, want 7", len(ms))
+	}
+	for _, m := range ms {
+		if m.Iterations <= 0 || m.CallsPerIteration <= 0 {
+			t.Errorf("%s: bad iteration config", m.Name)
+		}
+		if m.PaperBoxed <= m.PaperUnmodified {
+			t.Errorf("%s: paper values inverted", m.Name)
+		}
+	}
+	if _, ok := MicroByName("stat"); !ok {
+		t.Error("MicroByName(stat) failed")
+	}
+	if _, ok := MicroByName("nope"); ok {
+		t.Error("MicroByName(nope) should fail")
+	}
+}
+
+func TestMicroMeasurementDeterministic(t *testing.T) {
+	m, _ := MicroByName("stat")
+	k1 := benchWorld(t)
+	v1, err := MeasureMicro(m, func(p kernel.Program) kernel.ExitStatus { return runNative(k1, p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2 := benchWorld(t)
+	v2, err := MeasureMicro(m, func(p kernel.Program) kernel.ExitStatus { return runNative(k2, p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v2 {
+		t.Fatalf("nondeterministic: %v vs %v", v1, v2)
+	}
+	if v1 <= 0 {
+		t.Fatalf("per-call latency = %v", v1)
+	}
+}
+
+func TestMixOps(t *testing.T) {
+	m := Mix{Reads8k: 1, Writes8k: 2, Stats: 3, OpenClose: 4, Small: 5, Children: 6}
+	if m.Ops() != 21 {
+		t.Fatalf("Ops = %d", m.Ops())
+	}
+}
