@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"crypto/rsa"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -261,4 +262,193 @@ func BenchmarkPipeIPC(b *testing.B) {
 	}
 	b.Run("native", func(b *testing.B) { run(b, false) })
 	b.Run("boxed", func(b *testing.B) { run(b, true) })
+}
+
+// concurrentVFSMix runs b.N operations split across g goroutines
+// against one shared FS, modelled on a file server's request stream:
+// 64 KiB block reads on open handles, stat traffic on a shared path,
+// and (in the mixed variant) block writes and namespace churn. Writes
+// always target per-goroutine files so goroutines contend on locks,
+// not data.
+func concurrentVFSMix(b *testing.B, goroutines int, readHeavy bool) {
+	const blockSize = 64 << 10
+	fs := vfs.New("u")
+	if err := fs.MkdirAll("/shared/a/b", 0o755, "u"); err != nil {
+		b.Fatal(err)
+	}
+	if err := fs.WriteFile("/shared/a/b/hot", bytes.Repeat([]byte("h"), 8192), 0o644, "u"); err != nil {
+		b.Fatal(err)
+	}
+	handles := make([]*vfs.Handle, goroutines)
+	for g := 0; g < goroutines; g++ {
+		path := fmt.Sprintf("/g%d", g)
+		if err := fs.WriteFile(path, bytes.Repeat([]byte("w"), 4*blockSize), 0o644, "u"); err != nil {
+			b.Fatal(err)
+		}
+		h, err := fs.OpenHandle(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		handles[g] = h
+	}
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := handles[g]
+			mine := fmt.Sprintf("/g%d", g)
+			buf := make([]byte, blockSize)
+			n := b.N / goroutines
+			if g == 0 {
+				n += b.N % goroutines
+			}
+			for i := 0; i < n; i++ {
+				var op int
+				if readHeavy {
+					op = i % 10 // 0 = write, 1-2 = stat, rest = block reads
+				} else {
+					op = i % 10 / 2 * 2 // even spread incl. writes and churn
+				}
+				switch op {
+				case 0:
+					if _, err := h.WriteAt(buf, int64(i%4)*blockSize); err != nil {
+						b.Error(err)
+						return
+					}
+				case 1, 2:
+					if _, err := fs.Stat("/shared/a/b/hot"); err != nil {
+						b.Error(err)
+						return
+					}
+				case 4:
+					if !readHeavy {
+						ln := fmt.Sprintf("/g%d.ln", g)
+						if err := fs.Link(mine, ln); err != nil {
+							b.Error(err)
+							return
+						}
+						if err := fs.Unlink(ln); err != nil {
+							b.Error(err)
+							return
+						}
+						break
+					}
+					fallthrough
+				default:
+					if _, err := h.ReadAt(buf, int64(i%4)*blockSize); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// BenchmarkConcurrentVFS measures shared-FS throughput as goroutines
+// scale. With the per-inode locking split, the read-heavy mix should
+// scale well past one goroutine; the serialized seed design could not.
+// (Scaling is only visible with GOMAXPROCS > 1 — on a single-CPU host
+// every variant is CPU-bound and the curves are flat.)
+func BenchmarkConcurrentVFS(b *testing.B) {
+	for _, mix := range []struct {
+		name      string
+		readHeavy bool
+	}{{"readheavy", true}, {"mixed", false}} {
+		for _, g := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("%s/g%d", mix.name, g), func(b *testing.B) {
+				concurrentVFSMix(b, g, mix.readHeavy)
+			})
+		}
+	}
+}
+
+// concurrentChirpMix runs b.N RPCs split across g goroutines, each
+// with its own client connection to one shared server.
+func concurrentChirpMix(b *testing.B, goroutines int, readHeavy bool) {
+	fs := vfs.New("o")
+	k := kernel.New(fs, vclock.Default())
+	rootACL := &acl.ACL{}
+	rootACL.Set("*", acl.All, acl.None)
+	srv, err := chirp.NewServer(k, chirp.ServerOptions{Owner: "o", RootACL: rootACL,
+		Verifiers: map[auth.Method]auth.Verifier{auth.MethodUnix: &auth.UnixVerifier{}}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	payload := bytes.Repeat([]byte("z"), 4096)
+	clients := make([]*chirp.Client, goroutines)
+	for g := range clients {
+		cl, err := chirp.Dial(srv.Addr(), []auth.Authenticator{&auth.UnixClient{User: "bench"}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cl.Close()
+		clients[g] = cl
+		if err := cl.PutFile(fmt.Sprintf("/f%d", g), payload, 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cl := clients[g]
+			mine := fmt.Sprintf("/f%d", g)
+			n := b.N / goroutines
+			if g == 0 {
+				n += b.N % goroutines
+			}
+			for i := 0; i < n; i++ {
+				var op int
+				if readHeavy {
+					op = i % 10
+				} else {
+					op = i % 2 * 5
+				}
+				switch {
+				case op == 0:
+					if err := cl.PutFile(mine, payload, 0o644); err != nil {
+						b.Error(err)
+						return
+					}
+				case op%2 == 1:
+					if _, err := cl.Stat(mine); err != nil {
+						b.Error(err)
+						return
+					}
+				default:
+					if _, err := cl.GetFile(mine); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// BenchmarkConcurrentChirp measures server throughput as concurrent
+// client connections scale.
+func BenchmarkConcurrentChirp(b *testing.B) {
+	for _, mix := range []struct {
+		name      string
+		readHeavy bool
+	}{{"readheavy", true}, {"mixed", false}} {
+		for _, g := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("%s/g%d", mix.name, g), func(b *testing.B) {
+				concurrentChirpMix(b, g, mix.readHeavy)
+			})
+		}
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"strconv"
+	"sync"
 
 	"identitybox/internal/auth"
 	"identitybox/internal/identity"
@@ -11,13 +12,17 @@ import (
 )
 
 // Client is one authenticated connection to a Chirp server. Methods
-// mirror the Unix-like protocol. A Client is not safe for concurrent
-// use; open one per goroutine (as Parrot opens one per mount).
+// mirror the Unix-like protocol. A Client is safe for concurrent use by
+// any number of goroutines: an internal mutex serializes each complete
+// request/response exchange (including payload phases) on the wire, so
+// one connection can back a whole mount table or a pool of workers.
 type Client struct {
-	conn  net.Conn
-	c     *codec
-	ident identity.Principal
-	addr  string
+	conn   net.Conn
+	mu     sync.Mutex // serializes wire exchanges; guards c and closed
+	c      *codec
+	closed bool
+	ident  identity.Principal
+	addr   string
 }
 
 // Dial connects to a Chirp server and authenticates with the first
@@ -42,14 +47,30 @@ func (cl *Client) Identity() identity.Principal { return cl.ident }
 // Addr reports the server address.
 func (cl *Client) Addr() string { return cl.addr }
 
-// Close ends the session.
+// Close ends the session. Close is idempotent and safe to race with
+// in-flight calls: they complete or fail with a connection error.
 func (cl *Client) Close() error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.closed {
+		return nil
+	}
+	cl.closed = true
 	cl.c.writeLine("quit")
 	return cl.conn.Close()
 }
 
-// rpc sends a request line and parses the response line.
+// rpc performs one complete exchange: it takes the wire lock, sends a
+// request line and parses the response line.
 func (cl *Client) rpc(fields ...string) ([]string, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.rpcLocked(fields...)
+}
+
+// rpcLocked is rpc for callers already holding cl.mu (exchanges with
+// payload phases, which must stay atomic on the wire).
+func (cl *Client) rpcLocked(fields ...string) ([]string, error) {
 	if err := cl.c.writeLine(fields...); err != nil {
 		return nil, err
 	}
@@ -137,7 +158,9 @@ func (cl *Client) CloseFD(fd int) error {
 
 // Pread reads up to len(buf) bytes at off.
 func (cl *Client) Pread(fd int, buf []byte, off int64) (int, error) {
-	r, err := cl.rpc("pread", strconv.Itoa(fd), strconv.Itoa(len(buf)), strconv.FormatInt(off, 10))
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	r, err := cl.rpcLocked("pread", strconv.Itoa(fd), strconv.Itoa(len(buf)), strconv.FormatInt(off, 10))
 	if err != nil {
 		return 0, err
 	}
@@ -155,6 +178,8 @@ func (cl *Client) Pread(fd int, buf []byte, off int64) (int, error) {
 
 // Pwrite writes buf at off.
 func (cl *Client) Pwrite(fd int, buf []byte, off int64) (int, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
 	if err := cl.c.writeLine("pwrite", strconv.Itoa(fd), strconv.FormatInt(off, 10), strconv.Itoa(len(buf))); err != nil {
 		return 0, err
 	}
@@ -273,7 +298,9 @@ func (cl *Client) Truncate(path string, size int64) error {
 
 // GetACL fetches the ACL text protecting a remote directory.
 func (cl *Client) GetACL(path string) (string, error) {
-	r, err := cl.rpc("getacl", q(path))
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	r, err := cl.rpcLocked("getacl", q(path))
 	if err != nil {
 		return "", err
 	}
@@ -291,6 +318,8 @@ func (cl *Client) GetACL(path string) (string, error) {
 // SetACL replaces the ACL protecting a remote directory (requires the
 // A right).
 func (cl *Client) SetACL(path, aclText string) error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
 	if err := cl.c.writeLine("setacl", q(path), strconv.Itoa(len(aclText))); err != nil {
 		return err
 	}
@@ -306,6 +335,8 @@ func (cl *Client) SetACL(path, aclText string) error {
 // local ACLs for this session. Returns the community name the server
 // acknowledged.
 func (cl *Client) PresentAssertion(encoded []byte) (string, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
 	if err := cl.c.writeLine("assert", strconv.Itoa(len(encoded))); err != nil {
 		return "", err
 	}

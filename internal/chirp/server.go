@@ -7,6 +7,7 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"identitybox/internal/acl"
@@ -38,7 +39,9 @@ type ServerOptions struct {
 	// assertions ("assert" command); verified grants are unioned with
 	// the local ACL rights for paths under the granted prefixes.
 	CASTrust *auth.CASVerifier
-	// Logf, when set, receives one line per request (debugging).
+	// Logf, when set, receives one line per request (debugging). It is
+	// called concurrently from every connection goroutine and must be
+	// safe for concurrent use (log.Printf and testing.T.Logf both are).
 	Logf func(format string, args ...any)
 	// AuthTimeout bounds the authentication dialogue, so an
 	// unauthenticated socket cannot pin a server goroutine (default
@@ -50,16 +53,23 @@ type ServerOptions struct {
 // kernel. It requires no privilege to run: deploying one is an
 // ordinary-user operation, and visiting users are admitted purely by
 // ACL policy over their authenticated identities.
+// Connection goroutines share only the kernel/VFS (internally locked),
+// the connection registry under s.mu, and atomic counters; every other
+// piece of session state (descriptor table, CAS grants, codec) is owned
+// by its single connection goroutine.
 type Server struct {
 	k    *kernel.Kernel
 	fs   *vfs.FS
 	opts ServerOptions
 
 	ln     net.Listener
-	mu     sync.Mutex
+	mu     sync.Mutex // guards closed and conns
 	closed bool
 	conns  map[net.Conn]bool
 	wg     sync.WaitGroup
+
+	requests atomic.Int64 // requests dispatched, across all sessions
+	sessions atomic.Int64 // authenticated sessions accepted, lifetime
 }
 
 // NewServer creates a server exporting k's file system. The root ACL is
@@ -218,6 +228,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		return
 	}
 	conn.SetDeadline(time.Time{})
+	s.sessions.Add(1)
 	s.logf("session for %s from %s", ident, remoteHost)
 	sess := &session{s: s, ident: ident, c: newCodec(conn), fds: make(map[int]*sessionFD), nextFD: 1}
 	sess.loop()
@@ -258,9 +269,18 @@ func (sess *session) fail(err error, context string) error {
 	return sess.c.writeLine("err", nameForError(err), q(msg))
 }
 
+// RequestCount reports the number of requests dispatched across all
+// sessions since the server started.
+func (s *Server) RequestCount() int64 { return s.requests.Load() }
+
+// SessionCount reports the number of sessions authenticated since the
+// server started (not just the currently live ones).
+func (s *Server) SessionCount() int64 { return s.sessions.Load() }
+
 func (sess *session) dispatch(fields []string) error {
 	cmd, args := fields[0], fields[1:]
 	s := sess.s
+	s.requests.Add(1)
 	s.logf("%s: %s %v", sess.ident, cmd, args)
 	switch cmd {
 	case "whoami":

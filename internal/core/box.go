@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"identitybox/internal/acl"
 	"identitybox/internal/identity"
@@ -130,11 +131,22 @@ type Box struct {
 	home         string // visitor's fresh home directory
 	shadowPasswd string // private passwd copy path
 
-	mu       sync.Mutex
-	procs    map[*kernel.Proc]*procState
+	// Independent shared structures get independent locks, so concurrent
+	// boxed processes (and concurrent boxes sharing one kernel) contend
+	// only where they actually share state. ACL decisions take the
+	// read-mostly aclMu fast path; stats are lock-free atomics.
+	procMu sync.Mutex // guards procs
+	procs  map[*kernel.Proc]*procState
+
+	aclMu    sync.RWMutex // guards aclCache (read-mostly)
 	aclCache map[string]*acl.ACL
-	audit    []AuditRecord
-	stats    Stats
+
+	auditMu sync.Mutex // guards audit
+	audit   []AuditRecord
+
+	statSyscalls  atomic.Int64
+	statACLChecks atomic.Int64
+	statDenials   atomic.Int64
 }
 
 type procState struct {
@@ -264,28 +276,30 @@ func (b *Box) RunAt(cwd string, prog kernel.Program, args ...string) kernel.Exit
 
 // Stats returns a snapshot of policy counters.
 func (b *Box) Stats() Stats {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.stats
+	return Stats{
+		Syscalls:  b.statSyscalls.Load(),
+		ACLChecks: b.statACLChecks.Load(),
+		Denials:   b.statDenials.Load(),
+	}
 }
 
 // Audit returns a copy of the forensic log.
 func (b *Box) Audit() []AuditRecord {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.auditMu.Lock()
+	defer b.auditMu.Unlock()
 	out := make([]AuditRecord, len(b.audit))
 	copy(out, b.audit)
 	return out
 }
 
 func (b *Box) recordAudit(p *kernel.Proc, f *kernel.Frame) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.stats.Syscalls++
+	b.statSyscalls.Add(1)
 	denied := errors.Is(f.Err, vfs.ErrPermission)
 	if denied {
-		b.stats.Denials++
+		b.statDenials.Add(1)
 	}
+	b.auditMu.Lock()
+	defer b.auditMu.Unlock()
 	if len(b.audit) >= b.opts.AuditLimit {
 		b.audit = b.audit[1:]
 	}
@@ -299,8 +313,8 @@ func (b *Box) recordAudit(p *kernel.Proc, f *kernel.Frame) {
 
 // state returns (creating if needed) the per-process supervisor state.
 func (b *Box) state(p *kernel.Proc) *procState {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.procMu.Lock()
+	defer b.procMu.Unlock()
 	st, ok := b.procs[p]
 	if !ok {
 		st = &procState{fds: make(map[int]*boxFD), nextFD: 3}
@@ -319,9 +333,9 @@ func (b *Box) ProcStart(parent, child *kernel.Proc) {
 	if parent == nil {
 		return
 	}
-	b.mu.Lock()
+	b.procMu.Lock()
 	pst := b.procs[parent]
-	b.mu.Unlock()
+	b.procMu.Unlock()
 	if pst == nil {
 		return
 	}
@@ -340,10 +354,10 @@ func (b *Box) ProcStart(parent, child *kernel.Proc) {
 // ProcExit implements kernel.ProcessWatcher: drop supervisor state and
 // close any descriptors the process leaked.
 func (b *Box) ProcExit(p *kernel.Proc, code int) {
-	b.mu.Lock()
+	b.procMu.Lock()
 	st := b.procs[p]
 	delete(b.procs, p)
-	b.mu.Unlock()
+	b.procMu.Unlock()
 	if st != nil {
 		for _, fd := range st.fds {
 			b.closeBoxFD(fd)

@@ -104,14 +104,20 @@ func (b *Box) resolveFinal(p *kernel.Proc, path string) string {
 // loadACL fetches and parses the ACL protecting dir, using the cache
 // when enabled. A missing ACL file yields (nil, nil): the caller falls
 // back to nobody semantics.
+//
+// The cache hit path takes only a shared lock, so any number of
+// concurrent checkers (boxed processes, Chirp exec boxes) resolve
+// cached decisions without serializing; misses fill the cache under
+// the write lock. Cached decisions are parsed once and shared — ACL
+// values are immutable after Parse.
 func (b *Box) loadACL(p *kernel.Proc, dir string) (*acl.ACL, error) {
 	if b.opts.EnableACLCache {
-		b.mu.Lock()
-		if a, ok := b.aclCache[dir]; ok {
-			b.mu.Unlock()
+		b.aclMu.RLock()
+		a, ok := b.aclCache[dir]
+		b.aclMu.RUnlock()
+		if ok {
 			return a, nil
 		}
-		b.mu.Unlock()
 	}
 	d, rel, err := b.driverFor(dir)
 	if err != nil {
@@ -121,9 +127,9 @@ func (b *Box) loadACL(p *kernel.Proc, dir string) (*acl.ACL, error) {
 	if err != nil {
 		if errors.Is(err, vfs.ErrNotExist) {
 			if b.opts.EnableACLCache {
-				b.mu.Lock()
+				b.aclMu.Lock()
 				b.aclCache[dir] = nil
-				b.mu.Unlock()
+				b.aclMu.Unlock()
 			}
 			return nil, nil
 		}
@@ -135,9 +141,9 @@ func (b *Box) loadACL(p *kernel.Proc, dir string) (*acl.ACL, error) {
 		return &acl.ACL{}, nil
 	}
 	if b.opts.EnableACLCache {
-		b.mu.Lock()
+		b.aclMu.Lock()
 		b.aclCache[dir] = a
-		b.mu.Unlock()
+		b.aclMu.Unlock()
 	}
 	return a, nil
 }
@@ -147,16 +153,12 @@ func (b *Box) invalidateACL(dir string) {
 	if !b.opts.EnableACLCache {
 		return
 	}
-	b.mu.Lock()
+	b.aclMu.Lock()
 	delete(b.aclCache, dir)
-	b.mu.Unlock()
+	b.aclMu.Unlock()
 }
 
-func (b *Box) countACLCheck() {
-	b.mu.Lock()
-	b.stats.ACLChecks++
-	b.mu.Unlock()
-}
+func (b *Box) countACLCheck() { b.statACLChecks.Add(1) }
 
 // checkAccess authorizes one access class on the object at path. The
 // ACL examined is the one protecting the directory *containing* the

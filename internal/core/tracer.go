@@ -774,9 +774,9 @@ func (b *Box) entryRename(p *kernel.Proc, f *kernel.Frame) kernel.EntryAction {
 	}
 	// Directory trees may have moved; drop the whole ACL cache.
 	if b.opts.EnableACLCache {
-		b.mu.Lock()
+		b.aclMu.Lock()
 		b.aclCache = make(map[string]*acl.ACL)
-		b.mu.Unlock()
+		b.aclMu.Unlock()
 	}
 	f.SetResult(0)
 	return kernel.ActionNullify

@@ -42,13 +42,21 @@ type ProcessWatcher interface {
 
 // Kernel is a simulated OS instance: one file system, one process table,
 // one program registry. Safe for concurrent use by multiple processes.
+//
+// Locking: the process table and the program registry are independent,
+// so each has its own lock — concurrent Start/exit traffic never
+// contends with program resolution, and the registry lock is a
+// read-mostly RWMutex (registration happens at setup; every spawn only
+// reads). Neither lock is ever held while calling into the VFS.
 type Kernel struct {
 	fs    *vfs.FS
 	model vclock.CostModel
 
-	mu       sync.Mutex
-	procs    map[int]*Proc
-	nextPID  int
+	procMu  sync.Mutex // guards procs and nextPID
+	procs   map[int]*Proc
+	nextPID int
+
+	progMu   sync.RWMutex // guards programs (read-mostly)
 	programs map[string]Program
 }
 
@@ -73,8 +81,8 @@ func (k *Kernel) Model() vclock.CostModel { return k.model }
 // RegisterProgram installs a program under a name referenced by
 // executable files ("#!prog name").
 func (k *Kernel) RegisterProgram(name string, prog Program) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	k.progMu.Lock()
+	defer k.progMu.Unlock()
 	k.programs[name] = prog
 }
 
@@ -124,7 +132,7 @@ func (k *Kernel) newProc(spec ProcSpec) *Proc {
 	if clock == nil {
 		clock = &vclock.Clock{}
 	}
-	k.mu.Lock()
+	k.procMu.Lock()
 	pid := k.nextPID
 	k.nextPID++
 	p := &Proc{
@@ -140,20 +148,20 @@ func (k *Kernel) newProc(spec ProcSpec) *Proc {
 		statuses: make(map[int]int),
 	}
 	k.procs[pid] = p
-	k.mu.Unlock()
+	k.procMu.Unlock()
 	return p
 }
 
 func (k *Kernel) removeProc(p *Proc) {
-	k.mu.Lock()
+	k.procMu.Lock()
 	delete(k.procs, p.pid)
-	k.mu.Unlock()
+	k.procMu.Unlock()
 }
 
 // findProc looks up a live process by pid.
 func (k *Kernel) findProc(pid int) *Proc {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	k.procMu.Lock()
+	defer k.procMu.Unlock()
 	return k.procs[pid]
 }
 
@@ -875,9 +883,9 @@ func (k *Kernel) resolveProgram(p *Proc, path string) (Program, error) {
 		return nil, fmt.Errorf("spawn %s: %w", path, ErrNoSys)
 	}
 	name := strings.TrimSpace(strings.TrimPrefix(line, ProgHeader))
-	k.mu.Lock()
+	k.progMu.RLock()
 	prog, ok := k.programs[name]
-	k.mu.Unlock()
+	k.progMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("spawn %s: program %q not registered: %w", path, name, ErrNotExist)
 	}

@@ -1,0 +1,244 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentMixedOps hammers one FS from many goroutines with a mix
+// of namespace mutations, data I/O and read-only lookups. Run with
+// -race, it exercises the treeMu/inode locking split; the final
+// single-threaded sweep checks the tree is still structurally sound.
+func TestConcurrentMixedOps(t *testing.T) {
+	fs := New("root")
+	if err := fs.MkdirAll("/shared/deep/tree", 0o755, "root"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/shared/deep/tree/common", bytes.Repeat([]byte("c"), 4096), 0o644, "root"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Symlink("/shared/deep/tree/common", "/shared/link", "root"); err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	const iters = 300
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			dir := fmt.Sprintf("/g%d", g)
+			if err := fs.Mkdir(dir, 0o755, "u"); err != nil {
+				errs <- err
+				return
+			}
+			mine := dir + "/file"
+			if err := fs.WriteFile(mine, []byte("seed"), 0o644, "u"); err != nil {
+				errs <- err
+				return
+			}
+			h, err := fs.OpenHandle(mine)
+			if err != nil {
+				errs <- err
+				return
+			}
+			buf := make([]byte, 512)
+			for i := 0; i < iters; i++ {
+				switch i % 10 {
+				case 0: // private write through the path
+					if _, err := fs.WriteAt(mine, bytes.Repeat([]byte{byte(i)}, 256), int64(i%7)*64); err != nil {
+						errs <- err
+						return
+					}
+				case 1: // private write through the handle
+					if _, err := h.WriteAt(buf[:128], int64(i%11)*32); err != nil {
+						errs <- err
+						return
+					}
+				case 2: // namespace churn in the private subtree
+					sub := fmt.Sprintf("%s/d%d", dir, i)
+					if err := fs.Mkdir(sub, 0o755, "u"); err != nil {
+						errs <- err
+						return
+					}
+					if err := fs.Rename(sub, sub+"x"); err != nil {
+						errs <- err
+						return
+					}
+					if err := fs.Rmdir(sub + "x"); err != nil {
+						errs <- err
+						return
+					}
+				case 3: // hard-link churn
+					ln := fmt.Sprintf("%s/l%d", dir, i)
+					if err := fs.Link(mine, ln); err != nil {
+						errs <- err
+						return
+					}
+					if err := fs.Unlink(ln); err != nil {
+						errs <- err
+						return
+					}
+				case 4:
+					if err := fs.Truncate(mine, int64(64+i%256)); err != nil {
+						errs <- err
+						return
+					}
+				case 5:
+					if err := fs.Chmod(mine, 0o600); err != nil {
+						errs <- err
+						return
+					}
+				default: // shared read-only traffic
+					if _, err := fs.Stat("/shared/deep/tree/common"); err != nil {
+						errs <- err
+						return
+					}
+					if _, err := fs.Lstat("/shared/link"); err != nil {
+						errs <- err
+						return
+					}
+					if _, err := fs.Readlink("/shared/link"); err != nil {
+						errs <- err
+						return
+					}
+					if _, err := fs.ReadDir("/shared/deep/tree"); err != nil {
+						errs <- err
+						return
+					}
+					if _, err := fs.ReadAt("/shared/link", buf, 0); err != nil {
+						errs <- err
+						return
+					}
+					if _, err := h.ReadAt(buf, 0); err != nil {
+						errs <- err
+						return
+					}
+					h.Stat()
+					h.Size()
+				}
+			}
+			errs <- nil
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The shared file was never written; contents must be intact.
+	data, err := fs.ReadFile("/shared/deep/tree/common")
+	if err != nil || len(data) != 4096 {
+		t.Fatalf("shared file after stress: %d bytes, %v", len(data), err)
+	}
+	// Every private subtree still resolves and holds exactly one file.
+	for g := 0; g < goroutines; g++ {
+		ents, err := fs.ReadDir(fmt.Sprintf("/g%d", g))
+		if err != nil || len(ents) != 1 || ents[0].Name != "file" {
+			t.Fatalf("goroutine %d subtree: %v, %v", g, ents, err)
+		}
+	}
+	if n := fs.TotalInodes(); n == 0 {
+		t.Fatal("TotalInodes = 0")
+	}
+}
+
+// TestConcurrentCreateUniqueInodes checks that the atomic inode counter
+// never hands out duplicates under contention.
+func TestConcurrentCreateUniqueInodes(t *testing.T) {
+	fs := New("root")
+	const goroutines = 8
+	const perG = 200
+	inos := make([][]uint64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				st, err := fs.Create(fmt.Sprintf("/f-%d-%d", g, i), 0o644, "u")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				inos[g] = append(inos[g], st.Ino)
+			}
+		}(g)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool, goroutines*perG)
+	for _, list := range inos {
+		for _, ino := range list {
+			if seen[ino] {
+				t.Fatalf("duplicate inode number %d", ino)
+			}
+			seen[ino] = true
+		}
+	}
+	if len(seen) != goroutines*perG {
+		t.Fatalf("got %d inodes, want %d", len(seen), goroutines*perG)
+	}
+}
+
+// TestConcurrentSnapshotDuringIO saves snapshots while writers mutate
+// the tree: Save must produce a structurally valid image under load.
+func TestConcurrentSnapshotDuringIO(t *testing.T) {
+	fs := New("root")
+	for i := 0; i < 4; i++ {
+		if err := fs.WriteFile(fmt.Sprintf("/base%d", i), []byte("stable"), 0o644, "root"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := fmt.Sprintf("/w%d-%d", w, i%20)
+				if err := fs.WriteFile(p, bytes.Repeat([]byte{byte(i)}, 100), 0o644, "u"); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%3 == 0 {
+					if err := fs.Unlink(p); err != nil && !errors.Is(err, ErrNotExist) {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 10; i++ {
+		var buf bytes.Buffer
+		if err := fs.Save(&buf); err != nil {
+			t.Fatalf("save %d: %v", i, err)
+		}
+		restored, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("load %d: %v", i, err)
+		}
+		for j := 0; j < 4; j++ {
+			data, err := restored.ReadFile(fmt.Sprintf("/base%d", j))
+			if err != nil || string(data) != "stable" {
+				t.Fatalf("restored base%d = %q, %v", j, data, err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -4,6 +4,10 @@ package vfs
 // handle keeps working after the name is renamed or unlinked, exactly as
 // an open fd does in Unix. The kernel's file-descriptor table and the
 // identity-box supervisor's open-file table are built on handles.
+//
+// Handle I/O takes only the pinned inode's lock — never the namespace
+// lock — so reads and writes through handles on distinct files proceed
+// fully in parallel.
 type Handle struct {
 	fs *FS
 	n  *Inode
@@ -11,36 +15,36 @@ type Handle struct {
 
 // OpenHandle resolves path (following symlinks) and pins its inode.
 func (fs *FS) OpenHandle(path string) (*Handle, error) {
-	fs.mu.RLock()
-	n, _, _, err := fs.resolve(path, true, 0)
-	fs.mu.RUnlock()
+	n, err := fs.resolveShared(path, true)
 	if err != nil {
 		return nil, &PathError{"open", path, err}
 	}
 	return &Handle{fs: fs, n: n}, nil
 }
 
-// Stat reports the pinned inode's metadata.
+// Stat reports the pinned inode's metadata. The link count is read under
+// the namespace lock, like any stat.
 func (h *Handle) Stat() Stat {
-	h.fs.mu.RLock()
-	defer h.fs.mu.RUnlock()
-	return h.fs.statOf(h.n)
+	h.fs.treeMu.RLock()
+	nlink := h.n.nlink
+	h.fs.treeMu.RUnlock()
+	return h.fs.statOf(h.n, nlink)
 }
 
 // IsDir reports whether the handle refers to a directory.
-func (h *Handle) IsDir() bool { return h.Stat().Type == TypeDir }
+func (h *Handle) IsDir() bool { return h.n.ftype == TypeDir }
 
 // ReadAt copies data starting at off into p. Reads at or past EOF return
 // 0, nil.
 func (h *Handle) ReadAt(p []byte, off int64) (int, error) {
-	h.fs.mu.RLock()
-	defer h.fs.mu.RUnlock()
 	if h.n.ftype == TypeDir {
 		return 0, &PathError{"read", "(fd)", ErrIsDir}
 	}
 	if off < 0 {
 		return 0, &PathError{"read", "(fd)", ErrInvalid}
 	}
+	h.n.mu.RLock()
+	defer h.n.mu.RUnlock()
 	if off >= int64(len(h.n.data)) {
 		return 0, nil
 	}
@@ -49,14 +53,14 @@ func (h *Handle) ReadAt(p []byte, off int64) (int, error) {
 
 // WriteAt writes p at off, extending the file (zero-filled) as needed.
 func (h *Handle) WriteAt(p []byte, off int64) (int, error) {
-	h.fs.mu.Lock()
-	defer h.fs.mu.Unlock()
 	if h.n.ftype == TypeDir {
 		return 0, &PathError{"write", "(fd)", ErrIsDir}
 	}
 	if off < 0 {
 		return 0, &PathError{"write", "(fd)", ErrInvalid}
 	}
+	h.n.mu.Lock()
+	defer h.n.mu.Unlock()
 	end := off + int64(len(p))
 	if end > int64(len(h.n.data)) {
 		grown := make([]byte, end)
@@ -64,20 +68,20 @@ func (h *Handle) WriteAt(p []byte, off int64) (int, error) {
 		h.n.data = grown
 	}
 	copy(h.n.data[off:end], p)
-	h.n.mtime = h.fs.tick()
+	h.n.mtime.Store(h.fs.tick())
 	return len(p), nil
 }
 
 // Truncate sets the pinned file's length.
 func (h *Handle) Truncate(size int64) error {
-	h.fs.mu.Lock()
-	defer h.fs.mu.Unlock()
 	if h.n.ftype == TypeDir {
 		return &PathError{"truncate", "(fd)", ErrIsDir}
 	}
 	if size < 0 {
 		return &PathError{"truncate", "(fd)", ErrInvalid}
 	}
+	h.n.mu.Lock()
+	defer h.n.mu.Unlock()
 	switch {
 	case size <= int64(len(h.n.data)):
 		h.n.data = h.n.data[:size]
@@ -86,16 +90,16 @@ func (h *Handle) Truncate(size int64) error {
 		copy(grown, h.n.data)
 		h.n.data = grown
 	}
-	h.n.mtime = h.fs.tick()
+	h.n.mtime.Store(h.fs.tick())
 	return nil
 }
 
 // Size reports the current file length.
 func (h *Handle) Size() int64 {
-	h.fs.mu.RLock()
-	defer h.fs.mu.RUnlock()
 	if h.n.ftype == TypeSymlink {
 		return int64(len(h.n.target))
 	}
+	h.n.mu.RLock()
+	defer h.n.mu.RUnlock()
 	return int64(len(h.n.data))
 }

@@ -35,10 +35,12 @@ type snapImage struct {
 
 const snapVersion = 1
 
-// Save writes a snapshot of the file system.
+// Save writes a snapshot of the file system. The namespace lock is held
+// shared across the walk (freezing the tree shape) and each inode's own
+// lock is taken briefly while its contents are copied.
 func (fs *FS) Save(w io.Writer) error {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
+	fs.treeMu.RLock()
+	defer fs.treeMu.RUnlock()
 
 	ids := map[*Inode]uint64{}
 	var nodes []snapNode
@@ -50,17 +52,20 @@ func (fs *FS) Save(w io.Writer) error {
 		id := uint64(len(nodes) + 1)
 		ids[n] = id
 		nodes = append(nodes, snapNode{}) // reserve slot
+		n.mu.RLock()
 		sn := snapNode{
 			ID:    id,
 			Type:  n.ftype,
 			Mode:  n.mode,
 			Owner: n.owner,
 			Group: n.group,
-			Mtime: n.mtime,
+			Mtime: n.mtime.Load(),
 		}
-		switch n.ftype {
-		case TypeRegular:
+		if n.ftype == TypeRegular {
 			sn.Data = append([]byte(nil), n.data...)
+		}
+		n.mu.RUnlock()
+		switch n.ftype {
 		case TypeSymlink:
 			sn.Target = n.target
 		case TypeDir:
@@ -73,7 +78,7 @@ func (fs *FS) Save(w io.Writer) error {
 		return id
 	}
 	root := walk(fs.root)
-	img := snapImage{Version: snapVersion, Nodes: nodes, Root: root, Clock: fs.clock}
+	img := snapImage{Version: snapVersion, Nodes: nodes, Root: root, Clock: fs.clock.Load()}
 	return gob.NewEncoder(w).Encode(&img)
 }
 
@@ -94,8 +99,8 @@ func Load(r io.Reader) (*FS, error) {
 			mode:  sn.Mode,
 			owner: sn.Owner,
 			group: sn.Group,
-			mtime: sn.Mtime,
 		}
+		n.mtime.Store(sn.Mtime)
 		switch sn.Type {
 		case TypeRegular:
 			n.data = append([]byte(nil), sn.Data...)
@@ -137,5 +142,7 @@ func Load(r io.Reader) (*FS, error) {
 			}
 		}
 	}
-	return &FS{root: root, clock: img.Clock}, nil
+	fs := &FS{root: root}
+	fs.clock.Store(img.Clock)
+	return fs, nil
 }

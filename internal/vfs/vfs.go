@@ -5,8 +5,11 @@
 // The file system supports regular files, directories, symbolic links
 // and hard links, Unix permission bits with string owners, rename,
 // truncate and deterministic (sorted) directory listing. It is safe for
-// concurrent use; a single file-system lock is sufficient at simulation
-// scale and keeps the semantics easy to audit.
+// concurrent use and built to scale with cores: a read-mostly namespace
+// lock covers path resolution and the directory tree, while file
+// contents and mutable metadata are guarded per inode, so independent
+// requests — a read of one file, a write of another, a stat of a third —
+// proceed in parallel. See DESIGN.md §6 for the locking hierarchy.
 //
 // Access control is intentionally split: the VFS enforces nothing by
 // itself. Unix-permission checks and ACL checks are made by the callers
@@ -19,6 +22,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // FileType distinguishes the kinds of inode.
@@ -84,32 +88,39 @@ func (e *PathError) Unwrap() error { return e.Err }
 
 const maxSymlinks = 40
 
-var inoCounter struct {
-	mu sync.Mutex
-	n  uint64
-}
+// inoCounter is the global inode-number source, shared across file
+// systems so handles are never confused between instances.
+var inoCounter atomic.Uint64
 
-func nextIno() uint64 {
-	inoCounter.mu.Lock()
-	defer inoCounter.mu.Unlock()
-	inoCounter.n++
-	return inoCounter.n
-}
+func nextIno() uint64 { return inoCounter.Add(1) }
 
-// Inode is one file-system object. Fields are owned by the enclosing FS
-// lock; callers outside this package must treat inodes as opaque except
+// Inode is one file-system object.
+//
+// Field ownership (the locking hierarchy is FS.treeMu before Inode.mu;
+// at most one inode lock is ever held at a time):
+//
+//   - ino, ftype, target: immutable after creation, read lock-free;
+//   - children, nlink: namespace state, guarded by FS.treeMu;
+//   - mode, owner, group, data: guarded by this inode's mu;
+//   - mtime: updated and read atomically (writers may hold either lock).
+//
+// Callers outside this package must treat inodes as opaque except
 // through FS methods and the Stat result.
 type Inode struct {
-	ino      uint64
-	ftype    FileType
-	mode     uint32
-	owner    string
-	group    string
-	nlink    int
-	data     []byte
-	children map[string]*Inode
-	target   string // symlink target
-	mtime    int64  // virtual timestamp, monotonic event counter
+	ino    uint64   // immutable
+	ftype  FileType // immutable
+	target string   // symlink target; immutable
+
+	mu    sync.RWMutex // guards mode, owner, group, data
+	mode  uint32
+	owner string
+	group string
+	data  []byte
+
+	nlink    int               // guarded by FS.treeMu
+	children map[string]*Inode // guarded by FS.treeMu
+
+	mtime atomic.Int64 // virtual timestamp, monotonic event counter
 }
 
 // Stat is the metadata snapshot returned by stat-family calls.
@@ -134,10 +145,17 @@ type DirEntry struct {
 }
 
 // FS is an in-memory file system rooted at "/". Create one with New.
+//
+// Locking: treeMu is the read-mostly namespace lock, taken shared for
+// path resolution and directory listing and exclusively only by
+// operations that change the tree shape (create, unlink, mkdir, rmdir,
+// link, symlink, rename). Per-file I/O resolves the path under the
+// shared lock and then operates under the target inode's own lock, so
+// data operations on distinct files run fully in parallel.
 type FS struct {
-	mu    sync.RWMutex
-	root  *Inode
-	clock int64 // monotonic event counter used for mtimes
+	treeMu sync.RWMutex
+	root   *Inode
+	clock  atomic.Int64 // monotonic event counter used for mtimes
 }
 
 // New returns an empty file system whose root directory is owned by
@@ -155,10 +173,7 @@ func New(owner string) *FS {
 	return fs
 }
 
-func (fs *FS) tick() int64 {
-	fs.clock++
-	return fs.clock
-}
+func (fs *FS) tick() int64 { return fs.clock.Add(1) }
 
 // SplitPath cleans an absolute slash-separated path into components.
 // "" and "/" yield an empty slice. Relative paths are interpreted
@@ -210,7 +225,8 @@ func Base(path string) string {
 // resolve walks the path and returns the target inode. When followLast
 // is false a trailing symlink is returned rather than followed.
 // It also returns the parent directory inode and the final component
-// name (empty for the root). Callers hold fs.mu.
+// name (empty for the root). Callers hold fs.treeMu (shared or
+// exclusive).
 func (fs *FS) resolve(path string, followLast bool, depth int) (node, parent *Inode, base string, err error) {
 	if depth > maxSymlinks {
 		return nil, nil, "", ErrLoop
@@ -253,7 +269,20 @@ func (fs *FS) resolve(path string, followLast bool, depth int) (node, parent *In
 	return cur, par, parts[len(parts)-1], nil
 }
 
-// lookupDir resolves path to an existing directory.
+// resolveShared resolves path to an existing inode under the shared
+// namespace lock, releasing it before returning. The caller then
+// operates on the inode under its own lock; an inode unlinked in the
+// window behaves like an open descriptor to a removed file, exactly as
+// in Unix.
+func (fs *FS) resolveShared(path string, followLast bool) (*Inode, error) {
+	fs.treeMu.RLock()
+	n, _, _, err := fs.resolve(path, followLast, 0)
+	fs.treeMu.RUnlock()
+	return n, err
+}
+
+// lookupDir resolves path to an existing directory. Callers hold
+// fs.treeMu.
 func (fs *FS) lookupDir(op, path string) (*Inode, error) {
 	n, _, _, err := fs.resolve(path, true, 0)
 	if err != nil {
@@ -267,8 +296,8 @@ func (fs *FS) lookupDir(op, path string) (*Inode, error) {
 
 // Mkdir creates a directory. The parent must exist.
 func (fs *FS) Mkdir(path string, mode uint32, owner string) error {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.treeMu.Lock()
+	defer fs.treeMu.Unlock()
 	n, parent, base, err := fs.resolve(path, true, 0)
 	if err == nil {
 		_ = n
@@ -284,11 +313,11 @@ func (fs *FS) Mkdir(path string, mode uint32, owner string) error {
 		owner:    owner,
 		nlink:    2,
 		children: make(map[string]*Inode),
-		mtime:    fs.tick(),
 	}
+	child.mtime.Store(fs.tick())
 	parent.children[base] = child
 	parent.nlink++
-	parent.mtime = fs.tick()
+	parent.mtime.Store(fs.tick())
 	return nil
 }
 
@@ -308,17 +337,19 @@ func (fs *FS) MkdirAll(path string, mode uint32, owner string) error {
 
 // Create makes (or truncates) a regular file and returns its stat.
 func (fs *FS) Create(path string, mode uint32, owner string) (Stat, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.treeMu.Lock()
+	defer fs.treeMu.Unlock()
 	n, parent, base, err := fs.resolve(path, true, 0)
 	switch {
 	case err == nil:
 		if n.ftype == TypeDir {
 			return Stat{}, &PathError{"create", path, ErrIsDir}
 		}
+		n.mu.Lock()
 		n.data = n.data[:0]
-		n.mtime = fs.tick()
-		return fs.statOf(n), nil
+		n.mu.Unlock()
+		n.mtime.Store(fs.tick())
+		return fs.statOf(n, n.nlink), nil
 	case errors.Is(err, ErrNotExist) && parent != nil:
 		child := &Inode{
 			ino:   nextIno(),
@@ -326,53 +357,59 @@ func (fs *FS) Create(path string, mode uint32, owner string) (Stat, error) {
 			mode:  mode,
 			owner: owner,
 			nlink: 1,
-			mtime: fs.tick(),
 		}
+		child.mtime.Store(fs.tick())
 		parent.children[base] = child
-		parent.mtime = fs.tick()
-		return fs.statOf(child), nil
+		parent.mtime.Store(fs.tick())
+		return fs.statOf(child, child.nlink), nil
 	default:
 		return Stat{}, &PathError{"create", path, err}
 	}
 }
 
-func (fs *FS) statOf(n *Inode) Stat {
+// statOf snapshots an inode's metadata. nlink is namespace state, so the
+// caller supplies the value it read under fs.treeMu (handles, which hold
+// no namespace lock, pass a best-effort value read the same way).
+func (fs *FS) statOf(n *Inode, nlink int) Stat {
+	n.mu.RLock()
 	size := int64(len(n.data))
-	if n.ftype == TypeSymlink {
-		size = int64(len(n.target))
-	}
-	return Stat{
+	st := Stat{
 		Ino:   n.ino,
 		Type:  n.ftype,
 		Mode:  n.mode,
 		Owner: n.owner,
 		Group: n.group,
-		Nlink: n.nlink,
+		Nlink: nlink,
 		Size:  size,
-		Mtime: n.mtime,
+		Mtime: n.mtime.Load(),
 	}
+	n.mu.RUnlock()
+	if n.ftype == TypeSymlink {
+		st.Size = int64(len(n.target))
+	}
+	return st
 }
 
 // Stat follows symlinks and reports metadata for path.
 func (fs *FS) Stat(path string) (Stat, error) {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
+	fs.treeMu.RLock()
+	defer fs.treeMu.RUnlock()
 	n, _, _, err := fs.resolve(path, true, 0)
 	if err != nil {
 		return Stat{}, &PathError{"stat", path, err}
 	}
-	return fs.statOf(n), nil
+	return fs.statOf(n, n.nlink), nil
 }
 
 // Lstat reports metadata for path without following a final symlink.
 func (fs *FS) Lstat(path string) (Stat, error) {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
+	fs.treeMu.RLock()
+	defer fs.treeMu.RUnlock()
 	n, _, _, err := fs.resolve(path, false, 0)
 	if err != nil {
 		return Stat{}, &PathError{"lstat", path, err}
 	}
-	return fs.statOf(n), nil
+	return fs.statOf(n, n.nlink), nil
 }
 
 // Exists reports whether path resolves to an object.
@@ -383,8 +420,8 @@ func (fs *FS) Exists(path string) bool {
 
 // ReadDir lists a directory in sorted order.
 func (fs *FS) ReadDir(path string) ([]DirEntry, error) {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
+	fs.treeMu.RLock()
+	defer fs.treeMu.RUnlock()
 	dir, err := fs.lookupDir("readdir", path)
 	if err != nil {
 		return nil, err
@@ -401,9 +438,7 @@ func (fs *FS) ReadDir(path string) ([]DirEntry, error) {
 // of bytes copied. Reading at or past EOF returns 0, nil (the kernel
 // layers EOF semantics above this).
 func (fs *FS) ReadAt(path string, p []byte, off int64) (int, error) {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	n, _, _, err := fs.resolve(path, true, 0)
+	n, err := fs.resolveShared(path, true)
 	if err != nil {
 		return 0, &PathError{"read", path, err}
 	}
@@ -413,6 +448,8 @@ func (fs *FS) ReadAt(path string, p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, &PathError{"read", path, ErrInvalid}
 	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	if off >= int64(len(n.data)) {
 		return 0, nil
 	}
@@ -422,9 +459,7 @@ func (fs *FS) ReadAt(path string, p []byte, off int64) (int, error) {
 // WriteAt writes p into the file at off, extending it (zero-filled) as
 // needed, and reports the number of bytes written.
 func (fs *FS) WriteAt(path string, p []byte, off int64) (int, error) {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	n, _, _, err := fs.resolve(path, true, 0)
+	n, err := fs.resolveShared(path, true)
 	if err != nil {
 		return 0, &PathError{"write", path, err}
 	}
@@ -434,6 +469,8 @@ func (fs *FS) WriteAt(path string, p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, &PathError{"write", path, ErrInvalid}
 	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	end := off + int64(len(p))
 	if end > int64(len(n.data)) {
 		grown := make([]byte, end)
@@ -441,15 +478,13 @@ func (fs *FS) WriteAt(path string, p []byte, off int64) (int, error) {
 		n.data = grown
 	}
 	copy(n.data[off:end], p)
-	n.mtime = fs.tick()
+	n.mtime.Store(fs.tick())
 	return len(p), nil
 }
 
 // Truncate sets the file's length, extending with zeros if needed.
 func (fs *FS) Truncate(path string, size int64) error {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	n, _, _, err := fs.resolve(path, true, 0)
+	n, err := fs.resolveShared(path, true)
 	if err != nil {
 		return &PathError{"truncate", path, err}
 	}
@@ -459,6 +494,8 @@ func (fs *FS) Truncate(path string, size int64) error {
 	if size < 0 {
 		return &PathError{"truncate", path, ErrInvalid}
 	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	switch {
 	case size <= int64(len(n.data)):
 		n.data = n.data[:size]
@@ -467,14 +504,14 @@ func (fs *FS) Truncate(path string, size int64) error {
 		copy(grown, n.data)
 		n.data = grown
 	}
-	n.mtime = fs.tick()
+	n.mtime.Store(fs.tick())
 	return nil
 }
 
 // Unlink removes a file or symlink (not a directory).
 func (fs *FS) Unlink(path string) error {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.treeMu.Lock()
+	defer fs.treeMu.Unlock()
 	n, parent, base, err := fs.resolve(path, false, 0)
 	if err != nil {
 		return &PathError{"unlink", path, err}
@@ -484,14 +521,14 @@ func (fs *FS) Unlink(path string) error {
 	}
 	delete(parent.children, base)
 	n.nlink--
-	parent.mtime = fs.tick()
+	parent.mtime.Store(fs.tick())
 	return nil
 }
 
 // Rmdir removes an empty directory.
 func (fs *FS) Rmdir(path string) error {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.treeMu.Lock()
+	defer fs.treeMu.Unlock()
 	n, parent, base, err := fs.resolve(path, false, 0)
 	if err != nil {
 		return &PathError{"rmdir", path, err}
@@ -507,14 +544,14 @@ func (fs *FS) Rmdir(path string) error {
 	}
 	delete(parent.children, base)
 	parent.nlink--
-	parent.mtime = fs.tick()
+	parent.mtime.Store(fs.tick())
 	return nil
 }
 
 // Symlink creates a symbolic link at linkPath pointing at target.
 func (fs *FS) Symlink(target, linkPath string, owner string) error {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.treeMu.Lock()
+	defer fs.treeMu.Unlock()
 	_, parent, base, err := fs.resolve(linkPath, false, 0)
 	if err == nil {
 		return &PathError{"symlink", linkPath, ErrExist}
@@ -522,24 +559,23 @@ func (fs *FS) Symlink(target, linkPath string, owner string) error {
 	if !errors.Is(err, ErrNotExist) || parent == nil {
 		return &PathError{"symlink", linkPath, err}
 	}
-	parent.children[base] = &Inode{
+	child := &Inode{
 		ino:    nextIno(),
 		ftype:  TypeSymlink,
 		mode:   0o777,
 		owner:  owner,
 		nlink:  1,
 		target: target,
-		mtime:  fs.tick(),
 	}
-	parent.mtime = fs.tick()
+	child.mtime.Store(fs.tick())
+	parent.children[base] = child
+	parent.mtime.Store(fs.tick())
 	return nil
 }
 
 // Readlink reports the target of a symlink.
 func (fs *FS) Readlink(path string) (string, error) {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	n, _, _, err := fs.resolve(path, false, 0)
+	n, err := fs.resolveShared(path, false)
 	if err != nil {
 		return "", &PathError{"readlink", path, err}
 	}
@@ -552,8 +588,8 @@ func (fs *FS) Readlink(path string) (string, error) {
 // Link creates a hard link newPath referring to the same inode as
 // oldPath. Directories cannot be hard-linked.
 func (fs *FS) Link(oldPath, newPath string) error {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.treeMu.Lock()
+	defer fs.treeMu.Unlock()
 	src, _, _, err := fs.resolve(oldPath, true, 0)
 	if err != nil {
 		return &PathError{"link", oldPath, err}
@@ -570,15 +606,15 @@ func (fs *FS) Link(oldPath, newPath string) error {
 	}
 	parent.children[base] = src
 	src.nlink++
-	parent.mtime = fs.tick()
+	parent.mtime.Store(fs.tick())
 	return nil
 }
 
 // Rename atomically moves oldPath to newPath, replacing a non-directory
 // target if one exists.
 func (fs *FS) Rename(oldPath, newPath string) error {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.treeMu.Lock()
+	defer fs.treeMu.Unlock()
 	src, srcParent, srcBase, err := fs.resolve(oldPath, false, 0)
 	if err != nil {
 		return &PathError{"rename", oldPath, err}
@@ -623,11 +659,13 @@ func (fs *FS) Rename(oldPath, newPath string) error {
 		srcParent.nlink--
 		dstParent.nlink++
 	}
-	srcParent.mtime = fs.tick()
-	dstParent.mtime = fs.tick()
+	srcParent.mtime.Store(fs.tick())
+	dstParent.mtime.Store(fs.tick())
 	return nil
 }
 
+// isAncestor reports whether n lies in maybeAncestor's subtree. Callers
+// hold fs.treeMu.
 func (fs *FS) isAncestor(maybeAncestor, n *Inode) bool {
 	if n == nil {
 		return false
@@ -645,30 +683,30 @@ func (fs *FS) isAncestor(maybeAncestor, n *Inode) bool {
 
 // Chmod sets the permission bits.
 func (fs *FS) Chmod(path string, mode uint32) error {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	n, _, _, err := fs.resolve(path, true, 0)
+	n, err := fs.resolveShared(path, true)
 	if err != nil {
 		return &PathError{"chmod", path, err}
 	}
+	n.mu.Lock()
 	n.mode = mode & 0o7777
-	n.mtime = fs.tick()
+	n.mu.Unlock()
+	n.mtime.Store(fs.tick())
 	return nil
 }
 
 // Chown sets the owner (and optionally group) of path.
 func (fs *FS) Chown(path, owner, group string) error {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	n, _, _, err := fs.resolve(path, true, 0)
+	n, err := fs.resolveShared(path, true)
 	if err != nil {
 		return &PathError{"chown", path, err}
 	}
+	n.mu.Lock()
 	n.owner = owner
 	if group != "" {
 		n.group = group
 	}
-	n.mtime = fs.tick()
+	n.mu.Unlock()
+	n.mtime.Store(fs.tick())
 	return nil
 }
 
@@ -686,19 +724,16 @@ func (fs *FS) WriteFile(path string, data []byte, mode uint32, owner string) err
 
 // ReadFile returns the full contents of a file.
 func (fs *FS) ReadFile(path string) ([]byte, error) {
-	st, err := fs.Stat(path)
+	n, err := fs.resolveShared(path, true)
 	if err != nil {
-		return nil, err
+		return nil, &PathError{"read", path, err}
 	}
-	if st.IsDir() {
+	if n.ftype == TypeDir {
 		return nil, &PathError{"read", path, ErrIsDir}
 	}
-	buf := make([]byte, st.Size)
-	n, err := fs.ReadAt(path, buf, 0)
-	if err != nil {
-		return nil, err
-	}
-	return buf[:n], nil
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return append([]byte(nil), n.data...), nil
 }
 
 // Size reports the length of a file in bytes.
@@ -713,8 +748,8 @@ func (fs *FS) Size(path string) (int64, error) {
 // TotalInodes walks the tree and reports the number of distinct inodes,
 // a useful invariant for tests.
 func (fs *FS) TotalInodes() int {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
+	fs.treeMu.RLock()
+	defer fs.treeMu.RUnlock()
 	seen := map[*Inode]bool{}
 	var walk func(n *Inode)
 	walk = func(n *Inode) {
