@@ -3,10 +3,14 @@
 //
 // Usage:
 //
-//	benchfig [-fig 1|4|5a|5b|all] [-scale f]
+//	benchfig [-fig 1|4|5a|5b|all] [-scale f] [-metrics file]
 //
 // -scale shrinks the Figure 5(b) workloads (1.0 = paper-sized runs;
-// overhead percentages are scale-invariant).
+// overhead percentages are scale-invariant). -metrics dumps the
+// telemetry collected during the Figure 5(a) runs (per-class latency
+// histograms and box counters) as Prometheus text exposition to the
+// given file, or to stdout with "-". Instrumentation charges no
+// virtual time, so the figures are bit-identical with or without it.
 package main
 
 import (
@@ -16,11 +20,13 @@ import (
 	"os"
 
 	"identitybox/internal/harness"
+	"identitybox/internal/obs"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "which figure to regenerate: 1, 4, 5a, 5b, burden, all")
 	scale := flag.Float64("scale", 0.05, "workload scale factor for figure 5(b)")
+	metrics := flag.String("metrics", "", `dump figure 5(a) telemetry to this file ("-" for stdout)`)
 	flag.Parse()
 
 	switch *fig {
@@ -29,7 +35,7 @@ func main() {
 	case "4":
 		figure4()
 	case "5a":
-		figure5a()
+		figure5a(*metrics)
 	case "5b":
 		figure5b(*scale)
 	case "burden":
@@ -43,7 +49,7 @@ func main() {
 		fmt.Println()
 		figure4()
 		fmt.Println()
-		figure5a()
+		figure5a(*metrics)
 		fmt.Println()
 		figure5b(*scale)
 		fmt.Println()
@@ -103,12 +109,28 @@ func figure4() {
 	fmt.Printf("  audit record: %s\n", res.AuditLine)
 }
 
-func figure5a() {
-	rows, err := harness.RunFigure5a()
+func figure5a(metricsOut string) {
+	var reg *obs.Registry
+	if metricsOut != "" {
+		reg = obs.NewRegistry()
+	}
+	rows, err := harness.RunFigure5aObserved(reg)
 	if err != nil {
 		log.Fatalf("figure 5a: %v", err)
 	}
 	fmt.Print(harness.RenderFigure5a(rows))
+	if reg == nil {
+		return
+	}
+	text := reg.Text()
+	if metricsOut == "-" {
+		fmt.Println()
+		fmt.Print(text)
+		return
+	}
+	if err := os.WriteFile(metricsOut, []byte(text), 0o644); err != nil {
+		log.Fatalf("metrics dump: %v", err)
+	}
 }
 
 func figure5b(scale float64) {

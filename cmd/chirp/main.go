@@ -21,6 +21,9 @@
 //	exec <cwd> <path> [args...] run a staged program in an identity box
 //	stage <prog> <remote>       stage an executable dispatching to a
 //	                            server-registered program name
+//	stats                       show the server's live counters
+//	metrics                     dump the server's metric registry
+//	                            (Prometheus text exposition)
 //
 // Authentication: -user sends a unix assertion; with -user "" the
 // hostname method is used.
@@ -198,6 +201,27 @@ func dispatch(cl *chirp.Client, cmd string, args []string) error {
 			return err
 		}
 		return cl.PutFile(args[1], kernel.ExecutableBytes(args[0]), 0o755)
+	case "stats":
+		st, err := cl.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("server    %s\n", st.Name)
+		fmt.Printf("conns     %d\n", st.Conns)
+		fmt.Printf("sessions  %d\n", st.Sessions)
+		fmt.Printf("requests  %d\n", st.Requests)
+		fmt.Printf("errors    %d\n", st.Errors)
+		fmt.Printf("rx bytes  %d\n", st.RxBytes)
+		fmt.Printf("tx bytes  %d\n", st.TxBytes)
+		fmt.Printf("this session: %d fds, %d grants\n", st.FDs, st.Grants)
+		return nil
+	case "metrics":
+		text, err := cl.Metrics()
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
+		return nil
 	default:
 		return fmt.Errorf("unknown command")
 	}

@@ -5,7 +5,12 @@
 // Usage:
 //
 //	chirpd [-addr host:port] [-owner name] [-root-acl "pattern rights;..."]
-//	       [-catalog addr] [-name label] [-v]
+//	       [-catalog addr] [-name label] [-metrics host:port] [-v]
+//
+// -metrics serves the server's telemetry over HTTP: Prometheus text
+// exposition at /metrics (JSON with ?format=json), expvar at
+// /debug/vars, and pprof under /debug/pprof/. The same counters are
+// also reachable over the Chirp wire ("chirp stats" / "chirp metrics").
 //
 // The exported file system is a fresh in-memory volume; a handful of
 // demo programs (echo, sum, sim) are pre-registered for remote exec.
@@ -18,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"os/signal"
 	"strings"
@@ -26,6 +33,7 @@ import (
 	"identitybox/internal/auth"
 	"identitybox/internal/chirp"
 	"identitybox/internal/kernel"
+	"identitybox/internal/obs"
 	"identitybox/internal/vclock"
 	"identitybox/internal/vfs"
 )
@@ -37,6 +45,7 @@ func main() {
 	catalog := flag.String("catalog", "", "catalog address for heartbeats")
 	name := flag.String("name", "", "advertised server name")
 	state := flag.String("state", "", "snapshot file: loaded at startup, saved at shutdown")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	verbose := flag.Bool("v", false, "log every request")
 	flag.Parse()
 
@@ -60,11 +69,13 @@ func main() {
 	k := kernel.New(fs, vclock.Default())
 	registerDemoPrograms(k)
 
+	reg := obs.NewRegistry()
 	opts := chirp.ServerOptions{
 		Name:        *name,
 		Owner:       *owner,
 		RootACL:     a,
 		CatalogAddr: *catalog,
+		Metrics:     reg,
 		Verifiers: map[auth.Method]auth.Verifier{
 			auth.MethodUnix:     &auth.UnixVerifier{},
 			auth.MethodHostname: &auth.HostnameVerifier{},
@@ -79,6 +90,17 @@ func main() {
 	}
 	if err := srv.Listen(*addr); err != nil {
 		log.Fatal(err)
+	}
+	if *metricsAddr != "" {
+		reg.PublishExpvar("chirpd")
+		// The default mux already carries expvar and pprof handlers.
+		http.Handle("/metrics", reg.Handler())
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, nil); err != nil {
+				log.Printf("chirpd: metrics server: %v", err)
+			}
+		}()
+		fmt.Printf("chirpd: metrics on http://%s/metrics\n", *metricsAddr)
 	}
 	fmt.Printf("chirpd: serving on %s as %s (root ACL: %s)\n", srv.Addr(), *owner,
 		strings.ReplaceAll(strings.TrimSpace(a.String()), "\n", "; "))

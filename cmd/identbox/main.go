@@ -7,6 +7,12 @@
 //
 //	identbox -identity NAME [-app amanda|blast|cms|hf|ibis|make|snoop]
 //	         [-script FILE | -trace FILE] [-scale f] [-audit n] [-compare]
+//	         [-metrics host:port|-]
+//
+// -metrics exposes the box's telemetry: with an address, the registry
+// (plus expvar and pprof) is served over HTTP after the run; with "-",
+// the Prometheus text exposition is printed to stdout. The per-class
+// syscall latency histograms cover the Figure 5(a) categories.
 //
 // The "snoop" app is a hostile probe that tries to read the supervising
 // user's files, demonstrating containment; the others are the paper's
@@ -20,12 +26,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 
 	"identitybox/internal/core"
 	"identitybox/internal/harness"
 	"identitybox/internal/identity"
 	"identitybox/internal/kernel"
+	"identitybox/internal/obs"
 	"identitybox/internal/shell"
 	"identitybox/internal/workload"
 )
@@ -39,6 +48,7 @@ func main() {
 	auditN := flag.Int("audit", 10, "audit-log lines to print (0 disables)")
 	compare := flag.Bool("compare", false, "also run unmodified and report overhead")
 	record := flag.String("record", "", "record the workload's syscalls (run unmodified) to this trace file and exit")
+	metricsAddr := flag.String("metrics", "", `serve telemetry over HTTP on this address after the run ("-": print to stdout)`)
 	flag.Parse()
 
 	p := identity.Principal(*ident)
@@ -69,7 +79,8 @@ func main() {
 		return
 	}
 
-	box, err := core.New(w.K, "dthain", p, core.Options{})
+	reg := obs.NewRegistry()
+	box, err := core.New(w.K, "dthain", p, core.Options{Metrics: reg})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -108,6 +119,20 @@ func main() {
 		nst := nw.RunNative(prog)
 		fmt.Printf("unmodified runtime %v; overhead %+.1f%%\n", nst.Runtime,
 			(st.Runtime.Seconds()-nst.Runtime.Seconds())/nst.Runtime.Seconds()*100)
+	}
+
+	switch *metricsAddr {
+	case "":
+	case "-":
+		fmt.Println()
+		fmt.Print(reg.Text())
+	default:
+		reg.PublishExpvar("identbox")
+		http.Handle("/metrics", reg.Handler())
+		fmt.Printf("serving metrics on http://%s/metrics (interrupt to exit)\n", *metricsAddr)
+		if err := http.ListenAndServe(*metricsAddr, nil); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"identitybox/internal/auth"
 	"identitybox/internal/identity"
@@ -23,6 +24,7 @@ type Client struct {
 	closed bool
 	ident  identity.Principal
 	addr   string
+	sent   atomic.Int64 // requests sent (everything the server dispatches)
 }
 
 // Dial connects to a Chirp server and authenticates with the first
@@ -71,11 +73,23 @@ func (cl *Client) rpc(fields ...string) ([]string, error) {
 // rpcLocked is rpc for callers already holding cl.mu (exchanges with
 // payload phases, which must stay atomic on the wire).
 func (cl *Client) rpcLocked(fields ...string) ([]string, error) {
-	if err := cl.c.writeLine(fields...); err != nil {
+	if err := cl.send(fields...); err != nil {
 		return nil, err
 	}
 	return cl.response()
 }
+
+// send writes one request line, counting it. Every line sent this way
+// reaches the server's dispatch loop, so RequestCount here and the
+// server's requests counter advance in lockstep.
+func (cl *Client) send(fields ...string) error {
+	cl.sent.Add(1)
+	return cl.c.writeLine(fields...)
+}
+
+// RequestCount reports how many requests this client has sent (the
+// "quit" farewell excluded — the server never dispatches it).
+func (cl *Client) RequestCount() int64 { return cl.sent.Load() }
 
 func (cl *Client) response() ([]string, error) {
 	line, err := cl.c.readLine()
@@ -106,27 +120,68 @@ func (cl *Client) response() ([]string, error) {
 	}
 }
 
-// Stats reports server-side counters: live connections, this session's
-// open descriptors and CAS grants, and the server name.
-func (cl *Client) Stats() (conns, fds, grants int, name string, err error) {
+// ServerStats are the live server-side counters returned by the stats
+// command: connection/session state plus lifetime request, error and
+// wire-traffic totals.
+type ServerStats struct {
+	Conns    int    // connections currently tracked
+	FDs      int    // this session's open descriptors
+	Grants   int    // this session's verified CAS grants
+	Name     string // the server's advertised name
+	Requests int64  // requests dispatched, lifetime
+	Errors   int64  // error replies sent, lifetime
+	Sessions int64  // sessions authenticated, lifetime
+	RxBytes  int64  // wire bytes the server received
+	TxBytes  int64  // wire bytes the server sent
+}
+
+// Stats fetches the server's live counters.
+func (cl *Client) Stats() (ServerStats, error) {
 	r, err := cl.rpc("stats")
 	if err != nil {
-		return 0, 0, 0, "", err
+		return ServerStats{}, err
 	}
-	if len(r) != 4 {
-		return 0, 0, 0, "", fmt.Errorf("chirp: bad stats reply %v", r)
+	if len(r) != 9 {
+		return ServerStats{}, fmt.Errorf("chirp: bad stats reply %v", r)
 	}
-	if conns, err = strconv.Atoi(r[0]); err != nil {
-		return
+	var st ServerStats
+	ints := []*int{&st.Conns, &st.FDs, &st.Grants}
+	for i, dst := range ints {
+		if *dst, err = strconv.Atoi(r[i]); err != nil {
+			return ServerStats{}, fmt.Errorf("chirp: bad stats field %q", r[i])
+		}
 	}
-	if fds, err = strconv.Atoi(r[1]); err != nil {
-		return
+	st.Name = r[3]
+	int64s := []*int64{&st.Requests, &st.Errors, &st.Sessions, &st.RxBytes, &st.TxBytes}
+	for i, dst := range int64s {
+		if *dst, err = strconv.ParseInt(r[4+i], 10, 64); err != nil {
+			return ServerStats{}, fmt.Errorf("chirp: bad stats field %q", r[4+i])
+		}
 	}
-	if grants, err = strconv.Atoi(r[2]); err != nil {
-		return
+	return st, nil
+}
+
+// Metrics fetches the server's full metric registry as Prometheus text
+// exposition.
+func (cl *Client) Metrics() (string, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	r, err := cl.rpcLocked("metrics")
+	if err != nil {
+		return "", err
 	}
-	name = r[3]
-	return
+	if len(r) != 1 {
+		return "", fmt.Errorf("chirp: bad metrics reply %v", r)
+	}
+	n, err := strconv.Atoi(r[0])
+	if err != nil || n < 0 {
+		return "", fmt.Errorf("chirp: bad metrics length %q", r[0])
+	}
+	data, err := cl.c.readPayload(n)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
 }
 
 // Whoami asks the server which principal it recorded.
@@ -180,7 +235,7 @@ func (cl *Client) Pread(fd int, buf []byte, off int64) (int, error) {
 func (cl *Client) Pwrite(fd int, buf []byte, off int64) (int, error) {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
-	if err := cl.c.writeLine("pwrite", strconv.Itoa(fd), strconv.FormatInt(off, 10), strconv.Itoa(len(buf))); err != nil {
+	if err := cl.send("pwrite", strconv.Itoa(fd), strconv.FormatInt(off, 10), strconv.Itoa(len(buf))); err != nil {
 		return 0, err
 	}
 	if err := cl.c.writePayload(buf); err != nil {
@@ -320,7 +375,7 @@ func (cl *Client) GetACL(path string) (string, error) {
 func (cl *Client) SetACL(path, aclText string) error {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
-	if err := cl.c.writeLine("setacl", q(path), strconv.Itoa(len(aclText))); err != nil {
+	if err := cl.send("setacl", q(path), strconv.Itoa(len(aclText))); err != nil {
 		return err
 	}
 	if err := cl.c.writePayload([]byte(aclText)); err != nil {
@@ -337,7 +392,7 @@ func (cl *Client) SetACL(path, aclText string) error {
 func (cl *Client) PresentAssertion(encoded []byte) (string, error) {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
-	if err := cl.c.writeLine("assert", strconv.Itoa(len(encoded))); err != nil {
+	if err := cl.send("assert", strconv.Itoa(len(encoded))); err != nil {
 		return "", err
 	}
 	if err := cl.c.writePayload(encoded); err != nil {

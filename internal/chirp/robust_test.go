@@ -508,17 +508,20 @@ func TestStatsCommand(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	conns, fds, grants, name, err := cl.Stats()
+	st, err := cl.Stats()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if conns < 1 || fds != 1 || grants != 0 || name != "testserver" {
-		t.Fatalf("stats = %d conns, %d fds, %d grants, %q", conns, fds, grants, name)
+	if st.Conns < 1 || st.FDs != 1 || st.Grants != 0 || st.Name != "testserver" {
+		t.Fatalf("stats = %d conns, %d fds, %d grants, %q", st.Conns, st.FDs, st.Grants, st.Name)
+	}
+	if st.Requests < 3 || st.Sessions < 1 || st.RxBytes <= 0 || st.TxBytes <= 0 {
+		t.Fatalf("lifetime stats = %+v", st)
 	}
 	cl.CloseFD(fd)
-	_, fds, _, _, _ = cl.Stats()
-	if fds != 0 {
-		t.Fatalf("fds after close = %d", fds)
+	st, _ = cl.Stats()
+	if st.FDs != 0 {
+		t.Fatalf("fds after close = %d", st.FDs)
 	}
 }
 

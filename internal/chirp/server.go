@@ -15,6 +15,7 @@ import (
 	"identitybox/internal/core"
 	"identitybox/internal/identity"
 	"identitybox/internal/kernel"
+	"identitybox/internal/obs"
 	"identitybox/internal/vfs"
 )
 
@@ -42,11 +43,81 @@ type ServerOptions struct {
 	// Logf, when set, receives one line per request (debugging). It is
 	// called concurrently from every connection goroutine and must be
 	// safe for concurrent use (log.Printf and testing.T.Logf both are).
+	// Lines carry a session id (sid=N) and request sequence (req=M) so
+	// interleaved connections stay correlatable.
 	Logf func(format string, args ...any)
 	// AuthTimeout bounds the authentication dialogue, so an
 	// unauthenticated socket cannot pin a server goroutine (default
 	// 10 seconds).
 	AuthTimeout time.Duration
+	// Metrics, when set, is the registry the server records into
+	// (per-command requests, errors, sessions, wire bytes). When nil
+	// the server keeps a private registry, reachable via Metrics and
+	// exported over the wire by the "metrics" command.
+	Metrics *obs.Registry
+}
+
+// logger is a structured printf sink that is safe to call when no sink
+// is configured, so call sites never nil-check. with() stacks
+// correlation prefixes (sid=N, then req=M per line).
+type logger struct {
+	sink   func(format string, args ...any)
+	prefix string
+}
+
+func (l logger) printf(format string, args ...any) {
+	if l.sink == nil {
+		return
+	}
+	if l.prefix != "" {
+		format = l.prefix + " " + format
+	}
+	l.sink(format, args...)
+}
+
+// with returns a logger whose lines carry an additional prefix.
+func (l logger) with(prefix string) logger {
+	if l.prefix != "" {
+		prefix = l.prefix + " " + prefix
+	}
+	return logger{sink: l.sink, prefix: prefix}
+}
+
+// Metric names exported by every server.
+const (
+	MetricRequests = "chirp_requests_total"
+	MetricErrors   = "chirp_errors_total"
+	MetricSessions = "chirp_sessions_total"
+	MetricRxBytes  = "chirp_rx_bytes_total"
+	MetricTxBytes  = "chirp_tx_bytes_total"
+	MetricConns    = "chirp_open_conns"
+)
+
+// srvMetrics caches the server's metric handles.
+type srvMetrics struct {
+	reg      *obs.Registry
+	errors   *obs.Counter
+	sessions *obs.Counter
+	rxBytes  *obs.Counter
+	txBytes  *obs.Counter
+	conns    *obs.Gauge
+}
+
+func newSrvMetrics(reg *obs.Registry) *srvMetrics {
+	reg.Help(MetricRequests, "Requests dispatched, by command.")
+	reg.Help(MetricErrors, "Requests answered with an error reply.")
+	reg.Help(MetricSessions, "Sessions authenticated since start.")
+	reg.Help(MetricRxBytes, "Bytes received on client connections.")
+	reg.Help(MetricTxBytes, "Bytes sent on client connections.")
+	reg.Help(MetricConns, "Connections currently tracked.")
+	return &srvMetrics{
+		reg:      reg,
+		errors:   reg.Counter(MetricErrors),
+		sessions: reg.Counter(MetricSessions),
+		rxBytes:  reg.Counter(MetricRxBytes),
+		txBytes:  reg.Counter(MetricTxBytes),
+		conns:    reg.Gauge(MetricConns),
+	}
 }
 
 // Server is a Chirp file server exporting the file system of a simulated
@@ -68,8 +139,14 @@ type Server struct {
 	conns  map[net.Conn]bool
 	wg     sync.WaitGroup
 
+	log     logger
+	metrics *srvMetrics
+
 	requests atomic.Int64 // requests dispatched, across all sessions
 	sessions atomic.Int64 // authenticated sessions accepted, lifetime
+	errors   atomic.Int64 // error replies sent, across all sessions
+	rxBytes  atomic.Int64 // wire bytes received from clients
+	txBytes  atomic.Int64 // wire bytes sent to clients
 }
 
 // NewServer creates a server exporting k's file system. The root ACL is
@@ -79,6 +156,12 @@ func NewServer(k *kernel.Kernel, opts ServerOptions) (*Server, error) {
 		opts.Owner = "chirp"
 	}
 	s := &Server{k: k, fs: k.FS(), opts: opts, conns: make(map[net.Conn]bool)}
+	s.log = logger{sink: opts.Logf}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s.metrics = newSrvMetrics(reg)
 	if opts.RootACL != nil && !s.fs.Exists("/"+acl.FileName) {
 		if err := s.fs.WriteFile("/"+acl.FileName, []byte(opts.RootACL.String()), 0o644, opts.Owner); err != nil {
 			return nil, err
@@ -140,6 +223,7 @@ func (s *Server) track(c net.Conn) bool {
 		return false
 	}
 	s.conns[c] = true
+	s.metrics.conns.Inc()
 	return true
 }
 
@@ -147,6 +231,7 @@ func (s *Server) untrack(c net.Conn) {
 	s.mu.Lock()
 	delete(s.conns, c)
 	s.mu.Unlock()
+	s.metrics.conns.Dec()
 }
 
 // SendHeartbeat reports the server to its catalog over UDP.
@@ -163,11 +248,34 @@ func (s *Server) SendHeartbeat() error {
 	return err
 }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.opts.Logf != nil {
-		s.opts.Logf(format, args...)
-	}
+// countingConn wraps a client connection so every wire byte — including
+// the authentication dialogue — lands in the server's traffic counters.
+type countingConn struct {
+	net.Conn
+	s *Server
 }
+
+func (c countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.s.rxBytes.Add(int64(n))
+		c.s.metrics.rxBytes.Add(int64(n))
+	}
+	return n, err
+}
+
+func (c countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	if n > 0 {
+		c.s.txBytes.Add(int64(n))
+		c.s.metrics.txBytes.Add(int64(n))
+	}
+	return n, err
+}
+
+// Metrics returns the registry the server records into (the one
+// supplied via ServerOptions.Metrics, or the server's private one).
+func (s *Server) Metrics() *obs.Registry { return s.metrics.reg }
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
@@ -200,6 +308,9 @@ func (s *Server) acceptLoop() {
 // session is one authenticated connection.
 type session struct {
 	s      *Server
+	id     int64 // session sequence number, for log correlation
+	log    logger
+	reqs   int64 // requests dispatched on this session
 	ident  identity.Principal
 	c      *codec
 	fds    map[int]*sessionFD
@@ -216,21 +327,31 @@ type sessionFD struct {
 
 func (s *Server) serveConn(conn net.Conn) {
 	remoteHost, _, _ := net.SplitHostPort(conn.RemoteAddr().String())
+	wire := countingConn{Conn: conn, s: s}
 	authTimeout := s.opts.AuthTimeout
 	if authTimeout <= 0 {
 		authTimeout = 10 * time.Second
 	}
 	conn.SetDeadline(time.Now().Add(authTimeout))
-	ac := auth.NewConn(conn)
+	ac := auth.NewConn(wire)
 	ident, err := auth.ServerNegotiate(ac, s.opts.Verifiers, remoteHost)
 	if err != nil {
-		s.logf("auth failed from %s: %v", remoteHost, err)
+		s.log.printf("auth failed from %s: %v", remoteHost, err)
 		return
 	}
 	conn.SetDeadline(time.Time{})
-	s.sessions.Add(1)
-	s.logf("session for %s from %s", ident, remoteHost)
-	sess := &session{s: s, ident: ident, c: newCodec(conn), fds: make(map[int]*sessionFD), nextFD: 1}
+	sid := s.sessions.Add(1)
+	s.metrics.sessions.Inc()
+	sess := &session{
+		s:      s,
+		id:     sid,
+		log:    s.log.with(fmt.Sprintf("sid=%d", sid)),
+		ident:  ident,
+		c:      newCodec(wire),
+		fds:    make(map[int]*sessionFD),
+		nextFD: 1,
+	}
+	sess.log.printf("session for %s from %s", ident, remoteHost)
 	sess.loop()
 }
 
@@ -266,6 +387,8 @@ func (sess *session) fail(err error, context string) error {
 	if err != nil {
 		msg = err.Error()
 	}
+	sess.s.errors.Add(1)
+	sess.s.metrics.errors.Inc()
 	return sess.c.writeLine("err", nameForError(err), q(msg))
 }
 
@@ -277,11 +400,17 @@ func (s *Server) RequestCount() int64 { return s.requests.Load() }
 // server started (not just the currently live ones).
 func (s *Server) SessionCount() int64 { return s.sessions.Load() }
 
+// ErrorCount reports the number of error replies sent since the server
+// started.
+func (s *Server) ErrorCount() int64 { return s.errors.Load() }
+
 func (sess *session) dispatch(fields []string) error {
 	cmd, args := fields[0], fields[1:]
 	s := sess.s
 	s.requests.Add(1)
-	s.logf("%s: %s %v", sess.ident, cmd, args)
+	sess.reqs++
+	s.metrics.reg.Counter(obs.With(MetricRequests, "cmd", cmd)).Inc()
+	sess.log.printf("req=%d %s: %s %v", sess.reqs, sess.ident, cmd, args)
 	switch cmd {
 	case "whoami":
 		return sess.ok(q(sess.ident.String()))
@@ -294,7 +423,19 @@ func (sess *session) dispatch(fields []string) error {
 			strconv.Itoa(conns),
 			strconv.Itoa(len(sess.fds)),
 			strconv.Itoa(len(sess.grants)),
-			q(s.opts.Name))
+			q(s.opts.Name),
+			strconv.FormatInt(s.requests.Load(), 10),
+			strconv.FormatInt(s.errors.Load(), 10),
+			strconv.FormatInt(s.sessions.Load(), 10),
+			strconv.FormatInt(s.rxBytes.Load(), 10),
+			strconv.FormatInt(s.txBytes.Load(), 10))
+
+	case "metrics": // full registry as a counted text-exposition payload
+		text := s.metrics.reg.Text()
+		if err := sess.ok(strconv.Itoa(len(text))); err != nil {
+			return err
+		}
+		return sess.c.writePayload([]byte(text))
 
 	case "open": // open <flags> <mode> <path>
 		if len(args) != 3 {
@@ -664,7 +805,7 @@ func (sess *session) present(data []byte) (community string, err error) {
 		return "", err
 	}
 	sess.grants = append(sess.grants, a.Grants...)
-	s.logf("%s: presented CAS assertion from %s (%s), %d grants", sess.ident, a.CAS, a.Community, len(a.Grants))
+	sess.log.printf("%s: presented CAS assertion from %s (%s), %d grants", sess.ident, a.CAS, a.Community, len(a.Grants))
 	return a.Community, nil
 }
 

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// AuditSink receives every audit record the box produces, as it is
+// produced. Implementations must be safe for concurrent use: concurrent
+// boxed processes record from their own goroutines.
+//
+// The box ships three implementations: AuditRing (bounded in-memory,
+// the default), JSONLSink (streaming forensic log) and FanoutSink
+// (duplicate to several sinks).
+type AuditSink interface {
+	Record(rec AuditRecord)
+}
+
+// AuditSnapshotter is implemented by sinks that retain records and can
+// return them; Box.Audit uses it when available.
+type AuditSnapshotter interface {
+	Snapshot() []AuditRecord
+}
+
+// AuditRing is a fixed-capacity in-memory audit sink. Unlike the old
+// slice-shift buffer it is a true ring: eviction is O(1) and the
+// backing array never grows or retains evicted records.
+type AuditRing struct {
+	mu      sync.Mutex
+	buf     []AuditRecord
+	next    int // slot for the next record
+	full    bool
+	dropped int64
+}
+
+// NewAuditRing creates a ring holding up to capacity records
+// (minimum 1).
+func NewAuditRing(capacity int) *AuditRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &AuditRing{buf: make([]AuditRecord, capacity)}
+}
+
+// Record implements AuditSink.
+func (r *AuditRing) Record(rec AuditRecord) {
+	r.mu.Lock()
+	if r.full {
+		r.dropped++
+	}
+	r.buf[r.next] = rec
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained records, oldest first.
+func (r *AuditRing) Snapshot() []AuditRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		out := make([]AuditRecord, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]AuditRecord, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Dropped reports how many records have been evicted to make room.
+func (r *AuditRing) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// JSONLSink streams audit records to a writer as JSON lines, one record
+// per line, suitable for shipping to an external collector or a file.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink creates a sink writing to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Record implements AuditSink. Write errors are sticky: the first one
+// stops further output and is reported by Err.
+func (s *JSONLSink) Record(rec AuditRecord) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = s.enc.Encode(rec)
+	}
+	s.mu.Unlock()
+}
+
+// Err reports the first write error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// FanoutSink duplicates every record to each child sink in order.
+type FanoutSink []AuditSink
+
+// Record implements AuditSink.
+func (f FanoutSink) Record(rec AuditRecord) {
+	for _, s := range f {
+		s.Record(rec)
+	}
+}
+
+// Snapshot implements AuditSnapshotter using the first child that
+// retains records, so Box.Audit keeps working when a fan-out includes
+// an AuditRing.
+func (f FanoutSink) Snapshot() []AuditRecord {
+	for _, s := range f {
+		if snap, ok := s.(AuditSnapshotter); ok {
+			return snap.Snapshot()
+		}
+	}
+	return nil
+}

@@ -38,6 +38,7 @@ import (
 	"identitybox/internal/acl"
 	"identitybox/internal/identity"
 	"identitybox/internal/kernel"
+	"identitybox/internal/obs"
 	"identitybox/internal/parrot"
 	"identitybox/internal/trap"
 	"identitybox/internal/vclock"
@@ -77,6 +78,22 @@ type Options struct {
 	// resources, and the supervisor can therefore also ration them:
 	// this is the simplest example.
 	MaxOpenFiles int
+
+	// Metrics, when set, is the registry the box records into; several
+	// boxes may share one registry and their counts aggregate. When
+	// nil the box keeps a private registry, reachable via Box.Metrics.
+	// Recording never charges virtual time.
+	Metrics *obs.Registry
+
+	// Trace, when set, receives one event per Figure-4 protocol phase
+	// (trap entry, ACL check, peek/poke, channel stage/collect, and the
+	// completion verdict). Nil disables tracing at zero cost.
+	Trace *obs.Trace
+
+	// AuditSink, when set, receives every audit record as it is
+	// produced (e.g. a JSONLSink, or a FanoutSink combining several).
+	// When nil the box keeps an AuditRing bounded by AuditLimit.
+	AuditSink AuditSink
 }
 
 func (o *Options) fillDefaults() {
@@ -108,9 +125,10 @@ type AuditRecord struct {
 
 // Stats counts policy activity inside a box.
 type Stats struct {
-	Syscalls  int64 // syscalls trapped
-	ACLChecks int64 // ACL evaluations performed
-	Denials   int64 // accesses denied
+	Syscalls           int64 // syscalls trapped
+	ACLChecks          int64 // ACL evaluations performed
+	Denials            int64 // accesses denied
+	CacheInvalidations int64 // ACL cache entries invalidated
 }
 
 // Box is an identity-box supervisor. One Box contains any number of
@@ -141,12 +159,20 @@ type Box struct {
 	aclMu    sync.RWMutex // guards aclCache (read-mostly)
 	aclCache map[string]*acl.ACL
 
-	auditMu sync.Mutex // guards audit
-	audit   []AuditRecord
+	// sink receives audit records as they are produced; an AuditRing by
+	// default. The sink serializes internally, so no box-level lock.
+	sink AuditSink
 
-	statSyscalls  atomic.Int64
-	statACLChecks atomic.Int64
-	statDenials   atomic.Int64
+	// reg/metrics/trace are the observability hooks: lock-free counts
+	// and phase events that read the virtual clock but never charge it.
+	reg     *obs.Registry
+	metrics *boxMetrics
+	trace   *obs.Trace
+
+	statSyscalls   atomic.Int64
+	statACLChecks  atomic.Int64
+	statDenials    atomic.Int64
+	statCacheInval atomic.Int64
 }
 
 type procState struct {
@@ -154,6 +180,12 @@ type procState struct {
 	nextFD  int
 	pending *pendingWrite
 	scratch []byte
+
+	// Per-call observation state, valid between SyscallEntry and
+	// SyscallExit of one trapped call.
+	entryAt  vclock.Micros      // clock at entry-stop arrival
+	entryCls sysClass           // Figure 5(a) class of the call
+	entryAct kernel.EntryAction // verdict, for the completion event
 }
 
 type boxFD struct {
@@ -194,6 +226,16 @@ func New(k *kernel.Kernel, account string, ident identity.Principal, opts Option
 		opts:     opts,
 		procs:    make(map[*kernel.Proc]*procState),
 		aclCache: make(map[string]*acl.ACL),
+		reg:      opts.Metrics,
+		trace:    opts.Trace,
+		sink:     opts.AuditSink,
+	}
+	if b.reg == nil {
+		b.reg = obs.NewRegistry()
+	}
+	b.metrics = newBoxMetrics(b.reg)
+	if b.sink == nil {
+		b.sink = NewAuditRing(opts.AuditLimit)
 	}
 	b.local = parrot.NewLocalDriver(k.FS(), account, b.model)
 	b.mounts.Add("/", b.local)
@@ -277,33 +319,32 @@ func (b *Box) RunAt(cwd string, prog kernel.Program, args ...string) kernel.Exit
 // Stats returns a snapshot of policy counters.
 func (b *Box) Stats() Stats {
 	return Stats{
-		Syscalls:  b.statSyscalls.Load(),
-		ACLChecks: b.statACLChecks.Load(),
-		Denials:   b.statDenials.Load(),
+		Syscalls:           b.statSyscalls.Load(),
+		ACLChecks:          b.statACLChecks.Load(),
+		Denials:            b.statDenials.Load(),
+		CacheInvalidations: b.statCacheInval.Load(),
 	}
 }
 
-// Audit returns a copy of the forensic log.
+// Audit returns a copy of the forensic log, oldest record first. It
+// returns nil when the configured sink retains nothing (e.g. a pure
+// JSONLSink).
 func (b *Box) Audit() []AuditRecord {
-	b.auditMu.Lock()
-	defer b.auditMu.Unlock()
-	out := make([]AuditRecord, len(b.audit))
-	copy(out, b.audit)
-	return out
+	if snap, ok := b.sink.(AuditSnapshotter); ok {
+		return snap.Snapshot()
+	}
+	return nil
 }
 
 func (b *Box) recordAudit(p *kernel.Proc, f *kernel.Frame) {
 	b.statSyscalls.Add(1)
+	b.metrics.syscalls.Inc()
 	denied := errors.Is(f.Err, vfs.ErrPermission)
 	if denied {
 		b.statDenials.Add(1)
+		b.metrics.denials.Inc()
 	}
-	b.auditMu.Lock()
-	defer b.auditMu.Unlock()
-	if len(b.audit) >= b.opts.AuditLimit {
-		b.audit = b.audit[1:]
-	}
-	b.audit = append(b.audit, AuditRecord{
+	b.sink.Record(AuditRecord{
 		PID:      p.PID(),
 		Identity: b.ident,
 		Call:     f.Describe(),

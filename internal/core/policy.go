@@ -2,9 +2,11 @@ package core
 
 import (
 	"errors"
+	"strings"
 
 	"identitybox/internal/acl"
 	"identitybox/internal/kernel"
+	"identitybox/internal/obs"
 	"identitybox/internal/parrot"
 	"identitybox/internal/trap"
 	"identitybox/internal/vfs"
@@ -154,11 +156,51 @@ func (b *Box) invalidateACL(dir string) {
 		return
 	}
 	b.aclMu.Lock()
+	_, cached := b.aclCache[dir]
 	delete(b.aclCache, dir)
 	b.aclMu.Unlock()
+	if cached {
+		b.statCacheInval.Add(1)
+		b.metrics.cacheInval.Inc()
+	}
 }
 
-func (b *Box) countACLCheck() { b.statACLChecks.Add(1) }
+// invalidateACLPrefix drops cached ACLs for dir and every directory
+// below it, returning how many entries went. Rename uses it so moving
+// a subtree evicts exactly that subtree's cached decisions.
+func (b *Box) invalidateACLPrefix(dir string) int {
+	if !b.opts.EnableACLCache {
+		return 0
+	}
+	clean := vfs.Clean(dir)
+	prefix := clean + "/"
+	if clean == "/" {
+		prefix = "/"
+	}
+	b.aclMu.Lock()
+	n := 0
+	for k := range b.aclCache {
+		if k == clean || strings.HasPrefix(k, prefix) {
+			delete(b.aclCache, k)
+			n++
+		}
+	}
+	b.aclMu.Unlock()
+	if n > 0 {
+		b.statCacheInval.Add(int64(n))
+		b.metrics.cacheInval.Add(int64(n))
+	}
+	return n
+}
+
+// noteACLCheck charges one reference-monitor evaluation and observes
+// it (counter plus acl_check phase event on path).
+func (b *Box) noteACLCheck(p *kernel.Proc, path string) {
+	p.Charge(b.model.ACLCheck)
+	b.statACLChecks.Add(1)
+	b.metrics.aclChecks.Inc()
+	b.emitPhase(p, obs.PhaseACLCheck, "", path, 0)
+}
 
 // checkAccess authorizes one access class on the object at path. The
 // ACL examined is the one protecting the directory *containing* the
@@ -168,8 +210,7 @@ func (b *Box) checkAccess(p *kernel.Proc, path string, class access) error {
 	if b.opts.DisablePolicy {
 		return nil
 	}
-	p.Charge(b.model.ACLCheck)
-	b.countACLCheck()
+	b.noteACLCheck(p, path)
 
 	final := b.resolveFinal(p, path)
 
@@ -234,8 +275,7 @@ func (b *Box) checkMkdir(p *kernel.Proc, path string) (childACL *acl.ACL, err er
 	if b.opts.DisablePolicy {
 		return nil, nil
 	}
-	p.Charge(b.model.ACLCheck)
-	b.countACLCheck()
+	b.noteACLCheck(p, path)
 	dir := vfs.Dir(vfs.Clean(path))
 	a, err := b.loadACL(p, dir)
 	if err != nil {
@@ -273,6 +313,7 @@ func (b *Box) checkMkdir(p *kernel.Proc, path string) (childACL *acl.ACL, err er
 // strings) poked into the child.
 func (b *Box) chargePoke(p *kernel.Proc, n int) {
 	p.Charge(trap.PeekPokeCost(b.model, n))
+	b.emitPhase(p, obs.PhasePoke, "", "", n)
 }
 
 // statBytes approximates the size of a struct stat the supervisor pokes

@@ -3,6 +3,7 @@ package core
 import (
 	"identitybox/internal/acl"
 	"identitybox/internal/kernel"
+	"identitybox/internal/obs"
 	"identitybox/internal/parrot"
 	"identitybox/internal/trap"
 	"identitybox/internal/vfs"
@@ -21,8 +22,7 @@ func (b *Box) checkDirAccess(p *kernel.Proc, dirPath string, class access) error
 	if b.opts.DisablePolicy {
 		return nil
 	}
-	p.Charge(b.model.ACLCheck)
-	b.countACLCheck()
+	b.noteACLCheck(p, dirPath)
 	final := b.resolveFinal(p, dirPath)
 	a, err := b.loadACL(p, final)
 	if err != nil {
@@ -54,8 +54,7 @@ func (b *Box) checkNoFollow(p *kernel.Proc, path string, class access) error {
 	if b.opts.DisablePolicy {
 		return nil
 	}
-	p.Charge(b.model.ACLCheck)
-	b.countACLCheck()
+	b.noteACLCheck(p, path)
 	clean := vfs.Clean(path)
 	if vfs.Base(clean) == acl.FileName && class != accessList && class != accessRead {
 		class = accessAdmin
@@ -92,9 +91,24 @@ func (b *Box) checkNoFollow(p *kernel.Proc, path string, class access) error {
 	return &vfs.PathError{Op: "box", Path: path, Err: vfs.ErrPermission}
 }
 
-// SyscallEntry implements kernel.Tracer.
+// SyscallEntry implements kernel.Tracer. The wrapper records the
+// observation state for this call — entry clock reading, Figure 5(a)
+// class, verdict — around the dispatch in syscallEntry. By the time it
+// runs the kernel has already charged the entry half of the protocol
+// (two context switches plus trap decode), so SyscallExit adds those
+// back when it reconstructs the call's full cost.
 func (b *Box) SyscallEntry(p *kernel.Proc, f *kernel.Frame) kernel.EntryAction {
 	st := b.state(p)
+	st.entryAt = p.Clock().Now()
+	st.entryCls = classify(f)
+	b.emitPhase(p, obs.PhaseTrapEntry, f.Sys.String(), f.Path, len(f.Buf))
+	act := b.syscallEntry(p, f, st)
+	st.entryAct = act
+	return act
+}
+
+// syscallEntry is the supervisor's entry-stop dispatch.
+func (b *Box) syscallEntry(p *kernel.Proc, f *kernel.Frame, st *procState) kernel.EntryAction {
 	p.Charge(b.model.SupervisorFixed)
 
 	switch f.Sys {
@@ -273,13 +287,18 @@ func (b *Box) SyscallEntry(p *kernel.Proc, f *kernel.Frame) kernel.EntryAction {
 }
 
 // SyscallExit implements kernel.Tracer: it completes pending bulk
-// writes and records the call in the audit log.
+// writes, records the call in the audit log, and observes the call's
+// full cost into the class histogram. The clock delta since entry
+// misses the kernel's boundary charges (two switches plus decode
+// before SyscallEntry, two switches after SyscallExit), so those are
+// added back: the histogram reports what the application experienced.
 func (b *Box) SyscallExit(p *kernel.Proc, f *kernel.Frame) {
 	st := b.state(p)
 	if pw := st.pending; pw != nil {
 		st.pending = nil
 		if f.Err == nil && f.Ret > 0 {
 			data := b.channel.CollectWrite(p, b.model, pw.region[:f.Ret])
+			b.emitPhase(p, obs.PhaseChannelCollect, f.Sys.String(), pw.fd.path, len(data))
 			n, err := pw.fd.file.WriteAt(data, pw.off)
 			if err != nil {
 				f.SetError(err)
@@ -292,6 +311,10 @@ func (b *Box) SyscallExit(p *kernel.Proc, f *kernel.Frame) {
 		}
 	}
 	b.recordAudit(p, f)
+	delta := p.Clock().Now() - st.entryAt
+	full := delta + 4*b.model.ContextSwitch + b.model.TrapDecode
+	b.metrics.latency[st.entryCls].Observe(float64(full))
+	b.emitPhase(p, completionPhase(st.entryAct), f.Sys.String(), f.Path, int(f.Ret))
 }
 
 // driverOp bundles a resolved driver call target.
@@ -515,12 +538,14 @@ func (b *Box) entryRead(p *kernel.Proc, f *kernel.Frame, st *procState) kernel.E
 		// Small transfer (or channel ablated): poke the data directly
 		// into the child, word by word.
 		trap.PokeBytes(p, b.model, f.Buf, buf[:n])
+		b.emitPhase(p, obs.PhasePoke, f.Sys.String(), fd.path, n)
 		f.SetResult(int64(n))
 		return kernel.ActionNullify
 	}
 	// Bulk transfer: stage in the I/O channel; the kernel performs the
 	// final copy into the application buffer.
 	f.ChanData = b.channel.StageRead(p, b.model, buf[:n])
+	b.emitPhase(p, obs.PhaseChannelStage, f.Sys.String(), fd.path, n)
 	return kernel.ActionChannelRead
 }
 
@@ -547,6 +572,7 @@ func (b *Box) entryWrite(p *kernel.Proc, f *kernel.Frame, st *procState) kernel.
 		}
 		buf := st.scratch[:len(f.Buf)]
 		trap.PeekBytes(p, b.model, buf, f.Buf)
+		b.emitPhase(p, obs.PhasePeek, f.Sys.String(), fd.path, len(buf))
 		n, err := fd.pipe.Write(p, buf)
 		if err != nil {
 			f.SetError(err)
@@ -572,6 +598,7 @@ func (b *Box) entryWrite(p *kernel.Proc, f *kernel.Frame, st *procState) kernel.
 		}
 		buf := st.scratch[:len(f.Buf)]
 		trap.PeekBytes(p, b.model, buf, f.Buf)
+		b.emitPhase(p, obs.PhasePeek, f.Sys.String(), fd.path, len(buf))
 		n, err := fd.file.WriteAt(buf, off)
 		if err != nil {
 			f.SetError(err)
@@ -772,11 +799,16 @@ func (b *Box) entryRename(p *kernel.Proc, f *kernel.Frame) kernel.EntryAction {
 		f.SetError(err)
 		return kernel.ActionNullify
 	}
-	// Directory trees may have moved; drop the whole ACL cache.
-	if b.opts.EnableACLCache {
-		b.aclMu.Lock()
-		b.aclCache = make(map[string]*acl.ACL)
-		b.aclMu.Unlock()
+	// Directory trees may have moved: invalidate cached ACLs at and
+	// under both endpoints, not the whole cache — unrelated directories
+	// keep their entries. Renaming an ACL file itself changes the
+	// policy of its containing directory, so invalidate that too.
+	for _, pth := range []string{oldPath, newPath} {
+		clean := vfs.Clean(pth)
+		if vfs.Base(clean) == acl.FileName {
+			b.invalidateACL(vfs.Dir(clean))
+		}
+		b.invalidateACLPrefix(clean)
 	}
 	f.SetResult(0)
 	return kernel.ActionNullify

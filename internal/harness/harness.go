@@ -14,6 +14,7 @@ import (
 	"identitybox/internal/identity"
 	"identitybox/internal/kernel"
 	"identitybox/internal/mapping"
+	"identitybox/internal/obs"
 	"identitybox/internal/vclock"
 	"identitybox/internal/vfs"
 	"identitybox/internal/workload"
@@ -86,6 +87,15 @@ type Fig5aRow struct {
 
 // RunFigure5a measures every microbenchmark natively and boxed.
 func RunFigure5a() ([]Fig5aRow, error) {
+	return RunFigure5aObserved(nil)
+}
+
+// RunFigure5aObserved is RunFigure5a with every boxed run recording
+// into reg (when non-nil): afterwards the registry's per-class latency
+// histograms cover all seven Figure 5(a) syscall classes. Because
+// instrumentation charges no virtual time, the rows are identical with
+// and without a registry.
+func RunFigure5aObserved(reg *obs.Registry) ([]Fig5aRow, error) {
 	var rows []Fig5aRow
 	for _, m := range workload.Micros() {
 		nw, err := NewWorld()
@@ -100,7 +110,7 @@ func RunFigure5a() ([]Fig5aRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		box, err := bw.NewBox(core.Options{})
+		box, err := bw.NewBox(core.Options{Metrics: reg})
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,43 @@
+package harness
+
+import (
+	"testing"
+
+	"identitybox/internal/core"
+	"identitybox/internal/obs"
+)
+
+// TestFigure5aObservedIsDeterministic is the zero-tick acceptance
+// check at figure granularity: running the microbenchmarks with a
+// metrics registry attached must reproduce the exact same rows as an
+// unobserved run, and afterwards the registry must hold a latency
+// histogram for every Figure 5(a) syscall class.
+func TestFigure5aObservedIsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full microbenchmark sweep")
+	}
+	plain, err := RunFigure5a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	observed, err := RunFigure5aObserved(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(observed) {
+		t.Fatalf("row counts differ: %d vs %d", len(plain), len(observed))
+	}
+	for i := range plain {
+		if plain[i] != observed[i] {
+			t.Errorf("row %q changed under observation:\nplain:    %+v\nobserved: %+v",
+				plain[i].Name, plain[i], observed[i])
+		}
+	}
+	for _, class := range core.Fig5aClasses() {
+		h := reg.Histogram(obs.With(core.MetricLatencyFamily, "class", class), nil)
+		if h.Count() == 0 {
+			t.Errorf("class %q has no latency observations after the sweep", class)
+		}
+	}
+}

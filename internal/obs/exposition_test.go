@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// TestTextExpositionGolden locks the exact exposition format: family
+// grouping, HELP/TYPE lines, sorted series, cumulative histogram
+// buckets with a trailing +Inf, and _sum/_count lines.
+func TestTextExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Help("box_syscalls_total", "System calls trapped by the identity box.")
+	reg.Help("box_syscall_latency_us", "Full cost of one trapped call in virtual microseconds.")
+	reg.Counter("box_syscalls_total").Add(7)
+	reg.Counter(With("chirp_requests_total", "cmd", "open")).Add(3)
+	reg.Counter(With("chirp_requests_total", "cmd", "stat")).Add(2)
+	reg.Gauge("chirp_open_conns").Set(1)
+	h := reg.Histogram(With("box_syscall_latency_us", "class", "stat"), []float64{4, 8, 16})
+	for _, v := range []float64{3.5, 6.9, 6.9, 120} {
+		h.Observe(v)
+	}
+
+	got := reg.Text()
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update-golden): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition drifted from golden file.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket histogram of float64 observations
+// (virtual-time ticks, byte counts). Bucket bounds are upper bounds with
+// "less than or equal" semantics, matching the Prometheus `le` label; an
+// implicit +Inf bucket catches everything beyond the last bound.
+// Observations are lock-free.
+type Histogram struct {
+	bounds  []float64 // ascending, immutable after construction
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// LatencyBuckets is the default bound set for virtual-microsecond
+// syscall latencies: geometric from sub-microsecond (native getpid) to
+// tens of milliseconds (process spawn).
+func LatencyBuckets() []float64 {
+	return []float64{0.5, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536}
+}
+
+// NewHistogram creates a histogram with the given ascending upper
+// bounds. The slice is copied. Nil or empty bounds yield a single +Inf
+// bucket (a count/sum pair).
+func NewHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v; len(bounds) means +Inf
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		upd := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, upd) {
+			return
+		}
+	}
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum reports the running total of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Mean reports Sum/Count (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Bounds returns the configured upper bounds (without the implicit
+// +Inf).
+func (h *Histogram) Bounds() []float64 {
+	out := make([]float64, len(h.bounds))
+	copy(out, h.bounds)
+	return out
+}
+
+// BucketCounts returns a snapshot of per-bucket (non-cumulative)
+// counts; the final element is the +Inf bucket.
+func (h *Histogram) BucketCounts() []int64 {
+	out := make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}

@@ -1,0 +1,18 @@
+package obs
+
+import "net/http"
+
+// Handler serves the registry over HTTP: the Prometheus text exposition
+// by default, the JSON snapshot with ?format=json. Daemons mount it at
+// /metrics next to expvar (/debug/vars) and pprof (/debug/pprof).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(r.JSON())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		w.Write([]byte(r.Text()))
+	})
+}

@@ -1,0 +1,57 @@
+// Package obs is the repository's dependency-free telemetry kit:
+// atomic counters and gauges, fixed-bucket histograms, a named-metric
+// registry with a Prometheus-style text exposition and a JSON snapshot,
+// and a lightweight event tracer for the Figure-4 protocol phases.
+//
+// Everything here is deliberately observational: no function in this
+// package ever charges virtual time, so instrumenting the identity box,
+// the kernel tracer or the Chirp server cannot perturb any deterministic
+// virtual-time figure. Histogram bounds are expressed in virtual-time
+// ticks (microseconds of the vclock), which keeps bucket counts exactly
+// reproducible run-to-run.
+//
+// All types are safe for concurrent use; the hot paths (Counter.Add,
+// Histogram.Observe) are lock-free.
+package obs
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n (negative deltas are ignored: counters
+// are monotone).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value reports the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value that may move both ways
+// (live connections, open descriptors).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (either direction).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value reports the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // counters are monotone: negative deltas are ignored
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-4)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 6 {
+		t.Fatalf("gauge = %d, want 6", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 10, 50, 1000} {
+		h.Observe(v)
+	}
+	counts := h.BucketCounts()
+	// le semantics: 0.5,1 -> le=1; 5,10 -> le=10; 50 -> le=100; 1000 -> +Inf
+	want := []int64{2, 2, 1, 1}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all %v)", i, counts[i], want[i], counts)
+		}
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-1066.5) > 1e-9 {
+		t.Fatalf("sum = %g", h.Sum())
+	}
+	if math.Abs(h.Mean()-1066.5/6) > 1e-9 {
+		t.Fatalf("mean = %g", h.Mean())
+	}
+}
+
+func TestHistogramUnsortedBoundsAreSorted(t *testing.T) {
+	h := NewHistogram([]float64{100, 1, 10})
+	b := h.Bounds()
+	if b[0] != 1 || b[1] != 10 || b[2] != 100 {
+		t.Fatalf("bounds = %v", b)
+	}
+}
+
+// TestRegistryConcurrent hammers get-or-create and recording from many
+// goroutines; run under -race this proves the lock discipline.
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const workers = 8
+	const iters = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				reg.Counter("shared_total").Inc()
+				reg.Gauge("depth").Add(1)
+				reg.Histogram("lat_us", LatencyBuckets()).Observe(float64(i))
+				_ = reg.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("shared_total").Value(); got != workers*iters {
+		t.Fatalf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := reg.Histogram("lat_us", nil).Count(); got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+}
+
+func TestRegistryJSONRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a_total").Add(3)
+	reg.Gauge("g").Set(-2)
+	reg.Histogram("h_us", []float64{1, 2}).Observe(1.5)
+	var snap Snapshot
+	if err := json.Unmarshal(reg.JSON(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["a_total"] != 3 || snap.Gauges["g"] != -2 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	h := snap.Histograms["h_us"]
+	if h.Count != 1 || h.Sum != 1.5 || len(h.Counts) != 3 {
+		t.Fatalf("histogram snapshot = %+v", h)
+	}
+}
+
+func TestWithRendersLabel(t *testing.T) {
+	if got := With("x_total", "cmd", "open"); got != `x_total{cmd="open"}` {
+		t.Fatalf("With = %q", got)
+	}
+}
+
+func TestTraceRingAndCounts(t *testing.T) {
+	tr := NewTrace(4)
+	for i := 0; i < 6; i++ {
+		tr.Emit(Event{Phase: PhasePeek, Bytes: i})
+	}
+	tr.Emit(Event{Phase: PhaseACLCheck, Path: "/data"})
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	// Oldest first, and Seq is monotone.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("seq out of order: %v", evs)
+		}
+	}
+	if evs[len(evs)-1].Phase != PhaseACLCheck {
+		t.Fatalf("last event = %v", evs[len(evs)-1])
+	}
+	if tr.PhaseCount(PhasePeek) != 6 {
+		t.Fatalf("peek count = %d (rotated events must still count)", tr.PhaseCount(PhasePeek))
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	tr.Emit(Event{Phase: PhaseNative}) // must not panic
+	if tr.Events() != nil || tr.Len() != 0 || tr.PhaseCount(PhaseNative) != 0 {
+		t.Fatal("nil trace must be inert")
+	}
+}
+
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.Emit(Event{Phase: PhaseTrapEntry})
+				_ = tr.Events()
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.PhaseCount(PhaseTrapEntry) != 1600 {
+		t.Fatalf("count = %d", tr.PhaseCount(PhaseTrapEntry))
+	}
+}
+
+func TestPhaseNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, ph := range Phases() {
+		name := ph.String()
+		if name == "" || strings.Contains(name, "?") {
+			t.Fatalf("phase %d has no name", ph)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate phase name %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Seq: 12, At: 6.9, PID: 1, Sys: "stat", Path: "/data", Phase: PhaseACLCheck}
+	s := e.String()
+	for _, want := range []string{"#12", "pid=1", "stat", "acl_check", "/data"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("event string %q missing %q", s, want)
+		}
+	}
+}
+
+// --- instrumentation overhead ---------------------------------------------
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(LatencyBuckets())
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i % 1000))
+	}
+}
+
+func BenchmarkRegistryCounterLookup(b *testing.B) {
+	reg := NewRegistry()
+	name := With("box_syscalls_total", "class", "stat")
+	for i := 0; i < b.N; i++ {
+		reg.Counter(name).Inc()
+	}
+}
+
+func BenchmarkTraceEmit(b *testing.B) {
+	tr := NewTrace(DefaultTraceCapacity)
+	for i := 0; i < b.N; i++ {
+		tr.Emit(Event{Phase: PhaseTrapEntry, PID: 1, Sys: "stat"})
+	}
+}

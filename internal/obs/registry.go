@@ -1,0 +1,283 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry is a named-metric table. Metrics are created on first use
+// (get-or-create), so instrumented code never checks registration
+// state, and several subsystems may share one registry — identical
+// names aggregate into the same metric.
+//
+// Names follow the Prometheus convention, optionally with an inline
+// label block: `chirp_requests_total{cmd="open"}`. Series sharing the
+// part before '{' form one family in the text exposition.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	help     map[string]string // keyed by family name
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		help:     make(map[string]string),
+	}
+}
+
+// With renders a one-label series name: With("x_total", "cmd", "open")
+// is `x_total{cmd="open"}`.
+func With(name, label, value string) string {
+	return name + "{" + label + "=" + strconv.Quote(value) + "}"
+}
+
+// Help records a family's help text, shown as a # HELP line in the text
+// exposition.
+func (r *Registry) Help(family, text string) {
+	r.mu.Lock()
+	r.help[family] = text
+	r.mu.Unlock()
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bounds if needed (bounds are ignored on later lookups).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// --- snapshot -----------------------------------------------------------
+
+// HistogramSnapshot is one histogram's state at snapshot time.
+type HistogramSnapshot struct {
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"` // per-bucket; last is +Inf
+}
+
+// Snapshot is a point-in-time copy of every metric, JSON-encodable.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies every metric's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = HistogramSnapshot{
+			Count:  h.Count(),
+			Sum:    h.Sum(),
+			Bounds: h.Bounds(),
+			Counts: h.BucketCounts(),
+		}
+	}
+	return s
+}
+
+// JSON renders the snapshot as indented JSON.
+func (r *Registry) JSON() []byte {
+	out, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return []byte("{}") // unreachable: Snapshot holds only encodable types
+	}
+	return out
+}
+
+// PublishExpvar exposes the registry's snapshot under the given expvar
+// name (/debug/vars). Publishing the same name twice is a no-op rather
+// than the expvar panic, so daemons can call it unconditionally.
+func (r *Registry) PublishExpvar(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// --- text exposition ----------------------------------------------------
+
+// splitName separates a series name into its family and label block:
+// `a_total{cmd="x"}` -> (`a_total`, `cmd="x"`).
+func splitName(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], strings.TrimSuffix(name[i+1:], "}")
+	}
+	return name, ""
+}
+
+// series renders family+suffix with merged labels, e.g.
+// series("lat", "_bucket", `class="stat"`, `le="8"`).
+func series(family, suffix string, labels ...string) string {
+	var kept []string
+	for _, l := range labels {
+		if l != "" {
+			kept = append(kept, l)
+		}
+	}
+	if len(kept) == 0 {
+		return family + suffix
+	}
+	return family + suffix + "{" + strings.Join(kept, ",") + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Text renders the registry in the Prometheus text exposition format.
+// Families are emitted in sorted order, series sorted within a family,
+// so the output is deterministic (the golden test depends on it).
+func (r *Registry) Text() string {
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	hists := make(map[string]*Histogram, len(r.hists))
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.RUnlock()
+
+	// Group series by family, remembering each family's kind.
+	type family struct {
+		kind  string // "counter", "gauge", "histogram"
+		names []string
+	}
+	families := make(map[string]*family)
+	add := func(name, kind string) {
+		fam, _ := splitName(name)
+		f := families[fam]
+		if f == nil {
+			f = &family{kind: kind}
+			families[fam] = f
+		}
+		f.names = append(f.names, name)
+	}
+	for name := range counters {
+		add(name, "counter")
+	}
+	for name := range gauges {
+		add(name, "gauge")
+	}
+	for name := range hists {
+		add(name, "histogram")
+	}
+	famNames := make([]string, 0, len(families))
+	for fam := range families {
+		famNames = append(famNames, fam)
+	}
+	sort.Strings(famNames)
+
+	var b strings.Builder
+	for _, fam := range famNames {
+		f := families[fam]
+		sort.Strings(f.names)
+		if h := help[fam]; h != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", fam, h)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", fam, f.kind)
+		for _, name := range f.names {
+			_, labels := splitName(name)
+			switch f.kind {
+			case "counter":
+				fmt.Fprintf(&b, "%s %d\n", series(fam, "", labels), counters[name].Value())
+			case "gauge":
+				fmt.Fprintf(&b, "%s %d\n", series(fam, "", labels), gauges[name].Value())
+			case "histogram":
+				h := hists[name]
+				bounds := h.Bounds()
+				counts := h.BucketCounts()
+				var cum int64
+				for i, bound := range bounds {
+					cum += counts[i]
+					le := `le="` + formatFloat(bound) + `"`
+					fmt.Fprintf(&b, "%s %d\n", series(fam, "_bucket", labels, le), cum)
+				}
+				cum += counts[len(counts)-1]
+				fmt.Fprintf(&b, "%s %d\n", series(fam, "_bucket", labels, `le="+Inf"`), cum)
+				fmt.Fprintf(&b, "%s %s\n", series(fam, "_sum", labels), formatFloat(h.Sum()))
+				fmt.Fprintf(&b, "%s %d\n", series(fam, "_count", labels), h.Count())
+			}
+		}
+	}
+	return b.String()
+}
