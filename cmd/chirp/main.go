@@ -24,9 +24,16 @@
 //	stats                       show the server's live counters
 //	metrics                     dump the server's metric registry
 //	                            (Prometheus text exposition)
+//	ping [n]                    n whoami round trips (default 5) plus
+//	                            client retry/breaker counters and the
+//	                            server's fault-tolerance series
 //
 // Authentication: -user sends a unix assertion; with -user "" the
 // hostname method is used.
+//
+// Fault tolerance: -timeout bounds each wire exchange, -retries caps
+// transparent retries of idempotent calls (0 disables the retry and
+// redial machinery entirely).
 package main
 
 import (
@@ -34,6 +41,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	"identitybox/internal/acl"
 	"identitybox/internal/auth"
@@ -44,6 +54,8 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:9094", "server address")
 	user := flag.String("user", "", "unix user to authenticate as (empty: hostname method)")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-call deadline on each wire exchange (0: none)")
+	retries := flag.Int("retries", 3, "max transparent retries for idempotent calls (0: disable retries)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -57,7 +69,11 @@ func main() {
 	}
 	auths = append(auths, &auth.HostnameClient{})
 
-	cl, err := chirp.Dial(*addr, auths)
+	opts := chirp.ClientOptions{Timeout: *timeout, MaxRetries: *retries}
+	if *retries <= 0 {
+		opts.DisableRetries = true
+	}
+	cl, err := chirp.DialOpts(*addr, auths, opts)
 	if err != nil {
 		log.Fatalf("chirp: %v", err)
 	}
@@ -222,7 +238,57 @@ func dispatch(cl *chirp.Client, cmd string, args []string) error {
 		}
 		fmt.Print(text)
 		return nil
+	case "ping":
+		n := 5
+		if len(args) > 0 {
+			v, err := strconv.Atoi(args[0])
+			if err != nil || v < 1 {
+				return fmt.Errorf("bad round-trip count %q", args[0])
+			}
+			n = v
+		}
+		return ping(cl, n)
 	default:
 		return fmt.Errorf("unknown command")
 	}
+}
+
+// ping measures whoami round trips and reports the fault-tolerance
+// counters on both ends: the client's retry/redial/breaker registry and
+// the server's dedupe/draining series from the metrics RPC.
+func ping(cl *chirp.Client, n int) error {
+	var min, max, total time.Duration
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		if _, err := cl.Whoami(); err != nil {
+			return fmt.Errorf("round trip %d: %w", i+1, err)
+		}
+		rtt := time.Since(start)
+		total += rtt
+		if min == 0 || rtt < min {
+			min = rtt
+		}
+		if rtt > max {
+			max = rtt
+		}
+	}
+	fmt.Printf("%d round trips: min %v  avg %v  max %v\n", n, min, total/time.Duration(n), max)
+	fmt.Printf("breaker: %s\n", cl.Breaker().State())
+	fmt.Print("client counters:\n")
+	for _, line := range strings.Split(cl.LocalMetrics().Text(), "\n") {
+		if line != "" && !strings.HasPrefix(line, "#") {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+	text, err := cl.Metrics()
+	if err != nil {
+		return err
+	}
+	fmt.Print("server fault-tolerance counters:\n")
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "chirp_dedupe_") || strings.HasPrefix(line, "chirp_draining") {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+	return nil
 }

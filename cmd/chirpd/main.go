@@ -5,7 +5,13 @@
 // Usage:
 //
 //	chirpd [-addr host:port] [-owner name] [-root-acl "pattern rights;..."]
-//	       [-catalog addr] [-name label] [-metrics host:port] [-v]
+//	       [-catalog addr] [-name label] [-metrics host:port]
+//	       [-req-timeout d] [-drain d] [-v]
+//
+// -req-timeout bounds the wire I/O of each request once its command
+// line arrives, so a stalled client cannot pin a session goroutine.
+// On SIGINT the server drains gracefully: in-flight RPCs finish, new
+// connections are refused, and after -drain stragglers are severed.
 //
 // -metrics serves the server's telemetry over HTTP: Prometheus text
 // exposition at /metrics (JSON with ?format=json), expvar at
@@ -28,6 +34,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"identitybox/internal/acl"
 	"identitybox/internal/auth"
@@ -46,6 +53,8 @@ func main() {
 	name := flag.String("name", "", "advertised server name")
 	state := flag.String("state", "", "snapshot file: loaded at startup, saved at shutdown")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	reqTimeout := flag.Duration("req-timeout", 30*time.Second, "per-request wire deadline after the command line arrives (0: none)")
+	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain budget before severing sessions")
 	verbose := flag.Bool("v", false, "log every request")
 	flag.Parse()
 
@@ -80,6 +89,7 @@ func main() {
 			auth.MethodUnix:     &auth.UnixVerifier{},
 			auth.MethodHostname: &auth.HostnameVerifier{},
 		},
+		RequestTimeout: *reqTimeout,
 	}
 	if *verbose {
 		opts.Logf = log.Printf
@@ -108,8 +118,10 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
-	fmt.Println("chirpd: shutting down")
-	srv.Close()
+	fmt.Println("chirpd: draining (in-flight RPCs finish, new connections refused)")
+	if err := srv.Shutdown(*drain); err != nil {
+		log.Printf("chirpd: %v", err)
+	}
 	if *state != "" {
 		f, err := os.Create(*state)
 		if err != nil {

@@ -1,14 +1,19 @@
 package chirp
 
 import (
+	"errors"
 	"fmt"
+	mrand "math/rand"
 	"net"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"identitybox/internal/auth"
 	"identitybox/internal/identity"
+	"identitybox/internal/kernel"
+	"identitybox/internal/obs"
 	"identitybox/internal/vfs"
 )
 
@@ -17,30 +22,65 @@ import (
 // any number of goroutines: an internal mutex serializes each complete
 // request/response exchange (including payload phases) on the wire, so
 // one connection can back a whole mount table or a pool of workers.
+//
+// The client is fault tolerant: each wire exchange runs under an
+// optional deadline, a dead connection is re-dialed and
+// re-authenticated with capped exponential backoff, idempotent RPCs
+// are retried transparently, non-idempotent ones surface
+// ErrRetryNotSafe (see ClientOptions and ExecToken), and a circuit
+// breaker stops hammering a server that keeps failing. Retries and
+// redials consume wall-clock time only — nothing here touches the
+// virtual clock, so instrumented retries charge zero virtual ticks.
 type Client struct {
+	mu     sync.Mutex // serializes wire exchanges; guards conn, c, broken, closed
 	conn   net.Conn
-	mu     sync.Mutex // serializes wire exchanges; guards c and closed
 	c      *codec
 	closed bool
-	ident  identity.Principal
-	addr   string
-	sent   atomic.Int64 // requests sent (everything the server dispatches)
+	broken bool // the transport failed; the next call redials
+	dialed bool // first connection established (later dials count as redials)
+
+	closing atomic.Bool // set by Close before taking mu, aborts retry loops
+
+	ident identity.Principal
+	addr  string
+	auths []auth.Authenticator
+	opts  ClientOptions
+
+	brk *Breaker
+	m   *clientMetrics
+	rng *mrand.Rand // backoff jitter; guarded by mu
+
+	// assertions are CAS assertions presented on this session, replayed
+	// after a redial so re-established sessions keep their grants.
+	assertions [][]byte
+
+	sent atomic.Int64 // requests sent (everything the server dispatches)
 }
 
 // Dial connects to a Chirp server and authenticates with the first
-// mutually acceptable method.
+// mutually acceptable method, with default fault-tolerance options.
 func Dial(addr string, auths []auth.Authenticator) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialOpts(addr, auths, ClientOptions{})
+}
+
+// DialOpts is Dial with explicit fault-tolerance options.
+func DialOpts(addr string, auths []auth.Authenticator, opts ClientOptions) (*Client, error) {
+	opts.withDefaults()
+	cl := &Client{
+		addr:  addr,
+		auths: auths,
+		opts:  opts,
+		brk:   newBreaker(opts.BreakerThreshold, opts.BreakerCooloff, opts.Metrics),
+		m:     newClientMetrics(opts.Metrics),
+		rng:   mrand.New(mrand.NewSource(opts.Seed)),
+	}
+	cl.mu.Lock()
+	err := cl.connectLocked()
+	cl.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
-	ac := auth.NewConn(conn)
-	ident, err := auth.ClientNegotiate(ac, auths)
-	if err != nil {
-		conn.Close()
-		return nil, err
-	}
-	return &Client{conn: conn, c: newCodec(conn), ident: ident, addr: addr}, nil
+	return cl, nil
 }
 
 // Identity reports the principal this client proved to the server.
@@ -49,46 +89,245 @@ func (cl *Client) Identity() identity.Principal { return cl.ident }
 // Addr reports the server address.
 func (cl *Client) Addr() string { return cl.addr }
 
+// Breaker exposes the client's circuit breaker (the failover driver
+// consults it to route reads away from a dead primary).
+func (cl *Client) Breaker() *Breaker { return cl.brk }
+
+// LocalMetrics returns the registry the client's retry/redial/breaker
+// counters land in (ClientOptions.Metrics, or the private default).
+func (cl *Client) LocalMetrics() *obs.Registry { return cl.m.reg }
+
 // Close ends the session. Close is idempotent and safe to race with
-// in-flight calls: they complete or fail with a connection error.
+// in-flight calls and redials: they complete or fail with
+// ErrClientClosed. The "quit" farewell's write error is propagated only
+// when the connection was otherwise healthy — a session torn down after
+// a transport fault closes silently rather than masking the real error.
 func (cl *Client) Close() error {
+	cl.closing.Store(true) // aborts backoff loops waiting on cl.mu
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
 	if cl.closed {
 		return nil
 	}
 	cl.closed = true
-	cl.c.writeLine("quit")
-	return cl.conn.Close()
+	if cl.conn == nil {
+		return nil
+	}
+	if cl.broken {
+		// The transport already failed and was closed; a farewell (or a
+		// second close) could only mask the original fault with noise.
+		cl.conn.Close()
+		return nil
+	}
+	qerr := cl.c.writeLine("quit")
+	cerr := cl.conn.Close()
+	if qerr != nil {
+		return qerr
+	}
+	return cerr
 }
 
-// rpc performs one complete exchange: it takes the wire lock, sends a
-// request line and parses the response line.
-func (cl *Client) rpc(fields ...string) ([]string, error) {
+// --- connection management ---------------------------------------------
+
+// connectLocked dials and authenticates, consulting the breaker.
+// Callers hold cl.mu.
+func (cl *Client) connectLocked() error {
+	if !cl.brk.Allow() {
+		return ErrBreakerOpen
+	}
+	conn, err := cl.opts.Dialer(cl.addr)
+	if err != nil {
+		cl.brk.Fail()
+		return err
+	}
+	if cl.opts.Timeout > 0 {
+		conn.SetDeadline(time.Now().Add(cl.opts.Timeout))
+	}
+	ident, err := auth.ClientNegotiate(auth.NewConn(conn), cl.auths)
+	if err != nil {
+		conn.Close()
+		cl.brk.Fail()
+		return err
+	}
+	if cl.opts.Timeout > 0 {
+		conn.SetDeadline(time.Time{})
+	}
+	if cl.dialed && ident != cl.ident {
+		conn.Close()
+		return fmt.Errorf("chirp: redial authenticated as %q, session was %q", ident, cl.ident)
+	}
+	cl.conn, cl.c, cl.broken, cl.ident = conn, newCodec(conn), false, ident
+	if cl.dialed {
+		cl.m.redials.Inc()
+		if err := cl.replayAssertionsLocked(); err != nil {
+			cl.breakConnLocked()
+			cl.brk.Fail()
+			return err
+		}
+	}
+	cl.dialed = true
+	cl.brk.Success()
+	return nil
+}
+
+// ensureConnLocked makes sure a healthy authenticated connection is in
+// place, redialing if the previous one broke.
+func (cl *Client) ensureConnLocked() error {
+	if cl.c != nil && !cl.broken {
+		return nil
+	}
+	return cl.connectLocked()
+}
+
+// breakConnLocked marks the transport dead after a mid-exchange
+// failure; the next call redials.
+func (cl *Client) breakConnLocked() {
+	cl.broken = true
+	if cl.conn != nil {
+		cl.conn.Close()
+	}
+}
+
+// replayAssertionsLocked re-presents CAS assertions on a fresh session,
+// so grants survive a redial (session state the server keyed to the old
+// connection).
+func (cl *Client) replayAssertionsLocked() error {
+	for _, blob := range cl.assertions {
+		c := wireCall{
+			fields:   []string{"assert", strconv.Itoa(len(blob))},
+			sendBody: blob,
+		}
+		if _, _, err := cl.attemptLocked(c); err != nil {
+			return fmt.Errorf("chirp: replaying assertion after redial: %w", err)
+		}
+	}
+	return nil
+}
+
+// --- the exchange engine -----------------------------------------------
+
+// wireCall describes one complete request/response exchange.
+type wireCall struct {
+	fields   []string
+	sendBody []byte    // counted payload written after the request line
+	recvBody bool      // reply carries a counted payload sized by reply[0]
+	class    callClass // idempotency classification
+}
+
+// attemptLocked performs exactly one wire exchange under the per-call
+// deadline. A *RemoteError return means the server answered; any other
+// error is a transport failure.
+func (cl *Client) attemptLocked(c wireCall) ([]string, []byte, error) {
+	if cl.opts.Timeout > 0 {
+		if err := cl.conn.SetDeadline(time.Now().Add(cl.opts.Timeout)); err != nil {
+			return nil, nil, err
+		}
+		defer cl.conn.SetDeadline(time.Time{})
+	}
+	cl.sent.Add(1)
+	if err := cl.c.writeLine(c.fields...); err != nil {
+		return nil, nil, err
+	}
+	if c.sendBody != nil {
+		if err := cl.c.writePayload(c.sendBody); err != nil {
+			return nil, nil, err
+		}
+	}
+	resp, err := cl.response()
+	if err != nil {
+		return nil, nil, err
+	}
+	var body []byte
+	if c.recvBody {
+		if len(resp) < 1 {
+			return nil, nil, fmt.Errorf("chirp: reply missing payload length")
+		}
+		n, err := strconv.Atoi(resp[0])
+		if err != nil || n < 0 {
+			return nil, nil, fmt.Errorf("chirp: bad payload length %q", resp[0])
+		}
+		if body, err = cl.c.readPayload(n); err != nil {
+			return nil, nil, err
+		}
+	}
+	return resp, body, nil
+}
+
+// do runs one logical RPC: deadline per attempt, redial on a broken
+// connection, idempotency-aware retry with capped exponential backoff
+// and jitter. It reports whether any retry happened, so callers can map
+// retried mkdir/unlink outcomes (EEXIST/ENOENT after a lost reply mean
+// the earlier attempt won).
+func (cl *Client) do(c wireCall) (resp []string, body []byte, retried bool, err error) {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
-	return cl.rpcLocked(fields...)
-}
-
-// rpcLocked is rpc for callers already holding cl.mu (exchanges with
-// payload phases, which must stay atomic on the wire).
-func (cl *Client) rpcLocked(fields ...string) ([]string, error) {
-	if err := cl.send(fields...); err != nil {
-		return nil, err
+	attempts := 1
+	if !cl.opts.DisableRetries {
+		attempts += cl.opts.MaxRetries
 	}
-	return cl.response()
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if cl.closed || cl.closing.Load() {
+			return nil, nil, retried, ErrClientClosed
+		}
+		if attempt > 0 {
+			retried = true
+			cl.m.retries.Inc()
+			cl.opts.Sleep(backoff(cl.rng, cl.opts.RetryBase, cl.opts.RetryMax, attempt))
+			if cl.closing.Load() {
+				return nil, nil, retried, ErrClientClosed
+			}
+		}
+		if err := cl.ensureConnLocked(); err != nil {
+			// Nothing was sent, so even mutating calls may retry a
+			// failed redial.
+			lastErr = err
+			if cl.opts.DisableRetries {
+				return nil, nil, retried, err
+			}
+			continue
+		}
+		resp, body, err := cl.attemptLocked(c)
+		if err == nil {
+			cl.brk.Success()
+			return resp, body, retried, nil
+		}
+		var re *RemoteError
+		if errors.As(err, &re) {
+			// The server answered; error replies are final and healthy.
+			cl.brk.Success()
+			return nil, nil, retried, err
+		}
+		// Transport failure mid-exchange.
+		cl.breakConnLocked()
+		cl.brk.Fail()
+		lastErr = err
+		if cl.opts.DisableRetries {
+			return nil, nil, retried, err
+		}
+		if c.class == classMutating {
+			cl.m.unsafe.Inc()
+			return nil, nil, retried, fmt.Errorf("%w: %v", ErrRetryNotSafe, err)
+		}
+	}
+	return nil, nil, retried, lastErr
 }
 
-// send writes one request line, counting it. Every line sent this way
-// reaches the server's dispatch loop, so RequestCount here and the
-// server's requests counter advance in lockstep.
-func (cl *Client) send(fields ...string) error {
-	cl.sent.Add(1)
-	return cl.c.writeLine(fields...)
+// rpc performs one exchange with no payload phases. It is mutating-
+// classified: test helpers poking raw commands get no blind retry.
+func (cl *Client) rpc(fields ...string) ([]string, error) {
+	r, _, _, err := cl.do(wireCall{fields: fields, class: classMutating})
+	return r, err
 }
+
+// send is retained for the exchange engine: every request line reaches
+// the server's dispatch loop via attemptLocked, which counts it, so
+// RequestCount and the server's requests counter advance in lockstep on
+// a fault-free run.
 
 // RequestCount reports how many requests this client has sent (the
-// "quit" farewell excluded — the server never dispatches it).
+// "quit" farewell excluded — the server never dispatches it; retried
+// exchanges count once per attempt, mirroring the server's dispatches).
 func (cl *Client) RequestCount() int64 { return cl.sent.Load() }
 
 func (cl *Client) response() ([]string, error) {
@@ -120,6 +359,45 @@ func (cl *Client) response() ([]string, error) {
 	}
 }
 
+// compositeRetryable reports whether a whole-file operation should be
+// restarted from scratch: mid-transfer transport faults (surfaced as
+// ErrRetryNotSafe on descriptor ops) and EBADF from a descriptor that
+// died with a redialed session both qualify.
+func (cl *Client) compositeRetryable(err error) bool {
+	if cl.opts.DisableRetries {
+		return false
+	}
+	return errors.Is(err, ErrRetryNotSafe) || errors.Is(err, kernel.ErrBadFD)
+}
+
+// composite restarts a multi-RPC operation (PutFile, GetFile) that is
+// idempotent as a whole even though its descriptor-level steps are not.
+func (cl *Client) composite(op func() error) error {
+	attempts := 1
+	if !cl.opts.DisableRetries {
+		attempts += cl.opts.MaxRetries
+	}
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			cl.m.retries.Inc()
+			cl.mu.Lock()
+			d := backoff(cl.rng, cl.opts.RetryBase, cl.opts.RetryMax, attempt)
+			cl.mu.Unlock()
+			cl.opts.Sleep(d)
+		}
+		if cl.closing.Load() {
+			return ErrClientClosed
+		}
+		if err = op(); err == nil || !cl.compositeRetryable(err) {
+			return err
+		}
+	}
+	return err
+}
+
+// --- RPC surface --------------------------------------------------------
+
 // ServerStats are the live server-side counters returned by the stats
 // command: connection/session state plus lifetime request, error and
 // wire-traffic totals.
@@ -137,7 +415,7 @@ type ServerStats struct {
 
 // Stats fetches the server's live counters.
 func (cl *Client) Stats() (ServerStats, error) {
-	r, err := cl.rpc("stats")
+	r, _, _, err := cl.do(wireCall{fields: []string{"stats"}, class: classIdempotent})
 	if err != nil {
 		return ServerStats{}, err
 	}
@@ -164,29 +442,16 @@ func (cl *Client) Stats() (ServerStats, error) {
 // Metrics fetches the server's full metric registry as Prometheus text
 // exposition.
 func (cl *Client) Metrics() (string, error) {
-	cl.mu.Lock()
-	defer cl.mu.Unlock()
-	r, err := cl.rpcLocked("metrics")
+	_, body, _, err := cl.do(wireCall{fields: []string{"metrics"}, recvBody: true, class: classIdempotent})
 	if err != nil {
 		return "", err
 	}
-	if len(r) != 1 {
-		return "", fmt.Errorf("chirp: bad metrics reply %v", r)
-	}
-	n, err := strconv.Atoi(r[0])
-	if err != nil || n < 0 {
-		return "", fmt.Errorf("chirp: bad metrics length %q", r[0])
-	}
-	data, err := cl.c.readPayload(n)
-	if err != nil {
-		return "", err
-	}
-	return string(data), nil
+	return string(body), nil
 }
 
 // Whoami asks the server which principal it recorded.
 func (cl *Client) Whoami() (identity.Principal, error) {
-	r, err := cl.rpc("whoami")
+	r, _, _, err := cl.do(wireCall{fields: []string{"whoami"}, class: classIdempotent})
 	if err != nil {
 		return "", err
 	}
@@ -196,26 +461,40 @@ func (cl *Client) Whoami() (identity.Principal, error) {
 	return identity.Principal(r[0]), nil
 }
 
-// Open opens a remote file and returns its descriptor.
+// Open opens a remote file and returns its descriptor. Open retries
+// transparently (a fresh descriptor on a fresh session is equivalent)
+// unless O_EXCL makes a lost-reply retry observable.
 func (cl *Client) Open(path string, flags int, mode uint32) (int, error) {
-	r, err := cl.rpc("open", strconv.Itoa(flags), strconv.FormatUint(uint64(mode), 8), q(path))
+	class := classIdempotent
+	if flags&kernel.OExcl != 0 {
+		class = classMutating
+	}
+	r, _, _, err := cl.do(wireCall{
+		fields: []string{"open", strconv.Itoa(flags), strconv.FormatUint(uint64(mode), 8), q(path)},
+		class:  class,
+	})
 	if err != nil {
 		return 0, err
 	}
 	return strconv.Atoi(r[0])
 }
 
-// CloseFD releases a remote descriptor.
+// CloseFD releases a remote descriptor. Descriptors are session state:
+// after a redial the old descriptor is gone, so no blind retry.
 func (cl *Client) CloseFD(fd int) error {
-	_, err := cl.rpc("close", strconv.Itoa(fd))
+	_, _, _, err := cl.do(wireCall{fields: []string{"close", strconv.Itoa(fd)}, class: classMutating})
 	return err
 }
 
-// Pread reads up to len(buf) bytes at off.
+// Pread reads up to len(buf) bytes at off. Descriptor-bound: a
+// transport fault surfaces ErrRetryNotSafe (GetFile restarts the whole
+// transfer instead).
 func (cl *Client) Pread(fd int, buf []byte, off int64) (int, error) {
-	cl.mu.Lock()
-	defer cl.mu.Unlock()
-	r, err := cl.rpcLocked("pread", strconv.Itoa(fd), strconv.Itoa(len(buf)), strconv.FormatInt(off, 10))
+	r, body, _, err := cl.do(wireCall{
+		fields:   []string{"pread", strconv.Itoa(fd), strconv.Itoa(len(buf)), strconv.FormatInt(off, 10)},
+		recvBody: true,
+		class:    classMutating,
+	})
 	if err != nil {
 		return 0, err
 	}
@@ -223,25 +502,19 @@ func (cl *Client) Pread(fd int, buf []byte, off int64) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	data, err := cl.c.readPayload(n)
-	if err != nil {
-		return 0, err
-	}
-	copy(buf, data)
+	copy(buf, body)
 	return n, nil
 }
 
-// Pwrite writes buf at off.
+// Pwrite writes buf at off. Descriptor-bound and non-idempotent: a
+// transport fault surfaces ErrRetryNotSafe (PutFile restarts the whole
+// transfer instead).
 func (cl *Client) Pwrite(fd int, buf []byte, off int64) (int, error) {
-	cl.mu.Lock()
-	defer cl.mu.Unlock()
-	if err := cl.send("pwrite", strconv.Itoa(fd), strconv.FormatInt(off, 10), strconv.Itoa(len(buf))); err != nil {
-		return 0, err
-	}
-	if err := cl.c.writePayload(buf); err != nil {
-		return 0, err
-	}
-	r, err := cl.response()
+	r, _, _, err := cl.do(wireCall{
+		fields:   []string{"pwrite", strconv.Itoa(fd), strconv.FormatInt(off, 10), strconv.Itoa(len(buf))},
+		sendBody: buf,
+		class:    classMutating,
+	})
 	if err != nil {
 		return 0, err
 	}
@@ -250,7 +523,7 @@ func (cl *Client) Pwrite(fd int, buf []byte, off int64) (int, error) {
 
 // FstatFD reports metadata for an open descriptor.
 func (cl *Client) FstatFD(fd int) (vfs.Stat, error) {
-	r, err := cl.rpc("fstat", strconv.Itoa(fd))
+	r, _, _, err := cl.do(wireCall{fields: []string{"fstat", strconv.Itoa(fd)}, class: classMutating})
 	if err != nil {
 		return vfs.Stat{}, err
 	}
@@ -259,7 +532,7 @@ func (cl *Client) FstatFD(fd int) (vfs.Stat, error) {
 
 // Stat reports metadata for a path, following symlinks.
 func (cl *Client) Stat(path string) (vfs.Stat, error) {
-	r, err := cl.rpc("stat", q(path))
+	r, _, _, err := cl.do(wireCall{fields: []string{"stat", q(path)}, class: classIdempotent})
 	if err != nil {
 		return vfs.Stat{}, err
 	}
@@ -268,7 +541,7 @@ func (cl *Client) Stat(path string) (vfs.Stat, error) {
 
 // Lstat reports metadata without following a final symlink.
 func (cl *Client) Lstat(path string) (vfs.Stat, error) {
-	r, err := cl.rpc("lstat", q(path))
+	r, _, _, err := cl.do(wireCall{fields: []string{"lstat", q(path)}, class: classIdempotent})
 	if err != nil {
 		return vfs.Stat{}, err
 	}
@@ -277,7 +550,7 @@ func (cl *Client) Lstat(path string) (vfs.Stat, error) {
 
 // ReadDir lists a remote directory.
 func (cl *Client) ReadDir(path string) ([]vfs.DirEntry, error) {
-	r, err := cl.rpc("getdir", q(path))
+	r, _, _, err := cl.do(wireCall{fields: []string{"getdir", q(path)}, class: classIdempotent})
 	if err != nil {
 		return nil, err
 	}
@@ -300,111 +573,119 @@ func (cl *Client) ReadDir(path string) ([]vfs.DirEntry, error) {
 }
 
 // Mkdir creates a remote directory (with reserve-right semantics when
-// the client holds only v in the parent).
+// the client holds only v in the parent). Mkdir is retried; EEXIST on a
+// retried call means an earlier attempt's lost reply — the directory is
+// there, so the call reports success.
 func (cl *Client) Mkdir(path string, mode uint32) error {
-	_, err := cl.rpc("mkdir", strconv.FormatUint(uint64(mode), 8), q(path))
+	_, _, retried, err := cl.do(wireCall{
+		fields: []string{"mkdir", strconv.FormatUint(uint64(mode), 8), q(path)},
+		class:  classIdempotent,
+	})
+	if retried && errors.Is(err, vfs.ErrExist) {
+		return nil
+	}
 	return err
 }
 
-// Rmdir removes an empty remote directory.
+// Rmdir removes an empty remote directory. ENOENT on a retried call
+// means an earlier attempt already removed it.
 func (cl *Client) Rmdir(path string) error {
-	_, err := cl.rpc("rmdir", q(path))
+	_, _, retried, err := cl.do(wireCall{fields: []string{"rmdir", q(path)}, class: classIdempotent})
+	if retried && errors.Is(err, vfs.ErrNotExist) {
+		return nil
+	}
 	return err
 }
 
-// Unlink removes a remote file.
+// Unlink removes a remote file. ENOENT on a retried call means an
+// earlier attempt already removed it.
 func (cl *Client) Unlink(path string) error {
-	_, err := cl.rpc("unlink", q(path))
+	_, _, retried, err := cl.do(wireCall{fields: []string{"unlink", q(path)}, class: classIdempotent})
+	if retried && errors.Is(err, vfs.ErrNotExist) {
+		return nil
+	}
 	return err
 }
 
-// Rename moves a remote file.
+// Rename moves a remote file. Not idempotent (a repeated rename fails
+// or moves a recreated file), so mid-exchange faults surface
+// ErrRetryNotSafe.
 func (cl *Client) Rename(oldPath, newPath string) error {
-	_, err := cl.rpc("rename", q(oldPath), q(newPath))
+	_, _, _, err := cl.do(wireCall{fields: []string{"rename", q(oldPath), q(newPath)}, class: classMutating})
 	return err
 }
 
 // Link creates a remote hard link.
 func (cl *Client) Link(oldPath, newPath string) error {
-	_, err := cl.rpc("link", q(oldPath), q(newPath))
+	_, _, _, err := cl.do(wireCall{fields: []string{"link", q(oldPath), q(newPath)}, class: classMutating})
 	return err
 }
 
 // Symlink creates a remote symbolic link.
 func (cl *Client) Symlink(target, linkPath string) error {
-	_, err := cl.rpc("symlink", q(target), q(linkPath))
+	_, _, _, err := cl.do(wireCall{fields: []string{"symlink", q(target), q(linkPath)}, class: classMutating})
 	return err
 }
 
 // Readlink reads a remote symlink target.
 func (cl *Client) Readlink(path string) (string, error) {
-	r, err := cl.rpc("readlink", q(path))
+	r, _, _, err := cl.do(wireCall{fields: []string{"readlink", q(path)}, class: classIdempotent})
 	if err != nil {
 		return "", err
 	}
 	return r[0], nil
 }
 
-// Truncate sets a remote file's size.
+// Truncate sets a remote file's size (idempotent: truncating to the
+// same size twice is harmless).
 func (cl *Client) Truncate(path string, size int64) error {
-	_, err := cl.rpc("truncate", q(path), strconv.FormatInt(size, 10))
+	_, _, _, err := cl.do(wireCall{
+		fields: []string{"truncate", q(path), strconv.FormatInt(size, 10)},
+		class:  classIdempotent,
+	})
 	return err
 }
 
 // GetACL fetches the ACL text protecting a remote directory.
 func (cl *Client) GetACL(path string) (string, error) {
-	cl.mu.Lock()
-	defer cl.mu.Unlock()
-	r, err := cl.rpcLocked("getacl", q(path))
+	_, body, _, err := cl.do(wireCall{fields: []string{"getacl", q(path)}, recvBody: true, class: classIdempotent})
 	if err != nil {
 		return "", err
 	}
-	n, err := strconv.Atoi(r[0])
-	if err != nil {
-		return "", err
-	}
-	data, err := cl.c.readPayload(n)
-	if err != nil {
-		return "", err
-	}
-	return string(data), nil
+	return string(body), nil
 }
 
 // SetACL replaces the ACL protecting a remote directory (requires the
-// A right).
+// A right). Idempotent: replaying the same replacement converges.
 func (cl *Client) SetACL(path, aclText string) error {
-	cl.mu.Lock()
-	defer cl.mu.Unlock()
-	if err := cl.send("setacl", q(path), strconv.Itoa(len(aclText))); err != nil {
-		return err
-	}
-	if err := cl.c.writePayload([]byte(aclText)); err != nil {
-		return err
-	}
-	_, err := cl.response()
+	_, _, _, err := cl.do(wireCall{
+		fields:   []string{"setacl", q(path), strconv.Itoa(len(aclText))},
+		sendBody: []byte(aclText),
+		class:    classIdempotent,
+	})
 	return err
 }
 
 // PresentAssertion hands a community-authorization assertion to the
 // server; on success the server unions the granted rights with the
-// local ACLs for this session. Returns the community name the server
-// acknowledged.
+// local ACLs for this session, and the client replays it after any
+// redial so grants survive reconnection. Returns the community name the
+// server acknowledged.
 func (cl *Client) PresentAssertion(encoded []byte) (string, error) {
-	cl.mu.Lock()
-	defer cl.mu.Unlock()
-	if err := cl.send("assert", strconv.Itoa(len(encoded))); err != nil {
-		return "", err
-	}
-	if err := cl.c.writePayload(encoded); err != nil {
-		return "", err
-	}
-	r, err := cl.response()
+	r, _, _, err := cl.do(wireCall{
+		fields:   []string{"assert", strconv.Itoa(len(encoded))},
+		sendBody: encoded,
+		class:    classIdempotent,
+	})
 	if err != nil {
 		return "", err
 	}
 	if len(r) != 1 {
 		return "", fmt.Errorf("chirp: bad assert reply %v", r)
 	}
+	cl.mu.Lock()
+	cl.assertions = append(cl.assertions, encoded)
+	cl.mu.Unlock()
 	return r[0], nil
 }
 
@@ -416,13 +697,37 @@ type ExecResult struct {
 
 // Exec runs the staged program at path on the server, inside an
 // identity box carrying this client's principal, with working
-// directory cwd.
+// directory cwd. Job submission is not idempotent: if the connection
+// dies mid-call the client cannot know whether the job ran, so the
+// fault surfaces as ErrRetryNotSafe. Use ExecToken to opt in to safe
+// retry via server-side deduplication.
 func (cl *Client) Exec(cwd, path string, args ...string) (ExecResult, error) {
+	return cl.exec("", cwd, path, args)
+}
+
+// ExecToken is Exec with an idempotency token (see NewRequestToken):
+// the server deduplicates by (principal, token) in a bounded table, so
+// a retried submission whose first attempt actually ran is answered
+// from the dedupe table instead of running twice. With a token, the
+// client retries transparently across redials.
+func (cl *Client) ExecToken(token, cwd, path string, args ...string) (ExecResult, error) {
+	if token == "" {
+		return ExecResult{}, fmt.Errorf("chirp: empty request token")
+	}
+	return cl.exec(token, cwd, path, args)
+}
+
+func (cl *Client) exec(token, cwd, path string, args []string) (ExecResult, error) {
 	fields := []string{"exec", q(cwd), q(path)}
+	class := classMutating
+	if token != "" {
+		fields = append([]string{"token", q(token)}, fields...)
+		class = classIdempotent
+	}
 	for _, a := range args {
 		fields = append(fields, q(a))
 	}
-	r, err := cl.rpc(fields...)
+	r, _, _, err := cl.do(wireCall{fields: fields, class: class})
 	if err != nil {
 		return ExecResult{}, err
 	}
@@ -441,49 +746,61 @@ func (cl *Client) Exec(cwd, path string, args ...string) (ExecResult, error) {
 }
 
 // PutFile stages a whole file onto the server in one call sequence.
+// The transfer is idempotent as a whole (O_TRUNC restarts it), so a
+// connection dying mid-transfer restarts the sequence on a fresh
+// session rather than surfacing the descriptor fault.
 func (cl *Client) PutFile(path string, data []byte, mode uint32) error {
-	fd, err := cl.Open(path, 0x1|0x40|0x200, mode) // O_WRONLY|O_CREAT|O_TRUNC
-	if err != nil {
-		return err
-	}
-	const chunk = 65536
-	for off := 0; off < len(data); off += chunk {
-		end := off + chunk
-		if end > len(data) {
-			end = len(data)
-		}
-		if _, err := cl.Pwrite(fd, data[off:end], int64(off)); err != nil {
-			cl.CloseFD(fd)
+	return cl.composite(func() error {
+		fd, err := cl.Open(path, kernel.OWronly|kernel.OCreat|kernel.OTrunc, mode)
+		if err != nil {
 			return err
 		}
-	}
-	return cl.CloseFD(fd)
+		const chunk = 65536
+		for off := 0; off < len(data); off += chunk {
+			end := off + chunk
+			if end > len(data) {
+				end = len(data)
+			}
+			if _, err := cl.Pwrite(fd, data[off:end], int64(off)); err != nil {
+				cl.CloseFD(fd)
+				return err
+			}
+		}
+		return cl.CloseFD(fd)
+	})
 }
 
-// GetFile fetches a whole remote file.
+// GetFile fetches a whole remote file, restarting the read sequence if
+// the connection dies mid-transfer.
 func (cl *Client) GetFile(path string) ([]byte, error) {
-	fd, err := cl.Open(path, 0x0, 0) // O_RDONLY
-	if err != nil {
-		return nil, err
-	}
-	defer cl.CloseFD(fd)
-	st, err := cl.FstatFD(fd)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]byte, 0, st.Size)
-	buf := make([]byte, 65536)
-	var off int64
-	for {
-		n, err := cl.Pread(fd, buf, off)
+	var out []byte
+	err := cl.composite(func() error {
+		fd, err := cl.Open(path, kernel.ORdonly, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if n == 0 {
-			break
+		defer cl.CloseFD(fd)
+		st, err := cl.FstatFD(fd)
+		if err != nil {
+			return err
 		}
-		out = append(out, buf[:n]...)
-		off += int64(n)
+		out = make([]byte, 0, st.Size)
+		buf := make([]byte, 65536)
+		var off int64
+		for {
+			n, err := cl.Pread(fd, buf, off)
+			if err != nil {
+				return err
+			}
+			if n == 0 {
+				return nil
+			}
+			out = append(out, buf[:n]...)
+			off += int64(n)
+		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,64 @@
+package chirp
+
+import "sync"
+
+// dedupeTable remembers replies to tokened requests so a client retry
+// whose first attempt actually executed is answered from memory instead
+// of re-executed. Keys are principal+token (never raw tokens: one
+// client must not replay another's reply). The table is server-wide
+// rather than per-session because the whole point of a token is to
+// survive the session dying mid-exchange — the retry arrives on a new
+// connection. Capacity is bounded FIFO: the oldest entry is evicted
+// when cap is reached, which is safe because tokens protect short
+// retry windows, not long-term replay.
+type dedupeTable struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string][]string
+	order   []string // insertion order for FIFO eviction
+	hits    int64
+}
+
+func newDedupeTable(capacity int) *dedupeTable {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &dedupeTable{cap: capacity, entries: make(map[string][]string)}
+}
+
+func dedupeKey(principal, token string) string {
+	return principal + "\x00" + token
+}
+
+// lookup returns the stored reply fields for a key, if any.
+func (t *dedupeTable) lookup(key string) ([]string, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r, ok := t.entries[key]
+	if ok {
+		t.hits++
+	}
+	return r, ok
+}
+
+// store records the reply for a key, evicting the oldest entry at cap.
+// Re-storing an existing key refreshes the value without growing.
+func (t *dedupeTable) store(key string, reply []string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, exists := t.entries[key]; !exists {
+		if len(t.order) >= t.cap {
+			oldest := t.order[0]
+			t.order = t.order[1:]
+			delete(t.entries, oldest)
+		}
+		t.order = append(t.order, key)
+	}
+	t.entries[key] = append([]string(nil), reply...)
+}
+
+func (t *dedupeTable) stats() (hits int64, size int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.hits, len(t.entries)
+}

@@ -1,0 +1,218 @@
+package chirp
+
+import (
+	"fmt"
+
+	"identitybox/internal/kernel"
+	"identitybox/internal/parrot"
+	"identitybox/internal/vfs"
+)
+
+// FailoverDriver serves one catalog name from a replica set: catalog
+// entries sharing a name are taken as replicas of the same export.
+// Reads prefer the primary but fail over, in order, to replicas when
+// the primary's circuit breaker is open or a call fails at the
+// transport level (remote error replies are final — a replica would
+// just repeat them). Writes go to the primary only — replicas are not
+// a consistency protocol — and degrade with the typed ErrDegraded
+// instead of hanging when the primary is unavailable.
+type FailoverDriver struct {
+	drivers []*Driver    // primary first
+	note    func(string) // optional failover-event sink (core audit)
+}
+
+// NewFailoverDriver builds a failover driver over a replica set,
+// primary first. note, when non-nil, receives one line per failover
+// decision (wired to the box's audit trail by MountAll).
+func NewFailoverDriver(drivers []*Driver, note func(string)) *FailoverDriver {
+	return &FailoverDriver{drivers: drivers, note: note}
+}
+
+// Primary exposes the primary's driver (tests, tools).
+func (f *FailoverDriver) Primary() *Driver { return f.drivers[0] }
+
+func (f *FailoverDriver) notef(format string, args ...any) {
+	if f.note != nil {
+		f.note(fmt.Sprintf(format, args...))
+	}
+}
+
+// readDriver runs op against the first usable replica: open-breaker
+// drivers are skipped (unless every breaker is open, when the primary
+// is probed anyway rather than failing without trying), and transport
+// failures advance to the next replica.
+func (f *FailoverDriver) readDriver(what string, op func(d *Driver) error) error {
+	var lastErr error
+	tried := 0
+	for i, d := range f.drivers {
+		if d.Client().Breaker().State() == BreakerOpen {
+			continue
+		}
+		tried++
+		err := op(d)
+		if err == nil || !isTransient(err) {
+			if i > 0 {
+				f.notef("chirp failover: %s served by replica %s", what, d.Client().Addr())
+			}
+			return err
+		}
+		f.notef("chirp failover: %s failed on %s: %v", what, d.Client().Addr(), err)
+		lastErr = err
+	}
+	if tried == 0 {
+		// Every breaker is open. Probe the primary rather than reporting
+		// staleness forever: Allow() readmits traffic after the cooloff.
+		if f.drivers[0].Client().Breaker().Allow() {
+			return op(f.drivers[0])
+		}
+		return ErrBreakerOpen
+	}
+	return lastErr
+}
+
+// writeDriver runs op against the primary, degrading with ErrDegraded
+// when it is unavailable. Writes never fail over: applying a mutation
+// to a replica would fork the replica set's state.
+func (f *FailoverDriver) writeDriver(op func(d *Driver) error) error {
+	primary := f.drivers[0]
+	if primary.Client().Breaker().State() == BreakerOpen && !primary.Client().Breaker().Allow() {
+		f.notef("chirp failover: write degraded, primary %s breaker open", primary.Client().Addr())
+		return fmt.Errorf("%w (primary %s)", ErrDegraded, primary.Client().Addr())
+	}
+	err := op(primary)
+	if isTransient(err) {
+		f.notef("chirp failover: write degraded, primary %s: %v", primary.Client().Addr(), err)
+		return fmt.Errorf("%w (primary %s): %v", ErrDegraded, primary.Client().Addr(), err)
+	}
+	return err
+}
+
+// Open implements parrot.Driver. Read-only opens may fail over;
+// anything that can mutate (write access, create, truncate) is a write.
+func (f *FailoverDriver) Open(p *kernel.Proc, path string, flags int, mode uint32) (parrot.File, error) {
+	var file parrot.File
+	op := func(d *Driver) error {
+		var err error
+		file, err = d.Open(p, path, flags, mode)
+		return err
+	}
+	readOnly := flags&3 == kernel.ORdonly && flags&(kernel.OCreat|kernel.OTrunc) == 0
+	var err error
+	if readOnly {
+		err = f.readDriver("open "+path, op)
+	} else {
+		err = f.writeDriver(op)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return file, nil
+}
+
+// Stat implements parrot.Driver.
+func (f *FailoverDriver) Stat(p *kernel.Proc, path string) (vfs.Stat, error) {
+	var st vfs.Stat
+	err := f.readDriver("stat "+path, func(d *Driver) error {
+		var err error
+		st, err = d.Stat(p, path)
+		return err
+	})
+	return st, err
+}
+
+// Lstat implements parrot.Driver.
+func (f *FailoverDriver) Lstat(p *kernel.Proc, path string) (vfs.Stat, error) {
+	var st vfs.Stat
+	err := f.readDriver("lstat "+path, func(d *Driver) error {
+		var err error
+		st, err = d.Lstat(p, path)
+		return err
+	})
+	return st, err
+}
+
+// Readlink implements parrot.Driver.
+func (f *FailoverDriver) Readlink(p *kernel.Proc, path string) (string, error) {
+	var t string
+	err := f.readDriver("readlink "+path, func(d *Driver) error {
+		var err error
+		t, err = d.Readlink(p, path)
+		return err
+	})
+	return t, err
+}
+
+// ReadDir implements parrot.Driver.
+func (f *FailoverDriver) ReadDir(p *kernel.Proc, path string) ([]vfs.DirEntry, error) {
+	var ents []vfs.DirEntry
+	err := f.readDriver("readdir "+path, func(d *Driver) error {
+		var err error
+		ents, err = d.ReadDir(p, path)
+		return err
+	})
+	return ents, err
+}
+
+// ReadFileSmall implements parrot.Driver.
+func (f *FailoverDriver) ReadFileSmall(p *kernel.Proc, path string) ([]byte, error) {
+	var data []byte
+	err := f.readDriver("read "+path, func(d *Driver) error {
+		var err error
+		data, err = d.ReadFileSmall(p, path)
+		return err
+	})
+	return data, err
+}
+
+// Mkdir implements parrot.Driver.
+func (f *FailoverDriver) Mkdir(p *kernel.Proc, path string, mode uint32) error {
+	return f.writeDriver(func(d *Driver) error { return d.Mkdir(p, path, mode) })
+}
+
+// Rmdir implements parrot.Driver.
+func (f *FailoverDriver) Rmdir(p *kernel.Proc, path string) error {
+	return f.writeDriver(func(d *Driver) error { return d.Rmdir(p, path) })
+}
+
+// Unlink implements parrot.Driver.
+func (f *FailoverDriver) Unlink(p *kernel.Proc, path string) error {
+	return f.writeDriver(func(d *Driver) error { return d.Unlink(p, path) })
+}
+
+// Link implements parrot.Driver.
+func (f *FailoverDriver) Link(p *kernel.Proc, oldPath, newPath string) error {
+	return f.writeDriver(func(d *Driver) error { return d.Link(p, oldPath, newPath) })
+}
+
+// Symlink implements parrot.Driver.
+func (f *FailoverDriver) Symlink(p *kernel.Proc, target, linkPath string) error {
+	return f.writeDriver(func(d *Driver) error { return d.Symlink(p, target, linkPath) })
+}
+
+// Rename implements parrot.Driver.
+func (f *FailoverDriver) Rename(p *kernel.Proc, oldPath, newPath string) error {
+	return f.writeDriver(func(d *Driver) error { return d.Rename(p, oldPath, newPath) })
+}
+
+// Chmod implements parrot.Driver (a no-op on Chirp, as in Driver).
+func (f *FailoverDriver) Chmod(p *kernel.Proc, path string, mode uint32) error {
+	return f.drivers[0].Chmod(p, path, mode)
+}
+
+// Truncate implements parrot.Driver.
+func (f *FailoverDriver) Truncate(p *kernel.Proc, path string, size int64) error {
+	return f.writeDriver(func(d *Driver) error { return d.Truncate(p, path, size) })
+}
+
+// WriteFileSmall implements parrot.Driver.
+func (f *FailoverDriver) WriteFileSmall(p *kernel.Proc, path string, data []byte, mode uint32) error {
+	return f.writeDriver(func(d *Driver) error { return d.WriteFileSmall(p, path, data, mode) })
+}
+
+// ManagesACLs implements parrot.ACLManager, like Driver.
+func (f *FailoverDriver) ManagesACLs() bool { return true }
+
+var (
+	_ parrot.Driver     = (*FailoverDriver)(nil)
+	_ parrot.ACLManager = (*FailoverDriver)(nil)
+)

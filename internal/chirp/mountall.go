@@ -16,6 +16,12 @@ import (
 //	ls /chirp/                 (conceptually)
 //	cat /chirp/storage.nowhere.edu/public/data
 //
+// Catalog entries sharing a name are treated as replicas of one
+// export: /chirp/<name> is served by a FailoverDriver that fails reads
+// over to a live replica when the primary is down and degrades writes
+// with ErrDegraded. /chirp/<addr> always addresses one specific
+// server. Failover decisions land in the box's audit trail.
+//
 // It returns the clients so the caller can close them when the box is
 // done.
 func MountAll(box *core.Box, catalogAddr string, auths []auth.Authenticator, model vclock.CostModel) ([]*Client, error) {
@@ -24,6 +30,8 @@ func MountAll(box *core.Box, catalogAddr string, auths []auth.Authenticator, mod
 		return nil, fmt.Errorf("chirp: querying catalog %s: %w", catalogAddr, err)
 	}
 	var clients []*Client
+	groups := make(map[string][]*Driver) // name -> replica drivers, catalog order
+	var names []string
 	for _, e := range entries {
 		cl, err := Dial(e.Addr, auths)
 		if err != nil {
@@ -35,8 +43,19 @@ func MountAll(box *core.Box, catalogAddr string, auths []auth.Authenticator, mod
 		d := NewDriver(cl, model)
 		box.Mount("/chirp/"+e.Addr, d)
 		if e.Name != "" && e.Name != e.Addr {
-			box.Mount("/chirp/"+e.Name, d)
+			if _, seen := groups[e.Name]; !seen {
+				names = append(names, e.Name)
+			}
+			groups[e.Name] = append(groups[e.Name], d)
 		}
+	}
+	for _, name := range names {
+		replicas := groups[name]
+		if len(replicas) == 1 {
+			box.Mount("/chirp/"+name, replicas[0])
+			continue
+		}
+		box.Mount("/chirp/"+name, NewFailoverDriver(replicas, box.Note))
 	}
 	return clients, nil
 }

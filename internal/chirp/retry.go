@@ -1,0 +1,203 @@
+package chirp
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	mrand "math/rand"
+	"net"
+	"time"
+
+	"identitybox/internal/obs"
+)
+
+// Typed failures of the fault-tolerance layer.
+var (
+	// ErrRetryNotSafe is returned when a connection fails in the middle
+	// of a non-idempotent exchange (pwrite on a live descriptor, exec
+	// without a request token): the client cannot tell whether the
+	// server applied the request, so it refuses to retry. Callers opt in
+	// by supplying a request token the server dedupes (ExecToken), or by
+	// restarting the whole logical operation (PutFile does this
+	// internally).
+	ErrRetryNotSafe = errors.New("chirp: connection failed mid-call; retry not safe for non-idempotent request")
+	// ErrBreakerOpen is returned while the client's circuit breaker is
+	// open: the server has failed repeatedly and calls fail fast until
+	// the cooloff elapses.
+	ErrBreakerOpen = errors.New("chirp: circuit breaker open, server considered down")
+	// ErrClientClosed is returned for calls on a closed client.
+	ErrClientClosed = errors.New("chirp: client closed")
+	// ErrDegraded is returned by the failover driver for writes while
+	// the primary is unavailable: reads fail over to replicas, writes
+	// degrade with this typed error instead of hanging.
+	ErrDegraded = errors.New("chirp: writes degraded, primary unavailable")
+)
+
+// Client-side metric names (ClientOptions.Metrics / Client.LocalMetrics).
+const (
+	MetricClientRetries      = "chirp_client_retries_total"
+	MetricClientRedials      = "chirp_client_redials_total"
+	MetricClientRetryUnsafe  = "chirp_client_retry_unsafe_total"
+	MetricClientBreakerOpens = "chirp_client_breaker_opens_total"
+	MetricClientBreakerState = "chirp_client_breaker_state"
+)
+
+// Server-side fault-tolerance metric names.
+const (
+	MetricDedupeHits    = "chirp_dedupe_hits_total"
+	MetricDedupeEntries = "chirp_dedupe_entries"
+	MetricDraining      = "chirp_draining"
+)
+
+// ClientOptions tune the client's fault-tolerance layer. The zero value
+// gives sensible production defaults: retries enabled, no per-call
+// deadline, a 5-failure breaker with a one-second cooloff.
+type ClientOptions struct {
+	// Timeout bounds each wire exchange (one request/response, payload
+	// phases included) with a connection deadline. Zero means no
+	// deadline. Redial and re-authentication are bounded by the same
+	// timeout.
+	Timeout time.Duration
+	// MaxRetries is how many times a failed exchange is retried beyond
+	// the first attempt (default 3). Only transport failures are
+	// retried, and only for idempotent or tokened calls; error replies
+	// from the server are always final.
+	MaxRetries int
+	// DisableRetries turns the retry/redial machinery off entirely: the
+	// first transport failure surfaces to the caller, as the pre-fault-
+	// tolerance client behaved.
+	DisableRetries bool
+	// RetryBase is the first backoff delay (default 50ms). Retry n
+	// sleeps min(RetryBase<<n, RetryMax), half fixed and half seeded
+	// jitter.
+	RetryBase time.Duration
+	// RetryMax caps the backoff (default 2s).
+	RetryMax time.Duration
+	// Seed makes the backoff jitter deterministic (default 1).
+	Seed int64
+	// BreakerThreshold is the consecutive transport failures that open
+	// the circuit breaker (default 5).
+	BreakerThreshold int
+	// BreakerCooloff is how long the breaker stays open before letting
+	// a probe through (default 1s).
+	BreakerCooloff time.Duration
+	// Metrics, when set, receives the client's retry/redial/breaker
+	// counters. When nil the client keeps a private registry, reachable
+	// via LocalMetrics.
+	Metrics *obs.Registry
+	// Dialer replaces net.Dial("tcp", addr) — the hook fault-injection
+	// tests (and exotic transports) use.
+	Dialer func(addr string) (net.Conn, error)
+	// Sleep replaces time.Sleep for backoff waits, letting tests record
+	// the schedule instead of waiting it out.
+	Sleep func(time.Duration)
+}
+
+// withDefaults fills zero fields in place.
+func (o *ClientOptions) withDefaults() {
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 3
+	}
+	if o.RetryBase == 0 {
+		o.RetryBase = 50 * time.Millisecond
+	}
+	if o.RetryMax == 0 {
+		o.RetryMax = 2 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooloff == 0 {
+		o.BreakerCooloff = time.Second
+	}
+	if o.Metrics == nil {
+		o.Metrics = obs.NewRegistry()
+	}
+	if o.Dialer == nil {
+		o.Dialer = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	if o.Sleep == nil {
+		o.Sleep = time.Sleep
+	}
+}
+
+// callClass is the idempotency classification of one RPC, deciding what
+// the retry layer may do when the connection dies mid-exchange.
+type callClass int
+
+const (
+	// classIdempotent calls (whoami, stat, lstat, getdir, readlink,
+	// getacl, setacl, mkdir, rmdir, unlink, truncate, open, assert, and
+	// any tokened request) are re-sent transparently after a redial.
+	classIdempotent callClass = iota
+	// classMutating calls (pwrite/pread/fstat/close on a session-bound
+	// descriptor, exec without a token, rename, link, symlink) surface
+	// ErrRetryNotSafe instead: the request may or may not have been
+	// applied, and blind re-execution could double-apply it or target a
+	// descriptor that died with the session.
+	classMutating
+)
+
+// clientMetrics caches the client's counter handles.
+type clientMetrics struct {
+	reg     *obs.Registry
+	retries *obs.Counter
+	redials *obs.Counter
+	unsafe  *obs.Counter
+}
+
+func newClientMetrics(reg *obs.Registry) *clientMetrics {
+	reg.Help(MetricClientRetries, "Exchanges re-sent after a transport failure.")
+	reg.Help(MetricClientRedials, "Connections re-established (re-authentication included).")
+	reg.Help(MetricClientRetryUnsafe, "Transport failures surfaced as ErrRetryNotSafe.")
+	return &clientMetrics{
+		reg:     reg,
+		retries: reg.Counter(MetricClientRetries),
+		redials: reg.Counter(MetricClientRedials),
+		unsafe:  reg.Counter(MetricClientRetryUnsafe),
+	}
+}
+
+// backoff computes the nth retry's delay (n is 1-based): capped
+// exponential, half fixed plus half jitter from the seeded rng.
+func backoff(rng *mrand.Rand, base, max time.Duration, n int) time.Duration {
+	d := base
+	for i := 1; i < n && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(rng.Int63n(int64(half)+1))
+}
+
+// NewRequestToken returns a fresh random idempotency token for tokened
+// calls (ExecToken): 16 bytes of crypto randomness, hex-encoded, unique
+// across client restarts.
+func NewRequestToken() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("chirp: reading random token: %v", err)) // unreachable
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// isTransient reports whether an error is a transport-level failure (a
+// candidate for retry or failover) rather than a definitive reply from
+// a server. Remote error replies are final; everything else — dial
+// errors, resets, deadline expiries, breaker trips — is transient.
+func isTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var re *RemoteError
+	return !errors.As(err, &re)
+}

@@ -55,6 +55,14 @@ type ServerOptions struct {
 	// the server keeps a private registry, reachable via Metrics and
 	// exported over the wire by the "metrics" command.
 	Metrics *obs.Registry
+	// RequestTimeout bounds the wire I/O of each request after its
+	// command line arrives (payload read and reply write), so a client
+	// that announces a payload and stalls cannot pin a session
+	// goroutine. Zero means no per-request deadline.
+	RequestTimeout time.Duration
+	// DedupeCapacity bounds the idempotency-token dedupe table (default
+	// 1024 entries, FIFO eviction).
+	DedupeCapacity int
 }
 
 // logger is a structured printf sink that is safe to call when no sink
@@ -95,12 +103,15 @@ const (
 
 // srvMetrics caches the server's metric handles.
 type srvMetrics struct {
-	reg      *obs.Registry
-	errors   *obs.Counter
-	sessions *obs.Counter
-	rxBytes  *obs.Counter
-	txBytes  *obs.Counter
-	conns    *obs.Gauge
+	reg           *obs.Registry
+	errors        *obs.Counter
+	sessions      *obs.Counter
+	rxBytes       *obs.Counter
+	txBytes       *obs.Counter
+	conns         *obs.Gauge
+	dedupeHits    *obs.Counter
+	dedupeEntries *obs.Gauge
+	draining      *obs.Gauge
 }
 
 func newSrvMetrics(reg *obs.Registry) *srvMetrics {
@@ -110,13 +121,19 @@ func newSrvMetrics(reg *obs.Registry) *srvMetrics {
 	reg.Help(MetricRxBytes, "Bytes received on client connections.")
 	reg.Help(MetricTxBytes, "Bytes sent on client connections.")
 	reg.Help(MetricConns, "Connections currently tracked.")
+	reg.Help(MetricDedupeHits, "Tokened retries answered from the dedupe table.")
+	reg.Help(MetricDedupeEntries, "Replies currently held in the dedupe table.")
+	reg.Help(MetricDraining, "1 while the server is draining for shutdown.")
 	return &srvMetrics{
-		reg:      reg,
-		errors:   reg.Counter(MetricErrors),
-		sessions: reg.Counter(MetricSessions),
-		rxBytes:  reg.Counter(MetricRxBytes),
-		txBytes:  reg.Counter(MetricTxBytes),
-		conns:    reg.Gauge(MetricConns),
+		reg:           reg,
+		errors:        reg.Counter(MetricErrors),
+		sessions:      reg.Counter(MetricSessions),
+		rxBytes:       reg.Counter(MetricRxBytes),
+		txBytes:       reg.Counter(MetricTxBytes),
+		conns:         reg.Gauge(MetricConns),
+		dedupeHits:    reg.Counter(MetricDedupeHits),
+		dedupeEntries: reg.Gauge(MetricDedupeEntries),
+		draining:      reg.Gauge(MetricDraining),
 	}
 }
 
@@ -133,14 +150,16 @@ type Server struct {
 	fs   *vfs.FS
 	opts ServerOptions
 
-	ln     net.Listener
-	mu     sync.Mutex // guards closed and conns
-	closed bool
-	conns  map[net.Conn]bool
-	wg     sync.WaitGroup
+	ln       net.Listener
+	mu       sync.Mutex // guards closed, draining and conns
+	closed   bool
+	draining bool // refusing new connections, finishing in-flight RPCs
+	conns    map[net.Conn]*connState
+	wg       sync.WaitGroup
 
 	log     logger
 	metrics *srvMetrics
+	dedupe  *dedupeTable
 
 	requests atomic.Int64 // requests dispatched, across all sessions
 	sessions atomic.Int64 // authenticated sessions accepted, lifetime
@@ -155,8 +174,9 @@ func NewServer(k *kernel.Kernel, opts ServerOptions) (*Server, error) {
 	if opts.Owner == "" {
 		opts.Owner = "chirp"
 	}
-	s := &Server{k: k, fs: k.FS(), opts: opts, conns: make(map[net.Conn]bool)}
+	s := &Server{k: k, fs: k.FS(), opts: opts, conns: make(map[net.Conn]*connState)}
 	s.log = logger{sink: opts.Logf}
+	s.dedupe = newDedupeTable(opts.DedupeCapacity)
 	reg := opts.Metrics
 	if reg == nil {
 		reg = obs.NewRegistry()
@@ -197,34 +217,94 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close stops accepting, severs live sessions, and waits for the
-// connection goroutines to drain.
+// Close stops accepting, severs live sessions immediately, and waits
+// for the connection goroutines to drain. For a graceful stop that
+// lets in-flight RPCs finish, use Shutdown.
 func (s *Server) Close() error {
 	s.mu.Lock()
+	already := s.closed
 	s.closed = true
 	for c := range s.conns {
 		c.Close()
 	}
 	s.mu.Unlock()
 	var err error
-	if s.ln != nil {
+	if s.ln != nil && !already {
 		err = s.ln.Close()
 	}
 	s.wg.Wait()
 	return err
 }
 
-// track registers a live connection; it reports false when the server
-// is already closing (the caller should drop the connection).
-func (s *Server) track(c net.Conn) bool {
+// Shutdown drains the server gracefully: it stops accepting new
+// connections, lets every in-flight RPC finish, nudges idle sessions
+// off their blocking reads, and waits up to timeout for the connection
+// goroutines to exit before severing stragglers. It returns an error
+// if any session had to be severed.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	s.mu.Lock()
+	if s.closed || s.draining {
+		s.mu.Unlock()
+		return s.Close()
+	}
+	s.draining = true
+	s.metrics.draining.Set(1)
+	ln := s.ln
+	for c, st := range s.conns {
+		if !st.busy.Load() {
+			// An idle session is parked in readLine; expiring its read
+			// deadline pops it out so the goroutine can exit. Busy
+			// sessions notice draining after their current dispatch.
+			c.SetReadDeadline(time.Now())
+		}
+	}
+	s.mu.Unlock()
+	var lnErr error
+	if ln != nil {
+		lnErr = ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	severed := false
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		severed = true
+	}
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	if severed {
+		return fmt.Errorf("chirp: drain timed out after %v; severed remaining sessions", timeout)
+	}
+	return lnErr
+}
+
+// connState is the server's per-connection bookkeeping shared with the
+// drain path: busy is true while a request is being dispatched.
+type connState struct {
+	busy atomic.Bool
+}
+
+// track registers a live connection; it reports nil when the server is
+// closing or draining (the caller should drop the connection).
+func (s *Server) track(c net.Conn) *connState {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return false
+	if s.closed || s.draining {
+		return nil
 	}
-	s.conns[c] = true
+	st := &connState{}
+	s.conns[c] = st
 	s.metrics.conns.Inc()
-	return true
+	return st
 }
 
 func (s *Server) untrack(c net.Conn) {
@@ -283,15 +363,16 @@ func (s *Server) acceptLoop() {
 		conn, err := s.ln.Accept()
 		if err != nil {
 			s.mu.Lock()
-			closed := s.closed
+			stopping := s.closed || s.draining
 			s.mu.Unlock()
-			if closed {
+			if stopping {
 				return
 			}
 			log.Printf("chirp: accept: %v", err)
 			return
 		}
-		if !s.track(conn) {
+		st := s.track(conn)
+		if st == nil {
 			conn.Close()
 			return
 		}
@@ -300,7 +381,7 @@ func (s *Server) acceptLoop() {
 			defer s.wg.Done()
 			defer s.untrack(conn)
 			defer conn.Close()
-			s.serveConn(conn)
+			s.serveConn(conn, st)
 		}()
 	}
 }
@@ -312,11 +393,16 @@ type session struct {
 	log    logger
 	reqs   int64 // requests dispatched on this session
 	ident  identity.Principal
+	conn   net.Conn   // for per-request deadlines
+	state  *connState // busy flag shared with the drain path
 	c      *codec
 	fds    map[int]*sessionFD
 	nextFD int
 	// grants are CAS-granted rights, verified against CASTrust.
 	grants []auth.Grant
+	// pendingDedupe, when non-empty, is the dedupe key the next reply is
+	// stored under (set while a tokened request is being dispatched).
+	pendingDedupe string
 }
 
 type sessionFD struct {
@@ -325,21 +411,26 @@ type sessionFD struct {
 	flags int
 }
 
-func (s *Server) serveConn(conn net.Conn) {
+func (s *Server) serveConn(conn net.Conn, st *connState) {
 	remoteHost, _, _ := net.SplitHostPort(conn.RemoteAddr().String())
 	wire := countingConn{Conn: conn, s: s}
 	authTimeout := s.opts.AuthTimeout
 	if authTimeout <= 0 {
 		authTimeout = 10 * time.Second
 	}
-	conn.SetDeadline(time.Now().Add(authTimeout))
+	if err := conn.SetDeadline(time.Now().Add(authTimeout)); err != nil {
+		s.log.printf("setting auth deadline for %s: %v", remoteHost, err)
+	}
 	ac := auth.NewConn(wire)
 	ident, err := auth.ServerNegotiate(ac, s.opts.Verifiers, remoteHost)
 	if err != nil {
 		s.log.printf("auth failed from %s: %v", remoteHost, err)
 		return
 	}
-	conn.SetDeadline(time.Time{})
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		s.log.printf("clearing auth deadline for %s: %v", remoteHost, err)
+		return
+	}
 	sid := s.sessions.Add(1)
 	s.metrics.sessions.Inc()
 	sess := &session{
@@ -347,6 +438,8 @@ func (s *Server) serveConn(conn net.Conn) {
 		id:     sid,
 		log:    s.log.with(fmt.Sprintf("sid=%d", sid)),
 		ident:  ident,
+		conn:   conn,
+		state:  st,
 		c:      newCodec(wire),
 		fds:    make(map[int]*sessionFD),
 		nextFD: 1,
@@ -355,30 +448,74 @@ func (s *Server) serveConn(conn net.Conn) {
 	sess.loop()
 }
 
+// isDraining reports whether the server has begun a graceful shutdown.
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
 func (sess *session) loop() {
 	for {
+		if sess.s.isDraining() {
+			return // finish in-flight work, accept no more requests
+		}
 		line, err := sess.c.readLine()
 		if err != nil {
-			return // connection closed
+			return // connection closed (or drain nudge expired the read)
 		}
-		fields, err := splitFields(line)
-		if err != nil || len(fields) == 0 {
-			sess.fail(vfs.ErrInvalid, "malformed request")
-			continue
-		}
-		if fields[0] == "quit" {
-			sess.c.writeLine("ok")
-			return
-		}
-		if err := sess.dispatch(fields); err != nil {
+		sess.state.busy.Store(true)
+		err = sess.serveOne(line)
+		sess.state.busy.Store(false)
+		if err != nil {
 			return // transport error
 		}
 	}
 }
 
+// serveOne handles one request line under the per-request deadline,
+// which bounds the remaining wire I/O of the exchange (payload read and
+// reply write) once the command line has arrived.
+func (sess *session) serveOne(line string) error {
+	if rt := sess.s.opts.RequestTimeout; rt > 0 {
+		if err := sess.conn.SetDeadline(time.Now().Add(rt)); err != nil {
+			sess.log.printf("setting request deadline: %v", err)
+		}
+		defer func() {
+			if err := sess.conn.SetDeadline(time.Time{}); err != nil {
+				sess.log.printf("clearing request deadline: %v", err)
+			}
+		}()
+	}
+	fields, err := splitFields(line)
+	if err != nil || len(fields) == 0 {
+		return sess.fail(vfs.ErrInvalid, "malformed request")
+	}
+	if fields[0] == "quit" {
+		sess.c.writeLine("ok")
+		return errQuit
+	}
+	return sess.dispatch(fields)
+}
+
+// errQuit signals an orderly client farewell out of the session loop.
+var errQuit = errors.New("chirp: session quit")
+
+// reply writes a reply line, first recording it in the dedupe table
+// when a tokened request is in flight.
+func (sess *session) reply(fields []string) error {
+	if sess.pendingDedupe != "" {
+		sess.s.dedupe.store(sess.pendingDedupe, fields)
+		sess.pendingDedupe = ""
+		_, size := sess.s.dedupe.stats()
+		sess.s.metrics.dedupeEntries.Set(int64(size))
+	}
+	return sess.c.writeLine(fields...)
+}
+
 // ok sends a success reply.
 func (sess *session) ok(fields ...string) error {
-	return sess.c.writeLine(append([]string{"ok"}, fields...)...)
+	return sess.reply(append([]string{"ok"}, fields...))
 }
 
 // fail sends an error reply.
@@ -389,7 +526,7 @@ func (sess *session) fail(err error, context string) error {
 	}
 	sess.s.errors.Add(1)
 	sess.s.metrics.errors.Inc()
-	return sess.c.writeLine("err", nameForError(err), q(msg))
+	return sess.reply([]string{"err", nameForError(err), q(msg)})
 }
 
 // RequestCount reports the number of requests dispatched across all
@@ -404,9 +541,94 @@ func (s *Server) SessionCount() int64 { return s.sessions.Load() }
 // started.
 func (s *Server) ErrorCount() int64 { return s.errors.Load() }
 
+// tokenable lists the commands a request token may wrap: non-idempotent
+// mutations with line-only replies. Session-state commands (open,
+// close) are excluded — a replayed descriptor number would point into a
+// different session — as are payload-reply commands, whose body is not
+// captured by the dedupe table.
+var tokenable = map[string]bool{
+	"exec":     true,
+	"rename":   true,
+	"link":     true,
+	"symlink":  true,
+	"mkdir":    true,
+	"rmdir":    true,
+	"unlink":   true,
+	"truncate": true,
+	"pwrite":   true,
+	"setacl":   true,
+}
+
+// consumeRequestPayload reads (and discards) the counted payload that
+// accompanies cmd's request line, so a dedupe-hit replay leaves the
+// wire aligned for the next request.
+func (sess *session) consumeRequestPayload(cmd string, args []string) error {
+	var idx int
+	switch cmd {
+	case "pwrite":
+		idx = 2
+	case "setacl":
+		idx = 1
+	default:
+		return nil
+	}
+	if len(args) <= idx {
+		return nil
+	}
+	n, err := strconv.Atoi(args[idx])
+	if err != nil || n < 0 || n > 1<<22 {
+		return nil
+	}
+	_, err = sess.c.readPayload(n)
+	return err
+}
+
+// dispatchTokened handles `token <id> <cmd> ...`: if the (principal,
+// token) pair was already answered, the stored reply is replayed
+// without re-executing the command; otherwise the inner command runs
+// and its reply is recorded. This is what makes retrying a
+// non-idempotent request safe: a lost reply does not become a second
+// execution.
+func (sess *session) dispatchTokened(args []string) error {
+	s := sess.s
+	if len(args) < 2 {
+		s.requests.Add(1)
+		sess.reqs++
+		s.metrics.reg.Counter(obs.With(MetricRequests, "cmd", "token")).Inc()
+		return sess.fail(vfs.ErrInvalid, "token wants a token and a command")
+	}
+	token, inner := args[0], args[1:]
+	cmd := inner[0]
+	if !tokenable[cmd] {
+		s.requests.Add(1)
+		sess.reqs++
+		s.metrics.reg.Counter(obs.With(MetricRequests, "cmd", cmd)).Inc()
+		return sess.fail(vfs.ErrInvalid, "command not tokenable: "+cmd)
+	}
+	key := dedupeKey(sess.ident.String(), token)
+	if stored, hit := s.dedupe.lookup(key); hit {
+		s.requests.Add(1)
+		sess.reqs++
+		s.metrics.reg.Counter(obs.With(MetricRequests, "cmd", cmd)).Inc()
+		s.metrics.dedupeHits.Inc()
+		if err := sess.consumeRequestPayload(cmd, inner[1:]); err != nil {
+			return err
+		}
+		sess.log.printf("req=%d %s: %s (token %s) replayed from dedupe", sess.reqs, sess.ident, cmd, token)
+		return sess.c.writeLine(stored...)
+	}
+	sess.pendingDedupe = key
+	err := sess.dispatch(inner)
+	sess.pendingDedupe = "" // cleared by reply(); re-clear on transport error
+	return err
+}
+
 func (sess *session) dispatch(fields []string) error {
 	cmd, args := fields[0], fields[1:]
 	s := sess.s
+	if cmd == "token" {
+		return sess.dispatchTokened(args)
+	}
 	s.requests.Add(1)
 	sess.reqs++
 	s.metrics.reg.Counter(obs.With(MetricRequests, "cmd", cmd)).Inc()

@@ -326,6 +326,14 @@ func (b *Box) Stats() Stats {
 	}
 }
 
+// Note appends an out-of-band event to the forensic log under the
+// box's identity — infrastructure events (retry, failover) rather than
+// syscalls. Notes cost zero virtual ticks: they record that the fabric
+// hiccupped, without charging the boxed program for it.
+func (b *Box) Note(event string) {
+	b.sink.Record(AuditRecord{Identity: b.ident, Call: event})
+}
+
 // Audit returns a copy of the forensic log, oldest record first. It
 // returns nil when the configured sink retains nothing (e.g. a pure
 // JSONLSink).

@@ -1,0 +1,383 @@
+// Package faultnet injects deterministic network faults for testing
+// fault-tolerant protocols. An Injector wraps net.Conn, net.Listener or
+// a dial function and applies a seeded schedule of faults — connection
+// resets, silent drops, partial writes, read/write stalls and latency —
+// triggered on the Nth connection, the Nth byte, or the Nth operation.
+//
+// Determinism is the point: the only randomness is a rand.Rand seeded
+// by the caller (used for latency jitter), and every rule threshold is
+// an explicit count, so a failing schedule replays exactly. Wall-clock
+// sleeps are injected, but nothing here touches the virtual clock, so a
+// faulted run charges the same virtual time as a clean one.
+//
+// Rules describe standing schedules ("every 3rd connection dies after
+// 400 bytes written"); InjectOnce arms a one-shot fault against the
+// next matching operation on any live connection, which is the
+// convenient form for matrix tests ("kill the connection during the
+// next write").
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjected is wrapped by every error the injector produces, so tests
+// can tell injected faults from real ones.
+var ErrInjected = errors.New("faultnet: injected fault")
+
+// Op selects which direction of traffic a rule applies to. The zero
+// value matches both directions.
+type Op int
+
+const (
+	OpEither Op = iota
+	OpRead
+	OpWrite
+)
+
+func (o Op) matches(dir Op) bool { return o == OpEither || o == dir }
+
+// Action is what happens when a rule fires.
+type Action int
+
+const (
+	// Reset fails the operation with an error and closes the underlying
+	// connection (a peer reset).
+	Reset Action = iota
+	// Drop closes the underlying connection without failing the current
+	// write (data silently lost mid-stream); subsequent operations fail.
+	Drop
+	// PartialWrite writes half the buffer, then resets. Only meaningful
+	// for writes; on reads it behaves like Reset.
+	PartialWrite
+	// Stall sleeps for Delay before attempting the operation, once. With
+	// a peer deadline set, the operation then fails; without one it
+	// merely arrives late.
+	Stall
+	// Latency sleeps Delay plus seeded jitter (up to Jitter) before
+	// every matching operation. Latency rules are recurring.
+	Latency
+)
+
+func (a Action) String() string {
+	switch a {
+	case Reset:
+		return "reset"
+	case Drop:
+		return "drop"
+	case PartialWrite:
+		return "partial-write"
+	case Stall:
+		return "stall"
+	case Latency:
+		return "latency"
+	}
+	return "unknown"
+}
+
+// Rule is one standing fault in a schedule. All trigger fields are
+// optional: a zero rule fires on the first operation of every
+// connection. Counting is per connection.
+type Rule struct {
+	// Conn restricts the rule to the Nth accepted/dialed connection
+	// (1-based). Zero means every connection.
+	Conn int
+	// EveryNth restricts the rule to connections whose 1-based index is
+	// a multiple of N. Zero means no modulus restriction.
+	EveryNth int
+	// Op restricts the rule to reads or writes.
+	Op Op
+	// AfterBytes fires the rule once this many bytes have crossed in the
+	// matching direction on the connection.
+	AfterBytes int64
+	// AfterOps fires the rule on the Nth matching operation (1-based).
+	AfterOps int
+	// Action is the fault to inject.
+	Action Action
+	// Delay is the sleep for Stall and Latency actions.
+	Delay time.Duration
+	// Jitter adds up to this much seeded-random extra delay (Latency).
+	Jitter time.Duration
+}
+
+func (r Rule) matchesConn(idx int) bool {
+	if r.Conn != 0 && r.Conn != idx {
+		return false
+	}
+	if r.EveryNth > 1 && idx%r.EveryNth != 0 {
+		return false
+	}
+	return true
+}
+
+// oneShot reports whether the rule disarms after firing once on a
+// connection. Latency recurs; everything else kills or delays once.
+func (r Rule) oneShot() bool { return r.Action != Latency }
+
+// Injector owns a fault schedule and wraps transports to apply it.
+// It is safe for concurrent use by any number of wrapped connections.
+type Injector struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	rules   []Rule
+	armed   []*armedFault
+	connSeq int
+	conns   []*conn
+	sleep   func(time.Duration) // tests swap this out to observe schedules
+}
+
+// armedFault is a one-shot fault against the next matching operation on
+// any connection, armed at runtime by InjectOnce.
+type armedFault struct {
+	op     Op
+	skip   int // matching ops to let through before firing
+	action Action
+	delay  time.Duration
+}
+
+// New creates an injector with a seeded jitter source and a standing
+// schedule. The same seed and schedule replay identically.
+func New(seed int64, rules ...Rule) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed)), rules: rules, sleep: time.Sleep}
+}
+
+// InjectOnce arms a one-shot fault: the (skip+1)th operation matching
+// op across all live wrapped connections suffers the action. Use it to
+// place a fault "before/during/after" a specific request in tests.
+func (i *Injector) InjectOnce(op Op, skip int, action Action, delay time.Duration) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.armed = append(i.armed, &armedFault{op: op, skip: skip, action: action, delay: delay})
+}
+
+// ConnCount reports how many connections the injector has wrapped.
+func (i *Injector) ConnCount() int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.connSeq
+}
+
+// TotalWritten reports the bytes written across all wrapped connections
+// so far — the number fault schedules key AfterBytes thresholds to.
+func (i *Injector) TotalWritten() int64 {
+	i.mu.Lock()
+	conns := append([]*conn(nil), i.conns...)
+	i.mu.Unlock()
+	var total int64
+	for _, c := range conns {
+		c.mu.Lock()
+		total += c.nWritten
+		c.mu.Unlock()
+	}
+	return total
+}
+
+// Wrap applies the schedule to one connection.
+func (i *Injector) Wrap(c net.Conn) net.Conn {
+	i.mu.Lock()
+	i.connSeq++
+	idx := i.connSeq
+	wc := &conn{Conn: c, inj: i, idx: idx, fired: make([]bool, len(i.rules))}
+	i.conns = append(i.conns, wc)
+	i.mu.Unlock()
+	return wc
+}
+
+// Listener wraps a listener so every accepted connection is faulted.
+func (i *Injector) Listener(ln net.Listener) net.Listener {
+	return &listener{Listener: ln, inj: i}
+}
+
+// Dialer returns a dial function (for chirp.ClientOptions.Dialer and
+// friends) whose connections are faulted.
+func (i *Injector) Dialer(network string) func(addr string) (net.Conn, error) {
+	return func(addr string) (net.Conn, error) {
+		c, err := net.Dial(network, addr)
+		if err != nil {
+			return nil, err
+		}
+		return i.Wrap(c), nil
+	}
+}
+
+type listener struct {
+	net.Listener
+	inj *Injector
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.inj.Wrap(c), nil
+}
+
+// conn is one faulted connection. Byte and op counters are per
+// direction and consulted before each operation.
+type conn struct {
+	net.Conn
+	inj *Injector
+	idx int
+
+	mu       sync.Mutex
+	fired    []bool // per standing rule, for one-shot rules
+	dead     bool
+	nRead    int64
+	nWritten int64
+	rOps     int
+	wOps     int
+}
+
+// verdict is the outcome of consulting the schedule before one op.
+type verdict struct {
+	sleep time.Duration
+	kill  bool   // close the underlying conn
+	fail  bool   // return an injected error for this op
+	half  bool   // partial write before failing
+	cause Action // for the error message
+}
+
+// decide consults armed faults then standing rules for one operation.
+func (c *conn) decide(dir Op) verdict {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ops, bytes := c.rOps, c.nRead
+	if dir == OpWrite {
+		ops, bytes = c.wOps, c.nWritten
+	}
+	var v verdict
+
+	c.inj.mu.Lock()
+	// Armed one-shot faults fire first, in arming order.
+	for n, a := range c.inj.armed {
+		if !a.op.matches(dir) {
+			continue
+		}
+		if a.skip > 0 {
+			a.skip--
+			continue
+		}
+		c.inj.armed = append(c.inj.armed[:n], c.inj.armed[n+1:]...)
+		c.applyLocked(a.action, a.delay, 0, &v)
+		break
+	}
+	// Standing rules.
+	for n, r := range c.inj.rules {
+		if c.fired[n] || !r.matchesConn(c.idx) || !r.Op.matches(dir) {
+			continue
+		}
+		if r.AfterBytes > 0 && bytes < r.AfterBytes {
+			continue
+		}
+		if r.AfterOps > 0 && ops+1 < r.AfterOps {
+			continue
+		}
+		if r.oneShot() {
+			c.fired[n] = true
+		}
+		c.applyLocked(r.Action, r.Delay, r.Jitter, &v)
+	}
+	c.inj.mu.Unlock()
+
+	if dir == OpWrite {
+		c.wOps++
+	} else {
+		c.rOps++
+	}
+	return v
+}
+
+// applyLocked folds one firing action into the verdict. Caller holds
+// both c.mu and c.inj.mu (the latter for the jitter rng).
+func (c *conn) applyLocked(a Action, delay, jitter time.Duration, v *verdict) {
+	switch a {
+	case Reset:
+		v.kill, v.fail, v.cause = true, true, a
+	case Drop:
+		v.kill, v.cause = true, a
+	case PartialWrite:
+		v.kill, v.fail, v.half, v.cause = true, true, true, a
+	case Stall:
+		v.sleep += delay
+	case Latency:
+		d := delay
+		if jitter > 0 {
+			d += time.Duration(c.inj.rng.Int63n(int64(jitter) + 1))
+		}
+		v.sleep += d
+	}
+}
+
+func (c *conn) injectedErr(what string, cause Action) error {
+	return fmt.Errorf("%w: %s (%s, conn %d)", ErrInjected, cause, what, c.idx)
+}
+
+func (c *conn) kill() {
+	c.mu.Lock()
+	c.dead = true
+	c.mu.Unlock()
+	c.Conn.Close()
+}
+
+func (c *conn) isDead() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	v := c.decide(OpRead)
+	if v.sleep > 0 {
+		c.inj.sleep(v.sleep)
+	}
+	if v.kill {
+		c.kill()
+		if v.fail {
+			return 0, c.injectedErr("read", v.cause)
+		}
+	}
+	if c.isDead() {
+		return 0, c.injectedErr("read", Drop)
+	}
+	n, err := c.Conn.Read(p)
+	c.mu.Lock()
+	c.nRead += int64(n)
+	c.mu.Unlock()
+	return n, err
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	v := c.decide(OpWrite)
+	if v.sleep > 0 {
+		c.inj.sleep(v.sleep)
+	}
+	if v.kill {
+		var n int
+		if v.half && len(p) > 1 {
+			n, _ = c.Conn.Write(p[:len(p)/2])
+			c.mu.Lock()
+			c.nWritten += int64(n)
+			c.mu.Unlock()
+		}
+		c.kill()
+		if v.fail {
+			return n, c.injectedErr("write", v.cause)
+		}
+		// Drop: pretend the write succeeded; the bytes are gone.
+		return len(p), nil
+	}
+	if c.isDead() {
+		return 0, c.injectedErr("write", Drop)
+	}
+	n, err := c.Conn.Write(p)
+	c.mu.Lock()
+	c.nWritten += int64(n)
+	c.mu.Unlock()
+	return n, err
+}

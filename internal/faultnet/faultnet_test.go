@@ -1,0 +1,251 @@
+package faultnet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes every byte back until EOF.
+func echoServer(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				io.Copy(c, c)
+			}()
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln
+}
+
+func dialFaulted(t *testing.T, inj *Injector, addr string) net.Conn {
+	t.Helper()
+	c, err := inj.Dialer("tcp")(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestFaultResetOnFirstWrite(t *testing.T) {
+	ln := echoServer(t)
+	inj := New(1, Rule{Op: OpWrite, Action: Reset})
+	c := dialFaulted(t, inj, ln.Addr().String())
+	_, err := c.Write([]byte("hello"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("first write = %v, want injected reset", err)
+	}
+	// The connection is dead for good.
+	if _, err := c.Write([]byte("again")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-reset write = %v, want injected error", err)
+	}
+	if _, err := c.Read(make([]byte, 1)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-reset read = %v, want injected error", err)
+	}
+}
+
+func TestFaultAfterBytesThreshold(t *testing.T) {
+	ln := echoServer(t)
+	inj := New(1, Rule{Op: OpWrite, AfterBytes: 10, Action: Reset})
+	c := dialFaulted(t, inj, ln.Addr().String())
+	// Under the threshold: writes flow and echo back.
+	if _, err := c.Write([]byte("0123456789")); err != nil {
+		t.Fatalf("write under threshold: %v", err)
+	}
+	buf := make([]byte, 10)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("echo read: %v", err)
+	}
+	// 10 bytes have crossed; the next write dies.
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write past threshold = %v, want injected reset", err)
+	}
+}
+
+func TestFaultAfterOps(t *testing.T) {
+	ln := echoServer(t)
+	inj := New(1, Rule{Op: OpWrite, AfterOps: 3, Action: Reset})
+	c := dialFaulted(t, inj, ln.Addr().String())
+	for i := 0; i < 2; i++ {
+		if _, err := c.Write([]byte("ok")); err != nil {
+			t.Fatalf("write %d: %v", i+1, err)
+		}
+	}
+	if _, err := c.Write([]byte("boom")); !errors.Is(err, ErrInjected) {
+		t.Fatal("3rd write should have been reset")
+	}
+}
+
+func TestFaultEveryNthConnection(t *testing.T) {
+	ln := echoServer(t)
+	inj := New(1, Rule{EveryNth: 3, Op: OpWrite, Action: Reset})
+	for i := 1; i <= 6; i++ {
+		c := dialFaulted(t, inj, ln.Addr().String())
+		_, err := c.Write([]byte("ping"))
+		if i%3 == 0 {
+			if !errors.Is(err, ErrInjected) {
+				t.Errorf("conn %d: write = %v, want injected reset", i, err)
+			}
+		} else if err != nil {
+			t.Errorf("conn %d: write = %v, want success", i, err)
+		}
+	}
+	if inj.ConnCount() != 6 {
+		t.Fatalf("ConnCount = %d, want 6", inj.ConnCount())
+	}
+}
+
+func TestFaultPartialWrite(t *testing.T) {
+	ln := echoServer(t)
+	inj := New(1, Rule{Op: OpWrite, Action: PartialWrite})
+	c := dialFaulted(t, inj, ln.Addr().String())
+	n, err := c.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("partial write err = %v, want injected", err)
+	}
+	if n != 5 {
+		t.Fatalf("partial write n = %d, want 5", n)
+	}
+}
+
+func TestFaultDropPretendsSuccess(t *testing.T) {
+	ln := echoServer(t)
+	inj := New(1, Rule{Op: OpWrite, Action: Drop})
+	c := dialFaulted(t, inj, ln.Addr().String())
+	n, err := c.Write([]byte("lost"))
+	if err != nil || n != 4 {
+		t.Fatalf("dropped write = %d, %v; want silent success", n, err)
+	}
+	// The connection died underneath; the next operation reports it.
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write after drop = %v, want injected error", err)
+	}
+}
+
+func TestFaultStallDelaysOnce(t *testing.T) {
+	ln := echoServer(t)
+	const delay = 50 * time.Millisecond
+	inj := New(1, Rule{Op: OpWrite, Action: Stall, Delay: delay})
+	c := dialFaulted(t, inj, ln.Addr().String())
+	start := time.Now()
+	if _, err := c.Write([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < delay {
+		t.Fatalf("stalled write took %v, want >= %v", elapsed, delay)
+	}
+	// One-shot: the second write is immediate (bounded well under delay).
+	start = time.Now()
+	if _, err := c.Write([]byte("fast")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > delay {
+		t.Fatalf("second write took %v, stall should not recur", elapsed)
+	}
+}
+
+// TestFaultLatencyDeterministic replays the same seed twice and expects
+// the injected delays to match exactly. The injector's sleep hook
+// records the scheduled delays instead of sleeping, so the comparison
+// is free of wall-clock noise.
+func TestFaultLatencyDeterministic(t *testing.T) {
+	ln := echoServer(t)
+	sample := func(seed int64) []time.Duration {
+		inj := New(seed, Rule{Op: OpWrite, Action: Latency, Delay: time.Millisecond, Jitter: 10 * time.Millisecond})
+		var out []time.Duration
+		inj.sleep = func(d time.Duration) { out = append(out, d) }
+		c := dialFaulted(t, inj, ln.Addr().String())
+		for i := 0; i < 5; i++ {
+			if _, err := c.Write([]byte("x")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return out
+	}
+	a, b := sample(42), sample(42)
+	if len(a) != 5 || len(b) != 5 {
+		t.Fatalf("recorded %d and %d delays, want 5 each", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delay %d: %v vs %v, want deterministic schedule", i, a[i], b[i])
+		}
+		if a[i] < time.Millisecond || a[i] > 11*time.Millisecond {
+			t.Fatalf("delay %d = %v, want within base+jitter bounds", i, a[i])
+		}
+	}
+}
+
+func TestFaultInjectOnceSkips(t *testing.T) {
+	ln := echoServer(t)
+	inj := New(1)
+	c := dialFaulted(t, inj, ln.Addr().String())
+	inj.InjectOnce(OpWrite, 2, Reset, 0)
+	for i := 0; i < 2; i++ {
+		if _, err := c.Write([]byte("ok")); err != nil {
+			t.Fatalf("skipped write %d: %v", i+1, err)
+		}
+	}
+	if _, err := c.Write([]byte("boom")); !errors.Is(err, ErrInjected) {
+		t.Fatal("armed fault did not fire after skips")
+	}
+}
+
+func TestFaultListenerWrapsAccepted(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := New(1, Rule{Op: OpRead, Action: Reset})
+	ln := inj.Listener(inner)
+	defer ln.Close()
+	done := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer c.Close()
+		_, err = c.Read(make([]byte, 4))
+		done <- err
+	}()
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Write([]byte("data"))
+	if err := <-done; !errors.Is(err, ErrInjected) {
+		t.Fatalf("server-side read = %v, want injected reset", err)
+	}
+	if inj.ConnCount() != 1 {
+		t.Fatalf("ConnCount = %d, want 1", inj.ConnCount())
+	}
+}
+
+func TestFaultTotalWrittenCounts(t *testing.T) {
+	ln := echoServer(t)
+	inj := New(1)
+	c := dialFaulted(t, inj, ln.Addr().String())
+	if _, err := c.Write([]byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	if got := inj.TotalWritten(); got != 10 {
+		t.Fatalf("TotalWritten = %d, want 10", got)
+	}
+}
