@@ -5,13 +5,22 @@
 // Usage:
 //
 //	chirpd [-addr host:port] [-owner name] [-root-acl "pattern rights;..."]
-//	       [-catalog addr] [-name label] [-metrics host:port]
-//	       [-req-timeout d] [-drain d] [-v]
+//	       [-catalog addr] [-name label] [-state dir] [-metrics host:port]
+//	       [-compact-every d] [-fsync n] [-req-timeout d] [-drain d] [-v]
+//
+// -state names a durable state directory: every mutation is journaled
+// to a checksummed write-ahead log (fsynced per -fsync) and compacted
+// into snapshots every -compact-every and at shutdown, so a crash — a
+// kill -9 at any byte of the log — recovers to the exact pre-crash
+// state, tokened-request dedupe table included. Without -state the
+// volume is volatile.
 //
 // -req-timeout bounds the wire I/O of each request once its command
 // line arrives, so a stalled client cannot pin a session goroutine.
 // On SIGINT the server drains gracefully: in-flight RPCs finish, new
 // connections are refused, and after -drain stragglers are severed.
+// A second SIGINT during the drain escalates: the drain is abandoned
+// and every session severed immediately (the escalation is logged).
 //
 // -metrics serves the server's telemetry over HTTP: Prometheus text
 // exposition at /metrics (JSON with ?format=json), expvar at
@@ -39,6 +48,7 @@ import (
 	"identitybox/internal/acl"
 	"identitybox/internal/auth"
 	"identitybox/internal/chirp"
+	"identitybox/internal/durable"
 	"identitybox/internal/kernel"
 	"identitybox/internal/obs"
 	"identitybox/internal/vclock"
@@ -51,7 +61,9 @@ func main() {
 	rootACL := flag.String("root-acl", "unix:* rwlax; hostname:* rl", "semicolon-separated root ACL entries")
 	catalog := flag.String("catalog", "", "catalog address for heartbeats")
 	name := flag.String("name", "", "advertised server name")
-	state := flag.String("state", "", "snapshot file: loaded at startup, saved at shutdown")
+	state := flag.String("state", "", "durable state directory (WAL + snapshots); empty: volatile volume")
+	compactEvery := flag.Duration("compact-every", time.Minute, "snapshot compaction interval with -state (0: compact only at shutdown)")
+	fsyncEvery := flag.Int("fsync", 1, "fsync the WAL every N records with -state (1: every record; 0: never, the OS decides)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	reqTimeout := flag.Duration("req-timeout", 30*time.Second, "per-request wire deadline after the command line arrives (0: none)")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain budget before severing sessions")
@@ -63,22 +75,29 @@ func main() {
 		log.Fatalf("chirpd: -root-acl: %v", err)
 	}
 
+	reg := obs.NewRegistry()
 	fs := vfs.New(*owner)
+	var store *durable.Store
 	if *state != "" {
-		if f, err := os.Open(*state); err == nil {
-			loaded, lerr := vfs.Load(f)
-			f.Close()
-			if lerr != nil {
-				log.Fatalf("chirpd: loading %s: %v", *state, lerr)
-			}
-			fs = loaded
-			fmt.Printf("chirpd: restored state from %s\n", *state)
+		syncN := *fsyncEvery
+		if syncN <= 0 {
+			syncN = -1
 		}
+		store, err = durable.Open(*state, durable.Options{
+			Owner:      *owner,
+			SyncEveryN: syncN,
+			Metrics:    reg,
+			Logf:       log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("chirpd: recovering %s: %v", *state, err)
+		}
+		fs = store.FS()
+		fmt.Printf("chirpd: recovered state from %s (%s)\n", *state, store.Recovery())
 	}
 	k := kernel.New(fs, vclock.Default())
 	registerDemoPrograms(k)
 
-	reg := obs.NewRegistry()
 	opts := chirp.ServerOptions{
 		Name:        *name,
 		Owner:       *owner,
@@ -90,6 +109,10 @@ func main() {
 			auth.MethodHostname: &auth.HostnameVerifier{},
 		},
 		RequestTimeout: *reqTimeout,
+	}
+	if store != nil {
+		opts.DedupeJournal = store
+		opts.DedupeSeed = store.DedupeEntries()
 	}
 	if *verbose {
 		opts.Logf = log.Printf
@@ -115,26 +138,51 @@ func main() {
 	fmt.Printf("chirpd: serving on %s as %s (root ACL: %s)\n", srv.Addr(), *owner,
 		strings.ReplaceAll(strings.TrimSpace(a.String()), "\n", "; "))
 
-	sig := make(chan os.Signal, 1)
+	// Periodic snapshot compaction keeps the WAL (and recovery time)
+	// bounded. The final compaction happens at shutdown below.
+	compactDone := make(chan struct{})
+	if store != nil && *compactEvery > 0 {
+		ticker := time.NewTicker(*compactEvery)
+		go func() {
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					if err := store.Compact(); err != nil {
+						log.Printf("chirpd: compaction: %v", err)
+					}
+				case <-compactDone:
+					return
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
-	fmt.Println("chirpd: draining (in-flight RPCs finish, new connections refused)")
-	if err := srv.Shutdown(*drain); err != nil {
-		log.Printf("chirpd: %v", err)
-	}
-	if *state != "" {
-		f, err := os.Create(*state)
+	fmt.Println("chirpd: draining (in-flight RPCs finish, new connections refused; interrupt again to force)")
+	drained := make(chan error, 1)
+	go func() { drained <- srv.Shutdown(*drain) }()
+	select {
+	case err := <-drained:
 		if err != nil {
-			log.Fatalf("chirpd: saving state: %v", err)
+			log.Printf("chirpd: %v", err)
 		}
-		if err := fs.Save(f); err != nil {
-			f.Close()
-			log.Fatalf("chirpd: saving state: %v", err)
+	case <-sig:
+		log.Printf("chirpd: second interrupt during drain: forcing immediate shutdown, severing all sessions")
+		srv.Close()
+		<-drained
+	}
+	close(compactDone)
+	if store != nil {
+		if err := store.Compact(); err != nil {
+			log.Printf("chirpd: final compaction: %v", err)
 		}
-		if err := f.Close(); err != nil {
-			log.Fatalf("chirpd: saving state: %v", err)
+		if err := store.Close(); err != nil {
+			log.Printf("chirpd: closing state: %v", err)
 		}
-		fmt.Printf("chirpd: state saved to %s\n", *state)
+		fmt.Printf("chirpd: state compacted to %s\n", *state)
 	}
 }
 

@@ -5,6 +5,8 @@ package identitybox
 // server and verify state persistence. Skipped in -short mode.
 
 import (
+	"bufio"
+	"io"
 	"net"
 	"os"
 	"os/exec"
@@ -63,7 +65,7 @@ func TestChirpDaemonEndToEnd(t *testing.T) {
 		t.Skip("spawns real daemons")
 	}
 	bins := buildTools(t, "chirpd", "chirp", "catalogd")
-	stateFile := filepath.Join(t.TempDir(), "chirpd.state")
+	stateDir := filepath.Join(t.TempDir(), "chirpd.state")
 	addr := freePort(t)
 	catAddr := freePort(t)
 
@@ -85,7 +87,7 @@ func TestChirpDaemonEndToEnd(t *testing.T) {
 			"-root-acl", "unix:* rwlax",
 			"-catalog", catAddr,
 			"-name", "e2e-server",
-			"-state", stateFile)
+			"-state", stateDir)
 		srv.Stdout = os.Stderr
 		srv.Stderr = os.Stderr
 		if err := srv.Start(); err != nil {
@@ -159,10 +161,12 @@ func TestChirpDaemonEndToEnd(t *testing.T) {
 		t.Fatalf("catalog listing = %q", catOut)
 	}
 
-	// Restart the server: state (files AND ACLs) must survive.
+	// Restart the server: state (files AND ACLs) must survive. An
+	// orderly shutdown ends with a compaction, so the directory holds a
+	// published snapshot.
 	stopServer(srv)
-	if _, err := os.Stat(stateFile); err != nil {
-		t.Fatalf("state file missing after shutdown: %v", err)
+	if _, err := os.Stat(filepath.Join(stateDir, "snapshot.img")); err != nil {
+		t.Fatalf("snapshot missing after shutdown: %v", err)
 	}
 	srv = startServer()
 	defer stopServer(srv)
@@ -171,5 +175,178 @@ func TestChirpDaemonEndToEnd(t *testing.T) {
 	}
 	if got := cli("getacl", "/work"); !strings.Contains(got, "unix:bob rl") {
 		t.Fatalf("after restart, getacl = %q", got)
+	}
+}
+
+// TestChirpDaemonCrashRecovery kills chirpd with SIGKILL mid-workflow —
+// no drain, no final snapshot — restarts it from the same -state
+// directory, and requires the workflow's output to be retrievable: the
+// write-ahead log alone carries the state across the crash.
+func TestChirpDaemonCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real daemons")
+	}
+	bins := buildTools(t, "chirpd", "chirp")
+	stateDir := filepath.Join(t.TempDir(), "chirpd.state")
+	addr := freePort(t)
+
+	startServer := func() *exec.Cmd {
+		srv := exec.Command(bins["chirpd"],
+			"-addr", addr,
+			"-owner", "daemonowner",
+			"-root-acl", "unix:* rwlax",
+			"-state", stateDir,
+			"-compact-every", "0") // recovery must work from the WAL alone
+		srv.Stdout = os.Stderr
+		srv.Stderr = os.Stderr
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		waitDial(t, addr)
+		return srv
+	}
+	cli := func(args ...string) string {
+		t.Helper()
+		full := append([]string{"-addr", addr, "-user", "alice"}, args...)
+		out, err := exec.Command(bins["chirp"], full...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("chirp %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	srv := startServer()
+	// The Figure-3 workflow: reserve, stage, execute. The demo "sim"
+	// program XORs input.dat with 0x5a; "signal" maps to ")3=4;6".
+	cli("mkdir", "/work")
+	input := filepath.Join(t.TempDir(), "input.dat")
+	os.WriteFile(input, []byte("signal"), 0o644)
+	cli("put", input, "/work/input.dat")
+	cli("stage", "sim", "/work/sim.exe")
+	if got := cli("exec", "/work", "/work/sim.exe"); !strings.Contains(got, "exit 0") {
+		t.Fatalf("exec = %q", got)
+	}
+
+	// Crash: SIGKILL, mid-workflow, before the output was ever read.
+	srv.Process.Kill()
+	srv.Wait()
+
+	srv = startServer()
+	defer func() {
+		srv.Process.Signal(syscall.SIGINT)
+		srv.Wait()
+	}()
+	if got := cli("cat", "/work/out.dat"); !strings.Contains(got, ")3=4;6") {
+		t.Fatalf("out.dat after crash recovery = %q", got)
+	}
+	if got := cli("ls", "/work"); !strings.Contains(got, "sim.exe") {
+		t.Fatalf("ls after crash recovery = %q", got)
+	}
+}
+
+// TestChirpDaemonSecondInterruptForcesShutdown: a second SIGINT during
+// the drain abandons it and severs sessions immediately. A raw wire
+// connection authenticates, announces a counted setacl payload and
+// never sends it, pinning a session busy in the payload read so the
+// drain genuinely hangs until the escalation.
+func TestChirpDaemonSecondInterruptForcesShutdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real daemons")
+	}
+	bins := buildTools(t, "chirpd")
+	addr := freePort(t)
+	srv := exec.Command(bins["chirpd"],
+		"-addr", addr,
+		"-owner", "daemonowner",
+		"-root-acl", "unix:* rwlax",
+		"-drain", "60s", // far beyond the test's patience: only escalation can end it
+		"-req-timeout", "60s")
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stderr, err := srv.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := make(chan string, 64)
+	scan := func(r io.Reader) {
+		sc := bufio.NewScanner(r)
+		for sc.Scan() {
+			t.Logf("chirpd: %s", sc.Text())
+			lines <- sc.Text()
+		}
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Process.Kill()
+	go scan(stdout)
+	go scan(stderr)
+	waitDial(t, addr)
+	waitLine := func(substr string) {
+		t.Helper()
+		deadline := time.After(10 * time.Second)
+		for {
+			select {
+			case l := <-lines:
+				if strings.Contains(l, substr) {
+					return
+				}
+			case <-deadline:
+				t.Fatalf("never logged %q", substr)
+			}
+		}
+	}
+
+	// Hold a session busy: speak the wire protocol by hand, then stall
+	// inside a request. setacl announces a counted payload; withholding
+	// it leaves the session goroutine blocked (and marked busy) in the
+	// payload read for the full -req-timeout.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	say := func(s string) {
+		t.Helper()
+		if _, err := conn.Write([]byte(s + "\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	expect := func(prefix string) {
+		t.Helper()
+		l, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(strings.TrimSpace(l), prefix) {
+			t.Fatalf("wire reply %q, want prefix %q", l, prefix)
+		}
+	}
+	say("auth unix")
+	expect("yes")
+	say("user alice")
+	expect("ok unix:alice")
+	say(`setacl "/" 512`) // payload never follows
+	// Give the server a moment to read the line and mark the session
+	// busy; otherwise the drain nudge could pop the idle read first.
+	time.Sleep(500 * time.Millisecond)
+
+	if err := srv.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	waitLine("draining")
+	if err := srv.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	waitLine("second interrupt")
+	done := make(chan error, 1)
+	go func() { done <- srv.Wait() }()
+	select {
+	case <-done: // exited long before the 60s drain budget: escalation worked
+	case <-time.After(10 * time.Second):
+		t.Fatal("chirpd did not exit after the second interrupt")
 	}
 }

@@ -45,9 +45,10 @@ const (
 
 // Server-side fault-tolerance metric names.
 const (
-	MetricDedupeHits    = "chirp_dedupe_hits_total"
-	MetricDedupeEntries = "chirp_dedupe_entries"
-	MetricDraining      = "chirp_draining"
+	MetricDedupeHits        = "chirp_dedupe_hits_total"
+	MetricDedupeEntries     = "chirp_dedupe_entries"
+	MetricDedupeJournalErrs = "chirp_dedupe_journal_errors_total"
+	MetricDraining          = "chirp_draining"
 )
 
 // ClientOptions tune the client's fault-tolerance layer. The zero value

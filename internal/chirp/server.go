@@ -63,6 +63,23 @@ type ServerOptions struct {
 	// DedupeCapacity bounds the idempotency-token dedupe table (default
 	// 1024 entries, FIFO eviction).
 	DedupeCapacity int
+	// DedupeJournal, when set, receives every tokened reply as it is
+	// recorded, so the dedupe table survives a server restart and a
+	// retried mutation stays exactly-once across the crash. Journal
+	// failures degrade durability, never availability: the reply is
+	// still sent and the error only counted and logged.
+	DedupeJournal DedupeJournal
+	// DedupeSeed pre-populates the dedupe table, normally with the
+	// entries a durable store recovered. Keys are principal+token as
+	// produced by the journal; values are the stored reply fields.
+	DedupeSeed map[string][]string
+}
+
+// DedupeJournal persists tokened replies across restarts. The durable
+// store implements it; the server stays ignorant of how entries reach
+// stable storage.
+type DedupeJournal interface {
+	AppendDedupe(key string, reply []string) error
 }
 
 // logger is a structured printf sink that is safe to call when no sink
@@ -111,6 +128,7 @@ type srvMetrics struct {
 	conns         *obs.Gauge
 	dedupeHits    *obs.Counter
 	dedupeEntries *obs.Gauge
+	dedupeJErrs   *obs.Counter
 	draining      *obs.Gauge
 }
 
@@ -123,6 +141,7 @@ func newSrvMetrics(reg *obs.Registry) *srvMetrics {
 	reg.Help(MetricConns, "Connections currently tracked.")
 	reg.Help(MetricDedupeHits, "Tokened retries answered from the dedupe table.")
 	reg.Help(MetricDedupeEntries, "Replies currently held in the dedupe table.")
+	reg.Help(MetricDedupeJournalErrs, "Tokened replies that failed to persist to the dedupe journal.")
 	reg.Help(MetricDraining, "1 while the server is draining for shutdown.")
 	return &srvMetrics{
 		reg:           reg,
@@ -133,6 +152,7 @@ func newSrvMetrics(reg *obs.Registry) *srvMetrics {
 		conns:         reg.Gauge(MetricConns),
 		dedupeHits:    reg.Counter(MetricDedupeHits),
 		dedupeEntries: reg.Gauge(MetricDedupeEntries),
+		dedupeJErrs:   reg.Counter(MetricDedupeJournalErrs),
 		draining:      reg.Gauge(MetricDraining),
 	}
 }
@@ -177,11 +197,17 @@ func NewServer(k *kernel.Kernel, opts ServerOptions) (*Server, error) {
 	s := &Server{k: k, fs: k.FS(), opts: opts, conns: make(map[net.Conn]*connState)}
 	s.log = logger{sink: opts.Logf}
 	s.dedupe = newDedupeTable(opts.DedupeCapacity)
+	for key, reply := range opts.DedupeSeed {
+		s.dedupe.store(key, reply)
+	}
 	reg := opts.Metrics
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
 	s.metrics = newSrvMetrics(reg)
+	if _, size := s.dedupe.stats(); size > 0 {
+		s.metrics.dedupeEntries.Set(int64(size))
+	}
 	if opts.RootACL != nil && !s.fs.Exists("/"+acl.FileName) {
 		if err := s.fs.WriteFile("/"+acl.FileName, []byte(opts.RootACL.String()), 0o644, opts.Owner); err != nil {
 			return nil, err
@@ -501,12 +527,22 @@ func (sess *session) serveOne(line string) error {
 // errQuit signals an orderly client farewell out of the session loop.
 var errQuit = errors.New("chirp: session quit")
 
-// reply writes a reply line, first recording it in the dedupe table
-// when a tokened request is in flight.
+// reply writes a reply line, first recording it in the dedupe table —
+// and the dedupe journal, when one is configured — when a tokened
+// request is in flight. The journal write happens before the reply
+// reaches the wire: once the client can see the answer, it is durable,
+// so a retry after a server crash replays instead of re-executing.
 func (sess *session) reply(fields []string) error {
 	if sess.pendingDedupe != "" {
-		sess.s.dedupe.store(sess.pendingDedupe, fields)
+		key := sess.pendingDedupe
 		sess.pendingDedupe = ""
+		sess.s.dedupe.store(key, fields)
+		if j := sess.s.opts.DedupeJournal; j != nil {
+			if err := j.AppendDedupe(key, fields); err != nil {
+				sess.s.metrics.dedupeJErrs.Inc()
+				sess.log.printf("dedupe journal append failed: %v", err)
+			}
+		}
 		_, size := sess.s.dedupe.stats()
 		sess.s.metrics.dedupeEntries.Set(int64(size))
 	}

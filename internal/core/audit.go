@@ -1,7 +1,9 @@
 package core
 
 import (
+	"bufio"
 	"encoding/json"
+	"errors"
 	"io"
 	"sync"
 )
@@ -80,33 +82,110 @@ func (r *AuditRing) Dropped() int64 {
 	return r.dropped
 }
 
+// ErrSinkClosed reports a record that arrived after Close: the line was
+// dropped, not written.
+var ErrSinkClosed = errors.New("core: audit sink closed")
+
 // JSONLSink streams audit records to a writer as JSON lines, one record
 // per line, suitable for shipping to an external collector or a file.
+//
+// NewJSONLSink writes through unbuffered; NewFileJSONLSink buffers (and
+// optionally fsyncs), so callers of the latter must Flush or Close
+// before discarding the sink or buffered lines are lost.
 type JSONLSink struct {
-	mu  sync.Mutex
-	enc *json.Encoder
-	err error
+	mu     sync.Mutex
+	enc    *json.Encoder
+	bw     *bufio.Writer // nil for the unbuffered variant
+	w      io.Writer     // underlying writer, for Sync and Close
+	fsync  bool
+	closed bool
+	err    error
 }
 
-// NewJSONLSink creates a sink writing to w.
+// NewJSONLSink creates a sink writing each record straight to w.
 func NewJSONLSink(w io.Writer) *JSONLSink {
-	return &JSONLSink{enc: json.NewEncoder(w)}
+	return &JSONLSink{enc: json.NewEncoder(w), w: w}
+}
+
+// NewFileJSONLSink creates a buffered sink for a file-backed writer:
+// records accumulate in memory and reach w only on Flush or Close.
+// With fsync true, every Flush also forces the lines to stable storage
+// when w supports it (as *os.File does).
+func NewFileJSONLSink(w io.Writer, fsync bool) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{enc: json.NewEncoder(bw), bw: bw, w: w, fsync: fsync}
 }
 
 // Record implements AuditSink. Write errors are sticky: the first one
-// stops further output and is reported by Err.
+// stops further output and is reported by Err, Flush and Close.
 func (s *JSONLSink) Record(rec AuditRecord) {
 	s.mu.Lock()
-	if s.err == nil {
+	switch {
+	case s.closed:
+		if s.err == nil {
+			s.err = ErrSinkClosed
+		}
+	case s.err == nil:
 		s.err = s.enc.Encode(rec)
 	}
 	s.mu.Unlock()
 }
 
-// Err reports the first write error, if any.
+// Err reports the first error, if any.
 func (s *JSONLSink) Err() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.err
+}
+
+// Flush pushes buffered lines to the underlying writer and, for a
+// fsync-enabled sink, on to stable storage. It returns the sink's
+// first error, so a shutdown path ending in Flush surfaces write
+// failures that Record absorbed.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked()
+}
+
+func (s *JSONLSink) flushLocked() error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.bw != nil {
+		if err := s.bw.Flush(); err != nil {
+			s.err = err
+			return err
+		}
+	}
+	if s.fsync {
+		if f, ok := s.w.(interface{ Sync() error }); ok {
+			if err := f.Sync(); err != nil {
+				s.err = err
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Close flushes and, when the underlying writer is an io.Closer,
+// closes it. Close is idempotent; later records are dropped and show
+// up in Err. The returned error is the sink's first, so audit lines
+// never vanish silently at shutdown.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return s.err
+	}
+	s.flushLocked()
+	s.closed = true
+	if c, ok := s.w.(io.Closer); ok {
+		if err := c.Close(); err != nil && s.err == nil {
+			s.err = err
+		}
+	}
 	return s.err
 }
 

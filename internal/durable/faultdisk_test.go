@@ -1,0 +1,184 @@
+package durable
+
+import (
+	"fmt"
+	"testing"
+
+	"identitybox/internal/faultdisk"
+	"identitybox/internal/vfs"
+)
+
+// faultOpts binds a faulted disk into store options.
+func faultOpts(d *faultdisk.Disk) Options {
+	return Options{OpenAppend: func(path string) (File, error) { return d.OpenAppend(path) }}
+}
+
+// scriptedOps is a deterministic workload; each step mutates the store's
+// FS and, in parallel, a reference FS, returning an error only on the
+// live side (the reference must always succeed).
+func scriptedOps() []func(fs *vfs.FS) error {
+	ops := []func(fs *vfs.FS) error{
+		func(fs *vfs.FS) error { return fs.Mkdir("/work", 0o755, "alice") },
+	}
+	for i := 0; i < 10; i++ {
+		i := i
+		ops = append(ops,
+			func(fs *vfs.FS) error {
+				_, err := fs.Create(fmt.Sprintf("/work/f%d", i), 0o644, "alice")
+				return err
+			},
+			func(fs *vfs.FS) error {
+				_, err := fs.WriteAt(fmt.Sprintf("/work/f%d", i), []byte(fmt.Sprintf("payload %d", i)), 0)
+				return err
+			},
+		)
+	}
+	return ops
+}
+
+// prefixDumps replays the scripted workload on a clean FS, recording the
+// canonical dump after every step. Index k is the state after k ops.
+func prefixDumps(t *testing.T, ops []func(fs *vfs.FS) error) []string {
+	t.Helper()
+	ref := vfs.New("chirp")
+	dumps := []string{dumpFS(t, ref)}
+	for _, op := range ops {
+		if err := op(ref); err != nil {
+			t.Fatal(err)
+		}
+		dumps = append(dumps, dumpFS(t, ref))
+	}
+	return dumps
+}
+
+// assertIsPrefix checks the recovered dump equals some prefix state and
+// returns its index.
+func assertIsPrefix(t *testing.T, got string, dumps []string) int {
+	t.Helper()
+	for k, d := range dumps {
+		if got == d {
+			return k
+		}
+	}
+	t.Fatalf("recovered state matches no prefix of the history:\n%s", got)
+	return -1
+}
+
+// TestTornWriteRecoversToPrefix: a torn sector write mid-record leaves a
+// partial frame; recovery truncates it and lands exactly one op short.
+func TestTornWriteRecoversToPrefix(t *testing.T) {
+	ops := scriptedOps()
+	dumps := prefixDumps(t, ops)
+	d := faultdisk.New(3, faultdisk.Rule{AfterWrites: 9, Action: faultdisk.TornWrite})
+	dir := t.TempDir()
+	s := openStore(t, dir, faultOpts(d))
+	applied := 0
+	for _, op := range ops {
+		if err := op(s.FS()); err != nil {
+			t.Fatal(err) // in-memory mutations keep succeeding
+		}
+		applied++
+		if d.Crashed() {
+			break
+		}
+	}
+	if !d.Crashed() {
+		t.Fatal("schedule never fired")
+	}
+	if s.Err() == nil {
+		t.Fatal("degraded WAL not reported after disk crash")
+	}
+
+	s2 := openStore(t, dir, Options{})
+	defer s2.Close()
+	k := assertIsPrefix(t, dumpFS(t, s2.FS()), dumps)
+	// With fsync-per-record, the torn record is the only possible loss.
+	if k != applied-1 {
+		t.Fatalf("recovered to prefix %d, want %d (only the torn record lost)", k, applied-1)
+	}
+	ri := s2.Recovery()
+	if !ri.Torn || ri.TruncatedBytes == 0 {
+		t.Fatalf("torn tail not detected: %s", ri)
+	}
+}
+
+// TestDroppedFsyncLosesOnlyUnsyncedTail: a lying fsync acknowledges a
+// record that power loss then destroys; recovery still lands on a clean
+// earlier prefix.
+func TestDroppedFsyncLosesOnlyUnsyncedTail(t *testing.T) {
+	ops := scriptedOps()
+	dumps := prefixDumps(t, ops)
+	const dropAt = 12
+	d := faultdisk.New(5, faultdisk.Rule{AfterSyncs: dropAt, Action: faultdisk.DropSync})
+	dir := t.TempDir()
+	s := openStore(t, dir, faultOpts(d))
+	for _, op := range ops[:dropAt] { // the dropAt'th op's sync is the lie
+		if err := op(s.FS()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Crash() // power loss before anything else flushes the dirty record
+
+	s2 := openStore(t, dir, Options{})
+	defer s2.Close()
+	k := assertIsPrefix(t, dumpFS(t, s2.FS()), dumps)
+	if k != dropAt-1 {
+		t.Fatalf("recovered to prefix %d, want %d (acked-but-unsynced record lost)", k, dropAt-1)
+	}
+}
+
+// TestBitFlipDetectedByChecksum: a silently corrupted record must never
+// be applied; recovery truncates at it, keeping the prefix before it.
+func TestBitFlipDetectedByChecksum(t *testing.T) {
+	ops := scriptedOps()
+	dumps := prefixDumps(t, ops)
+	const flipAt = 7
+	d := faultdisk.New(11, faultdisk.Rule{AfterWrites: flipAt, Action: faultdisk.BitFlip})
+	dir := t.TempDir()
+	s := openStore(t, dir, faultOpts(d))
+	for _, op := range ops {
+		if err := op(s.FS()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openStore(t, dir, Options{})
+	defer s2.Close()
+	ri := s2.Recovery()
+	if !ri.Torn {
+		t.Fatalf("flipped bit not detected: %s", ri)
+	}
+	k := assertIsPrefix(t, dumpFS(t, s2.FS()), dumps)
+	if k != flipAt-1 {
+		t.Fatalf("recovered to prefix %d, want %d (everything from the corrupt record on discarded)", k, flipAt-1)
+	}
+}
+
+// TestShortWriteThenRecovery: a short write leaves a partial frame and a
+// sticky WAL error; the synced records before it survive.
+func TestShortWriteThenRecovery(t *testing.T) {
+	ops := scriptedOps()
+	dumps := prefixDumps(t, ops)
+	const shortAt = 15
+	d := faultdisk.New(13, faultdisk.Rule{AfterWrites: shortAt, Action: faultdisk.ShortWrite})
+	dir := t.TempDir()
+	s := openStore(t, dir, faultOpts(d))
+	for _, op := range ops {
+		if err := op(s.FS()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Err() == nil {
+		t.Fatal("short write did not degrade the WAL")
+	}
+	d.Crash() // lose the half-buffered frame
+
+	s2 := openStore(t, dir, Options{})
+	defer s2.Close()
+	if k := assertIsPrefix(t, dumpFS(t, s2.FS()), dumps); k != shortAt-1 {
+		t.Fatalf("recovered to prefix %d, want %d", k, shortAt-1)
+	}
+}

@@ -1,0 +1,487 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"identitybox/internal/obs"
+	"identitybox/internal/vfs"
+)
+
+// File names inside a state directory.
+const (
+	WALName      = "wal.log"
+	SnapshotName = "snapshot.img"
+	snapshotTmp  = "snapshot.tmp"
+)
+
+// Metric names exported by every store.
+const (
+	MetricWALRecords     = "durable_wal_records_total"
+	MetricWALBytes       = "durable_wal_bytes_total"
+	MetricWALFsyncs      = "durable_wal_fsyncs_total"
+	MetricWALAppendErrs  = "durable_wal_append_errors_total"
+	MetricWALSize        = "durable_wal_size_bytes"
+	MetricReplayRecords  = "durable_replay_records_total"
+	MetricReplaySkipped  = "durable_replay_skipped_total"
+	MetricTruncatedBytes = "durable_replay_truncated_bytes_total"
+	MetricCompactions    = "durable_snapshot_compactions_total"
+	MetricSnapshotBytes  = "durable_snapshot_bytes"
+	MetricRecoveries     = "durable_recoveries_total"
+)
+
+// Options configure a store.
+type Options struct {
+	// Owner owns the root of a freshly initialized file system (when the
+	// state directory holds no snapshot and no log).
+	Owner string
+	// SyncEveryN is the fsync cadence: 1 (the default) syncs after every
+	// record, k>1 every k records, and a negative value never syncs.
+	SyncEveryN int
+	// Metrics, when set, receives the store's counters and gauges.
+	Metrics *obs.Registry
+	// OpenAppend opens the WAL file for appending; tests inject
+	// faultdisk files here. The default opens an ordinary os file.
+	OpenAppend func(path string) (File, error)
+	// Logf, when set, receives recovery and degradation notices.
+	Logf func(format string, args ...any)
+}
+
+// RecoveryInfo describes what Open found and did.
+type RecoveryInfo struct {
+	SnapshotLSN    uint64 // LSN the loaded snapshot covers (0: none)
+	Replayed       int    // WAL records applied
+	Skipped        int    // records at or below the snapshot LSN
+	Unapplied      int    // records whose replay failed (should be 0)
+	TruncatedBytes int64  // torn-tail bytes discarded from the log
+	Torn           bool   // whether a torn tail was found
+	DedupeEntries  int    // tokened replies carried across the restart
+}
+
+func (ri RecoveryInfo) String() string {
+	return fmt.Sprintf("snapshot lsn %d, %d replayed, %d skipped, %d unapplied, %d torn bytes truncated, %d dedupe entries",
+		ri.SnapshotLSN, ri.Replayed, ri.Skipped, ri.Unapplied, ri.TruncatedBytes, ri.DedupeEntries)
+}
+
+// storeMetrics caches the store's metric handles.
+type storeMetrics struct {
+	records     *obs.Counter
+	bytes       *obs.Counter
+	fsyncs      *obs.Counter
+	appendErrs  *obs.Counter
+	walSize     *obs.Gauge
+	replayed    *obs.Counter
+	skipped     *obs.Counter
+	truncated   *obs.Counter
+	compactions *obs.Counter
+	snapBytes   *obs.Gauge
+	recoveries  *obs.Counter
+}
+
+func newStoreMetrics(reg *obs.Registry) *storeMetrics {
+	reg.Help(MetricWALRecords, "Records appended to the write-ahead log.")
+	reg.Help(MetricWALBytes, "Bytes appended to the write-ahead log.")
+	reg.Help(MetricWALFsyncs, "fsync calls issued for the write-ahead log.")
+	reg.Help(MetricWALAppendErrs, "Append or sync failures (durability degraded until the next compaction).")
+	reg.Help(MetricWALSize, "Current write-ahead log length in bytes.")
+	reg.Help(MetricReplayRecords, "WAL records applied during recoveries.")
+	reg.Help(MetricReplaySkipped, "WAL records skipped during recoveries (already covered by the snapshot).")
+	reg.Help(MetricTruncatedBytes, "Torn-tail bytes truncated from the log during recoveries.")
+	reg.Help(MetricCompactions, "Snapshot compactions completed.")
+	reg.Help(MetricSnapshotBytes, "Size of the last published snapshot in bytes.")
+	reg.Help(MetricRecoveries, "Recoveries performed (1 per Open).")
+	return &storeMetrics{
+		records:     reg.Counter(MetricWALRecords),
+		bytes:       reg.Counter(MetricWALBytes),
+		fsyncs:      reg.Counter(MetricWALFsyncs),
+		appendErrs:  reg.Counter(MetricWALAppendErrs),
+		walSize:     reg.Gauge(MetricWALSize),
+		replayed:    reg.Counter(MetricReplayRecords),
+		skipped:     reg.Counter(MetricReplaySkipped),
+		truncated:   reg.Counter(MetricTruncatedBytes),
+		compactions: reg.Counter(MetricCompactions),
+		snapBytes:   reg.Gauge(MetricSnapshotBytes),
+		recoveries:  reg.Counter(MetricRecoveries),
+	}
+}
+
+// snapFile is the serialized snapshot: the VFS image from vfs.Save plus
+// the dedupe table, bound to the log position they cover.
+type snapFile struct {
+	Version int
+	LSN     uint64
+	Dedupe  map[string][]string
+	FS      []byte
+}
+
+const snapFileVersion = 1
+
+// Store binds a vfs.FS to a state directory: it journals every
+// mutation to the WAL (implementing vfs.Journal), persists tokened
+// replies for exactly-once retries, and compacts the log into
+// snapshots. Create one with Open, which also performs recovery.
+type Store struct {
+	dir  string
+	fs   *vfs.FS
+	opts Options
+
+	mu      sync.Mutex // guards wal swaps, dedupe, snapLSN
+	wal     *WAL
+	dedupe  map[string][]string
+	snapLSN uint64
+
+	metrics  *storeMetrics
+	recovery RecoveryInfo
+	logf     func(format string, args ...any)
+}
+
+func defaultOpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// Open recovers the state directory and returns the store bound to the
+// recovered file system: it loads the newest snapshot (if any), replays
+// the WAL past the snapshot's LSN, truncates any torn tail at the last
+// valid record, and attaches itself as the file system's journal so
+// every further mutation is logged.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.Owner == "" {
+		opts.Owner = "chirp"
+	}
+	if opts.SyncEveryN == 0 {
+		opts.SyncEveryN = 1
+	}
+	if opts.OpenAppend == nil {
+		opts.OpenAppend = defaultOpenAppend
+	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: state dir: %w", err)
+	}
+	s := &Store{
+		dir:     dir,
+		opts:    opts,
+		dedupe:  make(map[string][]string),
+		metrics: newStoreMetrics(reg),
+		logf:    opts.Logf,
+	}
+	if s.logf == nil {
+		s.logf = func(string, ...any) {}
+	}
+
+	// A crash may have left a half-written snapshot.tmp; it was never
+	// renamed into place, so it is garbage.
+	os.Remove(filepath.Join(dir, snapshotTmp))
+
+	// 1. Snapshot, if one has been published.
+	fs, err := s.loadSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	if fs == nil {
+		fs = vfs.New(opts.Owner)
+	}
+	s.fs = fs
+	s.recovery.SnapshotLSN = s.snapLSN
+
+	// 2. WAL replay past the snapshot LSN, truncating a torn tail.
+	lastLSN, err := s.replayWAL()
+	if err != nil {
+		return nil, err
+	}
+
+	// 3. Open the log for appending and attach as the journal.
+	nextLSN := lastLSN + 1
+	if s.snapLSN >= lastLSN {
+		nextLSN = s.snapLSN + 1
+	}
+	walPath := filepath.Join(dir, WALName)
+	f, err := opts.OpenAppend(walPath)
+	if err != nil {
+		return nil, fmt.Errorf("durable: opening wal: %w", err)
+	}
+	var size int64
+	if st, err := os.Stat(walPath); err == nil {
+		size = st.Size()
+	}
+	syncN := opts.SyncEveryN
+	if syncN < 0 {
+		syncN = 0
+	}
+	s.wal = NewWAL(f, nextLSN, size, syncN)
+	s.wal.onAppend = func(n int) {
+		s.metrics.records.Inc()
+		s.metrics.bytes.Add(int64(n))
+		s.metrics.walSize.Add(int64(n))
+	}
+	s.wal.onSync = func() { s.metrics.fsyncs.Inc() }
+	s.metrics.walSize.Set(size)
+	s.metrics.recoveries.Inc()
+	s.recovery.DedupeEntries = len(s.dedupe)
+	fs.SetJournal(s)
+	return s, nil
+}
+
+// loadSnapshot reads snapshot.img if present, returning the rebuilt
+// file system (nil when no snapshot exists) and filling dedupe/snapLSN.
+func (s *Store) loadSnapshot() (*vfs.FS, error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, SnapshotName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("durable: reading snapshot: %w", err)
+	}
+	var snap snapFile
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("durable: decoding snapshot: %w", err)
+	}
+	if snap.Version != snapFileVersion {
+		return nil, fmt.Errorf("durable: unsupported snapshot version %d", snap.Version)
+	}
+	fs, err := vfs.Load(bytes.NewReader(snap.FS))
+	if err != nil {
+		return nil, fmt.Errorf("durable: snapshot image: %w", err)
+	}
+	for k, v := range snap.Dedupe {
+		s.dedupe[k] = v
+	}
+	s.snapLSN = snap.LSN
+	s.metrics.snapBytes.Set(int64(len(data)))
+	return fs, nil
+}
+
+// replayWAL applies logged records past the snapshot LSN and truncates
+// any torn tail. It returns the highest LSN seen in the log.
+func (s *Store) replayWAL() (uint64, error) {
+	walPath := filepath.Join(s.dir, WALName)
+	data, err := os.ReadFile(walPath)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("durable: reading wal: %w", err)
+	}
+	recs, validBytes, torn := DecodeAll(data)
+	var lastLSN uint64
+	for _, rec := range recs {
+		lastLSN = rec.LSN
+		if rec.LSN <= s.snapLSN {
+			s.recovery.Skipped++
+			s.metrics.skipped.Inc()
+			continue
+		}
+		if err := s.applyRecord(rec); err != nil {
+			// Should not happen for a log this store wrote: the same
+			// sequence applied cleanly before the crash. Count it, keep
+			// going — dropping one record must not drop the rest.
+			s.recovery.Unapplied++
+			s.logf("durable: replaying lsn %d (%s %s): %v", rec.LSN, vfs.MutOp(rec.Type), rec.Mut.Path, err)
+			continue
+		}
+		s.recovery.Replayed++
+		s.metrics.replayed.Inc()
+	}
+	if torn {
+		discarded := int64(len(data)) - validBytes
+		s.recovery.Torn = true
+		s.recovery.TruncatedBytes = discarded
+		s.metrics.truncated.Add(discarded)
+		s.logf("durable: torn wal tail: truncating %d bytes at offset %d", discarded, validBytes)
+		if err := os.Truncate(walPath, validBytes); err != nil {
+			return 0, fmt.Errorf("durable: truncating torn tail: %w", err)
+		}
+	}
+	return lastLSN, nil
+}
+
+// applyRecord replays one record onto the recovering state.
+func (s *Store) applyRecord(rec Record) error {
+	if rec.Type == DedupeType {
+		s.dedupe[rec.DedupeKey] = rec.DedupeReply
+		return nil
+	}
+	m := rec.Mut
+	switch m.Op {
+	case vfs.MutMkdir:
+		return s.fs.Mkdir(m.Path, m.Mode, m.Owner)
+	case vfs.MutCreate:
+		_, err := s.fs.Create(m.Path, m.Mode, m.Owner)
+		return err
+	case vfs.MutWrite:
+		_, err := s.fs.WriteAt(m.Path, m.Data, m.Off)
+		return err
+	case vfs.MutTruncate:
+		return s.fs.Truncate(m.Path, m.Size)
+	case vfs.MutUnlink:
+		return s.fs.Unlink(m.Path)
+	case vfs.MutRmdir:
+		return s.fs.Rmdir(m.Path)
+	case vfs.MutSymlink:
+		return s.fs.Symlink(m.Path2, m.Path, m.Owner)
+	case vfs.MutLink:
+		return s.fs.Link(m.Path, m.Path2)
+	case vfs.MutRename:
+		return s.fs.Rename(m.Path, m.Path2)
+	case vfs.MutChmod:
+		return s.fs.Chmod(m.Path, m.Mode)
+	case vfs.MutChown:
+		return s.fs.Chown(m.Path, m.Owner, m.Group)
+	default:
+		return fmt.Errorf("durable: unknown mutation op %d", m.Op)
+	}
+}
+
+// FS returns the recovered file system the store journals for.
+func (s *Store) FS() *vfs.FS { return s.fs }
+
+// Recovery reports what the Open recovery pass found.
+func (s *Store) Recovery() RecoveryInfo { return s.recovery }
+
+// Err reports the WAL's sticky failure, if appends have started
+// failing; nil means the log is healthy.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wal.Err()
+}
+
+// RecordMutation implements vfs.Journal: it appends the mutation to the
+// WAL. Called with the FS journal lock held, so records land in commit
+// order. Append failures are absorbed (the in-memory state is already
+// committed): they flip the sticky error, bump the degradation metric,
+// and surface through Err and the log.
+func (s *Store) RecordMutation(m vfs.Mutation) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hadErr := s.wal.Err() != nil
+	if _, err := s.wal.Append(Record{Type: uint8(m.Op), Mut: m}); err != nil {
+		s.metrics.appendErrs.Inc()
+		if !hadErr {
+			s.logf("durable: wal append failed, durability degraded until compaction: %v", err)
+		}
+	}
+}
+
+// AppendDedupe persists one tokened reply so a retry after a restart is
+// answered from the table instead of re-executed. Key is the server's
+// opaque principal+token key.
+func (s *Store) AppendDedupe(key string, reply []string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dedupe[key] = append([]string(nil), reply...)
+	_, err := s.wal.Append(Record{Type: DedupeType, DedupeKey: key, DedupeReply: reply})
+	if err != nil {
+		s.metrics.appendErrs.Inc()
+	}
+	return err
+}
+
+// DedupeEntries returns a copy of the recovered (and since appended)
+// dedupe table, for seeding a server's in-memory table.
+func (s *Store) DedupeEntries() map[string][]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string][]string, len(s.dedupe))
+	for k, v := range s.dedupe {
+		out[k] = append([]string(nil), v...)
+	}
+	return out
+}
+
+// WALSize reports the current log length in bytes.
+func (s *Store) WALSize() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wal.Size()
+}
+
+// Compact publishes a snapshot and resets the log. The protocol:
+//
+//  1. quiesce journaled mutations (FS journal lock);
+//  2. serialize the tree + dedupe table bound to the current LSN;
+//  3. write snapshot.tmp, fsync it;
+//  4. rename snapshot.tmp over snapshot.img (atomic publication) and
+//     fsync the directory so the rename itself is durable;
+//  5. truncate the WAL to zero and resume appending.
+//
+// A crash before (4) leaves the old snapshot + full log: recovery
+// replays as if no compaction happened. A crash between (4) and (5)
+// leaves the new snapshot + stale log: recovery skips every record at
+// or below the snapshot LSN. Either way, no state is lost and nothing
+// is applied twice. A successful compaction also clears a degraded
+// WAL: the snapshot captures everything the log failed to.
+func (s *Store) Compact() error {
+	return s.fs.Quiesce(func() error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+
+		lsn := s.wal.NextLSN() - 1 // appends are excluded by s.mu + quiesce
+		var img bytes.Buffer
+		if err := s.fs.Save(&img); err != nil {
+			return fmt.Errorf("durable: serializing tree: %w", err)
+		}
+		snap := snapFile{Version: snapFileVersion, LSN: lsn, Dedupe: s.dedupe, FS: img.Bytes()}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&snap); err != nil {
+			return fmt.Errorf("durable: encoding snapshot: %w", err)
+		}
+
+		tmpPath := filepath.Join(s.dir, snapshotTmp)
+		tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+		if err != nil {
+			return fmt.Errorf("durable: snapshot tmp: %w", err)
+		}
+		if _, err := tmp.Write(buf.Bytes()); err != nil {
+			tmp.Close()
+			return fmt.Errorf("durable: writing snapshot: %w", err)
+		}
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return fmt.Errorf("durable: syncing snapshot: %w", err)
+		}
+		if err := tmp.Close(); err != nil {
+			return fmt.Errorf("durable: closing snapshot: %w", err)
+		}
+		if err := os.Rename(tmpPath, filepath.Join(s.dir, SnapshotName)); err != nil {
+			return fmt.Errorf("durable: publishing snapshot: %w", err)
+		}
+		if d, err := os.Open(s.dir); err == nil {
+			d.Sync()
+			d.Close()
+		}
+
+		// The log's records are now all covered by the snapshot; reset it.
+		walPath := filepath.Join(s.dir, WALName)
+		if err := os.Truncate(walPath, 0); err != nil {
+			return fmt.Errorf("durable: resetting wal: %w", err)
+		}
+		f, err := s.opts.OpenAppend(walPath)
+		if err != nil {
+			return fmt.Errorf("durable: reopening wal: %w", err)
+		}
+		if err := s.wal.swapFile(f); err != nil {
+			s.logf("durable: closing old wal file: %v", err)
+		}
+		s.snapLSN = lsn
+		s.metrics.compactions.Inc()
+		s.metrics.snapBytes.Set(int64(buf.Len()))
+		s.metrics.walSize.Set(0)
+		return nil
+	})
+}
+
+// Close syncs and closes the log. The store must not be used after.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wal.Close()
+}

@@ -1,0 +1,161 @@
+package durable
+
+import (
+	"errors"
+	"io"
+	"sync"
+)
+
+// File is the slice of an append-only log file the WAL writer needs.
+// *os.File satisfies it; faultdisk wraps one to inject storage faults.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// WAL appends framed records to a log file. It is safe for concurrent
+// use; appends are serialized (they target one file) and synced
+// according to the policy. The first write or sync error is sticky:
+// the WAL stops accepting appends and reports the error from then on,
+// because a log with a hole in it must not keep growing — recovery
+// would stop at the hole and silently drop everything after it.
+type WAL struct {
+	mu      sync.Mutex
+	f       File
+	nextLSN uint64
+	size    int64
+	pending int // records appended since the last sync
+	// syncEveryN: 1 syncs after every record (the default and the only
+	// setting with no loss window), k>1 syncs every k records, 0 never
+	// syncs (the OS decides when bytes reach the platter).
+	syncEveryN int
+	err        error
+
+	// observers, optional
+	onAppend func(bytes int)
+	onSync   func()
+}
+
+// NewWAL wraps an open log file positioned at its end. nextLSN is the
+// LSN the next appended record receives; size is the file's current
+// length (for the size gauge).
+func NewWAL(f File, nextLSN uint64, size int64, syncEveryN int) *WAL {
+	return &WAL{f: f, nextLSN: nextLSN, size: size, syncEveryN: syncEveryN}
+}
+
+// ErrWALClosed is reported by appends after Close.
+var ErrWALClosed = errors.New("durable: wal closed")
+
+// Append frames rec (assigning it the next LSN), writes it, and syncs
+// per policy. It returns the assigned LSN.
+func (w *WAL) Append(rec Record) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return 0, w.err
+	}
+	rec.LSN = w.nextLSN
+	frame := EncodeRecord(nil, rec)
+	n, err := w.f.Write(frame)
+	w.size += int64(n)
+	if err == nil && n < len(frame) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		w.err = err
+		return 0, err
+	}
+	w.nextLSN++
+	w.pending++
+	if w.onAppend != nil {
+		w.onAppend(len(frame))
+	}
+	if w.syncEveryN > 0 && w.pending >= w.syncEveryN {
+		if err := w.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return rec.LSN, nil
+}
+
+// Sync forces outstanding records to stable storage.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	return w.syncLocked()
+}
+
+func (w *WAL) syncLocked() error {
+	if w.pending == 0 {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		w.err = err
+		return err
+	}
+	w.pending = 0
+	if w.onSync != nil {
+		w.onSync()
+	}
+	return nil
+}
+
+// NextLSN reports the LSN the next append will receive.
+func (w *WAL) NextLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextLSN
+}
+
+// Size reports the log file's length in bytes.
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// Err reports the sticky error, if the WAL has failed.
+func (w *WAL) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if errors.Is(w.err, ErrWALClosed) {
+		return nil
+	}
+	return w.err
+}
+
+// Close syncs and closes the log file. Further appends fail.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		w.f.Close()
+		return w.err
+	}
+	err := w.syncLocked()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.err = ErrWALClosed
+	return err
+}
+
+// swapFile atomically replaces the underlying file (after compaction
+// truncated the log) and resets size/pending. LSNs keep counting up:
+// records in the fresh log carry LSNs above the snapshot's, which is
+// what lets recovery skip duplicates if a crash lands between snapshot
+// publication and log reset.
+func (w *WAL) swapFile(f File) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	old := w.f
+	w.f = f
+	w.size = 0
+	w.pending = 0
+	w.err = nil
+	return old.Close()
+}

@@ -1,0 +1,309 @@
+// Package faultdisk injects deterministic storage faults for testing
+// crash consistency. A Disk wraps append-only log files behind a
+// page-cache model: writes land in a dirty buffer and reach the backing
+// file only on Sync, so a Crash discards exactly the bytes an operating
+// system would lose at power failure. A seeded schedule of rules
+// triggers faults on the Nth write, the Nth buffered byte or the Nth
+// sync: short writes, torn sector writes (a prefix of the dirty bytes
+// reaches the platter, then power dies), silently dropped fsyncs, bit
+// flips and whole-disk crashes.
+//
+// Determinism is the point, same as faultnet: the only randomness is a
+// rand.Rand seeded by the caller (used to pick torn-write split points
+// and flipped bits), and every rule threshold is an explicit count, so
+// a failing schedule replays exactly.
+package faultdisk
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+)
+
+// ErrInjected is wrapped by every error the injector produces, so tests
+// can tell injected faults from real ones.
+var ErrInjected = errors.New("faultdisk: injected fault")
+
+// ErrCrashed is reported by every operation after the disk has crashed.
+// It wraps ErrInjected.
+var ErrCrashed = fmt.Errorf("%w: disk crashed", ErrInjected)
+
+// Action is what happens when a rule fires.
+type Action int
+
+const (
+	// ShortWrite buffers only half the payload and fails the write with
+	// an injected error, like a disk running out of space mid-request.
+	ShortWrite Action = iota
+	// TornWrite accepts the payload, flushes a seeded-random prefix of
+	// the dirty bytes to the backing file — deliberately not aligned to
+	// any record boundary — and crashes the disk. The caller sees the
+	// write succeed; the file ends mid-record.
+	TornWrite
+	// DropSync makes one Sync lie: it returns nil without flushing, the
+	// classic misbehaving-fsync. A later crash then loses acknowledged
+	// records.
+	DropSync
+	// BitFlip corrupts one seeded-random bit of the payload before
+	// buffering it. The write succeeds; the corruption is silent until
+	// something checksums the data.
+	BitFlip
+	// Crash discards every dirty byte on the disk and fails the current
+	// and all subsequent operations with ErrCrashed.
+	Crash
+)
+
+func (a Action) String() string {
+	switch a {
+	case ShortWrite:
+		return "short-write"
+	case TornWrite:
+		return "torn-write"
+	case DropSync:
+		return "drop-sync"
+	case BitFlip:
+		return "bit-flip"
+	case Crash:
+		return "crash"
+	}
+	return "unknown"
+}
+
+// Op selects which operation kind a rule applies to; it is inferred
+// from the Action (writes for ShortWrite/TornWrite/BitFlip, syncs for
+// DropSync) except for Crash, which fires on whichever counter matches.
+type op int
+
+const (
+	opWrite op = iota
+	opSync
+)
+
+// Rule is one standing fault in a schedule. Counters are disk-global
+// (summed across files), which is what crash-matrix tests want: "crash
+// on the Nth record appended anywhere". All trigger fields are
+// optional; a zero rule fires on the first matching operation.
+type Rule struct {
+	// AfterWrites fires the rule on the Nth write call (1-based).
+	AfterWrites int
+	// AfterBytes fires the rule once this many bytes have been accepted
+	// into dirty buffers.
+	AfterBytes int64
+	// AfterSyncs fires the rule on the Nth Sync call (1-based).
+	AfterSyncs int
+	// Action is the fault to inject.
+	Action Action
+}
+
+func (r Rule) wants(o op) bool {
+	switch r.Action {
+	case DropSync:
+		return o == opSync
+	case Crash:
+		if r.AfterSyncs > 0 {
+			return o == opSync
+		}
+		return o == opWrite
+	default:
+		return o == opWrite
+	}
+}
+
+// Disk owns a fault schedule and opens faulted files. It is safe for
+// concurrent use.
+type Disk struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	rules   []Rule
+	fired   []bool
+	files   []*File
+	crashed bool
+
+	writes int
+	syncs  int
+	bytes  int64 // accepted into dirty buffers
+}
+
+// New creates a disk with a seeded schedule. The same seed and schedule
+// replay identically.
+func New(seed int64, rules ...Rule) *Disk {
+	return &Disk{rng: rand.New(rand.NewSource(seed)), rules: rules, fired: make([]bool, len(rules))}
+}
+
+// OpenAppend opens path for appending behind the fault schedule. The
+// signature matches durable.Options.OpenAppend's needs: the returned
+// *File satisfies the durable.File interface.
+func (d *Disk) OpenAppend(path string) (*File, error) {
+	backing, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	f := &File{disk: d, backing: backing}
+	d.mu.Lock()
+	d.files = append(d.files, f)
+	d.mu.Unlock()
+	return f, nil
+}
+
+// Crash simulates power loss now: every dirty byte on the disk is
+// discarded and all further operations fail with ErrCrashed.
+func (d *Disk) Crash() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.crashLocked()
+}
+
+func (d *Disk) crashLocked() {
+	d.crashed = true
+	for _, f := range d.files {
+		f.dirty = nil
+	}
+}
+
+// Crashed reports whether the disk has crashed.
+func (d *Disk) Crashed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.crashed
+}
+
+// Writes reports the number of write calls accepted so far — the
+// counter Rule.AfterWrites thresholds key to.
+func (d *Disk) Writes() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.writes
+}
+
+// decide consults the schedule for one operation. Caller holds d.mu.
+func (d *Disk) decideLocked(o op, payload int64) (Action, bool) {
+	for n, r := range d.rules {
+		if d.fired[n] || !r.wants(o) {
+			continue
+		}
+		if r.AfterWrites > 0 && d.writes+1 < r.AfterWrites {
+			continue
+		}
+		if r.AfterSyncs > 0 && d.syncs+1 < r.AfterSyncs {
+			continue
+		}
+		if r.AfterBytes > 0 && d.bytes+payload < r.AfterBytes {
+			continue
+		}
+		d.fired[n] = true
+		return r.Action, true
+	}
+	return 0, false
+}
+
+// File is one faulted append-only file. Writes buffer in memory (the
+// page cache); Sync flushes to the backing file and fsyncs it; Close
+// flushes (an orderly shutdown gives the OS time to write back) and
+// closes the backing file.
+type File struct {
+	disk    *Disk
+	backing *os.File
+	dirty   []byte
+	closed  bool
+}
+
+func (f *File) Write(p []byte) (int, error) {
+	d := f.disk
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed || f.closed {
+		return 0, ErrCrashed
+	}
+	action, fire := d.decideLocked(opWrite, int64(len(p)))
+	d.writes++
+	if fire {
+		switch action {
+		case ShortWrite:
+			n := len(p) / 2
+			f.dirty = append(f.dirty, p[:n]...)
+			d.bytes += int64(n)
+			return n, fmt.Errorf("%w: short write (%d of %d bytes)", ErrInjected, n, len(p))
+		case TornWrite:
+			f.dirty = append(f.dirty, p...)
+			d.bytes += int64(len(p))
+			// A prefix of the dirty bytes reaches the platter; power dies.
+			k := 0
+			if len(f.dirty) > 0 {
+				k = d.rng.Intn(len(f.dirty))
+			}
+			f.backing.Write(f.dirty[:k])
+			f.backing.Sync()
+			d.crashLocked()
+			return len(p), nil
+		case BitFlip:
+			corrupt := append([]byte(nil), p...)
+			if len(corrupt) > 0 {
+				bit := d.rng.Intn(len(corrupt) * 8)
+				corrupt[bit/8] ^= 1 << (bit % 8)
+			}
+			f.dirty = append(f.dirty, corrupt...)
+			d.bytes += int64(len(p))
+			return len(p), nil
+		case Crash:
+			d.crashLocked()
+			return 0, ErrCrashed
+		}
+	}
+	f.dirty = append(f.dirty, p...)
+	d.bytes += int64(len(p))
+	return len(p), nil
+}
+
+func (f *File) Sync() error {
+	d := f.disk
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed || f.closed {
+		return ErrCrashed
+	}
+	action, fire := d.decideLocked(opSync, 0)
+	d.syncs++
+	if fire {
+		switch action {
+		case DropSync:
+			return nil // the lie: dirty bytes stay dirty
+		case Crash:
+			d.crashLocked()
+			return ErrCrashed
+		}
+	}
+	return f.flushLocked()
+}
+
+// flushLocked writes the dirty buffer through and fsyncs the backing
+// file. Caller holds d.mu.
+func (f *File) flushLocked() error {
+	if len(f.dirty) > 0 {
+		if _, err := f.backing.Write(f.dirty); err != nil {
+			return err
+		}
+		f.dirty = nil
+	}
+	return f.backing.Sync()
+}
+
+func (f *File) Close() error {
+	d := f.disk
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	if d.crashed {
+		f.backing.Close()
+		return ErrCrashed
+	}
+	err := f.flushLocked()
+	if cerr := f.backing.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,218 @@
+package faultdisk
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openOne(t *testing.T, d *Disk) (*File, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "log")
+	f, err := d.OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, path
+}
+
+func onDisk(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestWritesReachDiskOnlyAfterSync(t *testing.T) {
+	d := New(1)
+	f, path := openOne(t, d)
+	if _, err := f.Write([]byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if got := onDisk(t, path); len(got) != 0 {
+		t.Fatalf("bytes on disk before sync: %q", got)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if got := onDisk(t, path); string(got) != "hello " {
+		t.Fatalf("disk = %q, want synced prefix only", got)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := onDisk(t, path); string(got) != "hello world" {
+		t.Fatalf("disk after close = %q", got)
+	}
+}
+
+func TestCrashDiscardsDirtyBytes(t *testing.T) {
+	d := New(1)
+	f, path := openOne(t, d)
+	f.Write([]byte("durable."))
+	f.Sync()
+	f.Write([]byte("doomed"))
+	d.Crash()
+	if got := onDisk(t, path); string(got) != "durable." {
+		t.Fatalf("disk after crash = %q, want synced bytes only", got)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write error = %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-crash sync error = %v", err)
+	}
+	if err := f.Close(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash close error = %v", err)
+	}
+}
+
+func TestCrashAtWriteN(t *testing.T) {
+	d := New(1, Rule{AfterWrites: 3, Action: Crash})
+	f, path := openOne(t, d)
+	for i := 0; i < 2; i++ {
+		if _, err := f.Write([]byte("rec")); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.Write([]byte("rec")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("3rd write = %v, want crash", err)
+	}
+	if !d.Crashed() {
+		t.Fatal("disk not crashed")
+	}
+	if got := onDisk(t, path); string(got) != "recrec" {
+		t.Fatalf("disk = %q", got)
+	}
+}
+
+func TestShortWrite(t *testing.T) {
+	d := New(1, Rule{AfterWrites: 1, Action: ShortWrite})
+	f, path := openOne(t, d)
+	n, err := f.Write([]byte("12345678"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write error = %v", err)
+	}
+	if n != 4 {
+		t.Fatalf("short write accepted %d bytes, want 4", n)
+	}
+	// The truncated payload is still dirty data that can flush.
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := onDisk(t, path); string(got) != "1234" {
+		t.Fatalf("disk = %q", got)
+	}
+}
+
+func TestTornWriteLeavesPrefixAndCrashes(t *testing.T) {
+	d := New(7, Rule{AfterWrites: 3, Action: TornWrite})
+	f, path := openOne(t, d)
+	payload := bytes.Repeat([]byte("0123456789abcdef"), 4)
+	f.Write(payload)
+	f.Write(payload)
+	if _, err := f.Write(payload); err != nil {
+		t.Fatalf("torn write must look successful to the caller: %v", err)
+	}
+	if !d.Crashed() {
+		t.Fatal("torn write did not crash the disk")
+	}
+	got := onDisk(t, path)
+	if len(got) >= 3*len(payload) {
+		t.Fatalf("torn write flushed everything (%d bytes)", len(got))
+	}
+	all := bytes.Repeat(payload, 3)
+	if !bytes.Equal(got, all[:len(got)]) {
+		t.Fatal("flushed bytes are not a prefix of the dirty data")
+	}
+}
+
+func TestTornWriteDeterministic(t *testing.T) {
+	run := func() int {
+		d := New(42, Rule{AfterWrites: 1, Action: TornWrite})
+		f, path := openOne(t, d)
+		f.Write(bytes.Repeat([]byte("x"), 1000))
+		return len(onDisk(t, path))
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed produced different torn prefixes: %d vs %d", a, b)
+	}
+}
+
+func TestDropSyncLosesAcknowledgedData(t *testing.T) {
+	d := New(1, Rule{AfterSyncs: 2, Action: DropSync})
+	f, path := openOne(t, d)
+	f.Write([]byte("first."))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("second."))
+	if err := f.Sync(); err != nil {
+		t.Fatalf("dropped sync must lie and return nil: %v", err)
+	}
+	d.Crash()
+	if got := onDisk(t, path); string(got) != "first." {
+		t.Fatalf("disk = %q: the dropped sync's data survived a crash", got)
+	}
+}
+
+func TestBitFlipCorruptsSilently(t *testing.T) {
+	d := New(9, Rule{AfterWrites: 1, Action: BitFlip})
+	f, path := openOne(t, d)
+	payload := bytes.Repeat([]byte{0x00}, 64)
+	if _, err := f.Write(payload); err != nil {
+		t.Fatalf("bit flip must be silent: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := onDisk(t, path)
+	if bytes.Equal(got, payload) {
+		t.Fatal("no bit was flipped")
+	}
+	diff := 0
+	for i := range got {
+		for b := 0; b < 8; b++ {
+			if (got[i]^payload[i])&(1<<b) != 0 {
+				diff++
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bits flipped, want exactly 1", diff)
+	}
+}
+
+func TestAfterBytesThreshold(t *testing.T) {
+	d := New(1, Rule{AfterBytes: 10, Action: Crash})
+	f, _ := openOne(t, d)
+	if _, err := f.Write([]byte("12345")); err != nil {
+		t.Fatal(err)
+	}
+	// 5 + 5 >= 10: this write trips the threshold.
+	if _, err := f.Write([]byte("67890")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write past byte threshold = %v, want crash", err)
+	}
+}
+
+func TestCountersSpanFiles(t *testing.T) {
+	d := New(1, Rule{AfterWrites: 2, Action: Crash})
+	f1, _ := openOne(t, d)
+	f2, _ := openOne(t, d)
+	if _, err := f1.Write([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f2.Write([]byte("b")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("2nd write across files = %v, want crash", err)
+	}
+}

@@ -9,8 +9,9 @@ package vfs
 // lock — so reads and writes through handles on distinct files proceed
 // fully in parallel.
 type Handle struct {
-	fs *FS
-	n  *Inode
+	fs   *FS
+	n    *Inode
+	path string // path at open time, used to attribute journaled writes
 }
 
 // OpenHandle resolves path (following symlinks) and pins its inode.
@@ -19,7 +20,7 @@ func (fs *FS) OpenHandle(path string) (*Handle, error) {
 	if err != nil {
 		return nil, &PathError{"open", path, err}
 	}
-	return &Handle{fs: fs, n: n}, nil
+	return &Handle{fs: fs, n: n, path: Clean(path)}, nil
 }
 
 // Stat reports the pinned inode's metadata. The link count is read under
@@ -52,7 +53,10 @@ func (h *Handle) ReadAt(p []byte, off int64) (int, error) {
 }
 
 // WriteAt writes p at off, extending the file (zero-filled) as needed.
+// A journaled write is attributed to the handle's open-time path; see
+// the durability notes in DESIGN.md §9 for the rename-while-open caveat.
 func (h *Handle) WriteAt(p []byte, off int64) (int, error) {
+	defer h.fs.beginJournal()()
 	if h.n.ftype == TypeDir {
 		return 0, &PathError{"write", "(fd)", ErrIsDir}
 	}
@@ -69,11 +73,13 @@ func (h *Handle) WriteAt(p []byte, off int64) (int, error) {
 	}
 	copy(h.n.data[off:end], p)
 	h.n.mtime.Store(h.fs.tick())
+	h.fs.record(Mutation{Op: MutWrite, Path: h.path, Off: off, Data: p})
 	return len(p), nil
 }
 
 // Truncate sets the pinned file's length.
 func (h *Handle) Truncate(size int64) error {
+	defer h.fs.beginJournal()()
 	if h.n.ftype == TypeDir {
 		return &PathError{"truncate", "(fd)", ErrIsDir}
 	}
@@ -91,6 +97,7 @@ func (h *Handle) Truncate(size int64) error {
 		h.n.data = grown
 	}
 	h.n.mtime.Store(h.fs.tick())
+	h.fs.record(Mutation{Op: MutTruncate, Path: h.path, Size: size})
 	return nil
 }
 

@@ -1,0 +1,137 @@
+package vfs
+
+// Journal support: a Journal attached with SetJournal receives one
+// Mutation per successful state change — namespace edits, data writes,
+// truncates, metadata changes — in a single total order. The durable
+// store uses this to keep a write-ahead log whose replay reconstructs
+// the file system exactly; nothing in the VFS itself depends on a
+// journal being present.
+//
+// Ordering contract: while a journal is attached, every mutating
+// operation holds fs.journalMu for its whole critical section
+// (mutation plus record emission), so the sequence of RecordMutation
+// calls is exactly the sequence in which the mutations took effect.
+// This serializes journaled mutations against each other — the price
+// of appending to one log file — but leaves every read path untouched,
+// and costs nothing at all when no journal is attached (the common
+// case: kernels and servers running without a durable state dir).
+//
+// Lock order: journalMu is acquired before treeMu and before any inode
+// lock, and RecordMutation is invoked while those inner locks may still
+// be held, so implementations must not call back into the FS.
+
+// MutOp identifies one journaled mutation kind. The values are stable:
+// they are written into durable logs and must not be renumbered.
+type MutOp uint8
+
+const (
+	MutMkdir    MutOp = 1  // Path, Mode, Owner
+	MutCreate   MutOp = 2  // Path, Mode, Owner (truncates an existing file)
+	MutWrite    MutOp = 3  // Path, Off, Data
+	MutTruncate MutOp = 4  // Path, Size
+	MutUnlink   MutOp = 5  // Path
+	MutRmdir    MutOp = 6  // Path
+	MutSymlink  MutOp = 7  // Path (link), Path2 (target), Owner
+	MutLink     MutOp = 8  // Path (old), Path2 (new)
+	MutRename   MutOp = 9  // Path (old), Path2 (new)
+	MutChmod    MutOp = 10 // Path, Mode
+	MutChown    MutOp = 11 // Path, Owner, Group
+)
+
+func (op MutOp) String() string {
+	switch op {
+	case MutMkdir:
+		return "mkdir"
+	case MutCreate:
+		return "create"
+	case MutWrite:
+		return "write"
+	case MutTruncate:
+		return "truncate"
+	case MutUnlink:
+		return "unlink"
+	case MutRmdir:
+		return "rmdir"
+	case MutSymlink:
+		return "symlink"
+	case MutLink:
+		return "link"
+	case MutRename:
+		return "rename"
+	case MutChmod:
+		return "chmod"
+	case MutChown:
+		return "chown"
+	default:
+		return "unknown"
+	}
+}
+
+// Mutation describes one successful state change. Only the fields
+// relevant to Op are populated (see the MutOp constants). Data aliases
+// the caller's buffer and is only valid for the duration of the
+// RecordMutation call: a journal that retains it must copy.
+type Mutation struct {
+	Op    MutOp
+	Path  string
+	Path2 string
+	Mode  uint32
+	Owner string
+	Group string
+	Off   int64
+	Size  int64
+	Data  []byte
+}
+
+// Journal receives every successful mutation, in commit order.
+// RecordMutation is called with fs.journalMu held (and possibly inner
+// FS locks); it must not call back into the FS and should return
+// quickly. Errors are the journal's own affair: the VFS has already
+// committed the mutation in memory by the time the record is emitted,
+// so a journal that cannot persist it should surface that through its
+// own health reporting (sticky errors, metrics), not by failing the
+// file operation.
+type Journal interface {
+	RecordMutation(m Mutation)
+}
+
+// SetJournal attaches (or, with nil, detaches) the journal. It must be
+// called before the file system is shared between goroutines — in
+// practice, right after New or Load, before any server starts — so the
+// unsynchronized journal field read in beginJournal is race-free.
+func (fs *FS) SetJournal(j Journal) { fs.journal = j }
+
+// Quiesce runs fn while the journal serialization lock is held, so no
+// journaled mutation can begin or commit during fn. The durable store
+// uses this to cut snapshots at an exact log position: inside fn the
+// tree and every file are stable with respect to journaled writers
+// (readers proceed freely). fn must not perform journaled mutations.
+func (fs *FS) Quiesce(fn func() error) error {
+	fs.journalMu.Lock()
+	defer fs.journalMu.Unlock()
+	return fn()
+}
+
+// beginJournal enters the mutation critical section: a no-op without a
+// journal, otherwise it acquires the serialization lock. Mutators call
+// it first thing and defer the returned release.
+func (fs *FS) beginJournal() func() {
+	if fs.journal == nil {
+		return releaseNothing
+	}
+	fs.journalMu.Lock()
+	return fs.unlockJournal
+}
+
+func releaseNothing() {}
+
+func (fs *FS) unlockJournal() { fs.journalMu.Unlock() }
+
+// record emits a mutation to the journal, if one is attached. Callers
+// hold journalMu (via beginJournal) and emit only after the mutation
+// has succeeded.
+func (fs *FS) record(m Mutation) {
+	if fs.journal != nil {
+		fs.journal.RecordMutation(m)
+	}
+}

@@ -156,6 +156,13 @@ type FS struct {
 	treeMu sync.RWMutex
 	root   *Inode
 	clock  atomic.Int64 // monotonic event counter used for mtimes
+
+	// journalMu serializes journaled mutations so the journal sees them
+	// in commit order; it is untouched (and uncontended) when journal is
+	// nil. journal is set once via SetJournal before concurrent use.
+	// Lock order: journalMu before treeMu before any inode mu.
+	journalMu sync.Mutex
+	journal   Journal
 }
 
 // New returns an empty file system whose root directory is owned by
@@ -296,6 +303,7 @@ func (fs *FS) lookupDir(op, path string) (*Inode, error) {
 
 // Mkdir creates a directory. The parent must exist.
 func (fs *FS) Mkdir(path string, mode uint32, owner string) error {
+	defer fs.beginJournal()()
 	fs.treeMu.Lock()
 	defer fs.treeMu.Unlock()
 	n, parent, base, err := fs.resolve(path, true, 0)
@@ -318,6 +326,7 @@ func (fs *FS) Mkdir(path string, mode uint32, owner string) error {
 	parent.children[base] = child
 	parent.nlink++
 	parent.mtime.Store(fs.tick())
+	fs.record(Mutation{Op: MutMkdir, Path: path, Mode: mode, Owner: owner})
 	return nil
 }
 
@@ -337,6 +346,7 @@ func (fs *FS) MkdirAll(path string, mode uint32, owner string) error {
 
 // Create makes (or truncates) a regular file and returns its stat.
 func (fs *FS) Create(path string, mode uint32, owner string) (Stat, error) {
+	defer fs.beginJournal()()
 	fs.treeMu.Lock()
 	defer fs.treeMu.Unlock()
 	n, parent, base, err := fs.resolve(path, true, 0)
@@ -349,6 +359,7 @@ func (fs *FS) Create(path string, mode uint32, owner string) (Stat, error) {
 		n.data = n.data[:0]
 		n.mu.Unlock()
 		n.mtime.Store(fs.tick())
+		fs.record(Mutation{Op: MutCreate, Path: path, Mode: mode, Owner: owner})
 		return fs.statOf(n, n.nlink), nil
 	case errors.Is(err, ErrNotExist) && parent != nil:
 		child := &Inode{
@@ -361,6 +372,7 @@ func (fs *FS) Create(path string, mode uint32, owner string) (Stat, error) {
 		child.mtime.Store(fs.tick())
 		parent.children[base] = child
 		parent.mtime.Store(fs.tick())
+		fs.record(Mutation{Op: MutCreate, Path: path, Mode: mode, Owner: owner})
 		return fs.statOf(child, child.nlink), nil
 	default:
 		return Stat{}, &PathError{"create", path, err}
@@ -459,6 +471,7 @@ func (fs *FS) ReadAt(path string, p []byte, off int64) (int, error) {
 // WriteAt writes p into the file at off, extending it (zero-filled) as
 // needed, and reports the number of bytes written.
 func (fs *FS) WriteAt(path string, p []byte, off int64) (int, error) {
+	defer fs.beginJournal()()
 	n, err := fs.resolveShared(path, true)
 	if err != nil {
 		return 0, &PathError{"write", path, err}
@@ -479,11 +492,13 @@ func (fs *FS) WriteAt(path string, p []byte, off int64) (int, error) {
 	}
 	copy(n.data[off:end], p)
 	n.mtime.Store(fs.tick())
+	fs.record(Mutation{Op: MutWrite, Path: path, Off: off, Data: p})
 	return len(p), nil
 }
 
 // Truncate sets the file's length, extending with zeros if needed.
 func (fs *FS) Truncate(path string, size int64) error {
+	defer fs.beginJournal()()
 	n, err := fs.resolveShared(path, true)
 	if err != nil {
 		return &PathError{"truncate", path, err}
@@ -505,11 +520,13 @@ func (fs *FS) Truncate(path string, size int64) error {
 		n.data = grown
 	}
 	n.mtime.Store(fs.tick())
+	fs.record(Mutation{Op: MutTruncate, Path: path, Size: size})
 	return nil
 }
 
 // Unlink removes a file or symlink (not a directory).
 func (fs *FS) Unlink(path string) error {
+	defer fs.beginJournal()()
 	fs.treeMu.Lock()
 	defer fs.treeMu.Unlock()
 	n, parent, base, err := fs.resolve(path, false, 0)
@@ -522,11 +539,13 @@ func (fs *FS) Unlink(path string) error {
 	delete(parent.children, base)
 	n.nlink--
 	parent.mtime.Store(fs.tick())
+	fs.record(Mutation{Op: MutUnlink, Path: path})
 	return nil
 }
 
 // Rmdir removes an empty directory.
 func (fs *FS) Rmdir(path string) error {
+	defer fs.beginJournal()()
 	fs.treeMu.Lock()
 	defer fs.treeMu.Unlock()
 	n, parent, base, err := fs.resolve(path, false, 0)
@@ -545,11 +564,13 @@ func (fs *FS) Rmdir(path string) error {
 	delete(parent.children, base)
 	parent.nlink--
 	parent.mtime.Store(fs.tick())
+	fs.record(Mutation{Op: MutRmdir, Path: path})
 	return nil
 }
 
 // Symlink creates a symbolic link at linkPath pointing at target.
 func (fs *FS) Symlink(target, linkPath string, owner string) error {
+	defer fs.beginJournal()()
 	fs.treeMu.Lock()
 	defer fs.treeMu.Unlock()
 	_, parent, base, err := fs.resolve(linkPath, false, 0)
@@ -570,6 +591,7 @@ func (fs *FS) Symlink(target, linkPath string, owner string) error {
 	child.mtime.Store(fs.tick())
 	parent.children[base] = child
 	parent.mtime.Store(fs.tick())
+	fs.record(Mutation{Op: MutSymlink, Path: linkPath, Path2: target, Owner: owner})
 	return nil
 }
 
@@ -588,6 +610,7 @@ func (fs *FS) Readlink(path string) (string, error) {
 // Link creates a hard link newPath referring to the same inode as
 // oldPath. Directories cannot be hard-linked.
 func (fs *FS) Link(oldPath, newPath string) error {
+	defer fs.beginJournal()()
 	fs.treeMu.Lock()
 	defer fs.treeMu.Unlock()
 	src, _, _, err := fs.resolve(oldPath, true, 0)
@@ -607,12 +630,14 @@ func (fs *FS) Link(oldPath, newPath string) error {
 	parent.children[base] = src
 	src.nlink++
 	parent.mtime.Store(fs.tick())
+	fs.record(Mutation{Op: MutLink, Path: oldPath, Path2: newPath})
 	return nil
 }
 
 // Rename atomically moves oldPath to newPath, replacing a non-directory
 // target if one exists.
 func (fs *FS) Rename(oldPath, newPath string) error {
+	defer fs.beginJournal()()
 	fs.treeMu.Lock()
 	defer fs.treeMu.Unlock()
 	src, srcParent, srcBase, err := fs.resolve(oldPath, false, 0)
@@ -661,6 +686,7 @@ func (fs *FS) Rename(oldPath, newPath string) error {
 	}
 	srcParent.mtime.Store(fs.tick())
 	dstParent.mtime.Store(fs.tick())
+	fs.record(Mutation{Op: MutRename, Path: oldPath, Path2: newPath})
 	return nil
 }
 
@@ -683,6 +709,7 @@ func (fs *FS) isAncestor(maybeAncestor, n *Inode) bool {
 
 // Chmod sets the permission bits.
 func (fs *FS) Chmod(path string, mode uint32) error {
+	defer fs.beginJournal()()
 	n, err := fs.resolveShared(path, true)
 	if err != nil {
 		return &PathError{"chmod", path, err}
@@ -691,11 +718,13 @@ func (fs *FS) Chmod(path string, mode uint32) error {
 	n.mode = mode & 0o7777
 	n.mu.Unlock()
 	n.mtime.Store(fs.tick())
+	fs.record(Mutation{Op: MutChmod, Path: path, Mode: mode})
 	return nil
 }
 
 // Chown sets the owner (and optionally group) of path.
 func (fs *FS) Chown(path, owner, group string) error {
+	defer fs.beginJournal()()
 	n, err := fs.resolveShared(path, true)
 	if err != nil {
 		return &PathError{"chown", path, err}
@@ -707,6 +736,7 @@ func (fs *FS) Chown(path, owner, group string) error {
 	}
 	n.mu.Unlock()
 	n.mtime.Store(fs.tick())
+	fs.record(Mutation{Op: MutChown, Path: path, Owner: owner, Group: group})
 	return nil
 }
 
