@@ -4,6 +4,7 @@
 // Usage:
 //
 //	benchfig [-fig 1|4|5a|5b|all] [-scale f] [-metrics file]
+//	         [-cpuprofile file] [-memprofile file]
 //
 // -scale shrinks the Figure 5(b) workloads (1.0 = paper-sized runs;
 // overhead percentages are scale-invariant). -metrics dumps the
@@ -11,6 +12,8 @@
 // histograms and box counters) as Prometheus text exposition to the
 // given file, or to stdout with "-". Instrumentation charges no
 // virtual time, so the figures are bit-identical with or without it.
+// -cpuprofile and -memprofile write pprof profiles covering the whole
+// run (CI attaches them to bench-regression artifacts).
 package main
 
 import (
@@ -18,6 +21,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"identitybox/internal/harness"
 	"identitybox/internal/obs"
@@ -27,7 +32,34 @@ func main() {
 	fig := flag.String("fig", "all", "which figure to regenerate: 1, 4, 5a, 5b, burden, all")
 	scale := flag.Float64("scale", 0.05, "workload scale factor for figure 5(b)")
 	metrics := flag.String("metrics", "", `dump figure 5(a) telemetry to this file ("-" for stdout)`)
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("benchfig: -cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("benchfig: starting CPU profile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatalf("benchfig: -memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatalf("benchfig: writing heap profile: %v", err)
+			}
+		}()
+	}
 
 	switch *fig {
 	case "1":

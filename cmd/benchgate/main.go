@@ -1,0 +1,169 @@
+// Command benchgate gates benchmark regressions: it parses `go test
+// -bench` output from stdin and compares it against a committed JSON
+// baseline.
+//
+// Usage:
+//
+//	go test -bench ... -benchmem | benchgate -baseline BENCH_baseline.json
+//	go test -bench ... -benchmem | benchgate -baseline BENCH_baseline.json -update
+//
+// The gate is asymmetric by design: allocations per op are near-
+// deterministic across machines, so they are held to a tight tolerance
+// (-alloc-tolerance ratio plus a 2-alloc absolute slack), while ns/op
+// varies wildly between developer machines and CI runners, so it only
+// fails beyond a loose ratio (-ns-tolerance). A benchmark present in
+// the baseline but missing from the input fails the gate (renames must
+// update the baseline); new benchmarks are reported but pass. -update
+// rewrites the baseline from the input instead of comparing.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// benchLine matches one result line: name, iteration count, then
+// value/unit pairs ("123 ns/op", "45 B/op", "6 allocs/op", ...).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.*)$`)
+
+// procSuffix is the -GOMAXPROCS tail go test appends to benchmark
+// names; stripping it keeps baselines portable across core counts.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func parse(r *bufio.Scanner) (map[string]entry, []string, error) {
+	sums := map[string]entry{}
+	counts := map[string]int{}
+	var order []string
+	for r.Scan() {
+		m := benchLine.FindStringSubmatch(r.Text())
+		if m == nil {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(m[1], "")
+		fields := strings.Fields(m[2])
+		e := sums[name]
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				e.NsPerOp += v
+			case "allocs/op":
+				e.AllocsPerOp += v
+			}
+		}
+		if counts[name] == 0 {
+			order = append(order, name)
+		}
+		counts[name]++
+		sums[name] = e
+	}
+	if err := r.Err(); err != nil {
+		return nil, nil, err
+	}
+	for name, n := range counts { // average repeated runs (-count > 1)
+		e := sums[name]
+		e.NsPerOp /= float64(n)
+		e.AllocsPerOp /= float64(n)
+		sums[name] = e
+	}
+	return sums, order, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline file")
+	update := flag.Bool("update", false, "rewrite the baseline from stdin instead of comparing")
+	nsTol := flag.Float64("ns-tolerance", 10.0, "fail when ns/op exceeds baseline by this ratio")
+	allocTol := flag.Float64("alloc-tolerance", 1.25, "fail when allocs/op exceeds baseline by this ratio (plus 2 allocs absolute slack)")
+	flag.Parse()
+
+	got, order, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: reading stdin: %v\n", err)
+		os.Exit(2)
+	}
+	if len(got) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no benchmark results on stdin")
+		os.Exit(2)
+	}
+
+	if *update {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*baselinePath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchgate: wrote %d entries to %s\n", len(got), *baselinePath)
+		return
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v (run with -update to create it)\n", err)
+		os.Exit(2)
+	}
+	base := map[string]entry{}
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: parsing %s: %v\n", *baselinePath, err)
+		os.Exit(2)
+	}
+
+	var failures []string
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base[name]
+		g, ok := got[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: in baseline but not in results (renamed? update the baseline)", name))
+			continue
+		}
+		status := "ok"
+		if g.AllocsPerOp > b.AllocsPerOp**allocTol+2 {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op %.1f exceeds baseline %.1f (tolerance ×%.2f+2)",
+				name, g.AllocsPerOp, b.AllocsPerOp, *allocTol))
+			status = "FAIL allocs"
+		}
+		if b.NsPerOp > 0 && g.NsPerOp > b.NsPerOp**nsTol {
+			failures = append(failures, fmt.Sprintf("%s: ns/op %.0f exceeds baseline %.0f (tolerance ×%.1f)",
+				name, g.NsPerOp, b.NsPerOp, *nsTol))
+			status = "FAIL ns"
+		}
+		fmt.Printf("%-60s ns/op %10.0f (base %10.0f)  allocs/op %8.1f (base %8.1f)  %s\n",
+			name, g.NsPerOp, b.NsPerOp, g.AllocsPerOp, b.AllocsPerOp, status)
+	}
+	for _, name := range order {
+		if _, ok := base[name]; !ok {
+			fmt.Printf("%-60s new benchmark, not gated (add with -update)\n", name)
+		}
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchgate: %d regression(s):\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d benchmark(s) within tolerance\n", len(names))
+}

@@ -6,14 +6,19 @@
 //
 //	chirpd [-addr host:port] [-owner name] [-root-acl "pattern rights;..."]
 //	       [-catalog addr] [-name label] [-state dir] [-metrics host:port]
-//	       [-compact-every d] [-fsync n] [-req-timeout d] [-drain d] [-v]
+//	       [-compact-every d] [-fsync n] [-commit-window d] [-commit-batch n]
+//	       [-req-timeout d] [-drain d] [-v]
 //
 // -state names a durable state directory: every mutation is journaled
 // to a checksummed write-ahead log (fsynced per -fsync) and compacted
 // into snapshots every -compact-every and at shutdown, so a crash — a
 // kill -9 at any byte of the log — recovers to the exact pre-crash
 // state, tokened-request dedupe table included. Without -state the
-// volume is volatile.
+// volume is volatile. Log appends are group-committed: concurrent
+// mutations coalesce into one write and one fsync per group
+// (-commit-window bounds how long a group waits for company,
+// -commit-batch how many records it may hold), and a mutating request
+// is acknowledged on the wire only after its group is durable.
 //
 // -req-timeout bounds the wire I/O of each request once its command
 // line arrives, so a stalled client cannot pin a session goroutine.
@@ -64,6 +69,8 @@ func main() {
 	state := flag.String("state", "", "durable state directory (WAL + snapshots); empty: volatile volume")
 	compactEvery := flag.Duration("compact-every", time.Minute, "snapshot compaction interval with -state (0: compact only at shutdown)")
 	fsyncEvery := flag.Int("fsync", 1, "fsync the WAL every N records with -state (1: every record; 0: never, the OS decides)")
+	commitWindow := flag.Duration("commit-window", 0, "group-commit coalescing window with -state (0: the built-in default; negative: flush eagerly)")
+	commitBatch := flag.Int("commit-batch", 0, "max records per commit group with -state (0: the built-in default)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	reqTimeout := flag.Duration("req-timeout", 30*time.Second, "per-request wire deadline after the command line arrives (0: none)")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain budget before severing sessions")
@@ -84,10 +91,12 @@ func main() {
 			syncN = -1
 		}
 		store, err = durable.Open(*state, durable.Options{
-			Owner:      *owner,
-			SyncEveryN: syncN,
-			Metrics:    reg,
-			Logf:       log.Printf,
+			Owner:        *owner,
+			SyncEveryN:   syncN,
+			CommitWindow: *commitWindow,
+			CommitBatch:  *commitBatch,
+			Metrics:      reg,
+			Logf:         log.Printf,
 		})
 		if err != nil {
 			log.Fatalf("chirpd: recovering %s: %v", *state, err)
@@ -113,6 +122,9 @@ func main() {
 	if store != nil {
 		opts.DedupeJournal = store
 		opts.DedupeSeed = store.DedupeEntries()
+		// Mutating replies wait for their commit group: an acknowledged
+		// op is on disk before the client hears "ok".
+		opts.Durability = store
 	}
 	if *verbose {
 		opts.Logf = log.Printf

@@ -167,6 +167,7 @@ func QueryCatalog(addr string) ([]CatalogEntry, error) {
 	}
 	defer conn.Close()
 	c := newCodec(conn)
+	defer c.release()
 	var out []CatalogEntry
 	for {
 		line, err := c.readLine()

@@ -121,6 +121,8 @@ func (cl *Client) Close() error {
 	}
 	qerr := cl.c.writeLine("quit")
 	cerr := cl.conn.Close()
+	cl.c.release()
+	cl.c = nil
 	if qerr != nil {
 		return qerr
 	}
@@ -180,11 +182,16 @@ func (cl *Client) ensureConnLocked() error {
 }
 
 // breakConnLocked marks the transport dead after a mid-exchange
-// failure; the next call redials.
+// failure; the next call redials. The dead connection's codec buffers
+// go back to the pools — a redial gets fresh ones.
 func (cl *Client) breakConnLocked() {
 	cl.broken = true
 	if cl.conn != nil {
 		cl.conn.Close()
+	}
+	if cl.c != nil {
+		cl.c.release()
+		cl.c = nil
 	}
 }
 
@@ -211,6 +218,7 @@ type wireCall struct {
 	fields   []string
 	sendBody []byte    // counted payload written after the request line
 	recvBody bool      // reply carries a counted payload sized by reply[0]
+	recvInto []byte    // reply payload is read directly into this buffer instead
 	class    callClass // idempotency classification
 }
 
@@ -238,7 +246,7 @@ func (cl *Client) attemptLocked(c wireCall) ([]string, []byte, error) {
 		return nil, nil, err
 	}
 	var body []byte
-	if c.recvBody {
+	if c.recvBody || c.recvInto != nil {
 		if len(resp) < 1 {
 			return nil, nil, fmt.Errorf("chirp: reply missing payload length")
 		}
@@ -246,8 +254,25 @@ func (cl *Client) attemptLocked(c wireCall) ([]string, []byte, error) {
 		if err != nil || n < 0 {
 			return nil, nil, fmt.Errorf("chirp: bad payload length %q", resp[0])
 		}
-		if body, err = cl.c.readPayload(n); err != nil {
-			return nil, nil, err
+		if c.recvInto != nil {
+			// Zero-copy receive: the payload lands in the caller's
+			// buffer, no scratch and no per-call allocation.
+			if n > len(c.recvInto) {
+				return nil, nil, fmt.Errorf("chirp: reply payload %d exceeds %d-byte buffer", n, len(c.recvInto))
+			}
+			if err := cl.c.readPayloadInto(c.recvInto[:n]); err != nil {
+				return nil, nil, err
+			}
+		} else {
+			raw, err := cl.c.readPayload(n)
+			if err != nil {
+				return nil, nil, err
+			}
+			// The scratch alias must not escape cl.mu: callers consume
+			// body after the lock is dropped, racing the next
+			// exchange's reads. These paths (metrics, getacl) are rare,
+			// so the copy costs nothing that matters.
+			body = append([]byte(nil), raw...)
 		}
 	}
 	return resp, body, nil
@@ -486,24 +511,20 @@ func (cl *Client) CloseFD(fd int) error {
 	return err
 }
 
-// Pread reads up to len(buf) bytes at off. Descriptor-bound: a
-// transport fault surfaces ErrRetryNotSafe (GetFile restarts the whole
-// transfer instead).
+// Pread reads up to len(buf) bytes at off, straight into buf (no
+// intermediate allocation). Descriptor-bound: a transport fault
+// surfaces ErrRetryNotSafe (GetFile restarts the whole transfer
+// instead).
 func (cl *Client) Pread(fd int, buf []byte, off int64) (int, error) {
-	r, body, _, err := cl.do(wireCall{
+	r, _, _, err := cl.do(wireCall{
 		fields:   []string{"pread", strconv.Itoa(fd), strconv.Itoa(len(buf)), strconv.FormatInt(off, 10)},
-		recvBody: true,
+		recvInto: buf,
 		class:    classMutating,
 	})
 	if err != nil {
 		return 0, err
 	}
-	n, err := strconv.Atoi(r[0])
-	if err != nil {
-		return 0, err
-	}
-	copy(buf, body)
-	return n, nil
+	return strconv.Atoi(r[0])
 }
 
 // Pwrite writes buf at off. Descriptor-bound and non-idempotent: a
@@ -745,19 +766,40 @@ func (cl *Client) exec(token, cwd, path string, args []string) (ExecResult, erro
 	return ExecResult{Code: code, RuntimeSeconds: rt}, nil
 }
 
+// transferChunk is the whole-file transfer granularity: one pread or
+// pwrite exchange per 64 KiB.
+const transferChunk = 65536
+
+// pipelineWindow is how many chunk exchanges PutFile/GetFile keep in
+// flight at once (ClientOptions.PipelineDepth; 1 means the serial
+// one-exchange-at-a-time path).
+func (cl *Client) pipelineWindow() int {
+	if cl.opts.PipelineDepth > 1 {
+		return cl.opts.PipelineDepth
+	}
+	return 1
+}
+
 // PutFile stages a whole file onto the server in one call sequence.
 // The transfer is idempotent as a whole (O_TRUNC restarts it), so a
 // connection dying mid-transfer restarts the sequence on a fresh
-// session rather than surfacing the descriptor fault.
+// session rather than surfacing the descriptor fault. With
+// PipelineDepth > 1 the chunk writes are pipelined.
 func (cl *Client) PutFile(path string, data []byte, mode uint32) error {
 	return cl.composite(func() error {
 		fd, err := cl.Open(path, kernel.OWronly|kernel.OCreat|kernel.OTrunc, mode)
 		if err != nil {
 			return err
 		}
-		const chunk = 65536
-		for off := 0; off < len(data); off += chunk {
-			end := off + chunk
+		if cl.pipelineWindow() > 1 {
+			if err := cl.pwriteWindow(fd, data); err != nil {
+				cl.CloseFD(fd)
+				return err
+			}
+			return cl.CloseFD(fd)
+		}
+		for off := 0; off < len(data); off += transferChunk {
+			end := off + transferChunk
 			if end > len(data) {
 				end = len(data)
 			}
@@ -771,7 +813,8 @@ func (cl *Client) PutFile(path string, data []byte, mode uint32) error {
 }
 
 // GetFile fetches a whole remote file, restarting the read sequence if
-// the connection dies mid-transfer.
+// the connection dies mid-transfer. With PipelineDepth > 1 the chunk
+// reads are pipelined.
 func (cl *Client) GetFile(path string) ([]byte, error) {
 	var out []byte
 	err := cl.composite(func() error {
@@ -784,9 +827,22 @@ func (cl *Client) GetFile(path string) ([]byte, error) {
 		if err != nil {
 			return err
 		}
-		out = make([]byte, 0, st.Size)
-		buf := make([]byte, 65536)
-		var off int64
+		if cl.pipelineWindow() > 1 {
+			out, err = cl.preadWindow(fd, st.Size)
+			if err != nil {
+				return err
+			}
+			if int64(len(out)) < st.Size {
+				return nil // the file shrank mid-transfer; out is the new content
+			}
+		} else {
+			out = make([]byte, 0, st.Size)
+		}
+		// Serial tail: past the stat size the file may still have grown;
+		// read until EOF exactly like the pre-pipelining path (the final
+		// zero-byte read doubles as the completion check).
+		buf := make([]byte, transferChunk)
+		off := int64(len(out))
 		for {
 			n, err := cl.Pread(fd, buf, off)
 			if err != nil {
@@ -801,6 +857,213 @@ func (cl *Client) GetFile(path string) ([]byte, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+// --- pipelined transfer windows ----------------------------------------
+
+// windowDeadlineLocked refreshes the per-exchange deadline between
+// window fills, so a pipelined transfer gets the same "each exchange is
+// bounded" guarantee as the serial path rather than one deadline for
+// the whole file.
+func (cl *Client) windowDeadlineLocked() error {
+	if cl.opts.Timeout > 0 {
+		return cl.conn.SetDeadline(time.Now().Add(cl.opts.Timeout))
+	}
+	return nil
+}
+
+// windowFault breaks the connection after a mid-window transport
+// failure. Outstanding replies are unrecoverable (the stream lost
+// alignment), so the whole transfer surfaces ErrRetryNotSafe and the
+// composite layer restarts it from scratch, exactly like the serial
+// path. Callers hold cl.mu.
+func (cl *Client) windowFault(err error) error {
+	cl.breakConnLocked()
+	cl.brk.Fail()
+	cl.m.unsafe.Inc()
+	return fmt.Errorf("%w: %v", ErrRetryNotSafe, err)
+}
+
+// pwriteWindow streams data to fd in transferChunk pieces, keeping up
+// to PipelineDepth requests in flight: the request lines and payloads
+// for a window are queued into one buffered wire write, then replies
+// are collected in order (the protocol answers strictly in request
+// order). A remote error stops new sends but drains every outstanding
+// reply, keeping the wire aligned for whoever uses the session next.
+func (cl *Client) pwriteWindow(fd int, data []byte) error {
+	depth := cl.pipelineWindow()
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.closed || cl.closing.Load() {
+		return ErrClientClosed
+	}
+	if err := cl.ensureConnLocked(); err != nil {
+		return err
+	}
+	if cl.opts.Timeout > 0 {
+		defer cl.conn.SetDeadline(time.Time{})
+	}
+	fdStr := strconv.Itoa(fd)
+	type span struct{ off, end int }
+	var (
+		pending  []span
+		next     int
+		firstErr error // first remote error; sends stop, drain continues
+	)
+	for next < len(data) || len(pending) > 0 {
+		if err := cl.windowDeadlineLocked(); err != nil {
+			return cl.windowFault(err)
+		}
+		queued := false
+		for firstErr == nil && next < len(data) && len(pending) < depth {
+			end := next + transferChunk
+			if end > len(data) {
+				end = len(data)
+			}
+			if err := cl.c.queueLine("pwrite", fdStr, strconv.Itoa(next), strconv.Itoa(end-next)); err != nil {
+				return cl.windowFault(err)
+			}
+			if err := cl.c.queuePayload(data[next:end]); err != nil {
+				return cl.windowFault(err)
+			}
+			cl.sent.Add(1)
+			pending = append(pending, span{next, end})
+			next = end
+			queued = true
+		}
+		if queued {
+			if err := cl.c.flush(); err != nil {
+				return cl.windowFault(err)
+			}
+		}
+		if len(pending) == 0 {
+			break
+		}
+		sp := pending[0]
+		pending = pending[1:]
+		resp, err := cl.response()
+		if err != nil {
+			var re *RemoteError
+			if errors.As(err, &re) {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			return cl.windowFault(err)
+		}
+		if firstErr != nil || len(resp) < 1 {
+			continue
+		}
+		if n, err := strconv.Atoi(resp[0]); err != nil || n != sp.end-sp.off {
+			firstErr = fmt.Errorf("chirp: short pwrite: %s of %d bytes", resp[0], sp.end-sp.off)
+		}
+	}
+	cl.brk.Success()
+	return firstErr
+}
+
+// preadWindow fetches size bytes from the start of fd with up to
+// PipelineDepth pread exchanges in flight, each reply's payload read
+// directly into its slot of the result (no intermediate copies). A
+// short reply means the file shrank after the stat: the result is
+// truncated there and the remaining outstanding payloads are drained
+// into scratch to keep the wire aligned.
+func (cl *Client) preadWindow(fd int, size int64) ([]byte, error) {
+	depth := cl.pipelineWindow()
+	out := make([]byte, size)
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.closed || cl.closing.Load() {
+		return nil, ErrClientClosed
+	}
+	if err := cl.ensureConnLocked(); err != nil {
+		return nil, err
+	}
+	if cl.opts.Timeout > 0 {
+		defer cl.conn.SetDeadline(time.Time{})
+	}
+	fdStr := strconv.Itoa(fd)
+	type span struct {
+		off int64
+		n   int
+	}
+	var (
+		pending  []span
+		next     int64
+		firstErr error
+		short    bool
+		shortEnd int64
+	)
+	for next < size || len(pending) > 0 {
+		if err := cl.windowDeadlineLocked(); err != nil {
+			return nil, cl.windowFault(err)
+		}
+		queued := false
+		for firstErr == nil && !short && next < size && len(pending) < depth {
+			n := transferChunk
+			if int64(n) > size-next {
+				n = int(size - next)
+			}
+			if err := cl.c.queueLine("pread", fdStr, strconv.Itoa(n), strconv.FormatInt(next, 10)); err != nil {
+				return nil, cl.windowFault(err)
+			}
+			cl.sent.Add(1)
+			pending = append(pending, span{next, n})
+			next += int64(n)
+			queued = true
+		}
+		if queued {
+			if err := cl.c.flush(); err != nil {
+				return nil, cl.windowFault(err)
+			}
+		}
+		if len(pending) == 0 {
+			break
+		}
+		sp := pending[0]
+		pending = pending[1:]
+		resp, err := cl.response()
+		if err != nil {
+			var re *RemoteError
+			if errors.As(err, &re) {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			return nil, cl.windowFault(err)
+		}
+		if len(resp) < 1 {
+			return nil, cl.windowFault(fmt.Errorf("chirp: pread reply missing payload length"))
+		}
+		rn, err := strconv.Atoi(resp[0])
+		if err != nil || rn < 0 || rn > sp.n {
+			return nil, cl.windowFault(fmt.Errorf("chirp: bad pread reply length %q", resp[0]))
+		}
+		// Every announced payload must be consumed to keep the wire
+		// aligned, even once a prior reply already decided the outcome.
+		if firstErr != nil || (short && sp.off >= shortEnd) {
+			if _, err := cl.c.readPayload(rn); err != nil {
+				return nil, cl.windowFault(err)
+			}
+			continue
+		}
+		if err := cl.c.readPayloadInto(out[sp.off : sp.off+int64(rn)]); err != nil {
+			return nil, cl.windowFault(err)
+		}
+		if rn < sp.n {
+			short, shortEnd = true, sp.off+int64(rn)
+		}
+	}
+	cl.brk.Success()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if short {
+		return out[:shortEnd], nil
 	}
 	return out, nil
 }

@@ -96,21 +96,64 @@ func remoteError(name, msg string) *RemoteError {
 }
 
 // codec frames protocol lines and counted payloads over a transport.
+// Its bufio halves and payload scratch come from process-wide pools;
+// call release when the transport is done with to recycle them. A codec
+// is single-goroutine (the session loop, or the client under its wire
+// mutex), so the scratch needs no locking.
 type codec struct {
-	r *bufio.Reader
-	w *bufio.Writer
+	r       *bufio.Reader
+	w       *bufio.Writer
+	scratch *payloadScratch
 }
 
 func newCodec(rw io.ReadWriter) *codec {
-	return &codec{r: bufio.NewReader(rw), w: bufio.NewWriter(rw)}
+	br := brPool.Get().(*bufio.Reader)
+	br.Reset(rw)
+	bw := bwPool.Get().(*bufio.Writer)
+	bw.Reset(rw)
+	return &codec{r: br, w: bw, scratch: scratchPool.Get().(*payloadScratch)}
+}
+
+// release returns the codec's pooled buffers. The codec must not be
+// used afterwards; releasing twice is a no-op.
+func (c *codec) release() {
+	if c.r != nil {
+		c.r.Reset(nil)
+		brPool.Put(c.r)
+		c.r = nil
+	}
+	if c.w != nil {
+		c.w.Reset(nil)
+		bwPool.Put(c.w)
+		c.w = nil
+	}
+	if c.scratch != nil {
+		scratchPool.Put(c.scratch)
+		c.scratch = nil
+	}
+}
+
+// queueLine buffers a protocol line without flushing, so a pipelining
+// caller can push several exchanges into one wire write.
+func (c *codec) queueLine(fields ...string) error {
+	for i, f := range fields {
+		if strings.ContainsAny(f, "\n\r") {
+			return fmt.Errorf("chirp: embedded newline in %q", f)
+		}
+		if i > 0 {
+			if err := c.w.WriteByte(' '); err != nil {
+				return err
+			}
+		}
+		if _, err := c.w.WriteString(f); err != nil {
+			return err
+		}
+	}
+	return c.w.WriteByte('\n')
 }
 
 func (c *codec) writeLine(fields ...string) error {
-	line := strings.Join(fields, " ")
-	if strings.ContainsAny(line, "\n\r") {
-		return fmt.Errorf("chirp: embedded newline in %q", line)
-	}
-	if _, err := c.w.WriteString(line + "\n"); err != nil {
+	if err := c.queueLine(fields...); err != nil {
 		return err
 	}
 	return c.w.Flush()
@@ -124,21 +167,59 @@ func (c *codec) readLine() (string, error) {
 	return strings.TrimRight(s, "\r\n"), nil
 }
 
+// queuePayload buffers a counted binary payload without flushing.
+func (c *codec) queuePayload(data []byte) error {
+	_, err := c.w.Write(data)
+	return err
+}
+
 // writePayload sends a counted binary payload after a line.
 func (c *codec) writePayload(data []byte) error {
-	if _, err := c.w.Write(data); err != nil {
+	if err := c.queuePayload(data); err != nil {
 		return err
 	}
 	return c.w.Flush()
 }
 
-// readPayload receives exactly n payload bytes.
+// flush pushes everything queued to the transport.
+func (c *codec) flush() error { return c.w.Flush() }
+
+// scratchBuf returns an n-byte slice of the codec's reusable payload
+// scratch, growing it if needed. The slice is only valid until the next
+// scratchBuf/readPayload call on this codec.
+func (c *codec) scratchBuf(n int) []byte {
+	s := c.scratch
+	if cap(s.buf) >= n {
+		poolHits.Add(1)
+	} else {
+		poolMisses.Add(1)
+		s.buf = make([]byte, n)
+	}
+	return s.buf[:n]
+}
+
+// readPayload receives exactly n payload bytes into the codec's scratch
+// buffer. A length outside [0, MaxPayload] is a protocol error: the
+// peer is malformed or hostile, and nothing is read or allocated. The
+// returned slice is only valid until the next readPayload/scratchBuf
+// call on this codec — callers that retain the bytes past the current
+// exchange must copy them.
 func (c *codec) readPayload(n int) ([]byte, error) {
-	buf := make([]byte, n)
+	if n < 0 || n > MaxPayload {
+		return nil, fmt.Errorf("chirp: protocol error: payload length %d outside [0, %d]", n, MaxPayload)
+	}
+	buf := c.scratchBuf(n)
 	if _, err := io.ReadFull(c.r, buf); err != nil {
 		return nil, err
 	}
 	return buf, nil
+}
+
+// readPayloadInto receives exactly len(dst) payload bytes directly into
+// the caller's buffer, bypassing the scratch.
+func (c *codec) readPayloadInto(dst []byte) error {
+	_, err := io.ReadFull(c.r, dst)
+	return err
 }
 
 // q quotes a path for the wire.

@@ -49,6 +49,9 @@ const (
 	MetricDedupeEntries     = "chirp_dedupe_entries"
 	MetricDedupeJournalErrs = "chirp_dedupe_journal_errors_total"
 	MetricDraining          = "chirp_draining"
+	MetricBarrierErrs       = "chirp_commit_barrier_errors_total"
+	MetricPayloadPoolHits   = "chirp_payload_pool_hits"
+	MetricPayloadPoolMisses = "chirp_payload_pool_misses"
 )
 
 // ClientOptions tune the client's fault-tolerance layer. The zero value
@@ -93,6 +96,14 @@ type ClientOptions struct {
 	// Sleep replaces time.Sleep for backoff waits, letting tests record
 	// the schedule instead of waiting it out.
 	Sleep func(time.Duration)
+	// PipelineDepth, when > 1, lets GetFile and PutFile keep that many
+	// chunk requests in flight on the session at once instead of waiting
+	// out a round trip per chunk. Replies are matched in order (the
+	// protocol answers strictly in request order); a transport failure
+	// mid-window breaks the connection and surfaces ErrRetryNotSafe so
+	// the whole transfer restarts, exactly like the serial path. 0 or 1
+	// means one request at a time.
+	PipelineDepth int
 }
 
 // withDefaults fills zero fields in place.

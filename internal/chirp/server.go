@@ -73,6 +73,14 @@ type ServerOptions struct {
 	// entries a durable store recovered. Keys are principal+token as
 	// produced by the journal; values are the stored reply fields.
 	DedupeSeed map[string][]string
+	// Durability, when set, is barriered before the reply to any
+	// mutating command reaches the wire: with a group-commit store this
+	// parks the session until the op's commit group is durable, so an
+	// acknowledged mutation can never be lost to a crash. Barrier
+	// failures degrade durability, never availability — counted,
+	// logged, and the reply still sent (matching the store's own
+	// degradation contract). The durable store implements this.
+	Durability interface{ Barrier() error }
 }
 
 // DedupeJournal persists tokened replies across restarts. The durable
@@ -130,6 +138,9 @@ type srvMetrics struct {
 	dedupeEntries *obs.Gauge
 	dedupeJErrs   *obs.Counter
 	draining      *obs.Gauge
+	barrierErrs   *obs.Counter
+	poolHits      *obs.Gauge
+	poolMisses    *obs.Gauge
 }
 
 func newSrvMetrics(reg *obs.Registry) *srvMetrics {
@@ -143,6 +154,9 @@ func newSrvMetrics(reg *obs.Registry) *srvMetrics {
 	reg.Help(MetricDedupeEntries, "Replies currently held in the dedupe table.")
 	reg.Help(MetricDedupeJournalErrs, "Tokened replies that failed to persist to the dedupe journal.")
 	reg.Help(MetricDraining, "1 while the server is draining for shutdown.")
+	reg.Help(MetricBarrierErrs, "Commit barriers that failed before a mutating reply (durability degraded).")
+	reg.Help(MetricPayloadPoolHits, "Payloads served from pooled codec scratch (process-wide).")
+	reg.Help(MetricPayloadPoolMisses, "Payloads that had to grow codec scratch (process-wide).")
 	return &srvMetrics{
 		reg:           reg,
 		errors:        reg.Counter(MetricErrors),
@@ -154,6 +168,9 @@ func newSrvMetrics(reg *obs.Registry) *srvMetrics {
 		dedupeEntries: reg.Gauge(MetricDedupeEntries),
 		dedupeJErrs:   reg.Counter(MetricDedupeJournalErrs),
 		draining:      reg.Gauge(MetricDraining),
+		barrierErrs:   reg.Counter(MetricBarrierErrs),
+		poolHits:      reg.Gauge(MetricPayloadPoolHits),
+		poolMisses:    reg.Gauge(MetricPayloadPoolMisses),
 	}
 }
 
@@ -429,6 +446,9 @@ type session struct {
 	// pendingDedupe, when non-empty, is the dedupe key the next reply is
 	// stored under (set while a tokened request is being dispatched).
 	pendingDedupe string
+	// needBarrier marks the in-flight request as mutating: its reply
+	// must wait for the durability barrier before hitting the wire.
+	needBarrier bool
 }
 
 type sessionFD struct {
@@ -472,6 +492,7 @@ func (s *Server) serveConn(conn net.Conn, st *connState) {
 	}
 	sess.log.printf("session for %s from %s", ident, remoteHost)
 	sess.loop()
+	sess.c.release()
 }
 
 // isDraining reports whether the server has begun a graceful shutdown.
@@ -532,7 +553,28 @@ var errQuit = errors.New("chirp: session quit")
 // request is in flight. The journal write happens before the reply
 // reaches the wire: once the client can see the answer, it is durable,
 // so a retry after a server crash replays instead of re-executing.
+//
+// Mutating commands (needBarrier) additionally wait for the durability
+// barrier before the line hits the wire: the mutation is committed in
+// memory, but the acknowledgement must not outrun the log. The dedupe
+// journal append barriers on its own entry, which subsumes the explicit
+// barrier when both are configured.
 func (sess *session) reply(fields []string) error {
+	if sess.needBarrier {
+		sess.needBarrier = false
+		// A tokened reply about to be journaled waits on its own dedupe
+		// entry, appended after this request's mutations — that wait
+		// covers them, so the explicit barrier would only double it.
+		journaled := sess.pendingDedupe != "" && sess.s.opts.DedupeJournal != nil
+		if d := sess.s.opts.Durability; d != nil && !journaled {
+			if err := d.Barrier(); err != nil {
+				sess.s.metrics.barrierErrs.Inc()
+				sess.log.printf("commit barrier failed (durability degraded): %v", err)
+			}
+		}
+	}
+	sess.s.metrics.poolHits.Set(poolHits.Load())
+	sess.s.metrics.poolMisses.Set(poolMisses.Load())
 	if sess.pendingDedupe != "" {
 		key := sess.pendingDedupe
 		sess.pendingDedupe = ""
@@ -577,6 +619,24 @@ func (s *Server) SessionCount() int64 { return s.sessions.Load() }
 // started.
 func (s *Server) ErrorCount() int64 { return s.errors.Load() }
 
+// mutatingCmds lists the commands that can change durable state; their
+// replies wait on the durability barrier (see session.reply). open is
+// included because OCreat/OTrunc create or truncate, exec because
+// staged programs write output files.
+var mutatingCmds = map[string]bool{
+	"open":     true,
+	"pwrite":   true,
+	"mkdir":    true,
+	"rmdir":    true,
+	"unlink":   true,
+	"rename":   true,
+	"link":     true,
+	"symlink":  true,
+	"truncate": true,
+	"setacl":   true,
+	"exec":     true,
+}
+
 // tokenable lists the commands a request token may wrap: non-idempotent
 // mutations with line-only replies. Session-state commands (open,
 // close) are excluded — a replayed descriptor number would point into a
@@ -612,7 +672,7 @@ func (sess *session) consumeRequestPayload(cmd string, args []string) error {
 		return nil
 	}
 	n, err := strconv.Atoi(args[idx])
-	if err != nil || n < 0 || n > 1<<22 {
+	if err != nil || n < 0 || n > MaxPayload {
 		return nil
 	}
 	_, err = sess.c.readPayload(n)
@@ -669,6 +729,9 @@ func (sess *session) dispatch(fields []string) error {
 	sess.reqs++
 	s.metrics.reg.Counter(obs.With(MetricRequests, "cmd", cmd)).Inc()
 	sess.log.printf("req=%d %s: %s %v", sess.reqs, sess.ident, cmd, args)
+	if s.opts.Durability != nil && mutatingCmds[cmd] {
+		sess.needBarrier = true
+	}
 	switch cmd {
 	case "whoami":
 		return sess.ok(q(sess.ident.String()))
@@ -732,10 +795,12 @@ func (sess *session) dispatch(fields []string) error {
 		if !ok {
 			return sess.fail(kernel.ErrBadFD, "pread")
 		}
-		if n < 0 || n > 1<<22 {
+		if n < 0 || n > MaxPayload {
 			return sess.fail(vfs.ErrInvalid, "pread size")
 		}
-		buf := make([]byte, n)
+		// Pooled scratch: the payload is written to the wire before the
+		// next readPayload/scratchBuf on this session's codec.
+		buf := sess.c.scratchBuf(n)
 		rn, err := d.h.ReadAt(buf, off)
 		if err != nil {
 			return sess.fail(err, "pread")
@@ -752,7 +817,7 @@ func (sess *session) dispatch(fields []string) error {
 		fd, _ := strconv.Atoi(args[0])
 		off, _ := strconv.ParseInt(args[1], 10, 64)
 		n, _ := strconv.Atoi(args[2])
-		if n < 0 || n > 1<<22 {
+		if n < 0 || n > MaxPayload {
 			return sess.fail(vfs.ErrInvalid, "pwrite size")
 		}
 		data, err := sess.c.readPayload(n)

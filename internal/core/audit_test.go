@@ -147,6 +147,30 @@ func TestJSONLSinkUnbufferedFlushIsCheap(t *testing.T) {
 	}
 }
 
+// TestJSONLSinkAutoFlushBatches: with SetAutoFlush(n) the sink flushes
+// (and fsyncs) once per n records — grouped durability instead of a
+// sync per record or none until shutdown.
+func TestJSONLSinkAutoFlushBatches(t *testing.T) {
+	w := &syncRecorder{}
+	sink := NewFileJSONLSink(w, true)
+	sink.SetAutoFlush(4)
+	for i := 0; i < 10; i++ {
+		sink.Record(auditRec("op"))
+	}
+	if got := strings.Count(w.contents(), "\n"); got != 8 {
+		t.Fatalf("auto-flush pushed %d lines, want 8 (two groups of 4)", got)
+	}
+	if w.syncs != 2 {
+		t.Fatalf("fsyncs = %d, want one per full group", w.syncs)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(w.contents(), "\n"); got != 10 {
+		t.Fatalf("explicit Flush left %d lines, want all 10", got)
+	}
+}
+
 // TestJSONLSinkConcurrentRecordAndFlush: concurrent recorders and a
 // flusher race cleanly (run with -race).
 func TestJSONLSinkConcurrentRecordAndFlush(t *testing.T) {

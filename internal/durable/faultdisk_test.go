@@ -77,6 +77,7 @@ func TestTornWriteRecoversToPrefix(t *testing.T) {
 		if err := op(s.FS()); err != nil {
 			t.Fatal(err) // in-memory mutations keep succeeding
 		}
+		s.Barrier() // one record per group: write/sync counts match op counts
 		applied++
 		if d.Crashed() {
 			break
@@ -92,7 +93,8 @@ func TestTornWriteRecoversToPrefix(t *testing.T) {
 	s2 := openStore(t, dir, Options{})
 	defer s2.Close()
 	k := assertIsPrefix(t, dumpFS(t, s2.FS()), dumps)
-	// With fsync-per-record, the torn record is the only possible loss.
+	// With one-record groups fsynced per op, the torn record is the
+	// only possible loss.
 	if k != applied-1 {
 		t.Fatalf("recovered to prefix %d, want %d (only the torn record lost)", k, applied-1)
 	}
@@ -116,6 +118,7 @@ func TestDroppedFsyncLosesOnlyUnsyncedTail(t *testing.T) {
 		if err := op(s.FS()); err != nil {
 			t.Fatal(err)
 		}
+		s.Barrier() // one record per group so sync #dropAt is op #dropAt's
 	}
 	d.Crash() // power loss before anything else flushes the dirty record
 
@@ -140,6 +143,7 @@ func TestBitFlipDetectedByChecksum(t *testing.T) {
 		if err := op(s.FS()); err != nil {
 			t.Fatal(err)
 		}
+		s.Barrier() // one record per group so write #flipAt is op #flipAt's
 	}
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
@@ -170,6 +174,7 @@ func TestShortWriteThenRecovery(t *testing.T) {
 		if err := op(s.FS()); err != nil {
 			t.Fatal(err)
 		}
+		s.Barrier() // one record per group so write #shortAt is op #shortAt's
 	}
 	if s.Err() == nil {
 		t.Fatal("short write did not degrade the WAL")

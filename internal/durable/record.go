@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"sync"
 
 	"identitybox/internal/vfs"
 )
@@ -79,10 +80,20 @@ func appendBytes(b []byte, p []byte) []byte {
 	return append(b, p...)
 }
 
+// bodyPool recycles encode scratch across EncodeRecord calls so the
+// framer does not allocate a fresh body buffer per record. Buffers that
+// grew past maxPooledBody are dropped rather than pinned in the pool.
+var bodyPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 4096); return &b },
+}
+
+const maxPooledBody = 1 << 20
+
 // EncodeRecord appends the framed wire form of rec to dst and returns
 // the extended slice.
 func EncodeRecord(dst []byte, rec Record) []byte {
-	body := make([]byte, 0, 64+len(rec.Mut.Data))
+	bp := bodyPool.Get().(*[]byte)
+	body := (*bp)[:0]
 	body = append(body, recVersion, rec.Type)
 	body = binary.AppendUvarint(body, rec.LSN)
 	switch {
@@ -107,7 +118,12 @@ func EncodeRecord(dst []byte, rec Record) []byte {
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(body))
 	dst = append(dst, hdr[:]...)
-	return append(dst, body...)
+	dst = append(dst, body...)
+	if cap(body) <= maxPooledBody {
+		*bp = body
+		bodyPool.Put(bp)
+	}
+	return dst
 }
 
 // bodyReader walks a record body with bounds checking; any overrun

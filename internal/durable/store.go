@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"identitybox/internal/obs"
 	"identitybox/internal/vfs"
@@ -33,6 +34,16 @@ const (
 	MetricCompactions    = "durable_snapshot_compactions_total"
 	MetricSnapshotBytes  = "durable_snapshot_bytes"
 	MetricRecoveries     = "durable_recoveries_total"
+	// Group-commit pipeline metrics.
+	MetricCommitGroups    = "durable_commit_groups_total"
+	MetricCommitGroupRecs = "durable_commit_group_records"
+	MetricCommitLatencyUs = "durable_commit_latency_us"
+)
+
+// Histogram bucket bounds for the group-commit metrics.
+var (
+	groupRecsBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+	commitLatBuckets = []float64{50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000}
 )
 
 // Options configure a store.
@@ -41,8 +52,22 @@ type Options struct {
 	// state directory holds no snapshot and no log).
 	Owner string
 	// SyncEveryN is the fsync cadence: 1 (the default) syncs after every
-	// record, k>1 every k records, and a negative value never syncs.
+	// record — every commit group, with group commit on — k>1 every k
+	// records, and a negative value never syncs.
 	SyncEveryN int
+	// CommitWindow is the group-commit batch window: under load the
+	// committer waits this long for stragglers before flushing, so one
+	// fsync covers the whole group. 0 uses DefaultCommitWindow; a
+	// negative value disables the wait (groups are whatever accumulated
+	// during the previous flush).
+	CommitWindow time.Duration
+	// CommitBatch flushes a group as soon as it reaches this many
+	// records regardless of the window. 0 uses DefaultCommitBatch.
+	CommitBatch int
+	// DisableGroupCommit falls back to the synchronous WAL: every
+	// mutation writes and fsyncs inline under the journal lock. The
+	// pre-pipeline behavior, kept for baseline benchmarks and tests.
+	DisableGroupCommit bool
 	// Metrics, when set, receives the store's counters and gauges.
 	Metrics *obs.Registry
 	// OpenAppend opens the WAL file for appending; tests inject
@@ -81,6 +106,9 @@ type storeMetrics struct {
 	compactions *obs.Counter
 	snapBytes   *obs.Gauge
 	recoveries  *obs.Counter
+	groups      *obs.Counter
+	groupRecs   *obs.Histogram
+	commitLat   *obs.Histogram
 }
 
 func newStoreMetrics(reg *obs.Registry) *storeMetrics {
@@ -95,6 +123,9 @@ func newStoreMetrics(reg *obs.Registry) *storeMetrics {
 	reg.Help(MetricCompactions, "Snapshot compactions completed.")
 	reg.Help(MetricSnapshotBytes, "Size of the last published snapshot in bytes.")
 	reg.Help(MetricRecoveries, "Recoveries performed (1 per Open).")
+	reg.Help(MetricCommitGroups, "Commit groups flushed by the group-commit pipeline.")
+	reg.Help(MetricCommitGroupRecs, "Records coalesced per commit group.")
+	reg.Help(MetricCommitLatencyUs, "Group commit latency (write start to durable) in microseconds.")
 	return &storeMetrics{
 		records:     reg.Counter(MetricWALRecords),
 		bytes:       reg.Counter(MetricWALBytes),
@@ -107,6 +138,9 @@ func newStoreMetrics(reg *obs.Registry) *storeMetrics {
 		compactions: reg.Counter(MetricCompactions),
 		snapBytes:   reg.Gauge(MetricSnapshotBytes),
 		recoveries:  reg.Counter(MetricRecoveries),
+		groups:      reg.Counter(MetricCommitGroups),
+		groupRecs:   reg.Histogram(MetricCommitGroupRecs, groupRecsBuckets),
+		commitLat:   reg.Histogram(MetricCommitLatencyUs, commitLatBuckets),
 	}
 }
 
@@ -217,12 +251,34 @@ func Open(dir string, opts Options) (*Store, error) {
 		syncN = 0
 	}
 	s.wal = NewWAL(f, nextLSN, size, syncN)
-	s.wal.onAppend = func(n int) {
-		s.metrics.records.Inc()
+	s.wal.onAppend = func(recs, n int) {
+		s.metrics.records.Add(int64(recs))
 		s.metrics.bytes.Add(int64(n))
 		s.metrics.walSize.Add(int64(n))
 	}
 	s.wal.onSync = func() { s.metrics.fsyncs.Inc() }
+	if !opts.DisableGroupCommit {
+		window := opts.CommitWindow
+		switch {
+		case window == 0:
+			window = DefaultCommitWindow
+		case window < 0:
+			window = 0
+		}
+		s.wal.StartGroupCommit(GroupConfig{
+			Window:   window,
+			MaxBatch: opts.CommitBatch,
+			OnGroup: func(records, _ int, latency time.Duration) {
+				s.metrics.groups.Inc()
+				s.metrics.groupRecs.Observe(float64(records))
+				s.metrics.commitLat.Observe(float64(latency.Microseconds()))
+			},
+			OnError: func(err error) {
+				s.metrics.appendErrs.Inc()
+				s.logf("durable: wal append failed, durability degraded until compaction: %v", err)
+			},
+		})
+	}
 	s.metrics.walSize.Set(size)
 	s.metrics.recoveries.Inc()
 	s.recovery.DedupeEntries = len(s.dedupe)
@@ -347,18 +403,31 @@ func (s *Store) FS() *vfs.FS { return s.fs }
 func (s *Store) Recovery() RecoveryInfo { return s.recovery }
 
 // Err reports the WAL's sticky failure, if appends have started
-// failing; nil means the log is healthy.
+// failing; nil means the log is healthy. It first drains the commit
+// pipeline so the verdict covers every mutation already issued.
 func (s *Store) Err() error {
+	s.wal.Barrier() // surface in-flight failures; error also lands in Err
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.wal.Err()
 }
 
+// Barrier blocks until every mutation recorded before the call is
+// durable per the sync policy, or reports the degradation error. This
+// is the acked ⇒ durable contract: acknowledge an operation to a
+// client only after Barrier returns nil.
+func (s *Store) Barrier() error {
+	return s.wal.Barrier()
+}
+
 // RecordMutation implements vfs.Journal: it appends the mutation to the
 // WAL. Called with the FS journal lock held, so records land in commit
-// order. Append failures are absorbed (the in-memory state is already
-// committed): they flip the sticky error, bump the degradation metric,
-// and surface through Err and the log.
+// order. With group commit on, this only encodes the record into the
+// commit queue — no disk I/O happens under the journal lock; the
+// committer writes and fsyncs the group, and anyone needing durability
+// parks on Barrier. Append failures are absorbed (the in-memory state
+// is already committed): they flip the sticky error, bump the
+// degradation metric, and surface through Err/Barrier and the log.
 func (s *Store) RecordMutation(m vfs.Mutation) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -373,16 +442,21 @@ func (s *Store) RecordMutation(m vfs.Mutation) {
 
 // AppendDedupe persists one tokened reply so a retry after a restart is
 // answered from the table instead of re-executed. Key is the server's
-// opaque principal+token key.
+// opaque principal+token key. It returns only once the entry is durable
+// per the sync policy: the caller sends the reply on the wire after
+// this, so a crash can never have acknowledged what the log lost. The
+// durability wait happens outside s.mu — holding it would serialize
+// every concurrent mutator behind this entry's group fsync.
 func (s *Store) AppendDedupe(key string, reply []string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.dedupe[key] = append([]string(nil), reply...)
-	_, err := s.wal.Append(Record{Type: DedupeType, DedupeKey: key, DedupeReply: reply})
+	lsn, err := s.wal.Append(Record{Type: DedupeType, DedupeKey: key, DedupeReply: reply})
+	s.mu.Unlock()
 	if err != nil {
 		s.metrics.appendErrs.Inc()
+		return err
 	}
-	return err
+	return s.wal.WaitDurable(lsn)
 }
 
 // DedupeEntries returns a copy of the recovered (and since appended)
@@ -423,6 +497,13 @@ func (s *Store) Compact() error {
 	return s.fs.Quiesce(func() error {
 		s.mu.Lock()
 		defer s.mu.Unlock()
+
+		// Quiesce + s.mu exclude every append source, so this barrier
+		// is final: once it returns the committer is provably idle and
+		// the log file can be truncated and swapped underneath it. A
+		// degraded pipeline returns an error here — ignored, because the
+		// snapshot about to be taken captures everything the log lost.
+		s.wal.Barrier()
 
 		lsn := s.wal.NextLSN() - 1 // appends are excluded by s.mu + quiesce
 		var img bytes.Buffer

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"identitybox/internal/obs"
@@ -314,6 +315,9 @@ func TestMetricsWiring(t *testing.T) {
 	reg := obs.NewRegistry()
 	s := openStore(t, dir, Options{Metrics: reg})
 	mutate(t, s.FS())
+	if err := s.Barrier(); err != nil { // drain the commit pipeline so counters settle
+		t.Fatal(err)
+	}
 	if got := reg.Counter(MetricWALRecords).Value(); got == 0 {
 		t.Fatal("wal record counter did not move")
 	}
@@ -352,7 +356,7 @@ func TestMetricsWiring(t *testing.T) {
 // successful compaction restores durability.
 func TestDegradedWALSurvivesViaCompaction(t *testing.T) {
 	dir := t.TempDir()
-	var fail bool
+	var fail atomic.Bool // read by the committer goroutine
 	opts := Options{OpenAppend: func(path string) (File, error) {
 		f, err := defaultOpenAppend(path)
 		if err != nil {
@@ -364,7 +368,10 @@ func TestDegradedWALSurvivesViaCompaction(t *testing.T) {
 	if err := s.FS().Mkdir("/a", 0o755, "u"); err != nil {
 		t.Fatal(err)
 	}
-	fail = true
+	if err := s.Barrier(); err != nil { // /a committed before the gate drops
+		t.Fatal(err)
+	}
+	fail.Store(true)
 	// The in-memory mutation must still succeed; the append error is absorbed.
 	if err := s.FS().Mkdir("/b", 0o755, "u"); err != nil {
 		t.Fatal(err)
@@ -372,7 +379,7 @@ func TestDegradedWALSurvivesViaCompaction(t *testing.T) {
 	if s.Err() == nil {
 		t.Fatal("degraded WAL not reported")
 	}
-	fail = false
+	fail.Store(false)
 	if err := s.Compact(); err != nil {
 		t.Fatal(err)
 	}
@@ -394,14 +401,14 @@ func TestDegradedWALSurvivesViaCompaction(t *testing.T) {
 	}
 }
 
-// gateFile fails writes while *fail is set.
+// gateFile fails writes while fail is set.
 type gateFile struct {
 	f    File
-	fail *bool
+	fail *atomic.Bool
 }
 
 func (g *gateFile) Write(p []byte) (int, error) {
-	if *g.fail {
+	if g.fail.Load() {
 		return 0, errors.New("injected write failure")
 	}
 	return g.f.Write(p)

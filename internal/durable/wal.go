@@ -8,6 +8,9 @@ import (
 
 // File is the slice of an append-only log file the WAL writer needs.
 // *os.File satisfies it; faultdisk wraps one to inject storage faults.
+// In group-commit mode the committer goroutine may issue a Write while
+// another goroutine issues a Sync, so implementations must tolerate
+// concurrent calls (*os.File and faultdisk.File both do).
 type File interface {
 	io.Writer
 	Sync() error
@@ -15,26 +18,44 @@ type File interface {
 }
 
 // WAL appends framed records to a log file. It is safe for concurrent
-// use; appends are serialized (they target one file) and synced
-// according to the policy. The first write or sync error is sticky:
-// the WAL stops accepting appends and reports the error from then on,
-// because a log with a hole in it must not keep growing — recovery
-// would stop at the hole and silently drop everything after it.
+// use and runs in one of two modes:
+//
+//   - Synchronous (the default): Append frames, writes and syncs the
+//     record inline, under the WAL lock. Durable when Append returns.
+//   - Group commit (after StartGroupCommit): Append encodes the record
+//     into an in-memory queue under a short lock and returns; a
+//     dedicated committer goroutine coalesces queued frames into one
+//     write + one fsync per group. Callers that need durability park
+//     on WaitDurable or Barrier.
+//
+// Either way the first write or sync error is sticky: the WAL stops
+// accepting appends and reports the error from then on, because a log
+// with a hole in it must not keep growing — recovery would stop at the
+// hole and silently drop everything after it.
 type WAL struct {
 	mu      sync.Mutex
 	f       File
 	nextLSN uint64
 	size    int64
-	pending int // records appended since the last sync
-	// syncEveryN: 1 syncs after every record (the default and the only
-	// setting with no loss window), k>1 syncs every k records, 0 never
-	// syncs (the OS decides when bytes reach the platter).
+	pending int // records written since the last sync
+	// syncEveryN: 1 syncs after every record (or, in group mode, every
+	// group — the only settings with no loss window), k>1 syncs every k
+	// records, 0 never syncs (the OS decides when bytes reach the
+	// platter).
 	syncEveryN int
 	err        error
 
-	// observers, optional
-	onAppend func(bytes int)
+	// scratch is the synchronous-mode frame encode buffer, reused
+	// across appends under mu so the framer does not allocate per
+	// record.
+	scratch []byte
+
+	// observers, optional. Emitted after mu is released so a slow sink
+	// cannot extend the commit critical section.
+	onAppend func(records, bytes int)
 	onSync   func()
+
+	gc *groupState // non-nil once StartGroupCommit has been called
 }
 
 // NewWAL wraps an open log file positioned at its end. nextLSN is the
@@ -47,61 +68,106 @@ func NewWAL(f File, nextLSN uint64, size int64, syncEveryN int) *WAL {
 // ErrWALClosed is reported by appends after Close.
 var ErrWALClosed = errors.New("durable: wal closed")
 
-// Append frames rec (assigning it the next LSN), writes it, and syncs
-// per policy. It returns the assigned LSN.
+// Append frames rec (assigning it the next LSN) and commits it per the
+// WAL's mode: written and synced inline in synchronous mode, queued for
+// the committer in group-commit mode. It returns the assigned LSN.
 func (w *WAL) Append(rec Record) (uint64, error) {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if w.err != nil {
-		return 0, w.err
+		err := w.err
+		w.mu.Unlock()
+		return 0, err
 	}
 	rec.LSN = w.nextLSN
-	frame := EncodeRecord(nil, rec)
+	if g := w.gc; g != nil {
+		w.nextLSN++
+		g.queue = EncodeRecord(g.queue, rec)
+		g.queued++
+		g.lastLSN = rec.LSN
+		// Cut a batch window short when the queue fills, or when the
+		// cohort the previous group evidenced has fully arrived —
+		// waiting longer would add latency with no one left to join.
+		full := g.queued >= g.maxBatch || g.queued >= g.lastGroup
+		w.mu.Unlock()
+		g.wake(full)
+		return rec.LSN, nil
+	}
+
+	// Synchronous mode: frame, write and sync inline.
+	w.scratch = EncodeRecord(w.scratch[:0], rec)
+	frame := w.scratch
+	nb := len(frame)
 	n, err := w.f.Write(frame)
 	w.size += int64(n)
-	if err == nil && n < len(frame) {
+	if err == nil && n < nb {
 		err = io.ErrShortWrite
 	}
 	if err != nil {
 		w.err = err
+		w.mu.Unlock()
 		return 0, err
 	}
 	w.nextLSN++
 	w.pending++
-	if w.onAppend != nil {
-		w.onAppend(len(frame))
-	}
+	synced := false
 	if w.syncEveryN > 0 && w.pending >= w.syncEveryN {
-		if err := w.syncLocked(); err != nil {
+		if err := w.f.Sync(); err != nil {
+			w.err = err
+			w.mu.Unlock()
 			return 0, err
 		}
+		w.pending = 0
+		synced = true
+	}
+	onAppend, onSync := w.onAppend, w.onSync
+	w.mu.Unlock()
+	if onAppend != nil {
+		onAppend(1, nb)
+	}
+	if synced && onSync != nil {
+		onSync()
 	}
 	return rec.LSN, nil
 }
 
-// Sync forces outstanding records to stable storage.
+// Sync forces outstanding records to stable storage. In group-commit
+// mode it first waits for the pipeline to drain.
 func (w *WAL) Sync() error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.err != nil {
-		return w.err
+	if w.gc != nil {
+		target := w.nextLSN - 1
+		w.mu.Unlock()
+		if err := w.WaitDurable(target); err != nil {
+			return err
+		}
+		w.mu.Lock()
 	}
-	return w.syncLocked()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	synced, err := w.syncPendingLocked()
+	onSync := w.onSync
+	w.mu.Unlock()
+	if synced && onSync != nil {
+		onSync()
+	}
+	return err
 }
 
-func (w *WAL) syncLocked() error {
+// syncPendingLocked fsyncs if records are pending. The caller holds mu
+// and emits the onSync hook after unlocking when synced is true.
+func (w *WAL) syncPendingLocked() (synced bool, err error) {
 	if w.pending == 0 {
-		return nil
+		return false, nil
 	}
 	if err := w.f.Sync(); err != nil {
 		w.err = err
-		return err
+		return false, err
 	}
 	w.pending = 0
-	if w.onSync != nil {
-		w.onSync()
-	}
-	return nil
+	return true, nil
 }
 
 // NextLSN reports the LSN the next append will receive.
@@ -111,7 +177,8 @@ func (w *WAL) NextLSN() uint64 {
 	return w.nextLSN
 }
 
-// Size reports the log file's length in bytes.
+// Size reports the log file's length in bytes. In group-commit mode it
+// counts committed groups only; Barrier first for an exact figure.
 func (w *WAL) Size() int64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -128,19 +195,33 @@ func (w *WAL) Err() error {
 	return w.err
 }
 
-// Close syncs and closes the log file. Further appends fail.
+// Close stops the committer (draining the queue), syncs and closes the
+// log file. Further appends fail.
 func (w *WAL) Close() error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
+	if g := w.gc; g != nil && !g.stopping {
+		g.stopping = true
+		w.mu.Unlock()
+		g.wake(true) // kick the committer and cut any batch window short
+		<-g.done
+		w.mu.Lock()
+	}
 	if w.err != nil {
 		w.f.Close()
-		return w.err
+		err := w.err
+		w.mu.Unlock()
+		return err
 	}
-	err := w.syncLocked()
+	synced, err := w.syncPendingLocked()
 	if cerr := w.f.Close(); err == nil {
 		err = cerr
 	}
 	w.err = ErrWALClosed
+	onSync := w.onSync
+	w.mu.Unlock()
+	if synced && err == nil && onSync != nil {
+		onSync()
+	}
 	return err
 }
 
@@ -148,14 +229,24 @@ func (w *WAL) Close() error {
 // truncated the log) and resets size/pending. LSNs keep counting up:
 // records in the fresh log carry LSNs above the snapshot's, which is
 // what lets recovery skip duplicates if a crash lands between snapshot
-// publication and log reset.
+// publication and log reset. In group-commit mode the caller must have
+// drained the pipeline (Barrier) with further appends excluded; the
+// durable horizon jumps to the snapshot LSN, releasing any waiter a
+// degraded pipeline stranded — the snapshot now carries its mutation.
 func (w *WAL) swapFile(f File) error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	old := w.f
 	w.f = f
 	w.size = 0
 	w.pending = 0
 	w.err = nil
+	if g := w.gc; g != nil {
+		g.queue = g.queue[:0]
+		g.queued = 0
+		g.durable = w.nextLSN - 1
+		g.errNotified = false
+		g.advanceLocked()
+	}
+	w.mu.Unlock()
 	return old.Close()
 }

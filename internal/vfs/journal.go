@@ -12,8 +12,12 @@ package vfs
 // (mutation plus record emission), so the sequence of RecordMutation
 // calls is exactly the sequence in which the mutations took effect.
 // This serializes journaled mutations against each other — the price
-// of appending to one log file — but leaves every read path untouched,
-// and costs nothing at all when no journal is attached (the common
+// of a single total order — but the critical section contains no disk
+// I/O: the durable store's RecordMutation only assigns an LSN and
+// encodes the record into its commit queue; the group committer writes
+// and fsyncs batches on its own goroutine, and durability waiters park
+// on the store's Barrier outside journalMu. Read paths stay untouched,
+// and the journal costs nothing when none is attached (the common
 // case: kernels and servers running without a durable state dir).
 //
 // Lock order: journalMu is acquired before treeMu and before any inode
