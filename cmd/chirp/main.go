@@ -25,8 +25,9 @@
 //	metrics                     dump the server's metric registry
 //	                            (Prometheus text exposition)
 //	ping [n]                    n whoami round trips (default 5) plus
-//	                            client retry/breaker counters and the
-//	                            server's fault-tolerance series
+//	                            the negotiated protocol version, window
+//	                            state, client retry/breaker counters and
+//	                            the server's fault-tolerance series
 //
 // Authentication: -user sends a unix assertion; with -user "" the
 // hostname method is used.
@@ -34,6 +35,10 @@
 // Fault tolerance: -timeout bounds each wire exchange, -retries caps
 // transparent retries of idempotent calls (0 disables the retry and
 // redial machinery entirely).
+//
+// Protocol: v2 tagged multiplexing is negotiated by default. -window
+// and -max-inflight request smaller credit-window caps (the server's
+// caps still bound them); -proto 1 pins the classic lock-step protocol.
 package main
 
 import (
@@ -56,6 +61,9 @@ func main() {
 	user := flag.String("user", "", "unix user to authenticate as (empty: hostname method)")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-call deadline on each wire exchange (0: none)")
 	retries := flag.Int("retries", 3, "max transparent retries for idempotent calls (0: disable retries)")
+	window := flag.Int("window", 0, "requested v2 credit window, tags in flight (0: the built-in default)")
+	maxInflight := flag.Int64("max-inflight", 0, "requested v2 in-flight byte budget (0: the built-in default)")
+	proto := flag.Int("proto", 0, "pin the protocol version (1: classic lock-step; 0: negotiate)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -69,7 +77,8 @@ func main() {
 	}
 	auths = append(auths, &auth.HostnameClient{})
 
-	opts := chirp.ClientOptions{Timeout: *timeout, MaxRetries: *retries}
+	opts := chirp.ClientOptions{Timeout: *timeout, MaxRetries: *retries,
+		Window: *window, MaxInflightBytes: *maxInflight, Protocol: *proto}
 	if *retries <= 0 {
 		opts.DisableRetries = true
 	}
@@ -273,6 +282,13 @@ func ping(cl *chirp.Client, n int) error {
 		}
 	}
 	fmt.Printf("%d round trips: min %v  avg %v  max %v\n", n, min, total/time.Duration(n), max)
+	ws := cl.WindowStats()
+	if ws.Protocol == chirp.ProtocolV2 {
+		fmt.Printf("protocol: v%d  window %d tags / %d bytes  in flight %d  stalls %d\n",
+			ws.Protocol, ws.Window, ws.MaxInflightBytes, ws.InFlight, ws.Stalls)
+	} else {
+		fmt.Printf("protocol: v%d (lock-step)\n", ws.Protocol)
+	}
 	fmt.Printf("breaker: %s\n", cl.Breaker().State())
 	fmt.Print("client counters:\n")
 	for _, line := range strings.Split(cl.LocalMetrics().Text(), "\n") {

@@ -7,7 +7,8 @@
 //	chirpd [-addr host:port] [-owner name] [-root-acl "pattern rights;..."]
 //	       [-catalog addr] [-name label] [-state dir] [-metrics host:port]
 //	       [-compact-every d] [-fsync n] [-commit-window d] [-commit-batch n]
-//	       [-req-timeout d] [-drain d] [-v]
+//	       [-req-timeout d] [-drain d] [-window n] [-max-inflight bytes]
+//	       [-workers n] [-v]
 //
 // -state names a durable state directory: every mutation is journaled
 // to a checksummed write-ahead log (fsynced per -fsync) and compacted
@@ -26,6 +27,13 @@
 // connections are refused, and after -drain stragglers are severed.
 // A second SIGINT during the drain escalates: the drain is abandoned
 // and every session severed immediately (the escalation is logged).
+//
+// Sessions negotiate the v2 tagged protocol when the client supports
+// it: requests are multiplexed out of order under a per-session credit
+// window. -window and -max-inflight cap the window the server grants
+// (tags and bytes in flight); -workers sizes the concurrent lane that
+// serves non-conflicting requests. Old lock-step v1 clients are served
+// unchanged.
 //
 // -metrics serves the server's telemetry over HTTP: Prometheus text
 // exposition at /metrics (JSON with ?format=json), expvar at
@@ -74,6 +82,9 @@ func main() {
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	reqTimeout := flag.Duration("req-timeout", 30*time.Second, "per-request wire deadline after the command line arrives (0: none)")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain budget before severing sessions")
+	window := flag.Int("window", 0, "per-session v2 credit window, tags in flight (0: the built-in default)")
+	maxInflight := flag.Int64("max-inflight", 0, "per-session v2 in-flight byte budget (0: the built-in default)")
+	workers := flag.Int("workers", 0, "concurrent-lane workers per v2 session (0: the built-in default)")
 	verbose := flag.Bool("v", false, "log every request")
 	flag.Parse()
 
@@ -117,7 +128,10 @@ func main() {
 			auth.MethodUnix:     &auth.UnixVerifier{},
 			auth.MethodHostname: &auth.HostnameVerifier{},
 		},
-		RequestTimeout: *reqTimeout,
+		RequestTimeout:   *reqTimeout,
+		Window:           *window,
+		MaxInflightBytes: *maxInflight,
+		Workers:          *workers,
 	}
 	if store != nil {
 		opts.DedupeJournal = store

@@ -32,9 +32,11 @@ import (
 // redials consume wall-clock time only — nothing here touches the
 // virtual clock, so instrumented retries charge zero virtual ticks.
 type Client struct {
-	mu     sync.Mutex // serializes wire exchanges; guards conn, c, broken, closed
+	mu     sync.Mutex // serializes v1 wire exchanges; guards conn, c, mux, proto, broken, closed
 	conn   net.Conn
 	c      *codec
+	mux    *muxSession // v2 session engine (nil on a v1 session)
+	proto  int         // negotiated protocol version for the current session
 	closed bool
 	broken bool // the transport failed; the next call redials
 	dialed bool // first connection established (later dials count as redials)
@@ -119,6 +121,18 @@ func (cl *Client) Close() error {
 		cl.conn.Close()
 		return nil
 	}
+	if cl.mux != nil {
+		// The farewell rides the writer loop as a tagged frame; closing
+		// the connection then unwinds both loops, which release the
+		// codec once neither is touching it.
+		qerr := cl.mux.sendQuit()
+		cerr := cl.conn.Close()
+		cl.mux, cl.c = nil, nil
+		if qerr != nil {
+			return qerr
+		}
+		return cerr
+	}
 	qerr := cl.c.writeLine("quit")
 	cerr := cl.conn.Close()
 	cl.c.release()
@@ -151,14 +165,28 @@ func (cl *Client) connectLocked() error {
 		cl.brk.Fail()
 		return err
 	}
-	if cl.opts.Timeout > 0 {
-		conn.SetDeadline(time.Time{})
-	}
 	if cl.dialed && ident != cl.ident {
 		conn.Close()
 		return fmt.Errorf("chirp: redial authenticated as %q, session was %q", ident, cl.ident)
 	}
-	cl.conn, cl.c, cl.broken, cl.ident = conn, newCodec(conn), false, ident
+	c := newCodec(conn)
+	proto, window, maxBytes := ProtocolV1, 0, int64(0)
+	if cl.opts.Protocol != ProtocolV1 {
+		proto, window, maxBytes, err = cl.negotiateVersion(c)
+		if err != nil {
+			conn.Close()
+			c.release()
+			cl.brk.Fail()
+			return err
+		}
+	}
+	if cl.opts.Timeout > 0 {
+		conn.SetDeadline(time.Time{})
+	}
+	cl.conn, cl.c, cl.broken, cl.ident, cl.proto = conn, c, false, ident, proto
+	if proto == ProtocolV2 {
+		cl.mux = newMuxSession(cl, conn, c, window, maxBytes)
+	}
 	if cl.dialed {
 		cl.m.redials.Inc()
 		if err := cl.replayAssertionsLocked(); err != nil {
@@ -170,6 +198,51 @@ func (cl *Client) connectLocked() error {
 	cl.dialed = true
 	cl.brk.Success()
 	return nil
+}
+
+// negotiateVersion runs the protocol version exchange on a freshly
+// authenticated connection. The exchange itself is lock-step v1 — one
+// line out, one reply back — so a v1 server sees nothing unusual: it
+// answers the unknown "version" command with ENOSYS and the client
+// stays on the line protocol. A v2 server replies "ok 2 <window>
+// <maxbytes>" with its own caps; each side then uses the minimum and
+// all subsequent traffic is framed.
+func (cl *Client) negotiateVersion(c *codec) (proto, window int, maxBytes int64, err error) {
+	cl.sent.Add(1)
+	if err := c.writeLine(versionFields(cl.opts.Window, cl.opts.MaxInflightBytes)...); err != nil {
+		return 0, 0, 0, err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	parts, err := splitFields(line)
+	if err != nil || len(parts) == 0 {
+		return 0, 0, 0, fmt.Errorf("chirp: malformed version reply %q", line)
+	}
+	switch parts[0] {
+	case "ok":
+		v, w, b, err := parseVersionArgs(parts[1:])
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if v != ProtocolV2 {
+			return 0, 0, 0, fmt.Errorf("chirp: server negotiated unsupported protocol %d", v)
+		}
+		if w > cl.opts.Window {
+			w = cl.opts.Window
+		}
+		if b > cl.opts.MaxInflightBytes {
+			b = cl.opts.MaxInflightBytes
+		}
+		return ProtocolV2, w, b, nil
+	case "err":
+		// An old (or v1-pinned) server treats "version" as an unknown
+		// command; that error reply is the fallback signal.
+		return ProtocolV1, 0, 0, nil
+	default:
+		return 0, 0, 0, fmt.Errorf("chirp: malformed version reply %q", line)
+	}
 }
 
 // ensureConnLocked makes sure a healthy authenticated connection is in
@@ -186,6 +259,13 @@ func (cl *Client) ensureConnLocked() error {
 // go back to the pools — a redial gets fresh ones.
 func (cl *Client) breakConnLocked() {
 	cl.broken = true
+	if cl.mux != nil {
+		// The session engine owns the codec: fail() closes the
+		// connection, unwinds both loops, and they release the buffers.
+		cl.mux.fail(errors.New("chirp: connection broken"))
+		cl.mux, cl.c = nil, nil
+		return
+	}
 	if cl.conn != nil {
 		cl.conn.Close()
 	}
@@ -193,6 +273,24 @@ func (cl *Client) breakConnLocked() {
 		cl.c.release()
 		cl.c = nil
 	}
+}
+
+// dropMux detaches a failed v2 session so the next call redials. The
+// session has already killed itself; this only clears the client's
+// reference (unless a concurrent redial already replaced it). It
+// reports whether this caller performed the detach — a multiplexed
+// session failure completes every in-flight call with the same
+// transport error, and only the first observer should count it (one
+// dead session is one breaker failure, not one per in-flight call).
+func (cl *Client) dropMux(ms *muxSession) bool {
+	cl.mu.Lock()
+	dropped := cl.mux == ms
+	if dropped {
+		cl.broken = true
+		cl.mux, cl.c = nil, nil
+	}
+	cl.mu.Unlock()
+	return dropped
 }
 
 // replayAssertionsLocked re-presents CAS assertions on a fresh session,
@@ -204,7 +302,13 @@ func (cl *Client) replayAssertionsLocked() error {
 			fields:   []string{"assert", strconv.Itoa(len(blob))},
 			sendBody: blob,
 		}
-		if _, _, err := cl.attemptLocked(c); err != nil {
+		var err error
+		if cl.mux != nil {
+			_, _, err = cl.mux.roundTrip(c)
+		} else {
+			_, _, err = cl.attemptLocked(c)
+		}
+		if err != nil {
 			return fmt.Errorf("chirp: replaying assertion after redial: %w", err)
 		}
 	}
@@ -284,26 +388,33 @@ func (cl *Client) attemptLocked(c wireCall) ([]string, []byte, error) {
 // retried mkdir/unlink outcomes (EEXIST/ENOENT after a lost reply mean
 // the earlier attempt won).
 func (cl *Client) do(c wireCall) (resp []string, body []byte, retried bool, err error) {
-	cl.mu.Lock()
-	defer cl.mu.Unlock()
 	attempts := 1
 	if !cl.opts.DisableRetries {
 		attempts += cl.opts.MaxRetries
 	}
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
-		if cl.closed || cl.closing.Load() {
+		if cl.closing.Load() {
 			return nil, nil, retried, ErrClientClosed
 		}
 		if attempt > 0 {
 			retried = true
 			cl.m.retries.Inc()
-			cl.opts.Sleep(backoff(cl.rng, cl.opts.RetryBase, cl.opts.RetryMax, attempt))
+			cl.mu.Lock()
+			d := backoff(cl.rng, cl.opts.RetryBase, cl.opts.RetryMax, attempt)
+			cl.mu.Unlock()
+			cl.opts.Sleep(d)
 			if cl.closing.Load() {
 				return nil, nil, retried, ErrClientClosed
 			}
 		}
+		cl.mu.Lock()
+		if cl.closed {
+			cl.mu.Unlock()
+			return nil, nil, retried, ErrClientClosed
+		}
 		if err := cl.ensureConnLocked(); err != nil {
+			cl.mu.Unlock()
 			// Nothing was sent, so even mutating calls may retry a
 			// failed redial.
 			lastErr = err
@@ -312,27 +423,70 @@ func (cl *Client) do(c wireCall) (resp []string, body []byte, retried bool, err 
 			}
 			continue
 		}
-		resp, body, err := cl.attemptLocked(c)
-		if err == nil {
-			cl.brk.Success()
-			return resp, body, retried, nil
+		mux := cl.mux
+		var r []string
+		var b []byte
+		var aerr error
+		if mux != nil {
+			// v2: the exchange runs on the session engine without
+			// holding cl.mu, so independent calls multiplex freely.
+			cl.mu.Unlock()
+			r, b, aerr = mux.roundTrip(c)
+			if aerr == nil {
+				cl.brk.Success()
+				return r, b, retried, nil
+			}
+			var re *RemoteError
+			if errors.As(aerr, &re) {
+				cl.brk.Success()
+				return nil, nil, retried, aerr
+			}
+			if cl.dropMux(mux) {
+				cl.brk.Fail()
+			}
+			if errors.Is(aerr, errSessionLost) {
+				// The session died before this call reached the wire:
+				// nothing was sent, so even mutating calls may retry.
+				lastErr = aerr
+				if cl.closing.Load() {
+					return nil, nil, retried, ErrClientClosed
+				}
+				if cl.opts.DisableRetries {
+					return nil, nil, retried, aerr
+				}
+				continue
+			}
+		} else {
+			r, b, aerr = cl.attemptLocked(c)
+			if aerr == nil {
+				cl.brk.Success()
+				cl.mu.Unlock()
+				return r, b, retried, nil
+			}
+			var re *RemoteError
+			if errors.As(aerr, &re) {
+				// The server answered; error replies are final and healthy.
+				cl.brk.Success()
+				cl.mu.Unlock()
+				return nil, nil, retried, aerr
+			}
+			// Transport failure mid-exchange.
+			cl.breakConnLocked()
+			cl.mu.Unlock()
+			cl.brk.Fail()
 		}
-		var re *RemoteError
-		if errors.As(err, &re) {
-			// The server answered; error replies are final and healthy.
-			cl.brk.Success()
-			return nil, nil, retried, err
+		lastErr = aerr
+		if cl.closing.Load() {
+			// Close raced the call: its conn.Close is what killed the
+			// exchange, so report the closure rather than the fault.
+			return nil, nil, retried, ErrClientClosed
 		}
-		// Transport failure mid-exchange.
-		cl.breakConnLocked()
-		cl.brk.Fail()
-		lastErr = err
 		if cl.opts.DisableRetries {
-			return nil, nil, retried, err
+			return nil, nil, retried, aerr
 		}
 		if c.class == classMutating {
 			cl.m.unsafe.Inc()
-			return nil, nil, retried, fmt.Errorf("%w: %v", ErrRetryNotSafe, err)
+			return nil, nil, retried, fmt.Errorf("%w: %v", ErrRetryNotSafe, aerr)
 		}
 	}
 	return nil, nil, retried, lastErr
@@ -770,14 +924,21 @@ func (cl *Client) exec(token, cwd, path string, args []string) (ExecResult, erro
 // pwrite exchange per 64 KiB.
 const transferChunk = 65536
 
-// pipelineWindow is how many chunk exchanges PutFile/GetFile keep in
-// flight at once (ClientOptions.PipelineDepth; 1 means the serial
-// one-exchange-at-a-time path).
-func (cl *Client) pipelineWindow() int {
+// transferDepth is how many chunk calls PutFile/GetFile keep in flight
+// at once (ClientOptions.PipelineDepth; 1 means serial).
+func (cl *Client) transferDepth() int {
 	if cl.opts.PipelineDepth > 1 {
 		return cl.opts.PipelineDepth
 	}
 	return 1
+}
+
+// pipelined reports whether chunk transfers may overlap: a depth above
+// one and a live v2 session to multiplex them on.
+func (cl *Client) pipelined() bool {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.opts.PipelineDepth > 1 && cl.mux != nil
 }
 
 // PutFile stages a whole file onto the server in one call sequence.
@@ -791,22 +952,9 @@ func (cl *Client) PutFile(path string, data []byte, mode uint32) error {
 		if err != nil {
 			return err
 		}
-		if cl.pipelineWindow() > 1 {
-			if err := cl.pwriteWindow(fd, data); err != nil {
-				cl.CloseFD(fd)
-				return err
-			}
-			return cl.CloseFD(fd)
-		}
-		for off := 0; off < len(data); off += transferChunk {
-			end := off + transferChunk
-			if end > len(data) {
-				end = len(data)
-			}
-			if _, err := cl.Pwrite(fd, data[off:end], int64(off)); err != nil {
-				cl.CloseFD(fd)
-				return err
-			}
+		if err := cl.pwriteAll(fd, data); err != nil {
+			cl.CloseFD(fd)
+			return err
 		}
 		return cl.CloseFD(fd)
 	})
@@ -827,16 +975,12 @@ func (cl *Client) GetFile(path string) ([]byte, error) {
 		if err != nil {
 			return err
 		}
-		if cl.pipelineWindow() > 1 {
-			out, err = cl.preadWindow(fd, st.Size)
-			if err != nil {
-				return err
-			}
-			if int64(len(out)) < st.Size {
-				return nil // the file shrank mid-transfer; out is the new content
-			}
-		} else {
-			out = make([]byte, 0, st.Size)
+		out, err = cl.preadAll(fd, st.Size)
+		if err != nil {
+			return err
+		}
+		if int64(len(out)) < st.Size {
+			return nil // the file shrank mid-transfer; out is the new content
 		}
 		// Serial tail: past the stat size the file may still have grown;
 		// read until EOF exactly like the pre-pipelining path (the final
@@ -861,209 +1005,152 @@ func (cl *Client) GetFile(path string) ([]byte, error) {
 	return out, nil
 }
 
-// --- pipelined transfer windows ----------------------------------------
+// --- pipelined transfers ------------------------------------------------
 
-// windowDeadlineLocked refreshes the per-exchange deadline between
-// window fills, so a pipelined transfer gets the same "each exchange is
-// bounded" guarantee as the serial path rather than one deadline for
-// the whole file.
-func (cl *Client) windowDeadlineLocked() error {
-	if cl.opts.Timeout > 0 {
-		return cl.conn.SetDeadline(time.Now().Add(cl.opts.Timeout))
+// pwriteAll writes data to fd in transferChunk pieces. On a v2 session
+// with PipelineDepth > 1 the chunks are independent tagged Pwrite calls
+// issued by a small worker pool — the mux and its credit window do all
+// the flow control, no bespoke chunk-window code. Otherwise the chunks
+// go one exchange at a time. Errors report the earliest failed chunk.
+func (cl *Client) pwriteAll(fd int, data []byte) error {
+	nchunks := (len(data) + transferChunk - 1) / transferChunk
+	depth := cl.transferDepth()
+	if depth > nchunks {
+		depth = nchunks
+	}
+	if depth <= 1 || !cl.pipelined() {
+		for off := 0; off < len(data); off += transferChunk {
+			end := off + transferChunk
+			if end > len(data) {
+				end = len(data)
+			}
+			n, err := cl.Pwrite(fd, data[off:end], int64(off))
+			if err != nil {
+				return err
+			}
+			if n != end-off {
+				return fmt.Errorf("chirp: short pwrite: %d of %d bytes", n, end-off)
+			}
+		}
+		return nil
+	}
+	var (
+		next atomic.Int64
+		stop atomic.Bool
+		wg   sync.WaitGroup
+	)
+	errs := make([]error, nchunks)
+	for w := 0; w < depth; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				i := int(next.Add(1) - 1)
+				if i >= nchunks {
+					return
+				}
+				off := i * transferChunk
+				end := off + transferChunk
+				if end > len(data) {
+					end = len(data)
+				}
+				n, err := cl.Pwrite(fd, data[off:end], int64(off))
+				if err == nil && n != end-off {
+					err = fmt.Errorf("chirp: short pwrite: %d of %d bytes", n, end-off)
+				}
+				if err != nil {
+					errs[i] = err
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-// windowFault breaks the connection after a mid-window transport
-// failure. Outstanding replies are unrecoverable (the stream lost
-// alignment), so the whole transfer surfaces ErrRetryNotSafe and the
-// composite layer restarts it from scratch, exactly like the serial
-// path. Callers hold cl.mu.
-func (cl *Client) windowFault(err error) error {
-	cl.breakConnLocked()
-	cl.brk.Fail()
-	cl.m.unsafe.Inc()
-	return fmt.Errorf("%w: %v", ErrRetryNotSafe, err)
-}
-
-// pwriteWindow streams data to fd in transferChunk pieces, keeping up
-// to PipelineDepth requests in flight: the request lines and payloads
-// for a window are queued into one buffered wire write, then replies
-// are collected in order (the protocol answers strictly in request
-// order). A remote error stops new sends but drains every outstanding
-// reply, keeping the wire aligned for whoever uses the session next.
-func (cl *Client) pwriteWindow(fd int, data []byte) error {
-	depth := cl.pipelineWindow()
-	cl.mu.Lock()
-	defer cl.mu.Unlock()
-	if cl.closed || cl.closing.Load() {
-		return ErrClientClosed
-	}
-	if err := cl.ensureConnLocked(); err != nil {
-		return err
-	}
-	if cl.opts.Timeout > 0 {
-		defer cl.conn.SetDeadline(time.Time{})
-	}
-	fdStr := strconv.Itoa(fd)
-	type span struct{ off, end int }
-	var (
-		pending  []span
-		next     int
-		firstErr error // first remote error; sends stop, drain continues
-	)
-	for next < len(data) || len(pending) > 0 {
-		if err := cl.windowDeadlineLocked(); err != nil {
-			return cl.windowFault(err)
-		}
-		queued := false
-		for firstErr == nil && next < len(data) && len(pending) < depth {
-			end := next + transferChunk
-			if end > len(data) {
-				end = len(data)
-			}
-			if err := cl.c.queueLine("pwrite", fdStr, strconv.Itoa(next), strconv.Itoa(end-next)); err != nil {
-				return cl.windowFault(err)
-			}
-			if err := cl.c.queuePayload(data[next:end]); err != nil {
-				return cl.windowFault(err)
-			}
-			cl.sent.Add(1)
-			pending = append(pending, span{next, end})
-			next = end
-			queued = true
-		}
-		if queued {
-			if err := cl.c.flush(); err != nil {
-				return cl.windowFault(err)
-			}
-		}
-		if len(pending) == 0 {
-			break
-		}
-		sp := pending[0]
-		pending = pending[1:]
-		resp, err := cl.response()
-		if err != nil {
-			var re *RemoteError
-			if errors.As(err, &re) {
-				if firstErr == nil {
-					firstErr = err
-				}
-				continue
-			}
-			return cl.windowFault(err)
-		}
-		if firstErr != nil || len(resp) < 1 {
-			continue
-		}
-		if n, err := strconv.Atoi(resp[0]); err != nil || n != sp.end-sp.off {
-			firstErr = fmt.Errorf("chirp: short pwrite: %s of %d bytes", resp[0], sp.end-sp.off)
-		}
-	}
-	cl.brk.Success()
-	return firstErr
-}
-
-// preadWindow fetches size bytes from the start of fd with up to
-// PipelineDepth pread exchanges in flight, each reply's payload read
-// directly into its slot of the result (no intermediate copies). A
-// short reply means the file shrank after the stat: the result is
-// truncated there and the remaining outstanding payloads are drained
-// into scratch to keep the wire aligned.
-func (cl *Client) preadWindow(fd int, size int64) ([]byte, error) {
-	depth := cl.pipelineWindow()
+// preadAll fetches size bytes from the start of fd, each chunk's reply
+// payload read directly into its slot of the result (no intermediate
+// copies). On a v2 session with PipelineDepth > 1 the chunks are
+// independent tagged Pread calls running concurrently. A short read
+// means the file shrank after the stat: the result is truncated at the
+// earliest short chunk.
+func (cl *Client) preadAll(fd int, size int64) ([]byte, error) {
 	out := make([]byte, size)
-	cl.mu.Lock()
-	defer cl.mu.Unlock()
-	if cl.closed || cl.closing.Load() {
-		return nil, ErrClientClosed
+	nchunks := int((size + transferChunk - 1) / transferChunk)
+	depth := cl.transferDepth()
+	if depth > nchunks {
+		depth = nchunks
 	}
-	if err := cl.ensureConnLocked(); err != nil {
-		return nil, err
-	}
-	if cl.opts.Timeout > 0 {
-		defer cl.conn.SetDeadline(time.Time{})
-	}
-	fdStr := strconv.Itoa(fd)
-	type span struct {
-		off int64
-		n   int
+	if depth <= 1 || !cl.pipelined() {
+		var off int64
+		for off < size {
+			want := transferChunk
+			if int64(want) > size-off {
+				want = int(size - off)
+			}
+			n, err := cl.Pread(fd, out[off:off+int64(want)], off)
+			if err != nil {
+				return nil, err
+			}
+			off += int64(n)
+			if n < want {
+				return out[:off], nil
+			}
+		}
+		return out, nil
 	}
 	var (
-		pending  []span
-		next     int64
-		firstErr error
-		short    bool
-		shortEnd int64
+		next atomic.Int64
+		stop atomic.Bool
+		wg   sync.WaitGroup
+		mu   sync.Mutex
 	)
-	for next < size || len(pending) > 0 {
-		if err := cl.windowDeadlineLocked(); err != nil {
-			return nil, cl.windowFault(err)
-		}
-		queued := false
-		for firstErr == nil && !short && next < size && len(pending) < depth {
-			n := transferChunk
-			if int64(n) > size-next {
-				n = int(size - next)
-			}
-			if err := cl.c.queueLine("pread", fdStr, strconv.Itoa(n), strconv.FormatInt(next, 10)); err != nil {
-				return nil, cl.windowFault(err)
-			}
-			cl.sent.Add(1)
-			pending = append(pending, span{next, n})
-			next += int64(n)
-			queued = true
-		}
-		if queued {
-			if err := cl.c.flush(); err != nil {
-				return nil, cl.windowFault(err)
-			}
-		}
-		if len(pending) == 0 {
-			break
-		}
-		sp := pending[0]
-		pending = pending[1:]
-		resp, err := cl.response()
-		if err != nil {
-			var re *RemoteError
-			if errors.As(err, &re) {
-				if firstErr == nil {
-					firstErr = err
+	shortEnd := size
+	errs := make([]error, nchunks)
+	for w := 0; w < depth; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				i := int(next.Add(1) - 1)
+				if i >= nchunks {
+					return
 				}
-				continue
+				off := int64(i) * transferChunk
+				want := transferChunk
+				if int64(want) > size-off {
+					want = int(size - off)
+				}
+				n, err := cl.Pread(fd, out[off:off+int64(want)], off)
+				if err != nil {
+					errs[i] = err
+					stop.Store(true)
+					return
+				}
+				if n < want {
+					// The file shrank; later chunks simply read zero
+					// bytes, so no abort is needed.
+					mu.Lock()
+					if off+int64(n) < shortEnd {
+						shortEnd = off + int64(n)
+					}
+					mu.Unlock()
+				}
 			}
-			return nil, cl.windowFault(err)
-		}
-		if len(resp) < 1 {
-			return nil, cl.windowFault(fmt.Errorf("chirp: pread reply missing payload length"))
-		}
-		rn, err := strconv.Atoi(resp[0])
-		if err != nil || rn < 0 || rn > sp.n {
-			return nil, cl.windowFault(fmt.Errorf("chirp: bad pread reply length %q", resp[0]))
-		}
-		// Every announced payload must be consumed to keep the wire
-		// aligned, even once a prior reply already decided the outcome.
-		if firstErr != nil || (short && sp.off >= shortEnd) {
-			if _, err := cl.c.readPayload(rn); err != nil {
-				return nil, cl.windowFault(err)
-			}
-			continue
-		}
-		if err := cl.c.readPayloadInto(out[sp.off : sp.off+int64(rn)]); err != nil {
-			return nil, cl.windowFault(err)
-		}
-		if rn < sp.n {
-			short, shortEnd = true, sp.off+int64(rn)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
-	cl.brk.Success()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	if short {
-		return out[:shortEnd], nil
-	}
-	return out, nil
+	return out[:shortEnd], nil
 }

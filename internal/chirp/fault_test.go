@@ -91,14 +91,16 @@ func figure3Workflow(cl *Client) error {
 
 // chaosSchedule is the seeded acceptance schedule: every 3rd connection
 // is reset on its first write (it never even authenticates), and every
-// connection is reset once it has carried 120 client-written bytes —
-// the whole workflow writes ~310 bytes, so no single connection can
-// carry it, while the largest single retry sequence (~85 bytes from a
-// fresh connection, auth included) always fits.
+// connection is reset once it has carried 220 client-written bytes —
+// the whole workflow writes several times that (v2 framing adds a ~22-
+// byte version exchange per connection and a 16-byte header per
+// request), so no single connection can carry it, while the largest
+// single retry sequence (~155 bytes from a fresh connection, auth and
+// version exchange included) always fits.
 func chaosSchedule() *faultnet.Injector {
 	return faultnet.New(7,
 		faultnet.Rule{EveryNth: 3, Op: faultnet.OpWrite, Action: faultnet.Reset},
-		faultnet.Rule{Op: faultnet.OpWrite, AfterBytes: 120, Action: faultnet.Reset},
+		faultnet.Rule{Op: faultnet.OpWrite, AfterBytes: 220, Action: faultnet.Reset},
 	)
 }
 
@@ -194,7 +196,11 @@ func TestRetryTransparentForIdempotent(t *testing.T) {
 
 // TestRetryNotSafeForMutating loses the reply of non-idempotent RPCs
 // and expects the typed refusal — with the first attempt's effect
-// visible, proving the client was right not to re-send blindly.
+// visible, proving the client was right not to re-send blindly. Pinned
+// to v1: the InjectOnce read-reset is timed against the lock-step
+// exchange (a v2 reader is always mid-read, so the armed fault lands on
+// the read after the reply). TestMuxChaosTokenedExactlyOnce covers the
+// v2 equivalent.
 func TestRetryNotSafeForMutating(t *testing.T) {
 	srv, k, _ := testServer(t)
 	var execs atomic.Int64
@@ -203,7 +209,7 @@ func TestRetryNotSafeForMutating(t *testing.T) {
 		return 0
 	})
 	inj := faultnet.New(1)
-	cl := adminClient(t, srv, ClientOptions{Dialer: inj.Dialer("tcp")})
+	cl := adminClient(t, srv, ClientOptions{Dialer: inj.Dialer("tcp"), Protocol: ProtocolV1})
 	if err := cl.PutFile("/a", []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +244,8 @@ func TestRetryNotSafeForMutating(t *testing.T) {
 // TestRetryTokenDedupe opts job submission into retry with a request
 // token: the reply is lost, the client re-sends over a fresh session,
 // and the server answers from its dedupe table instead of running the
-// job twice.
+// job twice. Pinned to v1 for the same read-reset timing reason as
+// TestRetryNotSafeForMutating.
 func TestRetryTokenDedupe(t *testing.T) {
 	srv, k, _ := testServer(t)
 	var execs atomic.Int64
@@ -247,7 +254,7 @@ func TestRetryTokenDedupe(t *testing.T) {
 		return 0
 	})
 	inj := faultnet.New(1)
-	cl := adminClient(t, srv, ClientOptions{Dialer: inj.Dialer("tcp")})
+	cl := adminClient(t, srv, ClientOptions{Dialer: inj.Dialer("tcp"), Protocol: ProtocolV1})
 	if err := cl.PutFile("/cnt.exe", kernel.ExecutableBytes("cnt"), 0o755); err != nil {
 		t.Fatal(err)
 	}
@@ -496,11 +503,13 @@ func TestFaultServerDrainFinishesInflight(t *testing.T) {
 }
 
 // TestFaultStalledRequestTimesOut checks the per-request read deadline:
-// a client that announces a payload and stalls is disconnected.
+// a client that announces a payload and stalls is disconnected. Pinned
+// to v1 because it pokes raw protocol lines at the codec; the v2 frame
+// equivalent is TestMuxStalledFrameTimesOut.
 func TestFaultStalledRequestTimesOut(t *testing.T) {
 	srv, _, _ := testServer(t)
 	srv.opts.RequestTimeout = 100 * time.Millisecond
-	cl := adminClient(t, srv, ClientOptions{DisableRetries: true})
+	cl := adminClient(t, srv, ClientOptions{DisableRetries: true, Protocol: ProtocolV1})
 	// Announce a pwrite payload of 100 bytes and send nothing.
 	cl.mu.Lock()
 	err := cl.c.writeLine("pwrite", "1", "0", "100")

@@ -1,0 +1,167 @@
+package chirp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Protocol versions. Version 1 is the paper's lock-step line protocol:
+// one request line (plus optional counted payload), one reply, strictly
+// alternating. Version 2 keeps the same line grammar but wraps every
+// line+payload in a tagged binary frame, so many requests can be in
+// flight on one session and replies may return out of order.
+const (
+	ProtocolV1 = 1
+	ProtocolV2 = 2
+)
+
+// MaxLine bounds the protocol-line portion of a v2 frame. Lines carry
+// commands, quoted paths and directory listings; 64 KiB is far beyond
+// any legitimate line and small enough that a hostile length cannot
+// force a large allocation.
+const MaxLine = 1 << 16
+
+// frameHeaderSize is the fixed v2 frame header: a big-endian u64 tag,
+// u32 line length, u32 payload length, followed by that many line bytes
+// and payload bytes. The same framing runs in both directions; a reply
+// frame carries the tag of the request it answers.
+const frameHeaderSize = 16
+
+// Credit-window defaults. The window is negotiated per session (each
+// side advertises, the minimum wins) and bounds tags in flight; the
+// byte budget bounds in-flight request+reply payload bytes so a deep
+// window of fat transfers cannot buffer unbounded memory.
+const (
+	DefaultWindow           = 64
+	DefaultMaxInflightBytes = 8 << 20
+)
+
+// frameHeader is one decoded v2 frame header.
+type frameHeader struct {
+	tag        uint64
+	lineLen    int
+	payloadLen int
+}
+
+// putFrameHeader encodes a header into b (len >= frameHeaderSize).
+func putFrameHeader(b []byte, tag uint64, lineLen, payloadLen int) {
+	binary.BigEndian.PutUint64(b[0:8], tag)
+	binary.BigEndian.PutUint32(b[8:12], uint32(lineLen))
+	binary.BigEndian.PutUint32(b[12:16], uint32(payloadLen))
+}
+
+// parseFrameHeader validates a wire-supplied header before anything is
+// allocated or read: a zero tag, an empty or oversized line, or a
+// payload beyond MaxPayload mean the peer is malformed or hostile, and
+// the session must drop. This is the v2 mirror of readPayload's cap.
+func parseFrameHeader(b []byte) (frameHeader, error) {
+	if len(b) < frameHeaderSize {
+		return frameHeader{}, fmt.Errorf("chirp: protocol error: short frame header (%d bytes)", len(b))
+	}
+	h := frameHeader{
+		tag:        binary.BigEndian.Uint64(b[0:8]),
+		lineLen:    int(binary.BigEndian.Uint32(b[8:12])),
+		payloadLen: int(binary.BigEndian.Uint32(b[12:16])),
+	}
+	if h.tag == 0 {
+		return frameHeader{}, fmt.Errorf("chirp: protocol error: zero frame tag")
+	}
+	if h.lineLen < 1 || h.lineLen > MaxLine {
+		return frameHeader{}, fmt.Errorf("chirp: protocol error: frame line length %d outside [1, %d]", h.lineLen, MaxLine)
+	}
+	if h.payloadLen < 0 || h.payloadLen > MaxPayload {
+		return frameHeader{}, fmt.Errorf("chirp: protocol error: frame payload length %d outside [0, %d]", h.payloadLen, MaxPayload)
+	}
+	return h, nil
+}
+
+// queueFrame buffers one tagged frame — header, space-joined line
+// fields, payload — without flushing, so a pipelining writer can pack
+// several frames into one wire write. The fields are written directly
+// into the bufio writer: no intermediate line allocation.
+func (c *codec) queueFrame(tag uint64, fields []string, payload []byte) error {
+	lineLen := 0
+	for i, f := range fields {
+		if strings.ContainsAny(f, "\n\r") {
+			return fmt.Errorf("chirp: embedded newline in %q", f)
+		}
+		if i > 0 {
+			lineLen++
+		}
+		lineLen += len(f)
+	}
+	if lineLen < 1 || lineLen > MaxLine {
+		return fmt.Errorf("chirp: frame line length %d outside [1, %d]", lineLen, MaxLine)
+	}
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("chirp: frame payload %d exceeds %d", len(payload), MaxPayload)
+	}
+	var hdr [frameHeaderSize]byte
+	putFrameHeader(hdr[:], tag, lineLen, len(payload))
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	for i, f := range fields {
+		if i > 0 {
+			if err := c.w.WriteByte(' '); err != nil {
+				return err
+			}
+		}
+		if _, err := c.w.WriteString(f); err != nil {
+			return err
+		}
+	}
+	_, err := c.w.Write(payload)
+	return err
+}
+
+// readFrameHeader reads and validates the next frame header. Callers
+// must then consume exactly lineLen line bytes and payloadLen payload
+// bytes to stay aligned.
+func (c *codec) readFrameHeader() (frameHeader, error) {
+	var b [frameHeaderSize]byte
+	if _, err := io.ReadFull(c.r, b[:]); err != nil {
+		return frameHeader{}, err
+	}
+	return parseFrameHeader(b[:])
+}
+
+// readFrameLine consumes a frame's line bytes (already validated to fit
+// MaxLine) and returns them as a string.
+func (c *codec) readFrameLine(n int) (string, error) {
+	buf := c.scratchBuf(n)
+	if _, err := io.ReadFull(c.r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// versionFields builds the v1-style negotiation line a v2 client sends
+// as its first request: "version 2 <window> <maxbytes>". A v1 server
+// answers it with ENOSYS like any unknown command, which is the
+// fallback signal.
+func versionFields(window int, maxBytes int64) []string {
+	return []string{"version", strconv.Itoa(ProtocolV2), strconv.Itoa(window), strconv.FormatInt(maxBytes, 10)}
+}
+
+// parseVersionArgs parses the peer's half of the negotiation — the
+// request args server-side, the "ok" reply tail client-side — into
+// (version, window, maxBytes).
+func parseVersionArgs(args []string) (version, window int, maxBytes int64, err error) {
+	if len(args) != 3 {
+		return 0, 0, 0, fmt.Errorf("chirp: bad version exchange %v", args)
+	}
+	if version, err = strconv.Atoi(args[0]); err != nil {
+		return 0, 0, 0, fmt.Errorf("chirp: bad protocol version %q", args[0])
+	}
+	if window, err = strconv.Atoi(args[1]); err != nil || window < 1 {
+		return 0, 0, 0, fmt.Errorf("chirp: bad window %q", args[1])
+	}
+	if maxBytes, err = strconv.ParseInt(args[2], 10, 64); err != nil || maxBytes < 1 {
+		return 0, 0, 0, fmt.Errorf("chirp: bad byte budget %q", args[2])
+	}
+	return version, window, maxBytes, nil
+}

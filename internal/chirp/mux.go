@@ -1,0 +1,384 @@
+package chirp
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// errSessionLost is returned by submit when the v2 session died before
+// the call was handed to the writer: nothing reached the wire, so even
+// mutating calls may safely retry on a fresh session.
+var errSessionLost = errors.New("chirp: session lost before send")
+
+// muxCall is one tagged call in flight on a muxSession.
+type muxCall struct {
+	tag      uint64
+	fields   []string
+	sendBody []byte
+	recvInto []byte // reply payload lands here (zero-copy) when set
+	wantBody bool   // reply payload is copied out into body
+	counted  bool   // occupies credit-window space
+	bytes    int64  // the call's charge against the byte budget
+
+	written chan struct{} // closed by the writer after flush (farewells)
+	done    chan struct{} // closed exactly once on completion
+
+	resp []string
+	body []byte
+	err  error // RemoteError (final) or transport/session failure
+}
+
+// muxSession is one negotiated v2 connection: a writer goroutine
+// batching tagged request frames into shared flushes, a reader
+// goroutine dispatching reply frames by tag, and a credit window
+// bounding tags and payload bytes in flight.
+//
+// Lock order: a goroutine holds at most one of cl.mu and ms.mu at a
+// time — the session never calls back into the client under its own
+// lock, and the client only reads session state via methods that take
+// ms.mu internally.
+type muxSession struct {
+	cl       *Client
+	conn     net.Conn
+	c        *codec // writer goroutine owns c.w, reader owns c.r and scratch
+	window   int
+	maxBytes int64
+
+	mu            sync.Mutex
+	cond          *sync.Cond // waits for credit-window space
+	nextTag       uint64
+	pending       map[uint64]*muxCall
+	inflight      int
+	inflightBytes int64
+	dead          bool
+	deadErr       error
+
+	stalls atomic.Int64 // submits that waited for window space
+
+	sendq  chan *muxCall
+	closed chan struct{} // closed by fail(); stops the writer
+	wg     sync.WaitGroup
+}
+
+func newMuxSession(cl *Client, conn net.Conn, c *codec, window int, maxBytes int64) *muxSession {
+	ms := &muxSession{
+		cl:       cl,
+		conn:     conn,
+		c:        c,
+		window:   window,
+		maxBytes: maxBytes,
+		pending:  make(map[uint64]*muxCall),
+		sendq:    make(chan *muxCall, window+1),
+		closed:   make(chan struct{}),
+	}
+	ms.cond = sync.NewCond(&ms.mu)
+	ms.wg.Add(2)
+	go ms.writeLoop()
+	go ms.readLoop()
+	go func() {
+		// The codec's pooled buffers go back only after both loops are
+		// done touching them.
+		ms.wg.Wait()
+		c.release()
+	}()
+	return ms
+}
+
+// fail kills the session exactly once: the connection is closed, both
+// loops unwind, and every pending call completes with err.
+func (ms *muxSession) fail(err error) {
+	ms.mu.Lock()
+	if ms.dead {
+		ms.mu.Unlock()
+		return
+	}
+	ms.dead = true
+	ms.deadErr = err
+	pending := ms.pending
+	ms.pending = make(map[uint64]*muxCall)
+	ms.inflight = 0
+	ms.inflightBytes = 0
+	ms.cond.Broadcast()
+	ms.mu.Unlock()
+	close(ms.closed)
+	ms.conn.Close()
+	ms.cl.m.tagsInFlight.Set(0)
+	ms.cl.m.inflightBytes.Set(0)
+	for _, call := range pending {
+		call.err = err
+		close(call.done)
+	}
+}
+
+// submit registers a tagged call, waiting for credit-window space (the
+// ops window, plus the byte budget — though one call is always
+// admitted, whatever its size, so a single fat transfer never wedges).
+func (ms *muxSession) submit(c wireCall) (*muxCall, error) {
+	est := int64(len(c.sendBody)+len(c.recvInto)) + 256
+	ms.mu.Lock()
+	for !ms.dead && (ms.inflight >= ms.window ||
+		(ms.inflight > 0 && ms.inflightBytes+est > ms.maxBytes)) {
+		ms.stalls.Add(1)
+		ms.cl.m.windowStalls.Inc()
+		ms.cond.Wait()
+	}
+	if ms.dead {
+		err := ms.deadErr
+		ms.mu.Unlock()
+		return nil, fmt.Errorf("%w: %v", errSessionLost, err)
+	}
+	ms.nextTag++
+	call := &muxCall{
+		tag:      ms.nextTag,
+		fields:   c.fields,
+		sendBody: c.sendBody,
+		recvInto: c.recvInto,
+		wantBody: c.recvBody,
+		counted:  true,
+		bytes:    est,
+		done:     make(chan struct{}),
+	}
+	ms.pending[call.tag] = call
+	ms.inflight++
+	ms.inflightBytes += est
+	ms.cl.m.tagsInFlight.Set(int64(ms.inflight))
+	ms.cl.m.inflightBytes.Set(ms.inflightBytes)
+	ms.mu.Unlock()
+	ms.cl.sent.Add(1)
+	ms.sendq <- call
+	return call, nil
+}
+
+// roundTrip performs one synchronous exchange over the mux. The
+// per-call deadline keeps v1 semantics: a call that outlives
+// ClientOptions.Timeout kills the whole session (the v1 connection
+// deadline did exactly that), and the retry layer decides what to do.
+func (ms *muxSession) roundTrip(c wireCall) ([]string, []byte, error) {
+	call, err := ms.submit(c)
+	if err != nil {
+		return nil, nil, err
+	}
+	if to := ms.cl.opts.Timeout; to > 0 {
+		timer := time.NewTimer(to)
+		defer timer.Stop()
+		select {
+		case <-call.done:
+		case <-timer.C:
+			ms.fail(fmt.Errorf("chirp: call timed out after %v", to))
+			<-call.done
+		}
+	} else {
+		<-call.done
+	}
+	if call.err != nil {
+		return nil, nil, call.err
+	}
+	return call.resp, call.body, nil
+}
+
+// sendQuit queues the protocol farewell and reports the write outcome
+// once the writer has flushed it. It does not wait for the server's
+// reply (the v1 farewell never did either).
+func (ms *muxSession) sendQuit() error {
+	ms.mu.Lock()
+	if ms.dead {
+		err := ms.deadErr
+		ms.mu.Unlock()
+		return err
+	}
+	ms.nextTag++
+	call := &muxCall{
+		tag:     ms.nextTag,
+		fields:  []string{"quit"},
+		written: make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	// Registered so the server's ok reply is not an unknown tag, but
+	// uncounted: the farewell takes no credit-window space.
+	ms.pending[call.tag] = call
+	ms.mu.Unlock()
+	ms.sendq <- call
+	select {
+	case <-call.written:
+		return nil
+	case <-call.done:
+		return call.err
+	}
+}
+
+// writeLoop drains the submit queue into the wire, coalescing every
+// frame available at the moment into one flush so a pipelining burst
+// costs one syscall instead of one per call.
+func (ms *muxSession) writeLoop() {
+	defer ms.wg.Done()
+	var flushed []*muxCall
+	for {
+		var call *muxCall
+		select {
+		case call = <-ms.sendq:
+		case <-ms.closed:
+			return
+		}
+		for call != nil {
+			if err := ms.c.queueFrame(call.tag, call.fields, call.sendBody); err != nil {
+				ms.fail(err)
+				return
+			}
+			if call.written != nil {
+				flushed = append(flushed, call)
+			}
+			select {
+			case call = <-ms.sendq:
+			default:
+				call = nil
+			}
+		}
+		if err := ms.c.flush(); err != nil {
+			ms.fail(err)
+			return
+		}
+		for _, f := range flushed {
+			close(f.written)
+		}
+		flushed = flushed[:0]
+	}
+}
+
+// readLoop dispatches reply frames by tag. Any transport or protocol
+// fault kills the session: with framing there is no wire realignment to
+// attempt, the retry layer redials instead.
+func (ms *muxSession) readLoop() {
+	defer ms.wg.Done()
+	for {
+		h, err := ms.c.readFrameHeader()
+		if err != nil {
+			ms.fail(err)
+			return
+		}
+		ms.mu.Lock()
+		call := ms.pending[h.tag]
+		delete(ms.pending, h.tag)
+		ms.mu.Unlock()
+		if call == nil {
+			ms.fail(fmt.Errorf("chirp: protocol error: reply for unknown tag %d", h.tag))
+			return
+		}
+		resp, body, rerr, ferr := ms.readReply(call, h)
+		if ferr != nil {
+			ms.fail(ferr)
+			call.err = ferr
+			close(call.done)
+			return
+		}
+		if call.counted {
+			ms.mu.Lock()
+			ms.inflight--
+			ms.inflightBytes -= call.bytes
+			ms.cl.m.tagsInFlight.Set(int64(ms.inflight))
+			ms.cl.m.inflightBytes.Set(ms.inflightBytes)
+			ms.cond.Signal()
+			ms.mu.Unlock()
+		}
+		call.resp, call.body, call.err = resp, body, rerr
+		close(call.done)
+	}
+}
+
+// readReply consumes one reply frame's line and payload for call.
+// rerr is the call's outcome (nil or a *RemoteError); ferr is a
+// transport or protocol fault that must kill the session.
+func (ms *muxSession) readReply(call *muxCall, h frameHeader) (resp []string, body []byte, rerr, ferr error) {
+	line, err := ms.c.readFrameLine(h.lineLen)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	parts, err := splitFields(line)
+	if err != nil || len(parts) == 0 {
+		return nil, nil, nil, fmt.Errorf("chirp: malformed reply %q", line)
+	}
+	switch parts[0] {
+	case "ok":
+		if h.payloadLen > 0 && call.recvInto != nil {
+			if h.payloadLen > len(call.recvInto) {
+				return nil, nil, nil, fmt.Errorf("chirp: reply payload %d exceeds %d-byte buffer", h.payloadLen, len(call.recvInto))
+			}
+			if err := ms.c.readPayloadInto(call.recvInto[:h.payloadLen]); err != nil {
+				return nil, nil, nil, err
+			}
+			return parts[1:], nil, nil, nil
+		}
+		if h.payloadLen > 0 || call.wantBody {
+			raw, err := ms.c.readPayload(h.payloadLen)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			if call.wantBody {
+				// The scratch alias must not escape the reader loop: the
+				// next frame's reads reuse it.
+				body = append([]byte(nil), raw...)
+			}
+		}
+		return parts[1:], body, nil, nil
+	case "err":
+		// Error replies are line-only; drain any stray payload to stay
+		// aligned anyway.
+		if h.payloadLen > 0 {
+			if _, err := ms.c.readPayload(h.payloadLen); err != nil {
+				return nil, nil, nil, err
+			}
+		}
+		name, msg := "EIO", "unknown"
+		if len(parts) > 1 {
+			name = parts[1]
+		}
+		if len(parts) > 2 {
+			msg = parts[2]
+		}
+		return nil, nil, remoteError(name, msg), nil
+	default:
+		return nil, nil, nil, fmt.Errorf("chirp: malformed reply %q", line)
+	}
+}
+
+// WindowStats is a live snapshot of a client's negotiated v2 window
+// state (zero-valued on a v1 session).
+type WindowStats struct {
+	Protocol         int   // negotiated protocol version (1 or 2)
+	Window           int   // negotiated credit window (tags in flight)
+	MaxInflightBytes int64 // negotiated in-flight byte budget
+	InFlight         int   // tags currently awaiting replies
+	Stalls           int64 // submits that waited for window space
+}
+
+// Protocol reports the protocol version the current session negotiated
+// (ProtocolV1 or ProtocolV2).
+func (cl *Client) Protocol() int {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.proto
+}
+
+// WindowStats reports the live credit-window state of the current
+// session.
+func (cl *Client) WindowStats() WindowStats {
+	cl.mu.Lock()
+	ms := cl.mux
+	proto := cl.proto
+	cl.mu.Unlock()
+	if ms == nil {
+		return WindowStats{Protocol: proto}
+	}
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return WindowStats{
+		Protocol:         ProtocolV2,
+		Window:           ms.window,
+		MaxInflightBytes: ms.maxBytes,
+		InFlight:         ms.inflight,
+		Stalls:           ms.stalls.Load(),
+	}
+}

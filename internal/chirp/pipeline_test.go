@@ -129,14 +129,14 @@ func TestPipelinedRemoteErrorDrainsWindow(t *testing.T) {
 	if err := cl.CloseFD(fd); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.pwriteWindow(fd, patterned(5*transferChunk)); !errors.Is(err, kernel.ErrBadFD) {
-		t.Fatalf("pwriteWindow on closed fd = %v, want EBADF", err)
+	if err := cl.pwriteAll(fd, patterned(5*transferChunk)); !errors.Is(err, kernel.ErrBadFD) {
+		t.Fatalf("pwriteAll on closed fd = %v, want EBADF", err)
 	}
 	if _, err := cl.Whoami(); err != nil {
 		t.Fatalf("session unusable after drained pwrite window: %v", err)
 	}
-	if _, err := cl.preadWindow(fd, 3*transferChunk); !errors.Is(err, kernel.ErrBadFD) {
-		t.Fatalf("preadWindow on closed fd: want EBADF")
+	if _, err := cl.preadAll(fd, 3*transferChunk); !errors.Is(err, kernel.ErrBadFD) {
+		t.Fatalf("preadAll on closed fd: want EBADF")
 	}
 	if _, err := cl.Whoami(); err != nil {
 		t.Fatalf("session unusable after drained pread window: %v", err)
@@ -162,9 +162,9 @@ func TestPipelinedGetShrunkFile(t *testing.T) {
 	if err := cl.Truncate("/shrink", newSize); err != nil {
 		t.Fatal(err)
 	}
-	got, err := cl.preadWindow(fd, int64(len(orig)))
+	got, err := cl.preadAll(fd, int64(len(orig)))
 	if err != nil {
-		t.Fatalf("preadWindow after shrink: %v", err)
+		t.Fatalf("preadAll after shrink: %v", err)
 	}
 	if int64(len(got)) != newSize || !bytes.Equal(got, orig[:newSize]) {
 		t.Fatalf("shrunken read = %d bytes, want the %d-byte prefix", len(got), newSize)

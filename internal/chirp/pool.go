@@ -23,6 +23,19 @@ const wireBufSize = 32 << 10
 // grown buffers instead of allocating per call.
 type payloadScratch struct{ buf []byte }
 
+// bytes returns an n-byte view of the scratch, growing it if needed —
+// the same hit/miss accounting as codec.scratchBuf, for holders that
+// use a pooled scratch without a codec (v2 server workers).
+func (ps *payloadScratch) bytes(n int) []byte {
+	if cap(ps.buf) >= n {
+		poolHits.Add(1)
+	} else {
+		poolMisses.Add(1)
+		ps.buf = make([]byte, n)
+	}
+	return ps.buf[:n]
+}
+
 var (
 	brPool = sync.Pool{New: func() any { return bufio.NewReaderSize(nil, wireBufSize) }}
 	bwPool = sync.Pool{New: func() any { return bufio.NewWriterSize(nil, wireBufSize) }}

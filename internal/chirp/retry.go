@@ -41,6 +41,12 @@ const (
 	MetricClientRetryUnsafe  = "chirp_client_retry_unsafe_total"
 	MetricClientBreakerOpens = "chirp_client_breaker_opens_total"
 	MetricClientBreakerState = "chirp_client_breaker_state"
+	// v2 mux observability: tags currently awaiting replies, times a
+	// submit had to wait for credit-window space, and in-flight
+	// request+reply payload bytes.
+	MetricClientTagsInFlight  = "chirp_client_tags_inflight"
+	MetricClientWindowStalls  = "chirp_client_window_stalls_total"
+	MetricClientInflightBytes = "chirp_client_inflight_bytes"
 )
 
 // Server-side fault-tolerance metric names.
@@ -52,6 +58,14 @@ const (
 	MetricBarrierErrs       = "chirp_commit_barrier_errors_total"
 	MetricPayloadPoolHits   = "chirp_payload_pool_hits"
 	MetricPayloadPoolMisses = "chirp_payload_pool_misses"
+)
+
+// Server-side v2 mux metric names.
+const (
+	MetricTagsInFlight       = "chirp_tags_inflight"
+	MetricBackpressureStalls = "chirp_backpressure_stalls_total"
+	MetricWindowOccupancy    = "chirp_window_occupancy"
+	MetricV2Sessions         = "chirp_v2_sessions_total"
 )
 
 // ClientOptions tune the client's fault-tolerance layer. The zero value
@@ -98,12 +112,29 @@ type ClientOptions struct {
 	Sleep func(time.Duration)
 	// PipelineDepth, when > 1, lets GetFile and PutFile keep that many
 	// chunk requests in flight on the session at once instead of waiting
-	// out a round trip per chunk. Replies are matched in order (the
-	// protocol answers strictly in request order); a transport failure
-	// mid-window breaks the connection and surfaces ErrRetryNotSafe so
-	// the whole transfer restarts, exactly like the serial path. 0 or 1
-	// means one request at a time.
+	// out a round trip per chunk (on a v2 session each chunk is an
+	// independently tagged call; on a v1 session transfers fall back to
+	// one exchange at a time). A transport failure mid-transfer breaks
+	// the connection and surfaces ErrRetryNotSafe so the whole transfer
+	// restarts, exactly like the serial path. 0 or 1 means one request
+	// at a time.
 	PipelineDepth int
+	// Protocol pins the wire protocol: ProtocolV1 forces the lock-step
+	// line protocol, ProtocolV2 (or 0, the default) negotiates tagged
+	// async multiplexing and falls back to v1 when the server answers
+	// the version exchange with ENOSYS (an old server treats it as an
+	// unknown command).
+	Protocol int
+	// Window is the credit window this client advertises during v2
+	// negotiation: the most tags it will keep in flight on one session
+	// (default DefaultWindow). The server advertises its own cap and the
+	// minimum wins.
+	Window int
+	// MaxInflightBytes bounds the request+reply payload bytes in flight
+	// on a v2 session (default DefaultMaxInflightBytes), so a deep
+	// window of fat transfers cannot buffer unbounded memory. At least
+	// one call is always admitted, whatever its size.
+	MaxInflightBytes int64
 }
 
 // withDefaults fills zero fields in place.
@@ -135,6 +166,15 @@ func (o *ClientOptions) withDefaults() {
 	if o.Sleep == nil {
 		o.Sleep = time.Sleep
 	}
+	if o.Protocol == 0 {
+		o.Protocol = ProtocolV2
+	}
+	if o.Window == 0 {
+		o.Window = DefaultWindow
+	}
+	if o.MaxInflightBytes == 0 {
+		o.MaxInflightBytes = DefaultMaxInflightBytes
+	}
 }
 
 // callClass is the idempotency classification of one RPC, deciding what
@@ -156,21 +196,30 @@ const (
 
 // clientMetrics caches the client's counter handles.
 type clientMetrics struct {
-	reg     *obs.Registry
-	retries *obs.Counter
-	redials *obs.Counter
-	unsafe  *obs.Counter
+	reg           *obs.Registry
+	retries       *obs.Counter
+	redials       *obs.Counter
+	unsafe        *obs.Counter
+	tagsInFlight  *obs.Gauge
+	windowStalls  *obs.Counter
+	inflightBytes *obs.Gauge
 }
 
 func newClientMetrics(reg *obs.Registry) *clientMetrics {
 	reg.Help(MetricClientRetries, "Exchanges re-sent after a transport failure.")
 	reg.Help(MetricClientRedials, "Connections re-established (re-authentication included).")
 	reg.Help(MetricClientRetryUnsafe, "Transport failures surfaced as ErrRetryNotSafe.")
+	reg.Help(MetricClientTagsInFlight, "Tagged calls currently awaiting replies.")
+	reg.Help(MetricClientWindowStalls, "Submits that waited for credit-window space.")
+	reg.Help(MetricClientInflightBytes, "Request+reply payload bytes currently in flight.")
 	return &clientMetrics{
-		reg:     reg,
-		retries: reg.Counter(MetricClientRetries),
-		redials: reg.Counter(MetricClientRedials),
-		unsafe:  reg.Counter(MetricClientRetryUnsafe),
+		reg:           reg,
+		retries:       reg.Counter(MetricClientRetries),
+		redials:       reg.Counter(MetricClientRedials),
+		unsafe:        reg.Counter(MetricClientRetryUnsafe),
+		tagsInFlight:  reg.Gauge(MetricClientTagsInFlight),
+		windowStalls:  reg.Counter(MetricClientWindowStalls),
+		inflightBytes: reg.Gauge(MetricClientInflightBytes),
 	}
 }
 

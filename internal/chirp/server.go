@@ -81,6 +81,26 @@ type ServerOptions struct {
 	// logged, and the reply still sent (matching the store's own
 	// degradation contract). The durable store implements this.
 	Durability interface{ Barrier() error }
+	// Window is the per-session credit window the server advertises
+	// during v2 negotiation: the most tagged requests one session may
+	// have in flight at once (default DefaultWindow). The client
+	// advertises its own cap and the minimum wins; the server enforces
+	// the negotiated window against misbehaving clients too.
+	Window int
+	// MaxInflightBytes is the in-flight payload byte budget the server
+	// advertises during v2 negotiation (default
+	// DefaultMaxInflightBytes); the minimum of the two sides wins.
+	MaxInflightBytes int64
+	// Workers sizes the per-session pool executing non-conflicting v2
+	// requests concurrently (default 4). Conflicting ops — descriptor
+	// table changes, namespace mutations, tokened requests, exec — run
+	// on a single ordered lane that preserves per-session FIFO order.
+	Workers int
+	// MaxProtocol caps the protocol version the server negotiates: 0 or
+	// ProtocolV2 accept tagged v2 sessions, ProtocolV1 pins the server
+	// to the lock-step line protocol (simulating an old server; v2
+	// clients fall back transparently).
+	MaxProtocol int
 }
 
 // DedupeJournal persists tokened replies across restarts. The durable
@@ -141,6 +161,10 @@ type srvMetrics struct {
 	barrierErrs   *obs.Counter
 	poolHits      *obs.Gauge
 	poolMisses    *obs.Gauge
+	tagsInFlight  *obs.Gauge
+	bpStalls      *obs.Counter
+	occupancy     *obs.Histogram
+	v2Sessions    *obs.Counter
 }
 
 func newSrvMetrics(reg *obs.Registry) *srvMetrics {
@@ -157,6 +181,10 @@ func newSrvMetrics(reg *obs.Registry) *srvMetrics {
 	reg.Help(MetricBarrierErrs, "Commit barriers that failed before a mutating reply (durability degraded).")
 	reg.Help(MetricPayloadPoolHits, "Payloads served from pooled codec scratch (process-wide).")
 	reg.Help(MetricPayloadPoolMisses, "Payloads that had to grow codec scratch (process-wide).")
+	reg.Help(MetricTagsInFlight, "Tagged requests currently admitted across v2 sessions.")
+	reg.Help(MetricBackpressureStalls, "Frames that waited for credit-window space before dispatch.")
+	reg.Help(MetricWindowOccupancy, "Window occupancy observed at each v2 frame admission.")
+	reg.Help(MetricV2Sessions, "Sessions that negotiated protocol v2 since start.")
 	return &srvMetrics{
 		reg:           reg,
 		errors:        reg.Counter(MetricErrors),
@@ -171,7 +199,40 @@ func newSrvMetrics(reg *obs.Registry) *srvMetrics {
 		barrierErrs:   reg.Counter(MetricBarrierErrs),
 		poolHits:      reg.Gauge(MetricPayloadPoolHits),
 		poolMisses:    reg.Gauge(MetricPayloadPoolMisses),
+		tagsInFlight:  reg.Gauge(MetricTagsInFlight),
+		bpStalls:      reg.Counter(MetricBackpressureStalls),
+		occupancy:     reg.Histogram(MetricWindowOccupancy, []float64{1, 2, 4, 8, 16, 32, 64}),
+		v2Sessions:    reg.Counter(MetricV2Sessions),
 	}
+}
+
+// Negotiation caps with defaults applied.
+func (s *Server) window() int {
+	if s.opts.Window > 0 {
+		return s.opts.Window
+	}
+	return DefaultWindow
+}
+
+func (s *Server) maxInflightBytes() int64 {
+	if s.opts.MaxInflightBytes > 0 {
+		return s.opts.MaxInflightBytes
+	}
+	return DefaultMaxInflightBytes
+}
+
+func (s *Server) workers() int {
+	if s.opts.Workers > 0 {
+		return s.opts.Workers
+	}
+	return 4
+}
+
+func (s *Server) maxProtocol() int {
+	if s.opts.MaxProtocol > 0 {
+		return s.opts.MaxProtocol
+	}
+	return ProtocolV2
 }
 
 // Server is a Chirp file server exporting the file system of a simulated
@@ -430,25 +491,98 @@ func (s *Server) acceptLoop() {
 }
 
 // session is one authenticated connection.
+//
+// On a v1 session everything is owned by the single connection
+// goroutine. A session that upgrades to v2 becomes concurrent: the
+// reader goroutine owns the codec's read side, workers share the write
+// side under writeMu, and the descriptor table and CAS grants get their
+// own RWMutexes. Lock order: fdMu and grantsMu are leaves (nothing else
+// is acquired under them); writeMu is taken only around one frame's
+// queue+flush and never with another session lock held.
 type session struct {
-	s      *Server
-	id     int64 // session sequence number, for log correlation
-	log    logger
-	reqs   int64 // requests dispatched on this session
-	ident  identity.Principal
-	conn   net.Conn   // for per-request deadlines
-	state  *connState // busy flag shared with the drain path
-	c      *codec
+	s     *Server
+	id    int64 // session sequence number, for log correlation
+	log   logger
+	reqs  int64 // requests dispatched on this session (reader-owned)
+	ident identity.Principal
+	conn  net.Conn   // for per-request deadlines
+	state *connState // busy flag shared with the drain path
+	c     *codec
+
+	fdMu   sync.RWMutex // guards fds and nextFD
 	fds    map[int]*sessionFD
 	nextFD int
+
 	// grants are CAS-granted rights, verified against CASTrust.
-	grants []auth.Grant
+	grantsMu sync.RWMutex
+	grants   []auth.Grant
+
 	// pendingDedupe, when non-empty, is the dedupe key the next reply is
-	// stored under (set while a tokened request is being dispatched).
+	// stored under (v1 lock-step path only; the v2 path threads the key
+	// through per-request state instead).
 	pendingDedupe string
 	// needBarrier marks the in-flight request as mutating: its reply
-	// must wait for the durability barrier before hitting the wire.
+	// must wait for the durability barrier before hitting the wire (v1
+	// path only, as above).
 	needBarrier bool
+
+	// upgraded is set by a successful version exchange; the session loop
+	// switches to the v2 frame loop after the ok reply goes out.
+	upgraded *v2Conf
+
+	// v2 credit-window state: slotMu/slotCond gate frame admission so at
+	// most window requests are in flight per session.
+	slotMu   sync.Mutex
+	slotCond *sync.Cond
+	inflight int
+
+	writeMu sync.Mutex // serializes v2 reply frames on the shared codec
+}
+
+// v2Conf is the outcome of a version negotiation.
+type v2Conf struct {
+	window   int
+	maxBytes int64
+}
+
+// --- session state accessors (v2 workers run concurrently) -------------
+
+func (sess *session) lookupFD(fd int) (*sessionFD, bool) {
+	sess.fdMu.RLock()
+	d, ok := sess.fds[fd]
+	sess.fdMu.RUnlock()
+	return d, ok
+}
+
+func (sess *session) addFD(d *sessionFD) int {
+	sess.fdMu.Lock()
+	fd := sess.nextFD
+	sess.nextFD++
+	sess.fds[fd] = d
+	sess.fdMu.Unlock()
+	return fd
+}
+
+func (sess *session) removeFD(fd int) bool {
+	sess.fdMu.Lock()
+	_, ok := sess.fds[fd]
+	if ok {
+		delete(sess.fds, fd)
+	}
+	sess.fdMu.Unlock()
+	return ok
+}
+
+func (sess *session) fdCount() int {
+	sess.fdMu.RLock()
+	defer sess.fdMu.RUnlock()
+	return len(sess.fds)
+}
+
+func (sess *session) grantCount() int {
+	sess.grantsMu.RLock()
+	defer sess.grantsMu.RUnlock()
+	return len(sess.grants)
 }
 
 type sessionFD struct {
@@ -490,6 +624,7 @@ func (s *Server) serveConn(conn net.Conn, st *connState) {
 		fds:    make(map[int]*sessionFD),
 		nextFD: 1,
 	}
+	sess.slotCond = sync.NewCond(&sess.slotMu)
 	sess.log.printf("session for %s from %s", ident, remoteHost)
 	sess.loop()
 	sess.c.release()
@@ -517,6 +652,13 @@ func (sess *session) loop() {
 		if err != nil {
 			return // transport error
 		}
+		if up := sess.upgraded; up != nil {
+			// The version exchange succeeded lock-step; everything from
+			// here on is tagged frames.
+			sess.upgraded = nil
+			sess.loopV2(up.window, up.maxBytes)
+			return
+		}
 	}
 }
 
@@ -542,7 +684,42 @@ func (sess *session) serveOne(line string) error {
 		sess.c.writeLine("ok")
 		return errQuit
 	}
+	if fields[0] == "version" {
+		return sess.serveVersion(fields[1:])
+	}
 	return sess.dispatch(fields)
+}
+
+// serveVersion answers the protocol negotiation a v2 client opens with.
+// The exchange is lock-step: one counted request, one reply. A server
+// pinned to v1 answers ENOSYS exactly as an old binary (which has no
+// "version" case at all) would, and the client falls back.
+func (sess *session) serveVersion(args []string) error {
+	s := sess.s
+	s.requests.Add(1)
+	sess.reqs++
+	s.metrics.reg.Counter(obs.With(MetricRequests, "cmd", "version")).Inc()
+	sess.log.printf("req=%d %s: version %v", sess.reqs, sess.ident, args)
+	if s.maxProtocol() < ProtocolV2 {
+		return sess.fail(kernel.ErrNoSys, "unknown command version")
+	}
+	v, w, b, err := parseVersionArgs(args)
+	if err != nil || v < ProtocolV2 {
+		return sess.fail(vfs.ErrInvalid, "bad version exchange")
+	}
+	window := s.window()
+	if w < window {
+		window = w
+	}
+	maxBytes := s.maxInflightBytes()
+	if b < maxBytes {
+		maxBytes = b
+	}
+	if err := sess.ok(strconv.Itoa(ProtocolV2), strconv.Itoa(window), strconv.FormatInt(maxBytes, 10)); err != nil {
+		return err
+	}
+	sess.upgraded = &v2Conf{window: window, maxBytes: maxBytes}
+	return nil
 }
 
 // errQuit signals an orderly client farewell out of the session loop.
@@ -560,12 +737,23 @@ var errQuit = errors.New("chirp: session quit")
 // journal append barriers on its own entry, which subsumes the explicit
 // barrier when both are configured.
 func (sess *session) reply(fields []string) error {
-	if sess.needBarrier {
-		sess.needBarrier = false
+	key, barrier := sess.pendingDedupe, sess.needBarrier
+	sess.pendingDedupe, sess.needBarrier = "", false
+	sess.finishReply(fields, key, barrier)
+	return sess.c.writeLine(fields...)
+}
+
+// finishReply performs the pre-wire bookkeeping shared by both
+// protocol paths: the durability barrier for mutating requests, the
+// pool-counter mirror, and dedupe recording for tokened requests. The
+// journal write happens before the reply reaches the wire — once the
+// client can see the answer, it is durable.
+func (sess *session) finishReply(fields []string, dedupeKey string, barrier bool) {
+	if barrier {
 		// A tokened reply about to be journaled waits on its own dedupe
 		// entry, appended after this request's mutations — that wait
 		// covers them, so the explicit barrier would only double it.
-		journaled := sess.pendingDedupe != "" && sess.s.opts.DedupeJournal != nil
+		journaled := dedupeKey != "" && sess.s.opts.DedupeJournal != nil
 		if d := sess.s.opts.Durability; d != nil && !journaled {
 			if err := d.Barrier(); err != nil {
 				sess.s.metrics.barrierErrs.Inc()
@@ -575,12 +763,10 @@ func (sess *session) reply(fields []string) error {
 	}
 	sess.s.metrics.poolHits.Set(poolHits.Load())
 	sess.s.metrics.poolMisses.Set(poolMisses.Load())
-	if sess.pendingDedupe != "" {
-		key := sess.pendingDedupe
-		sess.pendingDedupe = ""
-		sess.s.dedupe.store(key, fields)
+	if dedupeKey != "" {
+		sess.s.dedupe.store(dedupeKey, fields)
 		if j := sess.s.opts.DedupeJournal; j != nil {
-			if err := j.AppendDedupe(key, fields); err != nil {
+			if err := j.AppendDedupe(dedupeKey, fields); err != nil {
 				sess.s.metrics.dedupeJErrs.Inc()
 				sess.log.printf("dedupe journal append failed: %v", err)
 			}
@@ -588,23 +774,41 @@ func (sess *session) reply(fields []string) error {
 		_, size := sess.s.dedupe.stats()
 		sess.s.metrics.dedupeEntries.Set(int64(size))
 	}
-	return sess.c.writeLine(fields...)
 }
 
-// ok sends a success reply.
-func (sess *session) ok(fields ...string) error {
-	return sess.reply(append([]string{"ok"}, fields...))
+// hres is one handled request's outcome: a complete reply line
+// (starting "ok" or "err") plus an optional counted payload. The
+// handler produces it; the protocol paths deliver it (v1 as a line +
+// payload, v2 as a tagged frame).
+type hres struct {
+	fields []string
+	body   []byte
 }
 
-// fail sends an error reply.
-func (sess *session) fail(err error, context string) error {
+// okres builds a success result.
+func okres(fields ...string) hres {
+	return hres{fields: append([]string{"ok"}, fields...)}
+}
+
+// failf builds an error result, counting it.
+func (sess *session) failf(err error, context string) hres {
 	msg := context
 	if err != nil {
 		msg = err.Error()
 	}
 	sess.s.errors.Add(1)
 	sess.s.metrics.errors.Inc()
-	return sess.reply([]string{"err", nameForError(err), q(msg)})
+	return hres{fields: []string{"err", nameForError(err), q(msg)}}
+}
+
+// ok sends a success reply (v1 path).
+func (sess *session) ok(fields ...string) error {
+	return sess.reply(append([]string{"ok"}, fields...))
+}
+
+// fail sends an error reply (v1 path).
+func (sess *session) fail(err error, context string) error {
+	return sess.reply(sess.failf(err, context).fields)
 }
 
 // RequestCount reports the number of requests dispatched across all
@@ -732,18 +936,86 @@ func (sess *session) dispatch(fields []string) error {
 	if s.opts.Durability != nil && mutatingCmds[cmd] {
 		sess.needBarrier = true
 	}
+	var payload []byte
+	if n, ok := requestPayloadSpec(cmd, args); ok {
+		// The request announces a counted payload and the line is well
+		// formed enough to say how long; read it before dispatch, as the
+		// lock-step protocol always has. A malformed line reads nothing
+		// and the handler fails it, leaving the wire where v1 left it.
+		data, err := sess.c.readPayload(n)
+		if err != nil {
+			return err // transport failure mid-payload
+		}
+		payload = data
+	}
+	res := sess.handle(cmd, args, payload, sess.c.scratchBuf)
+	if err := sess.reply(res.fields); err != nil {
+		return err
+	}
+	if res.body != nil {
+		return sess.c.writePayload(res.body)
+	}
+	return nil
+}
+
+// requestPayloadSpec reports the counted request payload cmd's line
+// announces, when the line is well-formed enough to announce one. A
+// malformed line (wrong arg count, out-of-range length) reports none:
+// the handler fails it without any payload having been consumed,
+// exactly as the v1 dispatch ordered its checks.
+func requestPayloadSpec(cmd string, args []string) (n int, ok bool) {
+	switch cmd {
+	case "pwrite": // pwrite <fd> <off> <len>
+		if len(args) != 3 {
+			return 0, false
+		}
+		n, _ := strconv.Atoi(args[2])
+		if n < 0 || n > MaxPayload {
+			return 0, false
+		}
+		return n, true
+	case "setacl": // setacl <path> <len>
+		if len(args) != 2 {
+			return 0, false
+		}
+		n, err := strconv.Atoi(args[1])
+		if err != nil || n < 0 || n > 1<<20 {
+			return 0, false
+		}
+		return n, true
+	case "assert": // assert <len>
+		if len(args) != 1 {
+			return 0, false
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n < 0 || n > 1<<20 {
+			return 0, false
+		}
+		return n, true
+	}
+	return 0, false
+}
+
+// handle executes one request and produces its reply. It is shared by
+// the v1 lock-step path and the v2 worker lanes, so it touches no wire
+// state: the request payload arrives pre-read, and pread reply bodies
+// are built in the buf the caller supplies (codec scratch for v1, a
+// per-worker pooled scratch for v2). Session state goes through the
+// fdMu/grantsMu accessors, making concurrent v2 execution safe.
+func (sess *session) handle(cmd string, args []string, payload []byte, buf func(int) []byte) hres {
+	s := sess.s
 	switch cmd {
 	case "whoami":
-		return sess.ok(q(sess.ident.String()))
+		return okres(q(sess.ident.String()))
 
 	case "stats": // server-side counters for this session and globally
 		s.mu.Lock()
 		conns := len(s.conns)
 		s.mu.Unlock()
-		return sess.ok(
+		return okres(
 			strconv.Itoa(conns),
-			strconv.Itoa(len(sess.fds)),
-			strconv.Itoa(len(sess.grants)),
+			strconv.Itoa(sess.fdCount()),
+			strconv.Itoa(sess.grantCount()),
 			q(s.opts.Name),
 			strconv.FormatInt(s.requests.Load(), 10),
 			strconv.FormatInt(s.errors.Load(), 10),
@@ -753,104 +1025,96 @@ func (sess *session) dispatch(fields []string) error {
 
 	case "metrics": // full registry as a counted text-exposition payload
 		text := s.metrics.reg.Text()
-		if err := sess.ok(strconv.Itoa(len(text))); err != nil {
-			return err
-		}
-		return sess.c.writePayload([]byte(text))
+		return hres{fields: []string{"ok", strconv.Itoa(len(text))}, body: []byte(text)}
 
 	case "open": // open <flags> <mode> <path>
 		if len(args) != 3 {
-			return sess.fail(vfs.ErrInvalid, "open wants 3 args")
+			return sess.failf(vfs.ErrInvalid, "open wants 3 args")
 		}
 		flags, err1 := strconv.Atoi(args[0])
 		mode, err2 := strconv.ParseUint(args[1], 8, 32)
 		if err1 != nil || err2 != nil {
-			return sess.fail(vfs.ErrInvalid, "bad open args")
+			return sess.failf(vfs.ErrInvalid, "bad open args")
 		}
 		fd, err := sess.open(args[2], flags, uint32(mode))
 		if err != nil {
-			return sess.fail(err, "open")
+			return sess.failf(err, "open")
 		}
-		return sess.ok(strconv.Itoa(fd))
+		return okres(strconv.Itoa(fd))
 
 	case "close":
 		fd, err := strconv.Atoi(args[0])
 		if err != nil {
-			return sess.fail(vfs.ErrInvalid, "bad fd")
+			return sess.failf(vfs.ErrInvalid, "bad fd")
 		}
-		if _, ok := sess.fds[fd]; !ok {
-			return sess.fail(kernel.ErrBadFD, "close")
+		if !sess.removeFD(fd) {
+			return sess.failf(kernel.ErrBadFD, "close")
 		}
-		delete(sess.fds, fd)
-		return sess.ok()
+		return okres()
 
 	case "pread": // pread <fd> <len> <off>
 		if len(args) != 3 {
-			return sess.fail(vfs.ErrInvalid, "pread wants 3 args")
+			return sess.failf(vfs.ErrInvalid, "pread wants 3 args")
 		}
 		fd, _ := strconv.Atoi(args[0])
 		n, _ := strconv.Atoi(args[1])
 		off, _ := strconv.ParseInt(args[2], 10, 64)
-		d, ok := sess.fds[fd]
+		d, ok := sess.lookupFD(fd)
 		if !ok {
-			return sess.fail(kernel.ErrBadFD, "pread")
+			return sess.failf(kernel.ErrBadFD, "pread")
 		}
 		if n < 0 || n > MaxPayload {
-			return sess.fail(vfs.ErrInvalid, "pread size")
+			return sess.failf(vfs.ErrInvalid, "pread size")
 		}
 		// Pooled scratch: the payload is written to the wire before the
-		// next readPayload/scratchBuf on this session's codec.
-		buf := sess.c.scratchBuf(n)
-		rn, err := d.h.ReadAt(buf, off)
+		// caller's scratch is reused.
+		b := buf(n)
+		rn, err := d.h.ReadAt(b, off)
 		if err != nil {
-			return sess.fail(err, "pread")
+			return sess.failf(err, "pread")
 		}
-		if err := sess.ok(strconv.Itoa(rn)); err != nil {
-			return err
-		}
-		return sess.c.writePayload(buf[:rn])
+		return hres{fields: []string{"ok", strconv.Itoa(rn)}, body: b[:rn]}
 
 	case "pwrite": // pwrite <fd> <off> <len> + payload
 		if len(args) != 3 {
-			return sess.fail(vfs.ErrInvalid, "pwrite wants 3 args")
+			return sess.failf(vfs.ErrInvalid, "pwrite wants 3 args")
 		}
 		fd, _ := strconv.Atoi(args[0])
 		off, _ := strconv.ParseInt(args[1], 10, 64)
 		n, _ := strconv.Atoi(args[2])
 		if n < 0 || n > MaxPayload {
-			return sess.fail(vfs.ErrInvalid, "pwrite size")
+			return sess.failf(vfs.ErrInvalid, "pwrite size")
 		}
-		data, err := sess.c.readPayload(n)
-		if err != nil {
-			return err
+		if len(payload) != n {
+			return sess.failf(vfs.ErrInvalid, "pwrite payload length mismatch")
 		}
-		d, ok := sess.fds[fd]
+		d, ok := sess.lookupFD(fd)
 		if !ok {
-			return sess.fail(kernel.ErrBadFD, "pwrite")
+			return sess.failf(kernel.ErrBadFD, "pwrite")
 		}
 		if d.flags&3 == kernel.ORdonly {
-			return sess.fail(kernel.ErrBadFD, "fd not writable")
+			return sess.failf(kernel.ErrBadFD, "fd not writable")
 		}
-		wn, err := d.h.WriteAt(data, off)
+		wn, err := d.h.WriteAt(payload, off)
 		if err != nil {
-			return sess.fail(err, "pwrite")
+			return sess.failf(err, "pwrite")
 		}
-		return sess.ok(strconv.Itoa(wn))
+		return okres(strconv.Itoa(wn))
 
 	case "fstat":
 		fd, _ := strconv.Atoi(args[0])
-		d, ok := sess.fds[fd]
+		d, ok := sess.lookupFD(fd)
 		if !ok {
-			return sess.fail(kernel.ErrBadFD, "fstat")
+			return sess.failf(kernel.ErrBadFD, "fstat")
 		}
-		return sess.ok(statFields(d.h.Stat())...)
+		return okres(statFields(d.h.Stat())...)
 
 	case "stat", "lstat":
 		if len(args) != 1 {
-			return sess.fail(vfs.ErrInvalid, "stat wants a path")
+			return sess.failf(vfs.ErrInvalid, "stat wants a path")
 		}
 		if err := sess.checkF(args[0], acl.List); err != nil {
-			return sess.fail(err, "stat")
+			return sess.failf(err, "stat")
 		}
 		var st vfs.Stat
 		var err error
@@ -860,204 +1124,432 @@ func (sess *session) dispatch(fields []string) error {
 			st, err = s.fs.Lstat(args[0])
 		}
 		if err != nil {
-			return sess.fail(err, "stat")
+			return sess.failf(err, "stat")
 		}
-		return sess.ok(statFields(st)...)
+		return okres(statFields(st)...)
 
 	case "getdir":
 		if err := sess.checkD(args[0], acl.List); err != nil {
-			return sess.fail(err, "getdir")
+			return sess.failf(err, "getdir")
 		}
 		ents, err := s.fs.ReadDir(args[0])
 		if err != nil {
-			return sess.fail(err, "getdir")
+			return sess.failf(err, "getdir")
 		}
 		out := make([]string, 0, 2*len(ents)+1)
 		out = append(out, strconv.Itoa(len(ents)))
 		for _, e := range ents {
 			out = append(out, q(e.Name), strconv.Itoa(int(e.Type)))
 		}
-		return sess.ok(out...)
+		return okres(out...)
 
 	case "mkdir": // mkdir <mode> <path>
 		if len(args) != 2 {
-			return sess.fail(vfs.ErrInvalid, "mkdir wants 2 args")
+			return sess.failf(vfs.ErrInvalid, "mkdir wants 2 args")
 		}
 		mode, err := strconv.ParseUint(args[0], 8, 32)
 		if err != nil {
-			return sess.fail(vfs.ErrInvalid, "bad mode")
+			return sess.failf(vfs.ErrInvalid, "bad mode")
 		}
 		if err := sess.mkdir(args[1], uint32(mode)); err != nil {
-			return sess.fail(err, "mkdir")
+			return sess.failf(err, "mkdir")
 		}
-		return sess.ok()
+		return okres()
 
 	case "rmdir":
 		if err := sess.checkF(args[0], acl.Write); err != nil {
-			return sess.fail(err, "rmdir")
+			return sess.failf(err, "rmdir")
 		}
 		// A directory holding only its ACL file counts as empty: the
 		// ACL is removed with the directory.
 		if ents, lerr := s.fs.ReadDir(args[0]); lerr == nil &&
 			len(ents) == 1 && ents[0].Name == acl.FileName {
 			if uerr := s.fs.Unlink(vfs.Join(args[0], acl.FileName)); uerr != nil {
-				return sess.fail(uerr, "rmdir")
+				return sess.failf(uerr, "rmdir")
 			}
 		}
 		if err := s.fs.Rmdir(args[0]); err != nil {
-			return sess.fail(err, "rmdir")
+			return sess.failf(err, "rmdir")
 		}
-		return sess.ok()
+		return okres()
 
 	case "unlink":
 		if err := sess.checkACLFileWrite(args[0]); err != nil {
-			return sess.fail(err, "unlink")
+			return sess.failf(err, "unlink")
 		}
 		if err := s.fs.Unlink(args[0]); err != nil {
-			return sess.fail(err, "unlink")
+			return sess.failf(err, "unlink")
 		}
-		return sess.ok()
+		return okres()
 
 	case "rename":
 		if len(args) != 2 {
-			return sess.fail(vfs.ErrInvalid, "rename wants 2 args")
+			return sess.failf(vfs.ErrInvalid, "rename wants 2 args")
 		}
 		if err := sess.checkACLFileWrite(args[0]); err != nil {
-			return sess.fail(err, "rename")
+			return sess.failf(err, "rename")
 		}
 		if err := sess.checkACLFileWrite(args[1]); err != nil {
-			return sess.fail(err, "rename")
+			return sess.failf(err, "rename")
 		}
 		if err := s.fs.Rename(args[0], args[1]); err != nil {
-			return sess.fail(err, "rename")
+			return sess.failf(err, "rename")
 		}
-		return sess.ok()
+		return okres()
 
 	case "link": // link <old> <new>: refuse links to unreadable files
 		if len(args) != 2 {
-			return sess.fail(vfs.ErrInvalid, "link wants 2 args")
+			return sess.failf(vfs.ErrInvalid, "link wants 2 args")
 		}
 		if err := sess.checkF(args[0], acl.Read); err != nil {
-			return sess.fail(err, "link")
+			return sess.failf(err, "link")
 		}
 		if err := sess.checkACLFileWrite(args[1]); err != nil {
-			return sess.fail(err, "link")
+			return sess.failf(err, "link")
 		}
 		if err := s.fs.Link(args[0], args[1]); err != nil {
-			return sess.fail(err, "link")
+			return sess.failf(err, "link")
 		}
-		return sess.ok()
+		return okres()
 
 	case "symlink": // symlink <target> <link>
 		if len(args) != 2 {
-			return sess.fail(vfs.ErrInvalid, "symlink wants 2 args")
+			return sess.failf(vfs.ErrInvalid, "symlink wants 2 args")
 		}
 		if err := sess.checkACLFileWrite(args[1]); err != nil {
-			return sess.fail(err, "symlink")
+			return sess.failf(err, "symlink")
 		}
 		if err := s.fs.Symlink(args[0], args[1], s.opts.Owner); err != nil {
-			return sess.fail(err, "symlink")
+			return sess.failf(err, "symlink")
 		}
-		return sess.ok()
+		return okres()
 
 	case "readlink":
 		if err := s.checkFileNoFollow(sess.ident, args[0], acl.List); err != nil {
-			return sess.fail(err, "readlink")
+			return sess.failf(err, "readlink")
 		}
 		t, err := s.fs.Readlink(args[0])
 		if err != nil {
-			return sess.fail(err, "readlink")
+			return sess.failf(err, "readlink")
 		}
-		return sess.ok(q(t))
+		return okres(q(t))
 
 	case "truncate": // truncate <path> <size>
 		if len(args) != 2 {
-			return sess.fail(vfs.ErrInvalid, "truncate wants 2 args")
+			return sess.failf(vfs.ErrInvalid, "truncate wants 2 args")
 		}
 		size, err := strconv.ParseInt(args[1], 10, 64)
 		if err != nil {
-			return sess.fail(vfs.ErrInvalid, "bad size")
+			return sess.failf(vfs.ErrInvalid, "bad size")
 		}
 		if err := sess.checkF(args[0], acl.Write); err != nil {
-			return sess.fail(err, "truncate")
+			return sess.failf(err, "truncate")
 		}
 		if err := s.fs.Truncate(args[0], size); err != nil {
-			return sess.fail(err, "truncate")
+			return sess.failf(err, "truncate")
 		}
-		return sess.ok()
+		return okres()
 
 	case "getacl":
 		if err := sess.checkD(args[0], acl.List); err != nil {
-			return sess.fail(err, "getacl")
+			return sess.failf(err, "getacl")
 		}
 		a, err := s.aclFor(args[0])
 		if err != nil {
-			return sess.fail(err, "getacl")
+			return sess.failf(err, "getacl")
 		}
 		text := a.String()
-		if err := sess.ok(strconv.Itoa(len(text))); err != nil {
-			return err
-		}
-		return sess.c.writePayload([]byte(text))
+		return hres{fields: []string{"ok", strconv.Itoa(len(text))}, body: []byte(text)}
 
 	case "setacl": // setacl <path> <len> + payload
 		if len(args) != 2 {
-			return sess.fail(vfs.ErrInvalid, "setacl wants 2 args")
+			return sess.failf(vfs.ErrInvalid, "setacl wants 2 args")
 		}
 		n, err := strconv.Atoi(args[1])
 		if err != nil || n < 0 || n > 1<<20 {
-			return sess.fail(vfs.ErrInvalid, "bad length")
+			return sess.failf(vfs.ErrInvalid, "bad length")
 		}
-		data, err := sess.c.readPayload(n)
-		if err != nil {
-			return err
+		if len(payload) != n {
+			return sess.failf(vfs.ErrInvalid, "setacl payload length mismatch")
 		}
 		if err := sess.checkD(args[0], acl.Admin); err != nil {
-			return sess.fail(err, "setacl")
+			return sess.failf(err, "setacl")
 		}
-		if _, err := acl.Parse(string(data)); err != nil {
-			return sess.fail(vfs.ErrInvalid, "malformed ACL")
+		if _, err := acl.Parse(string(payload)); err != nil {
+			return sess.failf(vfs.ErrInvalid, "malformed ACL")
 		}
 		aclPath := vfs.Join(args[0], acl.FileName)
-		if err := s.fs.WriteFile(aclPath, data, 0o644, s.opts.Owner); err != nil {
-			return sess.fail(err, "setacl")
+		if err := s.fs.WriteFile(aclPath, payload, 0o644, s.opts.Owner); err != nil {
+			return sess.failf(err, "setacl")
 		}
-		return sess.ok()
+		return okres()
 
 	case "assert": // assert <len> + JSON assertion payload
 		if len(args) != 1 {
-			return sess.fail(vfs.ErrInvalid, "assert wants a length")
+			return sess.failf(vfs.ErrInvalid, "assert wants a length")
 		}
 		n, err := strconv.Atoi(args[0])
 		if err != nil || n < 0 || n > 1<<20 {
-			return sess.fail(vfs.ErrInvalid, "bad length")
+			return sess.failf(vfs.ErrInvalid, "bad length")
 		}
-		data, err := sess.c.readPayload(n)
+		if len(payload) != n {
+			return sess.failf(vfs.ErrInvalid, "assert payload length mismatch")
+		}
+		community, err := sess.present(payload)
 		if err != nil {
-			return err
+			return sess.failf(vfs.ErrPermission, err.Error())
 		}
-		community, err := sess.present(data)
-		if err != nil {
-			return sess.fail(vfs.ErrPermission, err.Error())
-		}
-		return sess.ok(q(community))
+		return okres(q(community))
 
 	case "exec": // exec <cwd> <path> [args...]
 		if len(args) < 2 {
-			return sess.fail(vfs.ErrInvalid, "exec wants cwd and path")
+			return sess.failf(vfs.ErrInvalid, "exec wants cwd and path")
 		}
 		code, runtime, err := sess.exec(args[0], args[1], args[2:])
 		if err != nil {
-			return sess.fail(err, "exec")
+			return sess.failf(err, "exec")
 		}
-		return sess.ok(strconv.Itoa(code), strconv.FormatFloat(runtime, 'f', -1, 64))
+		return okres(strconv.Itoa(code), strconv.FormatFloat(runtime, 'f', -1, 64))
 
 	default:
-		return sess.fail(kernel.ErrNoSys, "unknown command "+cmd)
+		return sess.failf(kernel.ErrNoSys, "unknown command "+cmd)
 	}
 }
 
 // open authorizes and opens a file for the session.
+// --- v2 tagged frame loop ----------------------------------------------
+
+// orderedCmds lists the commands the v2 dispatcher serializes on one
+// lane per session, preserving submission order where operations can
+// conflict: descriptor-table changes (open/close), namespace mutations,
+// ACL and grant changes, and tokened requests (dedupe lookup/store must
+// not race a concurrent duplicate). Everything else — reads, stats, and
+// pwrite, whose offsets the client already owns — runs on the
+// concurrent worker pool, so a slow transfer cannot head-of-line block
+// metadata traffic.
+var orderedCmds = map[string]bool{
+	"open":     true,
+	"close":    true,
+	"mkdir":    true,
+	"rmdir":    true,
+	"unlink":   true,
+	"rename":   true,
+	"link":     true,
+	"symlink":  true,
+	"truncate": true,
+	"setacl":   true,
+	"assert":   true,
+	"exec":     true,
+	"token":    true,
+}
+
+// muxJob is one tagged request handed from the v2 reader to a worker
+// lane. The payload is request-owned (freshly allocated by the reader),
+// so workers never share buffers.
+type muxJob struct {
+	tag     uint64
+	cmd     string
+	args    []string
+	payload []byte
+}
+
+// loopV2 is the tagged-frame session loop a successful version exchange
+// switches into. The connection goroutine becomes the frame reader; an
+// ordered lane (one goroutine, FIFO) executes conflicting commands in
+// submission order while a small pool runs the rest concurrently. The
+// credit window (acquireSlot) bounds requests in flight per session,
+// applying backpressure by simply not reading the next frame.
+func (sess *session) loopV2(window int, maxBytes int64) {
+	s := sess.s
+	s.metrics.v2Sessions.Inc()
+	sess.log.printf("upgraded to protocol 2 (window=%d maxbytes=%d)", window, maxBytes)
+	ordered := make(chan muxJob, window)
+	pool := make(chan muxJob, window)
+	var wg sync.WaitGroup
+	worker := func(ch <-chan muxJob) {
+		defer wg.Done()
+		sc := scratchPool.Get().(*payloadScratch)
+		defer scratchPool.Put(sc)
+		for j := range ch {
+			sess.serveTagged(j, sc)
+			sess.releaseSlot()
+		}
+	}
+	wg.Add(1)
+	go worker(ordered)
+	for i := 0; i < s.workers(); i++ {
+		wg.Add(1)
+		go worker(pool)
+	}
+	var closeOnce sync.Once
+	closeLanes := func() {
+		closeOnce.Do(func() {
+			close(ordered)
+			close(pool)
+			wg.Wait() // all replies flushed before the codec is released
+		})
+	}
+	defer closeLanes()
+	for {
+		if s.isDraining() {
+			return // finish in-flight work, accept no more requests
+		}
+		h, err := sess.c.readFrameHeader()
+		if err != nil {
+			return // connection closed (or drain nudge expired the read)
+		}
+		// The per-request deadline bounds the rest of this frame's wire
+		// I/O once its header has arrived, exactly as v1 bounded the
+		// exchange once the command line arrived.
+		if rt := s.opts.RequestTimeout; rt > 0 {
+			if derr := sess.conn.SetReadDeadline(time.Now().Add(rt)); derr != nil {
+				sess.log.printf("setting request deadline: %v", derr)
+			}
+		}
+		line, err := sess.c.readFrameLine(h.lineLen)
+		if err != nil {
+			return
+		}
+		var payload []byte
+		if h.payloadLen > 0 {
+			payload = make([]byte, h.payloadLen)
+			if err := sess.c.readPayloadInto(payload); err != nil {
+				return
+			}
+		}
+		if rt := s.opts.RequestTimeout; rt > 0 {
+			if derr := sess.conn.SetReadDeadline(time.Time{}); derr != nil {
+				sess.log.printf("clearing request deadline: %v", derr)
+			}
+		}
+		fields, err := splitFields(line)
+		if err != nil || len(fields) == 0 {
+			if werr := sess.failTagged(h.tag, vfs.ErrInvalid, "malformed request"); werr != nil {
+				return
+			}
+			continue
+		}
+		cmd := fields[0]
+		if cmd == "quit" {
+			closeLanes() // every pending reply precedes the farewell ack
+			sess.writeFrame(h.tag, []string{"ok"}, nil)
+			return
+		}
+		s.requests.Add(1)
+		sess.reqs++
+		mcmd := cmd
+		if cmd == "token" && len(fields) >= 3 {
+			mcmd = fields[2] // count the inner command, as v1 does
+		}
+		s.metrics.reg.Counter(obs.With(MetricRequests, "cmd", mcmd)).Inc()
+		sess.log.printf("req=%d tag=%d %s: %s %v", sess.reqs, h.tag, sess.ident, cmd, fields[1:])
+		sess.acquireSlot(window)
+		lane := pool
+		if orderedCmds[cmd] {
+			lane = ordered
+		}
+		lane <- muxJob{tag: h.tag, cmd: cmd, args: fields[1:], payload: payload}
+	}
+}
+
+// serveTagged executes one tagged request on a worker lane and writes
+// its reply frame. sc is the worker's pooled payload scratch, reused
+// for pread bodies (the frame is flushed before the scratch is reused).
+func (sess *session) serveTagged(j muxJob, sc *payloadScratch) {
+	s := sess.s
+	cmd, args := j.cmd, j.args
+	var dk string
+	if cmd == "token" {
+		if len(args) < 2 {
+			sess.failTagged(j.tag, vfs.ErrInvalid, "token wants a token and a command")
+			return
+		}
+		token, inner := args[0], args[1:]
+		cmd, args = inner[0], inner[1:]
+		if !tokenable[cmd] {
+			sess.failTagged(j.tag, vfs.ErrInvalid, "command not tokenable: "+cmd)
+			return
+		}
+		key := dedupeKey(sess.ident.String(), token)
+		if stored, hit := s.dedupe.lookup(key); hit {
+			s.metrics.dedupeHits.Inc()
+			sess.log.printf("tag=%d %s: %s (token %s) replayed from dedupe", j.tag, sess.ident, cmd, token)
+			sess.writeFrame(j.tag, stored, nil)
+			return
+		}
+		dk = key
+	}
+	barrier := s.opts.Durability != nil && mutatingCmds[cmd]
+	res := sess.handle(cmd, args, j.payload, sc.bytes)
+	sess.finishReply(res.fields, dk, barrier)
+	sess.writeFrame(j.tag, res.fields, res.body)
+}
+
+// writeFrame sends one tagged reply frame, serialized on writeMu so
+// concurrent workers interleave whole frames, never partial ones.
+func (sess *session) writeFrame(tag uint64, fields []string, body []byte) error {
+	sess.writeMu.Lock()
+	defer sess.writeMu.Unlock()
+	if rt := sess.s.opts.RequestTimeout; rt > 0 {
+		if err := sess.conn.SetWriteDeadline(time.Now().Add(rt)); err != nil {
+			sess.log.printf("setting reply deadline: %v", err)
+		}
+		defer func() {
+			if err := sess.conn.SetWriteDeadline(time.Time{}); err != nil {
+				sess.log.printf("clearing reply deadline: %v", err)
+			}
+		}()
+	}
+	if err := sess.c.queueFrame(tag, fields, body); err != nil {
+		return err
+	}
+	return sess.c.flush()
+}
+
+// failTagged writes a counted error reply frame for tag.
+func (sess *session) failTagged(tag uint64, err error, context string) error {
+	res := sess.failf(err, context)
+	return sess.writeFrame(tag, res.fields, nil)
+}
+
+// acquireSlot blocks until the session's credit window has room, then
+// claims a slot. Called only by the frame reader, so blocking here is
+// the backpressure: the next frame is not read until a slot frees.
+func (sess *session) acquireSlot(window int) {
+	sess.slotMu.Lock()
+	for sess.inflight >= window {
+		sess.s.metrics.bpStalls.Inc()
+		sess.slotCond.Wait()
+	}
+	sess.inflight++
+	sess.s.metrics.occupancy.Observe(float64(sess.inflight))
+	sess.s.metrics.tagsInFlight.Inc()
+	if sess.inflight == 1 {
+		sess.state.busy.Store(true)
+	}
+	sess.slotMu.Unlock()
+}
+
+// releaseSlot returns a worker's slot after its reply is on the wire.
+// When the last in-flight request completes during a drain, the blocked
+// frame reader cannot see the drain flag, so the release expires its
+// read — the v2 equivalent of Shutdown's nudge to idle v1 sessions.
+func (sess *session) releaseSlot() {
+	sess.slotMu.Lock()
+	sess.inflight--
+	if sess.inflight == 0 {
+		sess.state.busy.Store(false)
+		if sess.s.isDraining() {
+			if err := sess.conn.SetReadDeadline(time.Now()); err != nil {
+				sess.log.printf("drain nudge: %v", err)
+			}
+		}
+	}
+	sess.s.metrics.tagsInFlight.Dec()
+	sess.slotCond.Signal()
+	sess.slotMu.Unlock()
+}
+
 func (sess *session) open(path string, flags int, mode uint32) (int, error) {
 	s := sess.s
 	var classes []acl.Rights
@@ -1105,10 +1597,7 @@ func (sess *session) open(path string, flags int, mode uint32) (int, error) {
 			return 0, err
 		}
 	}
-	fd := sess.nextFD
-	sess.nextFD++
-	sess.fds[fd] = &sessionFD{h: h, path: path, flags: flags}
-	return fd, nil
+	return sess.addFD(&sessionFD{h: h, path: path, flags: flags}), nil
 }
 
 // present verifies a CAS assertion and installs its grants.
@@ -1127,7 +1616,9 @@ func (sess *session) present(data []byte) (community string, err error) {
 	if err := s.opts.CASTrust.Verify(a); err != nil {
 		return "", err
 	}
+	sess.grantsMu.Lock()
 	sess.grants = append(sess.grants, a.Grants...)
+	sess.grantsMu.Unlock()
 	sess.log.printf("%s: presented CAS assertion from %s (%s), %d grants", sess.ident, a.CAS, a.Community, len(a.Grants))
 	return a.Community, nil
 }
@@ -1136,6 +1627,8 @@ func (sess *session) present(data []byte) (community string, err error) {
 // the wanted rights. Prefix matching respects component boundaries.
 func (sess *session) grantsAllow(path string, want acl.Rights) bool {
 	final := sess.s.resolveFinal(path)
+	sess.grantsMu.RLock()
+	defer sess.grantsMu.RUnlock()
 	for _, g := range sess.grants {
 		prefix := vfs.Clean(g.PathPrefix)
 		if !(prefix == "/" || final == prefix ||
