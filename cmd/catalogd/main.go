@@ -3,24 +3,33 @@
 //
 // Usage:
 //
-//	catalogd [-addr host:port]           run a catalog
-//	catalogd -query host:port            list servers known to a catalog
+//	catalogd [-addr host:port] [-metrics host:port]   run a catalog
+//	catalogd -query host:port                         list servers known to a catalog
+//
+// -metrics serves the catalog's telemetry over HTTP: Prometheus text
+// exposition at /metrics (JSON with ?format=json), expvar at
+// /debug/vars, and pprof under /debug/pprof/ — the same layout chirpd
+// uses, so one scrape config covers both daemons.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"os/signal"
 	"time"
 
 	"identitybox/internal/chirp"
+	"identitybox/internal/obs"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:9097", "listen address (UDP heartbeats + TCP queries)")
 	query := flag.String("query", "", "query an existing catalog and exit")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
 	flag.Parse()
 
 	if *query != "" {
@@ -35,10 +44,23 @@ func main() {
 	}
 
 	cat := chirp.NewCatalog()
+	reg := obs.NewRegistry()
+	cat.SetMetrics(reg)
 	if err := cat.Listen(*addr); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("catalogd: listening on %s (udp heartbeats, tcp queries)\n", cat.Addr())
+	if *metricsAddr != "" {
+		reg.PublishExpvar("catalogd")
+		// The default mux already carries expvar and pprof handlers.
+		http.Handle("/metrics", reg.Handler())
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, nil); err != nil {
+				log.Printf("catalogd: metrics server: %v", err)
+			}
+		}()
+		fmt.Printf("catalogd: metrics on http://%s/metrics\n", *metricsAddr)
+	}
 
 	ticker := time.NewTicker(30 * time.Second)
 	defer ticker.Stop()

@@ -28,6 +28,14 @@
 //	                            the negotiated protocol version, window
 //	                            state, client retry/breaker counters and
 //	                            the server's fault-tolerance series
+//	trace [hexid]               without an id: run a traced mkdir+rmdir
+//	                            probe and print the full span chain —
+//	                            client submit/send/await next to the
+//	                            server's lane queue, handler, WAL
+//	                            group-commit, durability barrier and
+//	                            reply phases. With an id: fetch the
+//	                            server's retained spans for that trace
+//	                            (the probe needs write access at /)
 //
 // Authentication: -user sends a unix assertion; with -user "" the
 // hostname method is used.
@@ -46,6 +54,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -54,6 +63,7 @@ import (
 	"identitybox/internal/auth"
 	"identitybox/internal/chirp"
 	"identitybox/internal/kernel"
+	"identitybox/internal/obs"
 )
 
 func main() {
@@ -81,6 +91,12 @@ func main() {
 		Window: *window, MaxInflightBytes: *maxInflight, Protocol: *proto}
 	if *retries <= 0 {
 		opts.DisableRetries = true
+	}
+	if args[0] == "trace" {
+		// Only the trace subcommand asks for the trace capability: the
+		// other commands keep the untraced wire format.
+		traceRing = obs.NewSpanRing(256)
+		opts.Spans = traceRing
 	}
 	cl, err := chirp.DialOpts(*addr, auths, opts)
 	if err != nil {
@@ -257,9 +273,75 @@ func dispatch(cl *chirp.Client, cmd string, args []string) error {
 			n = v
 		}
 		return ping(cl, n)
+	case "trace":
+		if len(args) > 0 {
+			return traceFetch(cl, args[0])
+		}
+		return traceProbe(cl)
 	default:
 		return fmt.Errorf("unknown command")
 	}
+}
+
+// traceRing holds the client-side spans of the trace subcommand's own
+// calls; set in main before dialing so negotiation asks for the trace
+// capability.
+var traceRing *obs.SpanRing
+
+// traceProbe runs one traced mutating round trip (mkdir + rmdir of a
+// scratch directory) under a forced trace ID and prints every span the
+// trace produced on both ends, in start order: the client's
+// submit/send/await phases interleaved with the server's lane queue,
+// handler, WAL group-commit, durability barrier and reply timings.
+func traceProbe(cl *chirp.Client) error {
+	if ws := cl.WindowStats(); !ws.Traced {
+		return fmt.Errorf("tracing not negotiated (v%d session; the server must run with tracing enabled and speak v2)", ws.Protocol)
+	}
+	id := obs.NewTraceID()
+	cl.SetTrace(id)
+	dir := "/.traceprobe-" + obs.FormatTraceID(id)[:8]
+	if err := cl.Mkdir(dir, 0o755); err != nil {
+		cl.SetTrace(0)
+		return fmt.Errorf("probe mkdir %s: %w (the probe needs write access at /)", dir, err)
+	}
+	if err := cl.Rmdir(dir); err != nil {
+		cl.SetTrace(0)
+		return fmt.Errorf("probe rmdir %s: %w", dir, err)
+	}
+	cl.SetTrace(0) // the span fetch below gets its own trace ID
+	spans := traceRing.Trace(id)
+	server, err := cl.TraceSpans(id)
+	if err != nil {
+		return fmt.Errorf("fetching server spans: %w", err)
+	}
+	spans = append(spans, server...)
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	fmt.Printf("trace %s (%d spans)\n", obs.FormatTraceID(id), len(spans))
+	for _, s := range spans {
+		obs.WriteSpan(os.Stdout, s)
+	}
+	return nil
+}
+
+// traceFetch prints the server's retained spans for one trace ID.
+func traceFetch(cl *chirp.Client, arg string) error {
+	id, err := obs.ParseTraceID(arg)
+	if err != nil || id == 0 {
+		return fmt.Errorf("bad trace id %q", arg)
+	}
+	spans, err := cl.TraceSpans(id)
+	if err != nil {
+		return err
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("no spans retained for %s (rotated out, or never traced)", obs.FormatTraceID(id))
+	}
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	fmt.Printf("trace %s (%d spans)\n", obs.FormatTraceID(id), len(spans))
+	for _, s := range spans {
+		obs.WriteSpan(os.Stdout, s)
+	}
+	return nil
 }
 
 // ping measures whoami round trips and reports the fault-tolerance

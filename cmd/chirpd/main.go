@@ -8,7 +8,8 @@
 //	       [-catalog addr] [-name label] [-state dir] [-metrics host:port]
 //	       [-compact-every d] [-fsync n] [-commit-window d] [-commit-batch n]
 //	       [-req-timeout d] [-drain d] [-window n] [-max-inflight bytes]
-//	       [-workers n] [-v]
+//	       [-workers n] [-trace-spans n] [-trace-log file] [-trace-slow d]
+//	       [-v]
 //
 // -state names a durable state directory: every mutation is journaled
 // to a checksummed write-ahead log (fsynced per -fsync) and compacted
@@ -37,8 +38,19 @@
 //
 // -metrics serves the server's telemetry over HTTP: Prometheus text
 // exposition at /metrics (JSON with ?format=json), expvar at
-// /debug/vars, and pprof under /debug/pprof/. The same counters are
-// also reachable over the Chirp wire ("chirp stats" / "chirp metrics").
+// /debug/vars, pprof under /debug/pprof/, and recent request traces at
+// /debug/traces (one trace with ?trace=<hexid>, JSON with
+// ?format=json). The same counters are also reachable over the Chirp
+// wire ("chirp stats" / "chirp metrics").
+//
+// Request tracing is on by default: v2 clients that ask for the
+// "trace" capability get per-request server spans — lane queue wait,
+// handler, WAL group-commit and durability-barrier timing, reply
+// flush — retained in a bounded ring (-trace-spans) and fetchable by
+// trace ID over the wire ("chirp trace"). -trace-slow with -trace-log
+// appends every traced request at least that slow to a JSONL file
+// (0 logs every traced request). -trace-spans 0 disables tracing
+// entirely; untraced requests never pay for any of this.
 //
 // The exported file system is a fresh in-memory volume; a handful of
 // demo programs (echo, sum, sim) are pre-registered for remote exec.
@@ -61,6 +73,7 @@ import (
 	"identitybox/internal/acl"
 	"identitybox/internal/auth"
 	"identitybox/internal/chirp"
+	"identitybox/internal/core"
 	"identitybox/internal/durable"
 	"identitybox/internal/kernel"
 	"identitybox/internal/obs"
@@ -79,7 +92,10 @@ func main() {
 	fsyncEvery := flag.Int("fsync", 1, "fsync the WAL every N records with -state (1: every record; 0: never, the OS decides)")
 	commitWindow := flag.Duration("commit-window", 0, "group-commit coalescing window with -state (0: the built-in default; negative: flush eagerly)")
 	commitBatch := flag.Int("commit-batch", 0, "max records per commit group with -state (0: the built-in default)")
-	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars, /debug/pprof and /debug/traces on this address")
+	traceSpans := flag.Int("trace-spans", obs.DefaultSpanCapacity, "retained request spans (0: disable request tracing)")
+	traceLog := flag.String("trace-log", "", "append slow traced requests to this JSONL file")
+	traceSlow := flag.Duration("trace-slow", 100*time.Millisecond, "log traced requests at least this slow to -trace-log (0: log every traced request)")
 	reqTimeout := flag.Duration("req-timeout", 30*time.Second, "per-request wire deadline after the command line arrives (0: none)")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain budget before severing sessions")
 	window := flag.Int("window", 0, "per-session v2 credit window, tags in flight (0: the built-in default)")
@@ -94,6 +110,12 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
+	// One span ring shared by the Chirp server and the durable store, so
+	// a trace's server spans and WAL group-commit spans land together.
+	var spans *obs.SpanRing
+	if *traceSpans > 0 {
+		spans = obs.NewSpanRing(*traceSpans)
+	}
 	fs := vfs.New(*owner)
 	var store *durable.Store
 	if *state != "" {
@@ -107,6 +129,7 @@ func main() {
 			CommitWindow: *commitWindow,
 			CommitBatch:  *commitBatch,
 			Metrics:      reg,
+			Spans:        spans,
 			Logf:         log.Printf,
 		})
 		if err != nil {
@@ -132,6 +155,18 @@ func main() {
 		Window:           *window,
 		MaxInflightBytes: *maxInflight,
 		Workers:          *workers,
+		Spans:            spans,
+		TraceSlow:        *traceSlow,
+	}
+	var slowLog *core.JSONLSink
+	if *traceLog != "" && spans != nil {
+		f, err := os.OpenFile(*traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("chirpd: -trace-log: %v", err)
+		}
+		slowLog = core.NewFileJSONLSink(f, false)
+		slowLog.SetAutoFlush(16)
+		opts.TraceLog = slowLog
 	}
 	if store != nil {
 		opts.DedupeJournal = store
@@ -154,6 +189,7 @@ func main() {
 		reg.PublishExpvar("chirpd")
 		// The default mux already carries expvar and pprof handlers.
 		http.Handle("/metrics", reg.Handler())
+		http.Handle("/debug/traces", obs.TracesHandler(spans))
 		go func() {
 			if err := http.ListenAndServe(*metricsAddr, nil); err != nil {
 				log.Printf("chirpd: metrics server: %v", err)
@@ -201,6 +237,11 @@ func main() {
 		<-drained
 	}
 	close(compactDone)
+	if slowLog != nil {
+		if err := slowLog.Close(); err != nil {
+			log.Printf("chirpd: closing trace log: %v", err)
+		}
+	}
 	if store != nil {
 		if err := store.Compact(); err != nil {
 			log.Printf("chirpd: final compaction: %v", err)

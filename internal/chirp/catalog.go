@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"identitybox/internal/obs"
 )
 
 // Catalog collects heartbeats from Chirp servers over UDP and publishes
@@ -25,6 +27,34 @@ type Catalog struct {
 	// Expiry drops servers not heard from within this window (default
 	// 15 minutes, matching production Chirp catalogs).
 	Expiry time.Duration
+
+	// Metrics, populated by SetMetrics; nil (and unrecorded) without it.
+	heartbeats *obs.Counter
+	malformed  *obs.Counter
+	queries    *obs.Counter
+	live       *obs.Gauge
+}
+
+// Catalog metric families (see SetMetrics).
+const (
+	MetricCatalogHeartbeats = "catalog_heartbeats_total"
+	MetricCatalogMalformed  = "catalog_heartbeats_malformed_total"
+	MetricCatalogQueries    = "catalog_queries_total"
+	MetricCatalogLive       = "catalog_servers_live"
+)
+
+// SetMetrics registers the catalog's counters with a registry: accepted
+// and malformed heartbeat datagrams, served queries, and a live-server
+// gauge refreshed on every expiry sweep. Call before Listen.
+func (c *Catalog) SetMetrics(reg *obs.Registry) {
+	reg.Help(MetricCatalogHeartbeats, "Heartbeat datagrams accepted.")
+	reg.Help(MetricCatalogMalformed, "Heartbeat datagrams dropped as malformed.")
+	reg.Help(MetricCatalogQueries, "Server-list queries served.")
+	reg.Help(MetricCatalogLive, "Servers currently live (refreshed on expiry sweeps).")
+	c.heartbeats = reg.Counter(MetricCatalogHeartbeats)
+	c.malformed = reg.Counter(MetricCatalogMalformed)
+	c.queries = reg.Counter(MetricCatalogQueries)
+	c.live = reg.Gauge(MetricCatalogLive)
 }
 
 // CatalogEntry describes one known server.
@@ -110,7 +140,13 @@ func (c *Catalog) heartbeatLoop() {
 func (c *Catalog) Record(datagram string) {
 	fields, err := splitFields(strings.TrimSpace(datagram))
 	if err != nil || len(fields) != 4 || fields[0] != "chirp" {
+		if c.malformed != nil {
+			c.malformed.Inc()
+		}
 		return
+	}
+	if c.heartbeats != nil {
+		c.heartbeats.Inc()
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -136,6 +172,9 @@ func (c *Catalog) Entries() []CatalogEntry {
 		out = append(out, *e)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	if c.live != nil {
+		c.live.Set(int64(len(out)))
+	}
 	return out
 }
 
@@ -150,6 +189,9 @@ func (c *Catalog) queryLoop() {
 		go func() {
 			defer c.wg.Done()
 			defer conn.Close()
+			if c.queries != nil {
+				c.queries.Inc()
+			}
 			now := c.now()
 			for _, e := range c.Entries() {
 				age := int(now.Sub(e.LastHeard).Seconds())

@@ -1,6 +1,7 @@
 package chirp
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	mrand "math/rand"
@@ -57,6 +58,11 @@ type Client struct {
 	assertions [][]byte
 
 	sent atomic.Int64 // requests sent (everything the server dispatches)
+
+	// forcedTrace, when non-zero, overrides the per-call trace ID for
+	// every subsequent RPC (see SetTrace). The chirp CLI's trace probe
+	// uses it to issue a request under a known ID it can then fetch.
+	forcedTrace atomic.Uint64
 }
 
 // Dial connects to a Chirp server and authenticates with the first
@@ -98,6 +104,34 @@ func (cl *Client) Breaker() *Breaker { return cl.brk }
 // LocalMetrics returns the registry the client's retry/redial/breaker
 // counters land in (ClientOptions.Metrics, or the private default).
 func (cl *Client) LocalMetrics() *obs.Registry { return cl.m.reg }
+
+// SetTrace pins the trace ID stamped on subsequent calls, instead of a
+// fresh ID per call; zero restores per-call IDs. Only meaningful with
+// ClientOptions.Spans set. The chirp CLI's trace probe uses it to issue
+// a request under a known ID and then fetch that trace by name.
+func (cl *Client) SetTrace(id uint64) { cl.forcedTrace.Store(id) }
+
+// TraceSpans fetches the server-side spans retained for one trace ID
+// (the trace RPC). The reply is the server's JSON span list, already
+// decoded; an empty slice means the server retained nothing for that ID
+// (expired from its ring, or never traced).
+func (cl *Client) TraceSpans(id uint64) ([]obs.Span, error) {
+	_, body, _, err := cl.do(wireCall{
+		fields:   []string{"trace", obs.FormatTraceID(id)},
+		recvBody: true,
+		class:    classIdempotent,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var spans []obs.Span
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &spans); err != nil {
+			return nil, fmt.Errorf("chirp: bad trace reply: %w", err)
+		}
+	}
+	return spans, nil
+}
 
 // Close ends the session. Close is idempotent and safe to race with
 // in-flight calls and redials: they complete or fail with
@@ -170,9 +204,9 @@ func (cl *Client) connectLocked() error {
 		return fmt.Errorf("chirp: redial authenticated as %q, session was %q", ident, cl.ident)
 	}
 	c := newCodec(conn)
-	proto, window, maxBytes := ProtocolV1, 0, int64(0)
+	proto, window, maxBytes, traced := ProtocolV1, 0, int64(0), false
 	if cl.opts.Protocol != ProtocolV1 {
-		proto, window, maxBytes, err = cl.negotiateVersion(c)
+		proto, window, maxBytes, traced, err = cl.negotiateVersion(c)
 		if err != nil {
 			conn.Close()
 			c.release()
@@ -185,7 +219,12 @@ func (cl *Client) connectLocked() error {
 	}
 	cl.conn, cl.c, cl.broken, cl.ident, cl.proto = conn, c, false, ident, proto
 	if proto == ProtocolV2 {
-		cl.mux = newMuxSession(cl, conn, c, window, maxBytes)
+		cl.mux = newMuxSession(cl, conn, c, window, maxBytes, traced)
+		cl.m.negWindow.Set(int64(window))
+		cl.m.negMaxBytes.Set(maxBytes)
+	} else {
+		cl.m.negWindow.Set(0)
+		cl.m.negMaxBytes.Set(0)
 	}
 	if cl.dialed {
 		cl.m.redials.Inc()
@@ -205,29 +244,36 @@ func (cl *Client) connectLocked() error {
 // line out, one reply back — so a v1 server sees nothing unusual: it
 // answers the unknown "version" command with ENOSYS and the client
 // stays on the line protocol. A v2 server replies "ok 2 <window>
-// <maxbytes>" with its own caps; each side then uses the minimum and
-// all subsequent traffic is framed.
-func (cl *Client) negotiateVersion(c *codec) (proto, window int, maxBytes int64, err error) {
+// <maxbytes> [caps...]" with its own caps; each side then uses the
+// minimum and all subsequent traffic is framed. When the client wants
+// request tracing (ClientOptions.Spans) it appends the trace capability
+// token; tracing activates only if the server echoes it back, so an
+// older v2 server silently leaves it off.
+func (cl *Client) negotiateVersion(c *codec) (proto, window int, maxBytes int64, traced bool, err error) {
 	cl.sent.Add(1)
-	if err := c.writeLine(versionFields(cl.opts.Window, cl.opts.MaxInflightBytes)...); err != nil {
-		return 0, 0, 0, err
+	var caps []string
+	if cl.opts.Spans != nil {
+		caps = append(caps, capTrace)
+	}
+	if err := c.writeLine(versionFields(cl.opts.Window, cl.opts.MaxInflightBytes, caps...)...); err != nil {
+		return 0, 0, 0, false, err
 	}
 	line, err := c.readLine()
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, false, err
 	}
 	parts, err := splitFields(line)
 	if err != nil || len(parts) == 0 {
-		return 0, 0, 0, fmt.Errorf("chirp: malformed version reply %q", line)
+		return 0, 0, 0, false, fmt.Errorf("chirp: malformed version reply %q", line)
 	}
 	switch parts[0] {
 	case "ok":
-		v, w, b, err := parseVersionArgs(parts[1:])
+		v, w, b, echoed, err := parseVersionArgs(parts[1:])
 		if err != nil {
-			return 0, 0, 0, err
+			return 0, 0, 0, false, err
 		}
 		if v != ProtocolV2 {
-			return 0, 0, 0, fmt.Errorf("chirp: server negotiated unsupported protocol %d", v)
+			return 0, 0, 0, false, fmt.Errorf("chirp: server negotiated unsupported protocol %d", v)
 		}
 		if w > cl.opts.Window {
 			w = cl.opts.Window
@@ -235,13 +281,14 @@ func (cl *Client) negotiateVersion(c *codec) (proto, window int, maxBytes int64,
 		if b > cl.opts.MaxInflightBytes {
 			b = cl.opts.MaxInflightBytes
 		}
-		return ProtocolV2, w, b, nil
+		traced = cl.opts.Spans != nil && hasCap(echoed, capTrace)
+		return ProtocolV2, w, b, traced, nil
 	case "err":
 		// An old (or v1-pinned) server treats "version" as an unknown
 		// command; that error reply is the fallback signal.
-		return ProtocolV1, 0, 0, nil
+		return ProtocolV1, 0, 0, false, nil
 	default:
-		return 0, 0, 0, fmt.Errorf("chirp: malformed version reply %q", line)
+		return 0, 0, 0, false, fmt.Errorf("chirp: malformed version reply %q", line)
 	}
 }
 
@@ -324,6 +371,7 @@ type wireCall struct {
 	recvBody bool      // reply carries a counted payload sized by reply[0]
 	recvInto []byte    // reply payload is read directly into this buffer instead
 	class    callClass // idempotency classification
+	trace    uint64    // request-tracing ID (0 untraced); only v2 traced sessions send it
 }
 
 // attemptLocked performs exactly one wire exchange under the per-call
@@ -388,6 +436,14 @@ func (cl *Client) attemptLocked(c wireCall) ([]string, []byte, error) {
 // retried mkdir/unlink outcomes (EEXIST/ENOENT after a lost reply mean
 // the earlier attempt won).
 func (cl *Client) do(c wireCall) (resp []string, body []byte, retried bool, err error) {
+	// Stamp a trace ID once per logical call, so every retry of the same
+	// request shows up under one trace. The ID only reaches the wire on
+	// a session that negotiated the trace capability.
+	if cl.opts.Spans != nil && c.trace == 0 {
+		if c.trace = cl.forcedTrace.Load(); c.trace == 0 {
+			c.trace = obs.NewTraceID()
+		}
+	}
 	attempts := 1
 	if !cl.opts.DisableRetries {
 		attempts += cl.opts.MaxRetries

@@ -139,29 +139,52 @@ func (c *codec) readFrameLine(n int) (string, error) {
 	return string(buf), nil
 }
 
+// capTrace is the optional capability token a peer appends to its half
+// of the version exchange to request (client) or confirm (server)
+// per-request trace-context propagation. A peer that does not know the
+// token simply never echoes it, so tracing degrades to off against old
+// binaries with no extra round trip — the same ENOSYS-style safety the
+// version exchange itself has against v1 servers.
+const capTrace = "trace"
+
 // versionFields builds the v1-style negotiation line a v2 client sends
-// as its first request: "version 2 <window> <maxbytes>". A v1 server
-// answers it with ENOSYS like any unknown command, which is the
-// fallback signal.
-func versionFields(window int, maxBytes int64) []string {
-	return []string{"version", strconv.Itoa(ProtocolV2), strconv.Itoa(window), strconv.FormatInt(maxBytes, 10)}
+// as its first request: "version 2 <window> <maxbytes> [caps...]". A v1
+// server answers it with ENOSYS like any unknown command, which is the
+// fallback signal. Capability tokens ride after the byte budget; peers
+// ignore tokens they do not recognize.
+func versionFields(window int, maxBytes int64, caps ...string) []string {
+	fields := []string{"version", strconv.Itoa(ProtocolV2), strconv.Itoa(window), strconv.FormatInt(maxBytes, 10)}
+	return append(fields, caps...)
 }
 
 // parseVersionArgs parses the peer's half of the negotiation — the
 // request args server-side, the "ok" reply tail client-side — into
-// (version, window, maxBytes).
-func parseVersionArgs(args []string) (version, window int, maxBytes int64, err error) {
-	if len(args) != 3 {
-		return 0, 0, 0, fmt.Errorf("chirp: bad version exchange %v", args)
+// (version, window, maxBytes) plus any trailing capability tokens.
+// Unknown tokens are returned, not rejected: a newer peer advertising a
+// capability this binary predates must still negotiate the base
+// protocol.
+func parseVersionArgs(args []string) (version, window int, maxBytes int64, caps []string, err error) {
+	if len(args) < 3 {
+		return 0, 0, 0, nil, fmt.Errorf("chirp: bad version exchange %v", args)
 	}
 	if version, err = strconv.Atoi(args[0]); err != nil {
-		return 0, 0, 0, fmt.Errorf("chirp: bad protocol version %q", args[0])
+		return 0, 0, 0, nil, fmt.Errorf("chirp: bad protocol version %q", args[0])
 	}
 	if window, err = strconv.Atoi(args[1]); err != nil || window < 1 {
-		return 0, 0, 0, fmt.Errorf("chirp: bad window %q", args[1])
+		return 0, 0, 0, nil, fmt.Errorf("chirp: bad window %q", args[1])
 	}
 	if maxBytes, err = strconv.ParseInt(args[2], 10, 64); err != nil || maxBytes < 1 {
-		return 0, 0, 0, fmt.Errorf("chirp: bad byte budget %q", args[2])
+		return 0, 0, 0, nil, fmt.Errorf("chirp: bad byte budget %q", args[2])
 	}
-	return version, window, maxBytes, nil
+	return version, window, maxBytes, args[3:], nil
+}
+
+// hasCap reports whether a capability token list contains cap.
+func hasCap(caps []string, cap string) bool {
+	for _, c := range caps {
+		if c == cap {
+			return true
+		}
+	}
+	return false
 }

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"identitybox/internal/obs"
 )
 
 // errSessionLost is returned by submit when the v2 session died before
@@ -26,6 +28,16 @@ type muxCall struct {
 
 	written chan struct{} // closed by the writer after flush (farewells)
 	done    chan struct{} // closed exactly once on completion
+
+	// Request-tracing state. start and stall are written in submit
+	// before the call is shared; writtenNanos is stamped by the writer
+	// goroutine after the frame's flush and read by the submitter after
+	// done, so it is atomic (zero means the stamp never landed).
+	trace        uint64
+	cmd          string
+	start        time.Time
+	stall        time.Duration
+	writtenNanos atomic.Int64
 
 	resp []string
 	body []byte
@@ -47,6 +59,8 @@ type muxSession struct {
 	c        *codec // writer goroutine owns c.w, reader owns c.r and scratch
 	window   int
 	maxBytes int64
+	traced   bool          // server echoed the trace capability
+	spans    *obs.SpanRing // client-side span sink (ClientOptions.Spans)
 
 	mu            sync.Mutex
 	cond          *sync.Cond // waits for credit-window space
@@ -64,13 +78,15 @@ type muxSession struct {
 	wg     sync.WaitGroup
 }
 
-func newMuxSession(cl *Client, conn net.Conn, c *codec, window int, maxBytes int64) *muxSession {
+func newMuxSession(cl *Client, conn net.Conn, c *codec, window int, maxBytes int64, traced bool) *muxSession {
 	ms := &muxSession{
 		cl:       cl,
 		conn:     conn,
 		c:        c,
 		window:   window,
 		maxBytes: maxBytes,
+		traced:   traced,
+		spans:    cl.opts.Spans,
 		pending:  make(map[uint64]*muxCall),
 		sendq:    make(chan *muxCall, window+1),
 		closed:   make(chan struct{}),
@@ -118,6 +134,21 @@ func (ms *muxSession) fail(err error) {
 // ops window, plus the byte budget — though one call is always
 // admitted, whatever its size, so a single fat transfer never wedges).
 func (ms *muxSession) submit(c wireCall) (*muxCall, error) {
+	// Tracing activates per call: the session must have negotiated the
+	// capability and the call must carry an ID. The untraced path stamps
+	// nothing and sends the line unchanged.
+	trace := c.trace
+	if !ms.traced {
+		trace = 0
+	}
+	var start time.Time
+	if trace != 0 {
+		start = time.Now()
+	}
+	fields := c.fields
+	if trace != 0 {
+		fields = append([]string{"trace", obs.FormatTraceID(trace)}, c.fields...)
+	}
 	est := int64(len(c.sendBody)+len(c.recvInto)) + 256
 	ms.mu.Lock()
 	for !ms.dead && (ms.inflight >= ms.window ||
@@ -134,13 +165,19 @@ func (ms *muxSession) submit(c wireCall) (*muxCall, error) {
 	ms.nextTag++
 	call := &muxCall{
 		tag:      ms.nextTag,
-		fields:   c.fields,
+		fields:   fields,
 		sendBody: c.sendBody,
 		recvInto: c.recvInto,
 		wantBody: c.recvBody,
 		counted:  true,
 		bytes:    est,
+		trace:    trace,
+		cmd:      c.fields[0],
+		start:    start,
 		done:     make(chan struct{}),
+	}
+	if trace != 0 {
+		call.stall = time.Since(start)
 	}
 	ms.pending[call.tag] = call
 	ms.inflight++
@@ -174,10 +211,48 @@ func (ms *muxSession) roundTrip(c wireCall) ([]string, []byte, error) {
 	} else {
 		<-call.done
 	}
+	if call.trace != 0 {
+		ms.observeCall(call)
+	}
 	if call.err != nil {
 		return nil, nil, call.err
 	}
 	return call.resp, call.body, nil
+}
+
+// observeCall records a completed traced call: its latency lands in the
+// client request-latency histogram (with the trace as the bucket's
+// exemplar) and, when a span ring is configured, a "client" span with
+// submit-stall, send, and await phases. Called only for traced calls,
+// so the untraced path never reaches it.
+func (ms *muxSession) observeCall(call *muxCall) {
+	dur := time.Since(call.start)
+	ms.cl.m.requestLatency.ObserveExemplar(float64(dur.Microseconds()), call.trace)
+	if ms.spans == nil {
+		return
+	}
+	sp := obs.Span{
+		Trace: call.trace,
+		ID:    ms.spans.NextSpanID(),
+		Name:  "client",
+		Cmd:   call.cmd,
+		Start: call.start,
+		Dur:   dur,
+	}
+	if call.err != nil {
+		sp.Err = call.err.Error()
+	}
+	sp.Phase("submit.stall", 0, call.stall)
+	// The writer stamps the flush time atomically; a session that died
+	// before flushing leaves it zero and the span shows no wire phases.
+	if w := call.writtenNanos.Load(); w != 0 {
+		off := time.Unix(0, w).Sub(call.start)
+		if off >= call.stall && off <= dur {
+			sp.Phase("send", call.stall, off-call.stall)
+			sp.Phase("await", off, dur-off)
+		}
+	}
+	ms.spans.Record(sp)
 }
 
 // sendQuit queues the protocol farewell and reports the write outcome
@@ -216,6 +291,7 @@ func (ms *muxSession) sendQuit() error {
 func (ms *muxSession) writeLoop() {
 	defer ms.wg.Done()
 	var flushed []*muxCall
+	var stamped []*muxCall // traced calls awaiting their flush stamp
 	for {
 		var call *muxCall
 		select {
@@ -231,6 +307,9 @@ func (ms *muxSession) writeLoop() {
 			if call.written != nil {
 				flushed = append(flushed, call)
 			}
+			if call.trace != 0 {
+				stamped = append(stamped, call)
+			}
 			select {
 			case call = <-ms.sendq:
 			default:
@@ -240,6 +319,13 @@ func (ms *muxSession) writeLoop() {
 		if err := ms.c.flush(); err != nil {
 			ms.fail(err)
 			return
+		}
+		if len(stamped) > 0 {
+			now := time.Now().UnixNano()
+			for _, s := range stamped {
+				s.writtenNanos.Store(now)
+			}
+			stamped = stamped[:0]
 		}
 		for _, f := range flushed {
 			close(f.written)
@@ -352,6 +438,7 @@ type WindowStats struct {
 	MaxInflightBytes int64 // negotiated in-flight byte budget
 	InFlight         int   // tags currently awaiting replies
 	Stalls           int64 // submits that waited for window space
+	Traced           bool  // both ends negotiated the trace capability
 }
 
 // Protocol reports the protocol version the current session negotiated
@@ -380,5 +467,6 @@ func (cl *Client) WindowStats() WindowStats {
 		MaxInflightBytes: ms.maxBytes,
 		InFlight:         ms.inflight,
 		Stalls:           ms.stalls.Load(),
+		Traced:           ms.traced,
 	}
 }

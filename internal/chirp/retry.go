@@ -47,6 +47,13 @@ const (
 	MetricClientTagsInFlight  = "chirp_client_tags_inflight"
 	MetricClientWindowStalls  = "chirp_client_window_stalls_total"
 	MetricClientInflightBytes = "chirp_client_inflight_bytes"
+	// Negotiated v2 session limits, as gauges so operators can see the
+	// effective window without running chirp ping: the min of what the
+	// client advertised and what the server offered. Zero until a v2
+	// session is established (or forever, on a v1 fallback).
+	MetricClientWindow         = "chirp_client_negotiated_window"
+	MetricClientMaxBytes       = "chirp_client_negotiated_max_bytes"
+	MetricClientRequestLatency = "chirp_client_request_latency_us"
 )
 
 // Server-side fault-tolerance metric names.
@@ -66,6 +73,10 @@ const (
 	MetricBackpressureStalls = "chirp_backpressure_stalls_total"
 	MetricWindowOccupancy    = "chirp_window_occupancy"
 	MetricV2Sessions         = "chirp_v2_sessions_total"
+	// End-to-end server-side request latency (lane queue wait included),
+	// in microseconds, with per-bucket trace-ID exemplars when the
+	// request carried trace context.
+	MetricRequestLatency = "chirp_request_latency_us"
 )
 
 // ClientOptions tune the client's fault-tolerance layer. The zero value
@@ -135,6 +146,14 @@ type ClientOptions struct {
 	// window of fat transfers cannot buffer unbounded memory. At least
 	// one call is always admitted, whatever its size.
 	MaxInflightBytes int64
+	// Spans, when set, turns on request tracing: the client requests the
+	// trace capability during v2 negotiation, stamps every tagged call
+	// with a trace ID, and records one client-side span per call (with
+	// submit-stall, write, and await phases) into this ring. Nil (the
+	// default) keeps the wire format and the hot path exactly as before;
+	// tracing never activates on a v1 session or against a server that
+	// does not echo the capability.
+	Spans *obs.SpanRing
 }
 
 // withDefaults fills zero fields in place.
@@ -196,13 +215,16 @@ const (
 
 // clientMetrics caches the client's counter handles.
 type clientMetrics struct {
-	reg           *obs.Registry
-	retries       *obs.Counter
-	redials       *obs.Counter
-	unsafe        *obs.Counter
-	tagsInFlight  *obs.Gauge
-	windowStalls  *obs.Counter
-	inflightBytes *obs.Gauge
+	reg            *obs.Registry
+	retries        *obs.Counter
+	redials        *obs.Counter
+	unsafe         *obs.Counter
+	tagsInFlight   *obs.Gauge
+	windowStalls   *obs.Counter
+	inflightBytes  *obs.Gauge
+	negWindow      *obs.Gauge
+	negMaxBytes    *obs.Gauge
+	requestLatency *obs.Histogram
 }
 
 func newClientMetrics(reg *obs.Registry) *clientMetrics {
@@ -212,15 +234,30 @@ func newClientMetrics(reg *obs.Registry) *clientMetrics {
 	reg.Help(MetricClientTagsInFlight, "Tagged calls currently awaiting replies.")
 	reg.Help(MetricClientWindowStalls, "Submits that waited for credit-window space.")
 	reg.Help(MetricClientInflightBytes, "Request+reply payload bytes currently in flight.")
+	reg.Help(MetricClientWindow, "Negotiated v2 credit window (0 before negotiation or on v1).")
+	reg.Help(MetricClientMaxBytes, "Negotiated v2 in-flight byte budget (0 before negotiation or on v1).")
+	reg.Help(MetricClientRequestLatency, "Client-observed tagged-call latency, submit to reply, in microseconds.")
 	return &clientMetrics{
-		reg:           reg,
-		retries:       reg.Counter(MetricClientRetries),
-		redials:       reg.Counter(MetricClientRedials),
-		unsafe:        reg.Counter(MetricClientRetryUnsafe),
-		tagsInFlight:  reg.Gauge(MetricClientTagsInFlight),
-		windowStalls:  reg.Counter(MetricClientWindowStalls),
-		inflightBytes: reg.Gauge(MetricClientInflightBytes),
+		reg:            reg,
+		retries:        reg.Counter(MetricClientRetries),
+		redials:        reg.Counter(MetricClientRedials),
+		unsafe:         reg.Counter(MetricClientRetryUnsafe),
+		tagsInFlight:   reg.Gauge(MetricClientTagsInFlight),
+		windowStalls:   reg.Counter(MetricClientWindowStalls),
+		inflightBytes:  reg.Gauge(MetricClientInflightBytes),
+		negWindow:      reg.Gauge(MetricClientWindow),
+		negMaxBytes:    reg.Gauge(MetricClientMaxBytes),
+		requestLatency: reg.Histogram(MetricClientRequestLatency, requestLatencyBuckets()),
 	}
+}
+
+// requestLatencyBuckets spans wall-clock RPC latencies: geometric from
+// 10µs (loopback metadata call) to 4s (a transfer riding out a group
+// commit under load). Shared by the client- and server-side request
+// latency histograms so their quantiles compare directly.
+func requestLatencyBuckets() []float64 {
+	return []float64{10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+		25000, 50000, 100000, 250000, 500000, 1e6, 4e6}
 }
 
 // backoff computes the nth retry's delay (n is 1-based): capped

@@ -1,11 +1,13 @@
 package chirp
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
 	"net"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -101,6 +103,23 @@ type ServerOptions struct {
 	// to the lock-step line protocol (simulating an old server; v2
 	// clients fall back transparently).
 	MaxProtocol int
+	// Spans, when set, turns on server-side request tracing: the server
+	// echoes the trace capability to v2 clients that request it, strips
+	// the per-frame trace prefix, records one "server" span per traced
+	// request (lane-queue, handler, barrier and reply phases) into this
+	// ring, and serves the "trace" RPC from it. Nil keeps tracing off
+	// and the hot path unchanged. Spans are wall-clock only — recording
+	// them never touches the virtual clock.
+	Spans *obs.SpanRing
+	// TraceLog, when set, receives every completed traced server span
+	// whose total duration reaches TraceSlow, one JSON object per line
+	// (the slow-request log). core.JSONLSink satisfies it. Log failures
+	// are counted in the server log, never surfaced to the client.
+	TraceLog interface{ RecordValue(v any) error }
+	// TraceSlow is the slow-request threshold for TraceLog. Zero logs
+	// every traced request — what the tracing end-to-end CI step uses to
+	// capture complete chains.
+	TraceSlow time.Duration
 }
 
 // DedupeJournal persists tokened replies across restarts. The durable
@@ -165,6 +184,7 @@ type srvMetrics struct {
 	bpStalls      *obs.Counter
 	occupancy     *obs.Histogram
 	v2Sessions    *obs.Counter
+	requestLat    *obs.Histogram
 }
 
 func newSrvMetrics(reg *obs.Registry) *srvMetrics {
@@ -185,6 +205,7 @@ func newSrvMetrics(reg *obs.Registry) *srvMetrics {
 	reg.Help(MetricBackpressureStalls, "Frames that waited for credit-window space before dispatch.")
 	reg.Help(MetricWindowOccupancy, "Window occupancy observed at each v2 frame admission.")
 	reg.Help(MetricV2Sessions, "Sessions that negotiated protocol v2 since start.")
+	reg.Help(MetricRequestLatency, "Traced request latency, frame arrival to reply flushed, in microseconds.")
 	return &srvMetrics{
 		reg:           reg,
 		errors:        reg.Counter(MetricErrors),
@@ -203,6 +224,7 @@ func newSrvMetrics(reg *obs.Registry) *srvMetrics {
 		bpStalls:      reg.Counter(MetricBackpressureStalls),
 		occupancy:     reg.Histogram(MetricWindowOccupancy, []float64{1, 2, 4, 8, 16, 32, 64}),
 		v2Sessions:    reg.Counter(MetricV2Sessions),
+		requestLat:    reg.Histogram(MetricRequestLatency, requestLatencyBuckets()),
 	}
 }
 
@@ -543,6 +565,7 @@ type session struct {
 type v2Conf struct {
 	window   int
 	maxBytes int64
+	traced   bool // both sides negotiated the trace capability
 }
 
 // --- session state accessors (v2 workers run concurrently) -------------
@@ -656,7 +679,7 @@ func (sess *session) loop() {
 			// The version exchange succeeded lock-step; everything from
 			// here on is tagged frames.
 			sess.upgraded = nil
-			sess.loopV2(up.window, up.maxBytes)
+			sess.loopV2(up)
 			return
 		}
 	}
@@ -703,7 +726,7 @@ func (sess *session) serveVersion(args []string) error {
 	if s.maxProtocol() < ProtocolV2 {
 		return sess.fail(kernel.ErrNoSys, "unknown command version")
 	}
-	v, w, b, err := parseVersionArgs(args)
+	v, w, b, caps, err := parseVersionArgs(args)
 	if err != nil || v < ProtocolV2 {
 		return sess.fail(vfs.ErrInvalid, "bad version exchange")
 	}
@@ -715,10 +738,17 @@ func (sess *session) serveVersion(args []string) error {
 	if b < maxBytes {
 		maxBytes = b
 	}
-	if err := sess.ok(strconv.Itoa(ProtocolV2), strconv.Itoa(window), strconv.FormatInt(maxBytes, 10)); err != nil {
+	// Capability tokens: echoed only when both sides support them, so a
+	// client never sends trace context to a server that cannot strip it.
+	traced := s.opts.Spans != nil && hasCap(caps, capTrace)
+	okFields := []string{strconv.Itoa(ProtocolV2), strconv.Itoa(window), strconv.FormatInt(maxBytes, 10)}
+	if traced {
+		okFields = append(okFields, capTrace)
+	}
+	if err := sess.ok(okFields...); err != nil {
 		return err
 	}
-	sess.upgraded = &v2Conf{window: window, maxBytes: maxBytes}
+	sess.upgraded = &v2Conf{window: window, maxBytes: maxBytes, traced: traced}
 	return nil
 }
 
@@ -750,17 +780,47 @@ func (sess *session) reply(fields []string) error {
 // client can see the answer, it is durable.
 func (sess *session) finishReply(fields []string, dedupeKey string, barrier bool) {
 	if barrier {
-		// A tokened reply about to be journaled waits on its own dedupe
-		// entry, appended after this request's mutations — that wait
-		// covers them, so the explicit barrier would only double it.
-		journaled := dedupeKey != "" && sess.s.opts.DedupeJournal != nil
-		if d := sess.s.opts.Durability; d != nil && !journaled {
-			if err := d.Barrier(); err != nil {
-				sess.s.metrics.barrierErrs.Inc()
-				sess.log.printf("commit barrier failed (durability degraded): %v", err)
-			}
-		}
+		sess.barrierBeforeReply(dedupeKey, false)
 	}
+	sess.recordReply(fields, dedupeKey)
+}
+
+// tracedDurability is the optional extension of the Durability barrier
+// a tracing server probes for: internal/durable's Store implements it,
+// reporting how long the caller waited and the covering commit group's
+// write+fsync latency, so a trace can show WAL time explicitly.
+type tracedDurability interface {
+	BarrierTraced() (wait, commit time.Duration, err error)
+}
+
+// barrierBeforeReply runs the durability barrier for a mutating reply,
+// unless a dedupe-journal append subsumes it: a tokened reply about to
+// be journaled waits on its own dedupe entry, appended after this
+// request's mutations — that wait covers them, so the explicit barrier
+// would only double it. With traced set it prefers the timing-aware
+// barrier, reporting the wait and the covering group's commit latency.
+func (sess *session) barrierBeforeReply(dedupeKey string, traced bool) (wait, commit time.Duration) {
+	journaled := dedupeKey != "" && sess.s.opts.DedupeJournal != nil
+	d := sess.s.opts.Durability
+	if d == nil || journaled {
+		return 0, 0
+	}
+	var err error
+	if td, ok := d.(tracedDurability); ok && traced {
+		wait, commit, err = td.BarrierTraced()
+	} else {
+		err = d.Barrier()
+	}
+	if err != nil {
+		sess.s.metrics.barrierErrs.Inc()
+		sess.log.printf("commit barrier failed (durability degraded): %v", err)
+	}
+	return wait, commit
+}
+
+// recordReply is the non-barrier half of the pre-wire bookkeeping: the
+// pool-counter mirror and dedupe recording for tokened requests.
+func (sess *session) recordReply(fields []string, dedupeKey string) {
 	sess.s.metrics.poolHits.Set(poolHits.Load())
 	sess.s.metrics.poolMisses.Set(poolMisses.Load())
 	if dedupeKey != "" {
@@ -948,7 +1008,7 @@ func (sess *session) dispatch(fields []string) error {
 		}
 		payload = data
 	}
-	res := sess.handle(cmd, args, payload, sess.c.scratchBuf)
+	res := sess.handle(cmd, args, payload, sess.c.scratchBuf, 0)
 	if err := sess.reply(res.fields); err != nil {
 		return err
 	}
@@ -1002,8 +1062,14 @@ func requestPayloadSpec(cmd string, args []string) (n int, ok bool) {
 // are built in the buf the caller supplies (codec scratch for v1, a
 // per-worker pooled scratch for v2). Session state goes through the
 // fdMu/grantsMu accessors, making concurrent v2 execution safe.
-func (sess *session) handle(cmd string, args []string, payload []byte, buf func(int) []byte) hres {
+//
+// trace is the request's trace ID (zero when untraced); mutating
+// commands stamp it onto the journal mutations they emit so a trace
+// can be followed into the WAL group-commit pipeline. A zero-trace
+// view is the plain FS, so untraced behavior is unchanged.
+func (sess *session) handle(cmd string, args []string, payload []byte, buf func(int) []byte, trace uint64) hres {
 	s := sess.s
+	tfs := s.fs.Traced(trace)
 	switch cmd {
 	case "whoami":
 		return okres(q(sess.ident.String()))
@@ -1027,6 +1093,22 @@ func (sess *session) handle(cmd string, args []string, payload []byte, buf func(
 		text := s.metrics.reg.Text()
 		return hres{fields: []string{"ok", strconv.Itoa(len(text))}, body: []byte(text)}
 
+	case "trace": // trace <id>: server-side spans for one trace, as JSON
+		if len(args) != 1 {
+			return sess.failf(vfs.ErrInvalid, "trace wants a trace id")
+		}
+		id, err := obs.ParseTraceID(args[0])
+		if err != nil || id == 0 {
+			return sess.failf(vfs.ErrInvalid, "bad trace id")
+		}
+		// A nil ring (tracing not enabled) yields no spans, same as an
+		// unknown ID: an empty JSON array, not an error.
+		data, err := json.Marshal(s.opts.Spans.Trace(id))
+		if err != nil {
+			return sess.failf(vfs.ErrInvalid, "trace encode")
+		}
+		return hres{fields: []string{"ok", strconv.Itoa(len(data))}, body: data}
+
 	case "open": // open <flags> <mode> <path>
 		if len(args) != 3 {
 			return sess.failf(vfs.ErrInvalid, "open wants 3 args")
@@ -1036,7 +1118,7 @@ func (sess *session) handle(cmd string, args []string, payload []byte, buf func(
 		if err1 != nil || err2 != nil {
 			return sess.failf(vfs.ErrInvalid, "bad open args")
 		}
-		fd, err := sess.open(args[2], flags, uint32(mode))
+		fd, err := sess.open(args[2], flags, uint32(mode), trace)
 		if err != nil {
 			return sess.failf(err, "open")
 		}
@@ -1095,7 +1177,7 @@ func (sess *session) handle(cmd string, args []string, payload []byte, buf func(
 		if d.flags&3 == kernel.ORdonly {
 			return sess.failf(kernel.ErrBadFD, "fd not writable")
 		}
-		wn, err := d.h.WriteAt(payload, off)
+		wn, err := d.h.WriteAtTraced(payload, off, trace)
 		if err != nil {
 			return sess.failf(err, "pwrite")
 		}
@@ -1151,7 +1233,7 @@ func (sess *session) handle(cmd string, args []string, payload []byte, buf func(
 		if err != nil {
 			return sess.failf(vfs.ErrInvalid, "bad mode")
 		}
-		if err := sess.mkdir(args[1], uint32(mode)); err != nil {
+		if err := sess.mkdir(args[1], uint32(mode), trace); err != nil {
 			return sess.failf(err, "mkdir")
 		}
 		return okres()
@@ -1164,11 +1246,11 @@ func (sess *session) handle(cmd string, args []string, payload []byte, buf func(
 		// ACL is removed with the directory.
 		if ents, lerr := s.fs.ReadDir(args[0]); lerr == nil &&
 			len(ents) == 1 && ents[0].Name == acl.FileName {
-			if uerr := s.fs.Unlink(vfs.Join(args[0], acl.FileName)); uerr != nil {
+			if uerr := tfs.Unlink(vfs.Join(args[0], acl.FileName)); uerr != nil {
 				return sess.failf(uerr, "rmdir")
 			}
 		}
-		if err := s.fs.Rmdir(args[0]); err != nil {
+		if err := tfs.Rmdir(args[0]); err != nil {
 			return sess.failf(err, "rmdir")
 		}
 		return okres()
@@ -1177,7 +1259,7 @@ func (sess *session) handle(cmd string, args []string, payload []byte, buf func(
 		if err := sess.checkACLFileWrite(args[0]); err != nil {
 			return sess.failf(err, "unlink")
 		}
-		if err := s.fs.Unlink(args[0]); err != nil {
+		if err := tfs.Unlink(args[0]); err != nil {
 			return sess.failf(err, "unlink")
 		}
 		return okres()
@@ -1192,7 +1274,7 @@ func (sess *session) handle(cmd string, args []string, payload []byte, buf func(
 		if err := sess.checkACLFileWrite(args[1]); err != nil {
 			return sess.failf(err, "rename")
 		}
-		if err := s.fs.Rename(args[0], args[1]); err != nil {
+		if err := tfs.Rename(args[0], args[1]); err != nil {
 			return sess.failf(err, "rename")
 		}
 		return okres()
@@ -1207,7 +1289,7 @@ func (sess *session) handle(cmd string, args []string, payload []byte, buf func(
 		if err := sess.checkACLFileWrite(args[1]); err != nil {
 			return sess.failf(err, "link")
 		}
-		if err := s.fs.Link(args[0], args[1]); err != nil {
+		if err := tfs.Link(args[0], args[1]); err != nil {
 			return sess.failf(err, "link")
 		}
 		return okres()
@@ -1219,7 +1301,7 @@ func (sess *session) handle(cmd string, args []string, payload []byte, buf func(
 		if err := sess.checkACLFileWrite(args[1]); err != nil {
 			return sess.failf(err, "symlink")
 		}
-		if err := s.fs.Symlink(args[0], args[1], s.opts.Owner); err != nil {
+		if err := tfs.Symlink(args[0], args[1], s.opts.Owner); err != nil {
 			return sess.failf(err, "symlink")
 		}
 		return okres()
@@ -1245,7 +1327,7 @@ func (sess *session) handle(cmd string, args []string, payload []byte, buf func(
 		if err := sess.checkF(args[0], acl.Write); err != nil {
 			return sess.failf(err, "truncate")
 		}
-		if err := s.fs.Truncate(args[0], size); err != nil {
+		if err := tfs.Truncate(args[0], size); err != nil {
 			return sess.failf(err, "truncate")
 		}
 		return okres()
@@ -1279,7 +1361,7 @@ func (sess *session) handle(cmd string, args []string, payload []byte, buf func(
 			return sess.failf(vfs.ErrInvalid, "malformed ACL")
 		}
 		aclPath := vfs.Join(args[0], acl.FileName)
-		if err := s.fs.WriteFile(aclPath, payload, 0o644, s.opts.Owner); err != nil {
+		if err := tfs.WriteFile(aclPath, payload, 0o644, s.opts.Owner); err != nil {
 			return sess.failf(err, "setacl")
 		}
 		return okres()
@@ -1345,12 +1427,15 @@ var orderedCmds = map[string]bool{
 
 // muxJob is one tagged request handed from the v2 reader to a worker
 // lane. The payload is request-owned (freshly allocated by the reader),
-// so workers never share buffers.
+// so workers never share buffers. trace and arrived are set only for
+// requests that carried trace context on a traced session.
 type muxJob struct {
 	tag     uint64
 	cmd     string
 	args    []string
 	payload []byte
+	trace   uint64    // request-tracing ID (0 untraced)
+	arrived time.Time // when the frame was read off the wire (traced only)
 }
 
 // loopV2 is the tagged-frame session loop a successful version exchange
@@ -1359,10 +1444,11 @@ type muxJob struct {
 // submission order while a small pool runs the rest concurrently. The
 // credit window (acquireSlot) bounds requests in flight per session,
 // applying backpressure by simply not reading the next frame.
-func (sess *session) loopV2(window int, maxBytes int64) {
+func (sess *session) loopV2(conf *v2Conf) {
 	s := sess.s
+	window, maxBytes := conf.window, conf.maxBytes
 	s.metrics.v2Sessions.Inc()
-	sess.log.printf("upgraded to protocol 2 (window=%d maxbytes=%d)", window, maxBytes)
+	sess.log.printf("upgraded to protocol 2 (window=%d maxbytes=%d traced=%v)", window, maxBytes, conf.traced)
 	ordered := make(chan muxJob, window)
 	pool := make(chan muxJob, window)
 	var wg sync.WaitGroup
@@ -1429,6 +1515,20 @@ func (sess *session) loopV2(window int, maxBytes int64) {
 			}
 			continue
 		}
+		// A traced session's frames may lead with "trace <hexid>" before
+		// the command; strip it here so every downstream consumer — lane
+		// routing, dedupe, the handler — sees the plain line. A bare
+		// 2-field "trace <hexid>" line is the trace-fetch RPC, not a
+		// prefix, so prefixes need at least 3 fields.
+		var trace uint64
+		var arrived time.Time
+		if conf.traced && len(fields) >= 3 && fields[0] == "trace" {
+			if id, perr := obs.ParseTraceID(fields[1]); perr == nil && id != 0 {
+				trace = id
+				fields = fields[2:]
+				arrived = time.Now()
+			}
+		}
 		cmd := fields[0]
 		if cmd == "quit" {
 			closeLanes() // every pending reply precedes the farewell ack
@@ -1448,7 +1548,7 @@ func (sess *session) loopV2(window int, maxBytes int64) {
 		if orderedCmds[cmd] {
 			lane = ordered
 		}
-		lane <- muxJob{tag: h.tag, cmd: cmd, args: fields[1:], payload: payload}
+		lane <- muxJob{tag: h.tag, cmd: cmd, args: fields[1:], payload: payload, trace: trace, arrived: arrived}
 	}
 }
 
@@ -1480,9 +1580,68 @@ func (sess *session) serveTagged(j muxJob, sc *payloadScratch) {
 		dk = key
 	}
 	barrier := s.opts.Durability != nil && mutatingCmds[cmd]
-	res := sess.handle(cmd, args, j.payload, sc.bytes)
-	sess.finishReply(res.fields, dk, barrier)
+	if j.trace == 0 {
+		res := sess.handle(cmd, args, j.payload, sc.bytes, 0)
+		sess.finishReply(res.fields, dk, barrier)
+		sess.writeFrame(j.tag, res.fields, res.body)
+		return
+	}
+
+	// Traced path: the same steps with wall-clock phase timings around
+	// each, producing one "server" span covering frame arrival → reply
+	// flushed. Virtual time is never touched.
+	handlerStart := time.Now()
+	res := sess.handle(cmd, args, j.payload, sc.bytes, j.trace)
+	handlerDur := time.Since(handlerStart)
+	var barrierWait, commitLat time.Duration
+	if barrier {
+		barrierWait, commitLat = sess.barrierBeforeReply(dk, true)
+	}
+	sess.recordReply(res.fields, dk)
+	replyStart := time.Now()
 	sess.writeFrame(j.tag, res.fields, res.body)
+	now := time.Now()
+	total := now.Sub(j.arrived)
+	s.metrics.requestLat.ObserveExemplar(float64(total.Microseconds()), j.trace)
+
+	sp := obs.Span{
+		Trace:  j.trace,
+		TraceS: obs.FormatTraceID(j.trace),
+		ID:     s.opts.Spans.NextSpanID(),
+		Name:   "server",
+		Cmd:    cmd,
+		Start:  j.arrived,
+		Dur:    total,
+	}
+	if len(res.fields) > 0 && res.fields[0] == "err" {
+		sp.Err = strings.Join(res.fields[1:], " ")
+	}
+	queueWait := handlerStart.Sub(j.arrived)
+	sp.Phase("lane.queue", 0, queueWait)
+	sp.Phase("handler", queueWait, handlerDur)
+	if barrier {
+		off := queueWait + handlerDur
+		sp.Phase("barrier.wait", off, barrierWait)
+		if commitLat > 0 {
+			// The covering group's write+fsync finished when the barrier
+			// released, so the phase ends at the barrier's end; it may
+			// start before the barrier did (the group was already under
+			// way), clamped to the span.
+			gOff := off + barrierWait - commitLat
+			if gOff < 0 {
+				gOff = 0
+			}
+			sp.Phase("wal.group", gOff, commitLat)
+		}
+	}
+	sp.Phase("reply", replyStart.Sub(j.arrived), now.Sub(replyStart))
+	s.opts.Spans.Record(sp)
+
+	if tl := s.opts.TraceLog; tl != nil && total >= s.opts.TraceSlow {
+		if err := tl.RecordValue(sp); err != nil {
+			sess.log.printf("slow-request log: %v", err)
+		}
+	}
 }
 
 // writeFrame sends one tagged reply frame, serialized on writeMu so
@@ -1550,7 +1709,7 @@ func (sess *session) releaseSlot() {
 	sess.slotMu.Unlock()
 }
 
-func (sess *session) open(path string, flags int, mode uint32) (int, error) {
+func (sess *session) open(path string, flags int, mode uint32, trace uint64) (int, error) {
 	s := sess.s
 	var classes []acl.Rights
 	switch flags & 3 {
@@ -1584,7 +1743,7 @@ func (sess *session) open(path string, flags int, mode uint32) (int, error) {
 		return 0, vfs.ErrIsDir
 	}
 	if !exists {
-		if _, err := s.fs.Create(path, mode, s.opts.Owner); err != nil {
+		if _, err := s.fs.Traced(trace).Create(path, mode, s.opts.Owner); err != nil {
 			return 0, err
 		}
 	}
@@ -1593,7 +1752,7 @@ func (sess *session) open(path string, flags int, mode uint32) (int, error) {
 		return 0, err
 	}
 	if flags&kernel.OTrunc != 0 && flags&3 != kernel.ORdonly {
-		if err := h.Truncate(0); err != nil {
+		if err := h.TruncateTraced(0, trace); err != nil {
 			return 0, err
 		}
 	}
@@ -1680,7 +1839,7 @@ func (sess *session) checkACLFileWrite(path string) error {
 }
 
 // mkdir implements the reserve-right semantics on the server side.
-func (sess *session) mkdir(path string, mode uint32) error {
+func (sess *session) mkdir(path string, mode uint32, trace uint64) error {
 	s := sess.s
 	parent := vfs.Dir(path)
 	a, err := s.aclFor(parent)
@@ -1702,10 +1861,11 @@ func (sess *session) mkdir(path string, mode uint32) error {
 	default:
 		return vfs.ErrPermission
 	}
-	if err := s.fs.Mkdir(path, mode, s.opts.Owner); err != nil {
+	tfs := s.fs.Traced(trace)
+	if err := tfs.Mkdir(path, mode, s.opts.Owner); err != nil {
 		return err
 	}
-	return s.fs.WriteFile(vfs.Join(path, acl.FileName), []byte(childACL.String()), 0o644, s.opts.Owner)
+	return tfs.WriteFile(vfs.Join(path, acl.FileName), []byte(childACL.String()), 0o644, s.opts.Owner)
 }
 
 // exec runs the staged program at path inside an identity box carrying

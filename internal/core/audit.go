@@ -133,14 +133,25 @@ func (s *JSONLSink) SetAutoFlush(n int) {
 // Record implements AuditSink. Write errors are sticky: the first one
 // stops further output and is reported by Err, Flush and Close.
 func (s *JSONLSink) Record(rec AuditRecord) {
+	s.RecordValue(rec)
+}
+
+// RecordValue encodes an arbitrary value as one JSON line, with the
+// same sticky-error and auto-flush behavior as Record. It exists for
+// sinks reused beyond audit records — the Chirp server's slow-request
+// log streams completed trace spans through it. The returned error is
+// the sink's first (possibly from an earlier record), so callers that
+// care can notice degradation without polling Err.
+func (s *JSONLSink) RecordValue(v any) error {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	switch {
 	case s.closed:
 		if s.err == nil {
 			s.err = ErrSinkClosed
 		}
 	case s.err == nil:
-		s.err = s.enc.Encode(rec)
+		s.err = s.enc.Encode(v)
 		if s.err == nil && s.every > 0 {
 			s.pending++
 			if s.pending >= s.every {
@@ -149,7 +160,7 @@ func (s *JSONLSink) Record(rec AuditRecord) {
 			}
 		}
 	}
-	s.mu.Unlock()
+	return s.err
 }
 
 // Err reports the first error, if any.

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"identitybox/internal/acl"
 	"identitybox/internal/identity"
@@ -89,6 +90,12 @@ type Options struct {
 	// (trap entry, ACL check, peek/poke, channel stage/collect, and the
 	// completion verdict). Nil disables tracing at zero cost.
 	Trace *obs.Trace
+
+	// Spans, when set, records one wall-clock "box.run" span per
+	// Run/RunAt invocation, under a fresh trace ID. Spans never touch
+	// the virtual clock: a spanned run is tick-identical to a plain
+	// one. Nil disables span recording at zero cost.
+	Spans *obs.SpanRing
 
 	// AuditSink, when set, receives every audit record as it is
 	// produced (e.g. a JSONLSink, or a FanoutSink combining several).
@@ -308,12 +315,32 @@ func (b *Box) Run(prog kernel.Program, args ...string) kernel.ExitStatus {
 
 // RunAt is Run with an explicit initial working directory.
 func (b *Box) RunAt(cwd string, prog kernel.Program, args ...string) kernel.ExitStatus {
-	return b.k.Run(kernel.ProcSpec{
+	spec := kernel.ProcSpec{
 		Account:  b.account,
 		Cwd:      cwd,
 		Tracer:   b,
 		Identity: b.ident,
-	}, prog, args...)
+	}
+	spans := b.opts.Spans
+	if spans == nil {
+		return b.k.Run(spec, prog, args...)
+	}
+	// Span timing is wall clock only; the boxed program's virtual time
+	// is untouched, so a spanned run stays tick-identical.
+	start := time.Now()
+	st := b.k.Run(spec, prog, args...)
+	sp := obs.Span{
+		Trace: obs.NewTraceID(),
+		ID:    spans.NextSpanID(),
+		Name:  "box.run",
+		Start: start,
+		Dur:   time.Since(start),
+	}
+	if len(args) > 0 {
+		sp.Cmd = args[0]
+	}
+	spans.Record(sp)
+	return st
 }
 
 // Stats returns a snapshot of policy counters.

@@ -38,20 +38,37 @@ type GroupConfig struct {
 	// pipeline (reported once per degradation). Called outside the WAL
 	// lock; waiters get the same error from WaitDurable.
 	OnError func(err error)
+	// OnTraceCommit, if set, observes every committed record whose
+	// mutation carried a request-tracing ID (vfs.Mutation.Trace): the
+	// trace, the record's LSN, how long it queued before the group
+	// started, and the group's write+fsync latency. Called outside the
+	// WAL lock, after the group is durable. When unset, Append never
+	// looks at traces and the pipeline carries no per-record state.
+	OnTraceCommit func(trace, lsn uint64, queued, commit time.Duration)
+}
+
+// tracedRec remembers one queued record that carries a trace ID, so the
+// committer can attribute the group's latency back to the request.
+type tracedRec struct {
+	trace uint64
+	lsn   uint64
+	enq   time.Time
 }
 
 // groupState is the committer side of a group-commit WAL. Fields are
 // guarded by WAL.mu except the channels, which are owned as commented.
 type groupState struct {
-	window   time.Duration
-	maxBatch int
-	onGroup  func(records, bytes int, latency time.Duration)
-	onError  func(err error)
+	window        time.Duration
+	maxBatch      int
+	onGroup       func(records, bytes int, latency time.Duration)
+	onError       func(err error)
+	onTraceCommit func(trace, lsn uint64, queued, commit time.Duration)
 
-	queue   []byte // encoded frames waiting for the committer
-	queued  int    // records in queue
-	lastLSN uint64 // LSN of the last queued record
-	recycle []byte // spare buffer the committer hands back after a write
+	queue   []byte      // encoded frames waiting for the committer
+	queued  int         // records in queue
+	traced  []tracedRec // queued records carrying a trace ID
+	lastLSN uint64      // LSN of the last queued record
+	recycle []byte      // spare buffer the committer hands back after a write
 
 	durable uint64 // highest LSN on stable storage (per sync policy)
 	// advanceCh is closed and replaced whenever durable advances or the
@@ -85,14 +102,15 @@ func (w *WAL) StartGroupCommit(cfg GroupConfig) {
 		cfg.MaxBatch = DefaultCommitBatch
 	}
 	g := &groupState{
-		window:    cfg.Window,
-		maxBatch:  cfg.MaxBatch,
-		onGroup:   cfg.OnGroup,
-		onError:   cfg.OnError,
-		advanceCh: make(chan struct{}),
-		kick:      make(chan struct{}, 1),
-		full:      make(chan struct{}, 1),
-		done:      make(chan struct{}),
+		window:        cfg.Window,
+		maxBatch:      cfg.MaxBatch,
+		onGroup:       cfg.OnGroup,
+		onError:       cfg.OnError,
+		onTraceCommit: cfg.OnTraceCommit,
+		advanceCh:     make(chan struct{}),
+		kick:          make(chan struct{}, 1),
+		full:          make(chan struct{}, 1),
+		done:          make(chan struct{}),
 	}
 	w.mu.Lock()
 	g.durable = w.nextLSN - 1
@@ -149,6 +167,7 @@ func (w *WAL) commitGroup(g *groupState) bool {
 		// queued records' waiters rather than stranding them.
 		g.queue = g.queue[:0]
 		g.queued = 0
+		g.traced = g.traced[:0]
 		g.advanceLocked()
 		w.mu.Unlock()
 		return false
@@ -187,6 +206,7 @@ func (w *WAL) commitGroup(g *groupState) bool {
 	batch := g.queue
 	count := g.queued
 	last := g.lastLSN
+	traced := g.traced
 	if g.recycle != nil {
 		g.queue = g.recycle[:0]
 		g.recycle = nil
@@ -194,6 +214,7 @@ func (w *WAL) commitGroup(g *groupState) bool {
 		g.queue = nil
 	}
 	g.queued = 0
+	g.traced = nil
 	f := w.f
 	onAppend, onSync := w.onAppend, w.onSync
 	w.mu.Unlock()
@@ -229,6 +250,7 @@ func (w *WAL) commitGroup(g *groupState) bool {
 		}
 		g.queue = g.queue[:0]
 		g.queued = 0
+		g.traced = g.traced[:0]
 		g.advanceLocked()
 	} else {
 		if needSync {
@@ -258,8 +280,14 @@ func (w *WAL) commitGroup(g *groupState) bool {
 	if synced && onSync != nil {
 		onSync()
 	}
+	commitLat := time.Since(start)
 	if g.onGroup != nil {
-		g.onGroup(count, len(batch), time.Since(start))
+		g.onGroup(count, len(batch), commitLat)
+	}
+	if g.onTraceCommit != nil {
+		for _, t := range traced {
+			g.onTraceCommit(t.trace, t.lsn, start.Sub(t.enq), commitLat)
+		}
 	}
 	return true
 }

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"identitybox/internal/obs"
@@ -70,6 +71,11 @@ type Options struct {
 	DisableGroupCommit bool
 	// Metrics, when set, receives the store's counters and gauges.
 	Metrics *obs.Registry
+	// Spans, when set, receives one "wal.commit" span per committed
+	// mutation that carried a request-tracing ID (vfs.Mutation.Trace),
+	// with queue and write+fsync phases. Nil disables trace tracking in
+	// the commit pipeline entirely.
+	Spans *obs.SpanRing
 	// OpenAppend opens the WAL file for appending; tests inject
 	// faultdisk files here. The default opens an ordinary os file.
 	OpenAppend func(path string) (File, error)
@@ -172,6 +178,10 @@ type Store struct {
 	metrics  *storeMetrics
 	recovery RecoveryInfo
 	logf     func(format string, args ...any)
+
+	// lastCommitLat is the most recent group's write+fsync latency in
+	// nanoseconds, published by the commit pipeline for BarrierTraced.
+	lastCommitLat atomic.Int64
 }
 
 func defaultOpenAppend(path string) (File, error) {
@@ -265,10 +275,11 @@ func Open(dir string, opts Options) (*Store, error) {
 		case window < 0:
 			window = 0
 		}
-		s.wal.StartGroupCommit(GroupConfig{
+		cfg := GroupConfig{
 			Window:   window,
 			MaxBatch: opts.CommitBatch,
 			OnGroup: func(records, _ int, latency time.Duration) {
+				s.lastCommitLat.Store(int64(latency))
 				s.metrics.groups.Inc()
 				s.metrics.groupRecs.Observe(float64(records))
 				s.metrics.commitLat.Observe(float64(latency.Microseconds()))
@@ -277,7 +288,23 @@ func Open(dir string, opts Options) (*Store, error) {
 				s.metrics.appendErrs.Inc()
 				s.logf("durable: wal append failed, durability degraded until compaction: %v", err)
 			},
-		})
+		}
+		if spans := opts.Spans; spans != nil {
+			cfg.OnTraceCommit = func(trace, lsn uint64, queued, commit time.Duration) {
+				sp := obs.Span{
+					Trace: trace,
+					ID:    spans.NextSpanID(),
+					Name:  "wal.commit",
+					Cmd:   fmt.Sprintf("lsn %d", lsn),
+					Start: time.Now().Add(-(queued + commit)),
+					Dur:   queued + commit,
+				}
+				sp.Phase("queue", 0, queued)
+				sp.Phase("write+fsync", queued, commit)
+				spans.Record(sp)
+			}
+		}
+		s.wal.StartGroupCommit(cfg)
 	}
 	s.metrics.walSize.Set(size)
 	s.metrics.recoveries.Inc()
@@ -418,6 +445,18 @@ func (s *Store) Err() error {
 // client only after Barrier returns nil.
 func (s *Store) Barrier() error {
 	return s.wal.Barrier()
+}
+
+// BarrierTraced is Barrier plus the timing a traced request wants: how
+// long this caller waited for durability, and the write+fsync latency
+// of the most recent commit group (the one that, in the common case,
+// made the caller's mutations durable). The commit latency is a
+// best-effort attribution — under concurrency a later group may have
+// published since — which is fine for observability.
+func (s *Store) BarrierTraced() (wait, commitLat time.Duration, err error) {
+	start := time.Now()
+	err = s.wal.Barrier()
+	return time.Since(start), time.Duration(s.lastCommitLat.Load()), err
 }
 
 // RecordMutation implements vfs.Journal: it appends the mutation to the

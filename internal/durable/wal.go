@@ -4,6 +4,7 @@ import (
 	"errors"
 	"io"
 	"sync"
+	"time"
 )
 
 // File is the slice of an append-only log file the WAL writer needs.
@@ -84,6 +85,9 @@ func (w *WAL) Append(rec Record) (uint64, error) {
 		g.queue = EncodeRecord(g.queue, rec)
 		g.queued++
 		g.lastLSN = rec.LSN
+		if g.onTraceCommit != nil && rec.Mut.Trace != 0 {
+			g.traced = append(g.traced, tracedRec{trace: rec.Mut.Trace, lsn: rec.LSN, enq: time.Now()})
+		}
 		// Cut a batch window short when the queue fills, or when the
 		// cohort the previous group evidenced has fully arrived —
 		// waiting longer would add latency with no one left to join.
@@ -243,6 +247,7 @@ func (w *WAL) swapFile(f File) error {
 	if g := w.gc; g != nil {
 		g.queue = g.queue[:0]
 		g.queued = 0
+		g.traced = g.traced[:0]
 		g.durable = w.nextLSN - 1
 		g.errNotified = false
 		g.advanceLocked()

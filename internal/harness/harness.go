@@ -96,6 +96,15 @@ func RunFigure5a() ([]Fig5aRow, error) {
 // instrumentation charges no virtual time, the rows are identical with
 // and without a registry.
 func RunFigure5aObserved(reg *obs.Registry) ([]Fig5aRow, error) {
+	return RunFigure5aTraced(reg, nil)
+}
+
+// RunFigure5aTraced is RunFigure5aObserved with every boxed run also
+// recording a wall-clock "box.run" span into spans (when non-nil).
+// Span recording never touches the virtual clock, so the rows — which
+// are virtual-clock measurements — are bit-identical with and without
+// a span ring; TestTracedFigure5aTickIdentical holds that invariant.
+func RunFigure5aTraced(reg *obs.Registry, spans *obs.SpanRing) ([]Fig5aRow, error) {
 	var rows []Fig5aRow
 	for _, m := range workload.Micros() {
 		nw, err := NewWorld()
@@ -110,7 +119,7 @@ func RunFigure5aObserved(reg *obs.Registry) ([]Fig5aRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		box, err := bw.NewBox(core.Options{Metrics: reg})
+		box, err := bw.NewBox(core.Options{Metrics: reg, Spans: spans})
 		if err != nil {
 			return nil, err
 		}

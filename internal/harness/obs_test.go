@@ -41,3 +41,44 @@ func TestFigure5aObservedIsDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestTracedFigure5aTickIdentical is the same zero-tick invariant for
+// request-tracing spans: a run recording wall-clock "box.run" spans
+// must reproduce the exact same virtual-clock rows as an untraced run,
+// while the span ring actually fills. Spans are wall clock only; if a
+// span recorder ever read or charged the virtual clock, the boxed
+// microsecond columns here would drift and this test would fail.
+func TestTracedFigure5aTickIdentical(t *testing.T) {
+	plain, err := RunFigure5a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := obs.NewSpanRing(1024)
+	traced, err := RunFigure5aTraced(nil, spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(traced) {
+		t.Fatalf("row counts differ: %d vs %d", len(plain), len(traced))
+	}
+	for i := range plain {
+		if plain[i] != traced[i] {
+			t.Errorf("row %q changed under tracing:\nplain:  %+v\ntraced: %+v",
+				plain[i].Name, plain[i], traced[i])
+		}
+	}
+	if spans.Len() == 0 {
+		t.Fatal("traced run recorded no spans")
+	}
+	for _, s := range spans.Spans() {
+		if s.Name != "box.run" {
+			t.Errorf("unexpected span name %q", s.Name)
+		}
+		if s.Trace == 0 {
+			t.Error("span recorded with a zero trace ID")
+		}
+		if s.Dur < 0 {
+			t.Errorf("span with negative duration %v", s.Dur)
+		}
+	}
+}

@@ -16,6 +16,19 @@ type Histogram struct {
 	buckets []atomic.Int64
 	count   atomic.Int64
 	sum     atomic.Uint64 // float64 bits, CAS-accumulated
+
+	// exemplars holds the most recent traced observation per bucket
+	// (best effort, last write wins). Only ObserveExemplar touches it,
+	// so the untraced Observe path stays allocation-free.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one bucket of a histogram to a trace that landed in
+// it, in the OpenMetrics sense: a dashboard showing a latency bucket
+// can jump straight to a representative trace.
+type Exemplar struct {
+	Trace uint64  // trace ID (0 never stored)
+	Value float64 // the observed value
 }
 
 // LatencyBuckets is the default bound set for virtual-microsecond
@@ -32,7 +45,11 @@ func NewHistogram(bounds []float64) *Histogram {
 	b := make([]float64, len(bounds))
 	copy(b, bounds)
 	sort.Float64s(b)
-	return &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+	return &Histogram{
+		bounds:    b,
+		buckets:   make([]atomic.Int64, len(b)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(b)+1),
+	}
 }
 
 // Observe records one value.
@@ -47,6 +64,64 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one value and stamps the bucket it lands in
+// with the trace that produced it, so the exposition can link latency
+// buckets to trace IDs. A zero trace degrades to a plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, trace uint64) {
+	if trace != 0 {
+		i := sort.SearchFloat64s(h.bounds, v)
+		h.exemplars[i].Store(&Exemplar{Trace: trace, Value: v})
+	}
+	h.Observe(v)
+}
+
+// Exemplars returns the current per-bucket exemplars; entries are nil
+// for buckets no traced observation has landed in. The final element
+// is the +Inf bucket.
+func (h *Histogram) Exemplars() []*Exemplar {
+	out := make([]*Exemplar, len(h.exemplars))
+	for i := range h.exemplars {
+		out[i] = h.exemplars[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the p-quantile (0 <= p <= 1) of the observed
+// distribution, interpolating linearly within the bucket the rank
+// falls in — the same estimate Prometheus's histogram_quantile gives.
+// The +Inf bucket reports the highest finite bound (there is nothing
+// to interpolate toward). An empty histogram reports 0.
+func (h *Histogram) Quantile(p float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(total)
+	var cum int64
+	for i := range h.bounds {
+		n := h.buckets[i].Load()
+		if float64(cum+n) >= rank && n > 0 {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			return lower + (h.bounds[i]-lower)*(rank-float64(cum))/float64(n)
+		}
+		cum += n
+	}
+	// Rank falls in the +Inf bucket: report the largest finite bound.
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
 }
 
 // Count reports the number of observations.

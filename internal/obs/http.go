@@ -1,6 +1,11 @@
 package obs
 
-import "net/http"
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+)
 
 // Handler serves the registry over HTTP: the Prometheus text exposition
 // by default, the JSON snapshot with ?format=json. Daemons mount it at
@@ -15,4 +20,69 @@ func (r *Registry) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		w.Write([]byte(r.Text()))
 	})
+}
+
+// TracesHandler serves a span ring over HTTP: a human-readable listing
+// of recent traces by default, the raw spans as JSON with ?format=json,
+// and a single trace with ?trace=<hexid>. Daemons mount it at
+// /debug/traces next to /metrics. A nil ring serves an empty listing.
+func TracesHandler(ring *SpanRing) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		spans := ring.Spans()
+		if t := req.URL.Query().Get("trace"); t != "" {
+			id, err := ParseTraceID(t)
+			if err != nil {
+				http.Error(w, "bad trace id", http.StatusBadRequest)
+				return
+			}
+			var kept []Span
+			for _, s := range spans {
+				if s.Trace == id {
+					kept = append(kept, s)
+				}
+			}
+			spans = kept
+		}
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(spans)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		// Group by trace, most recent trace last, spans in ring order.
+		order := make([]uint64, 0, 16)
+		byTrace := make(map[uint64][]Span)
+		for _, s := range spans {
+			if _, ok := byTrace[s.Trace]; !ok {
+				order = append(order, s.Trace)
+			}
+			byTrace[s.Trace] = append(byTrace[s.Trace], s)
+		}
+		fmt.Fprintf(w, "%d spans, %d traces (dropped %d)\n", len(spans), len(order), ring.Dropped())
+		for _, id := range order {
+			group := byTrace[id]
+			sort.SliceStable(group, func(i, j int) bool { return group[i].Start.Before(group[j].Start) })
+			fmt.Fprintf(w, "\ntrace %s\n", FormatTraceID(id))
+			for _, s := range group {
+				WriteSpan(w, s)
+			}
+		}
+	})
+}
+
+// WriteSpan renders one span (and its phases, indented) as text. The
+// format is shared by the HTTP view and the chirp CLI.
+func WriteSpan(w interface{ Write([]byte) (int, error) }, s Span) {
+	name := s.Name
+	if s.Cmd != "" {
+		name += " " + s.Cmd
+	}
+	errSuffix := ""
+	if s.Err != "" {
+		errSuffix = "  err=" + s.Err
+	}
+	fmt.Fprintf(w, "  %-28s %s  +%v%s\n", name, s.Start.Format("15:04:05.000000"), s.Dur, errSuffix)
+	for _, ph := range s.Phases {
+		fmt.Fprintf(w, "    %-26s @%-12v %v\n", ph.Name, ph.Offset, ph.Dur)
+	}
 }

@@ -110,6 +110,12 @@ type HistogramSnapshot struct {
 	Sum    float64   `json:"sum"`
 	Bounds []float64 `json:"bounds"`
 	Counts []int64   `json:"counts"` // per-bucket; last is +Inf
+	P50    float64   `json:"p50"`
+	P99    float64   `json:"p99"`
+	P999   float64   `json:"p999"`
+	// Exemplars maps bucket index -> the trace ID (hex) of the most
+	// recent traced observation in that bucket; omitted when none.
+	Exemplars map[int]string `json:"exemplars,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of every metric, JSON-encodable.
@@ -135,12 +141,24 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges[name] = g.Value()
 	}
 	for name, h := range r.hists {
-		s.Histograms[name] = HistogramSnapshot{
+		hs := HistogramSnapshot{
 			Count:  h.Count(),
 			Sum:    h.Sum(),
 			Bounds: h.Bounds(),
 			Counts: h.BucketCounts(),
+			P50:    h.Quantile(0.5),
+			P99:    h.Quantile(0.99),
+			P999:   h.Quantile(0.999),
 		}
+		for i, ex := range h.Exemplars() {
+			if ex != nil {
+				if hs.Exemplars == nil {
+					hs.Exemplars = make(map[int]string)
+				}
+				hs.Exemplars[i] = FormatTraceID(ex.Trace)
+			}
+		}
+		s.Histograms[name] = hs
 	}
 	return s
 }
@@ -192,6 +210,19 @@ func series(family, suffix string, labels ...string) string {
 
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeExemplar appends an OpenMetrics-style exemplar annotation to a
+// bucket line: ` # {trace_id="<hex>"} <value>`. Nil exemplars write
+// nothing, so untraced registries keep the classic format.
+func writeExemplar(b *strings.Builder, ex *Exemplar) {
+	if ex == nil {
+		return
+	}
+	b.WriteString(` # {trace_id="`)
+	b.WriteString(FormatTraceID(ex.Trace))
+	b.WriteString(`"} `)
+	b.WriteString(formatFloat(ex.Value))
 }
 
 // Text renders the registry in the Prometheus text exposition format.
@@ -266,16 +297,31 @@ func (r *Registry) Text() string {
 				h := hists[name]
 				bounds := h.Bounds()
 				counts := h.BucketCounts()
+				exemplars := h.Exemplars()
 				var cum int64
 				for i, bound := range bounds {
 					cum += counts[i]
 					le := `le="` + formatFloat(bound) + `"`
-					fmt.Fprintf(&b, "%s %d\n", series(fam, "_bucket", labels, le), cum)
+					b.WriteString(series(fam, "_bucket", labels, le))
+					fmt.Fprintf(&b, " %d", cum)
+					writeExemplar(&b, exemplars[i])
+					b.WriteByte('\n')
 				}
 				cum += counts[len(counts)-1]
-				fmt.Fprintf(&b, "%s %d\n", series(fam, "_bucket", labels, `le="+Inf"`), cum)
+				b.WriteString(series(fam, "_bucket", labels, `le="+Inf"`))
+				fmt.Fprintf(&b, " %d", cum)
+				writeExemplar(&b, exemplars[len(exemplars)-1])
+				b.WriteByte('\n')
 				fmt.Fprintf(&b, "%s %s\n", series(fam, "_sum", labels), formatFloat(h.Sum()))
 				fmt.Fprintf(&b, "%s %d\n", series(fam, "_count", labels), h.Count())
+				for _, q := range [...]struct {
+					label string
+					p     float64
+				}{{"0.5", 0.5}, {"0.99", 0.99}, {"0.999", 0.999}} {
+					fmt.Fprintf(&b, "%s %s\n",
+						series(fam, "_quantile", labels, `quantile="`+q.label+`"`),
+						formatFloat(h.Quantile(q.p)))
+				}
 			}
 		}
 	}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSpanRingNilSafe: every SpanRing method must be a no-op on a nil
+// receiver, so call sites carry no guards.
+func TestSpanRingNilSafe(t *testing.T) {
+	var r *SpanRing
+	r.Record(Span{Trace: 1, Name: "x"}) // must not panic
+	if got := r.Spans(); got != nil {
+		t.Errorf("nil ring Spans() = %v, want nil", got)
+	}
+	if got := r.Trace(1); got != nil {
+		t.Errorf("nil ring Trace() = %v, want nil", got)
+	}
+	if r.Len() != 0 || r.Dropped() != 0 {
+		t.Errorf("nil ring Len/Dropped = %d/%d, want 0/0", r.Len(), r.Dropped())
+	}
+	if id := r.NextSpanID(); id == 0 {
+		t.Error("nil ring NextSpanID() = 0")
+	}
+}
+
+func TestSpanRingEviction(t *testing.T) {
+	r := NewSpanRing(4)
+	for i := 1; i <= 6; i++ {
+		r.Record(Span{Trace: uint64(i), Name: "s"})
+	}
+	spans := r.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("len = %d, want 4", len(spans))
+	}
+	for i, s := range spans {
+		if want := uint64(i + 3); s.Trace != want {
+			t.Errorf("span %d trace = %d, want %d (oldest first)", i, s.Trace, want)
+		}
+	}
+	if r.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", r.Dropped())
+	}
+	if got := r.Trace(4); len(got) != 1 {
+		t.Errorf("Trace(4) = %d spans, want 1", len(got))
+	}
+}
+
+// TestSpanRingConcurrent drives the ring from many goroutines; the race
+// detector is the real assertion.
+func TestSpanRingConcurrent(t *testing.T) {
+	r := NewSpanRing(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := NewTraceID()
+				r.Record(Span{Trace: id, ID: r.NextSpanID(), Name: "w", Start: time.Now()})
+				_ = r.Trace(id)
+				_ = r.Len()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 64 {
+		t.Errorf("Len = %d, want 64", r.Len())
+	}
+}
+
+func TestTraceIDRoundTrip(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if id == 0 {
+			t.Fatal("NewTraceID returned 0")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %016x", id)
+		}
+		seen[id] = true
+		s := FormatTraceID(id)
+		if len(s) != 16 {
+			t.Fatalf("FormatTraceID(%d) = %q, want 16 hex digits", id, s)
+		}
+		back, err := ParseTraceID(s)
+		if err != nil || back != id {
+			t.Fatalf("round trip %016x -> %q -> %016x (%v)", id, s, back, err)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 40})
+	// 10 observations uniformly in (0,10], 10 in (10,20].
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+		h.Observe(15)
+	}
+	if q := h.Quantile(0.5); q != 10 {
+		t.Errorf("p50 = %v, want 10 (rank at the first bucket's upper bound)", q)
+	}
+	if q := h.Quantile(0.75); q != 15 {
+		t.Errorf("p75 = %v, want 15 (midway through the second bucket)", q)
+	}
+	if q := h.Quantile(1); q != 20 {
+		t.Errorf("p100 = %v, want 20", q)
+	}
+	// +Inf bucket clamps to the highest finite bound.
+	h.Observe(1000)
+	if q := h.Quantile(0.999); q != 40 {
+		t.Errorf("p999 with +Inf mass = %v, want 40", q)
+	}
+	// Empty histogram.
+	if q := NewHistogram(nil).Quantile(0.5); q != 0 {
+		t.Errorf("empty p50 = %v, want 0", q)
+	}
+}
+
+func TestHistogramExemplars(t *testing.T) {
+	h := NewHistogram([]float64{10, 20})
+	h.ObserveExemplar(5, 0xabc) // first bucket
+	h.ObserveExemplar(99, 0xdef)
+	h.Observe(15) // untraced: no exemplar for bucket 1
+	ex := h.Exemplars()
+	if ex[0] == nil || ex[0].Trace != 0xabc || ex[0].Value != 5 {
+		t.Errorf("bucket 0 exemplar = %+v", ex[0])
+	}
+	if ex[1] != nil {
+		t.Errorf("bucket 1 exemplar = %+v, want nil", ex[1])
+	}
+	if ex[2] == nil || ex[2].Trace != 0xdef {
+		t.Errorf("+Inf exemplar = %+v", ex[2])
+	}
+	if h.Count() != 3 {
+		t.Errorf("count = %d, want 3", h.Count())
+	}
+
+	reg := NewRegistry()
+	rh := reg.Histogram("lat_us", []float64{10, 20})
+	rh.ObserveExemplar(5, 0xabc)
+	text := reg.Text()
+	if !strings.Contains(text, `lat_us_bucket{le="10"} 1 # {trace_id="0000000000000abc"} 5`) {
+		t.Errorf("exemplar annotation missing from exposition:\n%s", text)
+	}
+	if !strings.Contains(text, `lat_us_quantile{quantile="0.99"}`) {
+		t.Errorf("quantile series missing from exposition:\n%s", text)
+	}
+	snap := reg.Snapshot().Histograms["lat_us"]
+	if snap.Exemplars[0] != "0000000000000abc" {
+		t.Errorf("snapshot exemplars = %v", snap.Exemplars)
+	}
+	if snap.P50 == 0 {
+		t.Errorf("snapshot p50 = 0, want > 0")
+	}
+}

@@ -56,6 +56,16 @@ func (h *Handle) ReadAt(p []byte, off int64) (int, error) {
 // A journaled write is attributed to the handle's open-time path; see
 // the durability notes in DESIGN.md §9 for the rename-while-open caveat.
 func (h *Handle) WriteAt(p []byte, off int64) (int, error) {
+	return h.writeAt(p, off, 0)
+}
+
+// WriteAtTraced is WriteAt with a request-tracing ID stamped on the
+// journaled mutation.
+func (h *Handle) WriteAtTraced(p []byte, off int64, trace uint64) (int, error) {
+	return h.writeAt(p, off, trace)
+}
+
+func (h *Handle) writeAt(p []byte, off int64, trace uint64) (int, error) {
 	defer h.fs.beginJournal()()
 	if h.n.ftype == TypeDir {
 		return 0, &PathError{"write", "(fd)", ErrIsDir}
@@ -73,12 +83,22 @@ func (h *Handle) WriteAt(p []byte, off int64) (int, error) {
 	}
 	copy(h.n.data[off:end], p)
 	h.n.mtime.Store(h.fs.tick())
-	h.fs.record(Mutation{Op: MutWrite, Path: h.path, Off: off, Data: p})
+	h.fs.record(Mutation{Op: MutWrite, Path: h.path, Off: off, Data: p, Trace: trace})
 	return len(p), nil
 }
 
 // Truncate sets the pinned file's length.
 func (h *Handle) Truncate(size int64) error {
+	return h.truncate(size, 0)
+}
+
+// TruncateTraced is Truncate with a request-tracing ID stamped on the
+// journaled mutation.
+func (h *Handle) TruncateTraced(size int64, trace uint64) error {
+	return h.truncate(size, trace)
+}
+
+func (h *Handle) truncate(size int64, trace uint64) error {
 	defer h.fs.beginJournal()()
 	if h.n.ftype == TypeDir {
 		return &PathError{"truncate", "(fd)", ErrIsDir}
@@ -97,7 +117,7 @@ func (h *Handle) Truncate(size int64) error {
 		h.n.data = grown
 	}
 	h.n.mtime.Store(h.fs.tick())
-	h.fs.record(Mutation{Op: MutTruncate, Path: h.path, Size: size})
+	h.fs.record(Mutation{Op: MutTruncate, Path: h.path, Size: size, Trace: trace})
 	return nil
 }
 

@@ -85,6 +85,13 @@ type Mutation struct {
 	Off   int64
 	Size  int64
 	Data  []byte
+
+	// Trace is the request-tracing ID of the call that caused the
+	// mutation, or zero when untraced. It is observability metadata,
+	// not file-system state: durable logs do not persist it, and replay
+	// ignores it. Journals may use it to attribute commit latency to
+	// the originating request (see internal/durable's group commit).
+	Trace uint64
 }
 
 // Journal receives every successful mutation, in commit order.

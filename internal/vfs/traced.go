@@ -1,0 +1,81 @@
+package vfs
+
+// TracedView is a thin facade over an FS that stamps every journaled
+// mutation it performs with a request-tracing ID (see Mutation.Trace).
+// It adds no synchronization and no state beyond the ID itself; each
+// method is exactly the corresponding FS method. A zero trace makes the
+// view equivalent to the plain FS, so callers can pass whatever ID the
+// request carried without branching.
+//
+// Read operations are deliberately absent: reads emit no mutations, so
+// there is nothing to stamp — call the FS directly.
+type TracedView struct {
+	fs    *FS
+	trace uint64
+}
+
+// Traced returns a view of the file system whose mutations carry the
+// given trace ID.
+func (fs *FS) Traced(trace uint64) TracedView {
+	return TracedView{fs: fs, trace: trace}
+}
+
+// FS returns the underlying file system (for read paths).
+func (v TracedView) FS() *FS { return v.fs }
+
+// Mkdir is FS.Mkdir with the view's trace stamped on the mutation.
+func (v TracedView) Mkdir(path string, mode uint32, owner string) error {
+	return v.fs.mkdir(path, mode, owner, v.trace)
+}
+
+// Create is FS.Create with the view's trace stamped on the mutation.
+func (v TracedView) Create(path string, mode uint32, owner string) (Stat, error) {
+	return v.fs.create(path, mode, owner, v.trace)
+}
+
+// WriteAt is FS.WriteAt with the view's trace stamped on the mutation.
+func (v TracedView) WriteAt(path string, p []byte, off int64) (int, error) {
+	return v.fs.writeAt(path, p, off, v.trace)
+}
+
+// Truncate is FS.Truncate with the view's trace stamped on the mutation.
+func (v TracedView) Truncate(path string, size int64) error {
+	return v.fs.truncate(path, size, v.trace)
+}
+
+// WriteFile is FS.WriteFile with the view's trace stamped on each of the
+// underlying create/truncate/write mutations.
+func (v TracedView) WriteFile(path string, data []byte, mode uint32, owner string) error {
+	return v.fs.writeFile(path, data, mode, owner, v.trace)
+}
+
+// Unlink is FS.Unlink with the view's trace stamped on the mutation.
+func (v TracedView) Unlink(path string) error { return v.fs.unlink(path, v.trace) }
+
+// Rmdir is FS.Rmdir with the view's trace stamped on the mutation.
+func (v TracedView) Rmdir(path string) error { return v.fs.rmdir(path, v.trace) }
+
+// Symlink is FS.Symlink with the view's trace stamped on the mutation.
+func (v TracedView) Symlink(target, linkPath string, owner string) error {
+	return v.fs.symlink(target, linkPath, owner, v.trace)
+}
+
+// Link is FS.Link with the view's trace stamped on the mutation.
+func (v TracedView) Link(oldPath, newPath string) error {
+	return v.fs.link(oldPath, newPath, v.trace)
+}
+
+// Rename is FS.Rename with the view's trace stamped on the mutation.
+func (v TracedView) Rename(oldPath, newPath string) error {
+	return v.fs.rename(oldPath, newPath, v.trace)
+}
+
+// Chmod is FS.Chmod with the view's trace stamped on the mutation.
+func (v TracedView) Chmod(path string, mode uint32) error {
+	return v.fs.chmod(path, mode, v.trace)
+}
+
+// Chown is FS.Chown with the view's trace stamped on the mutation.
+func (v TracedView) Chown(path, owner, group string) error {
+	return v.fs.chown(path, owner, group, v.trace)
+}

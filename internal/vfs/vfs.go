@@ -303,6 +303,10 @@ func (fs *FS) lookupDir(op, path string) (*Inode, error) {
 
 // Mkdir creates a directory. The parent must exist.
 func (fs *FS) Mkdir(path string, mode uint32, owner string) error {
+	return fs.mkdir(path, mode, owner, 0)
+}
+
+func (fs *FS) mkdir(path string, mode uint32, owner string, trace uint64) error {
 	defer fs.beginJournal()()
 	fs.treeMu.Lock()
 	defer fs.treeMu.Unlock()
@@ -326,7 +330,7 @@ func (fs *FS) Mkdir(path string, mode uint32, owner string) error {
 	parent.children[base] = child
 	parent.nlink++
 	parent.mtime.Store(fs.tick())
-	fs.record(Mutation{Op: MutMkdir, Path: path, Mode: mode, Owner: owner})
+	fs.record(Mutation{Op: MutMkdir, Path: path, Mode: mode, Owner: owner, Trace: trace})
 	return nil
 }
 
@@ -346,6 +350,10 @@ func (fs *FS) MkdirAll(path string, mode uint32, owner string) error {
 
 // Create makes (or truncates) a regular file and returns its stat.
 func (fs *FS) Create(path string, mode uint32, owner string) (Stat, error) {
+	return fs.create(path, mode, owner, 0)
+}
+
+func (fs *FS) create(path string, mode uint32, owner string, trace uint64) (Stat, error) {
 	defer fs.beginJournal()()
 	fs.treeMu.Lock()
 	defer fs.treeMu.Unlock()
@@ -359,7 +367,7 @@ func (fs *FS) Create(path string, mode uint32, owner string) (Stat, error) {
 		n.data = n.data[:0]
 		n.mu.Unlock()
 		n.mtime.Store(fs.tick())
-		fs.record(Mutation{Op: MutCreate, Path: path, Mode: mode, Owner: owner})
+		fs.record(Mutation{Op: MutCreate, Path: path, Mode: mode, Owner: owner, Trace: trace})
 		return fs.statOf(n, n.nlink), nil
 	case errors.Is(err, ErrNotExist) && parent != nil:
 		child := &Inode{
@@ -372,7 +380,7 @@ func (fs *FS) Create(path string, mode uint32, owner string) (Stat, error) {
 		child.mtime.Store(fs.tick())
 		parent.children[base] = child
 		parent.mtime.Store(fs.tick())
-		fs.record(Mutation{Op: MutCreate, Path: path, Mode: mode, Owner: owner})
+		fs.record(Mutation{Op: MutCreate, Path: path, Mode: mode, Owner: owner, Trace: trace})
 		return fs.statOf(child, child.nlink), nil
 	default:
 		return Stat{}, &PathError{"create", path, err}
@@ -471,6 +479,10 @@ func (fs *FS) ReadAt(path string, p []byte, off int64) (int, error) {
 // WriteAt writes p into the file at off, extending it (zero-filled) as
 // needed, and reports the number of bytes written.
 func (fs *FS) WriteAt(path string, p []byte, off int64) (int, error) {
+	return fs.writeAt(path, p, off, 0)
+}
+
+func (fs *FS) writeAt(path string, p []byte, off int64, trace uint64) (int, error) {
 	defer fs.beginJournal()()
 	n, err := fs.resolveShared(path, true)
 	if err != nil {
@@ -492,12 +504,16 @@ func (fs *FS) WriteAt(path string, p []byte, off int64) (int, error) {
 	}
 	copy(n.data[off:end], p)
 	n.mtime.Store(fs.tick())
-	fs.record(Mutation{Op: MutWrite, Path: path, Off: off, Data: p})
+	fs.record(Mutation{Op: MutWrite, Path: path, Off: off, Data: p, Trace: trace})
 	return len(p), nil
 }
 
 // Truncate sets the file's length, extending with zeros if needed.
 func (fs *FS) Truncate(path string, size int64) error {
+	return fs.truncate(path, size, 0)
+}
+
+func (fs *FS) truncate(path string, size int64, trace uint64) error {
 	defer fs.beginJournal()()
 	n, err := fs.resolveShared(path, true)
 	if err != nil {
@@ -520,12 +536,16 @@ func (fs *FS) Truncate(path string, size int64) error {
 		n.data = grown
 	}
 	n.mtime.Store(fs.tick())
-	fs.record(Mutation{Op: MutTruncate, Path: path, Size: size})
+	fs.record(Mutation{Op: MutTruncate, Path: path, Size: size, Trace: trace})
 	return nil
 }
 
 // Unlink removes a file or symlink (not a directory).
 func (fs *FS) Unlink(path string) error {
+	return fs.unlink(path, 0)
+}
+
+func (fs *FS) unlink(path string, trace uint64) error {
 	defer fs.beginJournal()()
 	fs.treeMu.Lock()
 	defer fs.treeMu.Unlock()
@@ -539,12 +559,16 @@ func (fs *FS) Unlink(path string) error {
 	delete(parent.children, base)
 	n.nlink--
 	parent.mtime.Store(fs.tick())
-	fs.record(Mutation{Op: MutUnlink, Path: path})
+	fs.record(Mutation{Op: MutUnlink, Path: path, Trace: trace})
 	return nil
 }
 
 // Rmdir removes an empty directory.
 func (fs *FS) Rmdir(path string) error {
+	return fs.rmdir(path, 0)
+}
+
+func (fs *FS) rmdir(path string, trace uint64) error {
 	defer fs.beginJournal()()
 	fs.treeMu.Lock()
 	defer fs.treeMu.Unlock()
@@ -564,12 +588,16 @@ func (fs *FS) Rmdir(path string) error {
 	delete(parent.children, base)
 	parent.nlink--
 	parent.mtime.Store(fs.tick())
-	fs.record(Mutation{Op: MutRmdir, Path: path})
+	fs.record(Mutation{Op: MutRmdir, Path: path, Trace: trace})
 	return nil
 }
 
 // Symlink creates a symbolic link at linkPath pointing at target.
 func (fs *FS) Symlink(target, linkPath string, owner string) error {
+	return fs.symlink(target, linkPath, owner, 0)
+}
+
+func (fs *FS) symlink(target, linkPath string, owner string, trace uint64) error {
 	defer fs.beginJournal()()
 	fs.treeMu.Lock()
 	defer fs.treeMu.Unlock()
@@ -591,7 +619,7 @@ func (fs *FS) Symlink(target, linkPath string, owner string) error {
 	child.mtime.Store(fs.tick())
 	parent.children[base] = child
 	parent.mtime.Store(fs.tick())
-	fs.record(Mutation{Op: MutSymlink, Path: linkPath, Path2: target, Owner: owner})
+	fs.record(Mutation{Op: MutSymlink, Path: linkPath, Path2: target, Owner: owner, Trace: trace})
 	return nil
 }
 
@@ -610,6 +638,10 @@ func (fs *FS) Readlink(path string) (string, error) {
 // Link creates a hard link newPath referring to the same inode as
 // oldPath. Directories cannot be hard-linked.
 func (fs *FS) Link(oldPath, newPath string) error {
+	return fs.link(oldPath, newPath, 0)
+}
+
+func (fs *FS) link(oldPath, newPath string, trace uint64) error {
 	defer fs.beginJournal()()
 	fs.treeMu.Lock()
 	defer fs.treeMu.Unlock()
@@ -630,13 +662,17 @@ func (fs *FS) Link(oldPath, newPath string) error {
 	parent.children[base] = src
 	src.nlink++
 	parent.mtime.Store(fs.tick())
-	fs.record(Mutation{Op: MutLink, Path: oldPath, Path2: newPath})
+	fs.record(Mutation{Op: MutLink, Path: oldPath, Path2: newPath, Trace: trace})
 	return nil
 }
 
 // Rename atomically moves oldPath to newPath, replacing a non-directory
 // target if one exists.
 func (fs *FS) Rename(oldPath, newPath string) error {
+	return fs.rename(oldPath, newPath, 0)
+}
+
+func (fs *FS) rename(oldPath, newPath string, trace uint64) error {
 	defer fs.beginJournal()()
 	fs.treeMu.Lock()
 	defer fs.treeMu.Unlock()
@@ -686,7 +722,7 @@ func (fs *FS) Rename(oldPath, newPath string) error {
 	}
 	srcParent.mtime.Store(fs.tick())
 	dstParent.mtime.Store(fs.tick())
-	fs.record(Mutation{Op: MutRename, Path: oldPath, Path2: newPath})
+	fs.record(Mutation{Op: MutRename, Path: oldPath, Path2: newPath, Trace: trace})
 	return nil
 }
 
@@ -709,6 +745,10 @@ func (fs *FS) isAncestor(maybeAncestor, n *Inode) bool {
 
 // Chmod sets the permission bits.
 func (fs *FS) Chmod(path string, mode uint32) error {
+	return fs.chmod(path, mode, 0)
+}
+
+func (fs *FS) chmod(path string, mode uint32, trace uint64) error {
 	defer fs.beginJournal()()
 	n, err := fs.resolveShared(path, true)
 	if err != nil {
@@ -718,12 +758,16 @@ func (fs *FS) Chmod(path string, mode uint32) error {
 	n.mode = mode & 0o7777
 	n.mu.Unlock()
 	n.mtime.Store(fs.tick())
-	fs.record(Mutation{Op: MutChmod, Path: path, Mode: mode})
+	fs.record(Mutation{Op: MutChmod, Path: path, Mode: mode, Trace: trace})
 	return nil
 }
 
 // Chown sets the owner (and optionally group) of path.
 func (fs *FS) Chown(path, owner, group string) error {
+	return fs.chown(path, owner, group, 0)
+}
+
+func (fs *FS) chown(path, owner, group string, trace uint64) error {
 	defer fs.beginJournal()()
 	n, err := fs.resolveShared(path, true)
 	if err != nil {
@@ -736,19 +780,23 @@ func (fs *FS) Chown(path, owner, group string) error {
 	}
 	n.mu.Unlock()
 	n.mtime.Store(fs.tick())
-	fs.record(Mutation{Op: MutChown, Path: path, Owner: owner, Group: group})
+	fs.record(Mutation{Op: MutChown, Path: path, Owner: owner, Group: group, Trace: trace})
 	return nil
 }
 
 // WriteFile creates (or replaces) a file with the given contents.
 func (fs *FS) WriteFile(path string, data []byte, mode uint32, owner string) error {
-	if _, err := fs.Create(path, mode, owner); err != nil {
+	return fs.writeFile(path, data, mode, owner, 0)
+}
+
+func (fs *FS) writeFile(path string, data []byte, mode uint32, owner string, trace uint64) error {
+	if _, err := fs.create(path, mode, owner, trace); err != nil {
 		return err
 	}
-	if err := fs.Truncate(path, 0); err != nil {
+	if err := fs.truncate(path, 0, trace); err != nil {
 		return err
 	}
-	_, err := fs.WriteAt(path, data, 0)
+	_, err := fs.writeAt(path, data, 0, trace)
 	return err
 }
 
