@@ -4,7 +4,14 @@
 // Usage:
 //
 //	catalogd [-addr host:port] [-metrics host:port]   run a catalog
+//	         [-lease-ttl d] [-expiry d]
 //	catalogd -query host:port                         list servers known to a catalog
+//
+// The catalog also arbitrates write leases for replica sets: servers
+// named alike contend for one lease per name over the same UDP socket
+// the heartbeats use. -lease-ttl sets the lease term (the failover
+// latency bound); -expiry drops servers not heard from within that
+// window from query answers.
 //
 // -metrics serves the catalog's telemetry over HTTP: Prometheus text
 // exposition at /metrics (JSON with ?format=json), expvar at
@@ -30,6 +37,8 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:9097", "listen address (UDP heartbeats + TCP queries)")
 	query := flag.String("query", "", "query an existing catalog and exit")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	leaseTTL := flag.Duration("lease-ttl", 3*time.Second, "write-lease term for replica sets (bounds failover latency)")
+	expiry := flag.Duration("expiry", 15*time.Minute, "drop servers not heard from within this window")
 	flag.Parse()
 
 	if *query != "" {
@@ -38,12 +47,22 @@ func main() {
 			log.Fatalf("catalogd: query: %v", err)
 		}
 		for _, e := range entries {
-			fmt.Printf("%-20s %-22s owner=%s\n", e.Name, e.Addr, e.Owner)
+			line := fmt.Sprintf("%-20s %-22s owner=%-10s age=%s", e.Name, e.Addr, e.Owner, e.Age.Round(time.Millisecond))
+			if e.Role != "" {
+				line += fmt.Sprintf(" role=%s epoch=%d lsn=%d", e.Role, e.Epoch, e.LSN)
+			}
+			fmt.Println(line)
 		}
 		return
 	}
 
 	cat := chirp.NewCatalog()
+	if *leaseTTL > 0 {
+		cat.LeaseTTL = *leaseTTL
+	}
+	if *expiry > 0 {
+		cat.Expiry = *expiry
+	}
 	reg := obs.NewRegistry()
 	cat.SetMetrics(reg)
 	if err := cat.Listen(*addr); err != nil {

@@ -254,6 +254,9 @@ func dispatch(cl *chirp.Client, cmd string, args []string) error {
 		fmt.Printf("errors    %d\n", st.Errors)
 		fmt.Printf("rx bytes  %d\n", st.RxBytes)
 		fmt.Printf("tx bytes  %d\n", st.TxBytes)
+		if st.Role != "" {
+			fmt.Printf("role      %s (epoch %d, applied lsn %d)\n", st.Role, st.Epoch, st.AppliedLSN)
+		}
 		fmt.Printf("this session: %d fds, %d grants\n", st.FDs, st.Grants)
 		return nil
 	case "metrics":
@@ -370,6 +373,9 @@ func ping(cl *chirp.Client, n int) error {
 			ws.Protocol, ws.Window, ws.MaxInflightBytes, ws.InFlight, ws.Stalls)
 	} else {
 		fmt.Printf("protocol: v%d (lock-step)\n", ws.Protocol)
+	}
+	if st, err := cl.Stats(); err == nil && st.Role != "" {
+		fmt.Printf("role: %s  epoch %d  applied lsn %d\n", st.Role, st.Epoch, st.AppliedLSN)
 	}
 	fmt.Printf("breaker: %s\n", cl.Breaker().State())
 	fmt.Print("client counters:\n")

@@ -7,6 +7,7 @@
 //	chirpd [-addr host:port] [-owner name] [-root-acl "pattern rights;..."]
 //	       [-catalog addr] [-name label] [-state dir] [-metrics host:port]
 //	       [-compact-every d] [-fsync n] [-commit-window d] [-commit-batch n]
+//	       [-replicate] [-replica-of addr] [-lease-ttl d]
 //	       [-req-timeout d] [-drain d] [-window n] [-max-inflight bytes]
 //	       [-workers n] [-trace-spans n] [-trace-log file] [-trace-slow d]
 //	       [-v]
@@ -21,6 +22,21 @@
 // (-commit-window bounds how long a group waits for company,
 // -commit-batch how many records it may hold), and a mutating request
 // is acknowledged on the wire only after its group is durable.
+//
+// -replicate turns a stateful server into a replica-set member: every
+// committed WAL group is published to subscribed followers, mutating
+// replies wait (semi-sync, bounded) for a follower acknowledgement,
+// and with -catalog and -name the server contends for the set's write
+// lease (-lease-ttl the term). -replica-of starts this server as a
+// follower of the named primary instead (implies -replicate): it
+// bootstraps from the primary's WAL tail or snapshot, applies the
+// replicated stream into its own -state, serves reads (with waitlsn
+// read barriers), refuses writes with ENOTPRIMARY, and stands for
+// election when its stream breaks — winning promotes it to primary
+// within roughly one lease TTL, with tokened retries exactly-once
+// across the switch because the dedupe journal replicates with the
+// WAL. A fenced former primary refuses writes until restarted as a
+// follower of the new one.
 //
 // -req-timeout bounds the wire I/O of each request once its command
 // line arrives, so a stalled client cannot pin a session goroutine.
@@ -68,6 +84,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"identitybox/internal/acl"
@@ -77,6 +94,7 @@ import (
 	"identitybox/internal/durable"
 	"identitybox/internal/kernel"
 	"identitybox/internal/obs"
+	"identitybox/internal/replica"
 	"identitybox/internal/vclock"
 	"identitybox/internal/vfs"
 )
@@ -92,6 +110,9 @@ func main() {
 	fsyncEvery := flag.Int("fsync", 1, "fsync the WAL every N records with -state (1: every record; 0: never, the OS decides)")
 	commitWindow := flag.Duration("commit-window", 0, "group-commit coalescing window with -state (0: the built-in default; negative: flush eagerly)")
 	commitBatch := flag.Int("commit-batch", 0, "max records per commit group with -state (0: the built-in default)")
+	replicate := flag.Bool("replicate", false, "publish the WAL to followers and contend for the write lease (needs -state)")
+	replicaOf := flag.String("replica-of", "", "start as a follower streaming from this primary (implies -replicate)")
+	leaseTTL := flag.Duration("lease-ttl", 3*time.Second, "write-lease term; failover completes within roughly one TTL")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars, /debug/pprof and /debug/traces on this address")
 	traceSpans := flag.Int("trace-spans", obs.DefaultSpanCapacity, "retained request spans (0: disable request tracing)")
 	traceLog := flag.String("trace-log", "", "append slow traced requests to this JSONL file")
@@ -116,6 +137,28 @@ func main() {
 	if *traceSpans > 0 {
 		spans = obs.NewSpanRing(*traceSpans)
 	}
+	if *replicaOf != "" {
+		*replicate = true
+		if *replicaOf == *addr {
+			log.Fatalf("chirpd: -replica-of must name another server")
+		}
+	}
+	if *replicate && *state == "" {
+		log.Fatalf("chirpd: replication (-replicate / -replica-of) needs -state")
+	}
+	if *replicate && *catalog != "" && *name == "" {
+		log.Fatalf("chirpd: lease contention needs -name (the replica-set name)")
+	}
+	if *leaseTTL <= 0 {
+		*leaseTTL = 3 * time.Second
+	}
+
+	// The publisher exists before the store so the group-commit pipeline
+	// can ship into it from its first group; Bind below closes the loop.
+	var pub *replica.Publisher
+	if *replicate {
+		pub = replica.NewPublisher(reg, 0)
+	}
 	fs := vfs.New(*owner)
 	var store *durable.Store
 	if *state != "" {
@@ -123,7 +166,7 @@ func main() {
 		if syncN <= 0 {
 			syncN = -1
 		}
-		store, err = durable.Open(*state, durable.Options{
+		dopts := durable.Options{
 			Owner:        *owner,
 			SyncEveryN:   syncN,
 			CommitWindow: *commitWindow,
@@ -131,15 +174,98 @@ func main() {
 			Metrics:      reg,
 			Spans:        spans,
 			Logf:         log.Printf,
-		})
+			ReplicaMode:  *replicaOf != "",
+		}
+		if pub != nil {
+			dopts.OnShip = pub.Ship
+		}
+		store, err = durable.Open(*state, dopts)
 		if err != nil {
 			log.Fatalf("chirpd: recovering %s: %v", *state, err)
 		}
 		fs = store.FS()
 		fmt.Printf("chirpd: recovered state from %s (%s)\n", *state, store.Recovery())
 	}
+	if pub != nil {
+		pub.Bind(store)
+	}
+
+	// A follower bootstraps BEFORE the kernel is built: loading a
+	// primary snapshot replaces the store's file-system tree, which is
+	// only legal while nothing else holds the pointer.
+	clientAuths := []auth.Authenticator{&auth.UnixClient{User: *owner}, &auth.HostnameClient{}}
+	var firstStream *chirp.ReplicaSession
+	if *replicaOf != "" {
+		rs, err := chirp.DialReplica(*replicaOf, clientAuths, store.AppliedLSN(), *leaseTTL+5*time.Second)
+		if err != nil {
+			log.Fatalf("chirpd: bootstrapping from primary %s: %v", *replicaOf, err)
+		}
+		rs.IdleTimeout = *leaseTTL
+		if rs.Snap != nil {
+			if err := store.LoadReplicaSnapshot(rs.Snap); err != nil {
+				log.Fatalf("chirpd: loading snapshot from %s: %v", *replicaOf, err)
+			}
+			fs = store.FS()
+			fmt.Printf("chirpd: bootstrapped from %s snapshot (lsn %d, epoch %d)\n", *replicaOf, rs.SnapLSN, rs.Epoch)
+		} else {
+			fmt.Printf("chirpd: following %s from lsn %d (epoch %d)\n", *replicaOf, store.AppliedLSN(), rs.Epoch)
+		}
+		firstStream = rs
+	}
 	k := kernel.New(fs, vclock.Default())
 	registerDemoPrograms(k)
+
+	// The replication node runs this server's role: lease renewal as a
+	// primary, stream-apply and election as a follower. It is created
+	// before the server (whose options point at it) but can only reseed
+	// the server's dedupe table once the server exists, hence srvSlot.
+	var node *replica.Node
+	var srvSlot atomic.Pointer[chirp.Server]
+	if *replicate {
+		dial := func(target string, fromLSN uint64) (replica.Stream, error) {
+			if s := firstStream; s != nil {
+				firstStream = nil
+				return s, nil
+			}
+			rs, err := chirp.DialReplica(target, clientAuths, fromLSN, *leaseTTL)
+			if err != nil {
+				return nil, err
+			}
+			rs.IdleTimeout = *leaseTTL
+			if rs.Snap != nil {
+				// A snapshot would replace the file-system tree, which is
+				// impossible under a live kernel: this follower fell behind
+				// the primary's compacted WAL and must re-bootstrap.
+				rs.Close()
+				return nil, fmt.Errorf("primary %s demands a snapshot bootstrap; restart this follower with a fresh -state", target)
+			}
+			return rs, nil
+		}
+		node, err = replica.Start(replica.Config{
+			Name:        *name,
+			Addr:        *addr,
+			CatalogAddr: *catalog,
+			TTL:         *leaseTTL,
+			Store:       store,
+			Publisher:   pub,
+			PrimaryAddr: *replicaOf,
+			Dial:        dial,
+			OnPromote: func(epoch uint64) {
+				if s := srvSlot.Load(); s != nil {
+					s.ReseedDedupe(store.DedupeEntries())
+				}
+				log.Printf("chirpd: *** PROMOTED: now the primary for %q at epoch %d (applied lsn %d) ***", *name, epoch, store.AppliedLSN())
+			},
+			OnFenced: func(epoch uint64, holder string) {
+				log.Printf("chirpd: *** FENCED at epoch %d: lease held by %s; refusing writes (restart with -replica-of %s to rejoin) ***", epoch, holder, holder)
+			},
+			Logf:    log.Printf,
+			Metrics: reg,
+		})
+		if err != nil {
+			log.Fatalf("chirpd: starting replication: %v", err)
+		}
+	}
 
 	opts := chirp.ServerOptions{
 		Name:        *name,
@@ -175,6 +301,24 @@ func main() {
 		// op is on disk before the client hears "ok".
 		opts.Durability = store
 	}
+	if *catalog != "" {
+		// Periodic heartbeats keep the catalog's last-seen ages inside
+		// its staleness budget; a replica-set member refreshes on the
+		// lease cadence so role/epoch/lsn views stay current.
+		opts.HeartbeatEvery = time.Minute
+	}
+	if node != nil {
+		opts.Repl = pub
+		opts.Role = node
+		// The node folds the semi-sync follower wait into the durability
+		// barrier and dedupe journal, so an acked mutation exists on a
+		// follower (when one is subscribed) before the client hears "ok".
+		opts.Durability = node
+		opts.DedupeJournal = node
+		if *catalog != "" {
+			opts.HeartbeatEvery = *leaseTTL / 3
+		}
+	}
 	if *verbose {
 		opts.Logf = log.Printf
 	}
@@ -182,6 +326,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	srvSlot.Store(srv)
 	if err := srv.Listen(*addr); err != nil {
 		log.Fatal(err)
 	}
@@ -199,6 +344,10 @@ func main() {
 	}
 	fmt.Printf("chirpd: serving on %s as %s (root ACL: %s)\n", srv.Addr(), *owner,
 		strings.ReplaceAll(strings.TrimSpace(a.String()), "\n", "; "))
+	if node != nil {
+		role, epoch := node.Role()
+		fmt.Printf("chirpd: replication role %s, epoch %d, lease ttl %s\n", role, epoch, *leaseTTL)
+	}
 
 	// Periodic snapshot compaction keeps the WAL (and recovery time)
 	// bounded. The final compaction happens at shutdown below.
@@ -237,6 +386,12 @@ func main() {
 		<-drained
 	}
 	close(compactDone)
+	if node != nil {
+		node.Stop()
+	}
+	if pub != nil {
+		pub.Close()
+	}
 	if slowLog != nil {
 		if err := slowLog.Close(); err != nil {
 			log.Printf("chirpd: closing trace log: %v", err)

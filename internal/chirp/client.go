@@ -646,6 +646,13 @@ type ServerStats struct {
 	Sessions int64  // sessions authenticated, lifetime
 	RxBytes  int64  // wire bytes the server received
 	TxBytes  int64  // wire bytes the server sent
+
+	// Replication extras, present only when the server runs with a
+	// replication role (three extra reply fields; absent on standalone
+	// servers, where Role is "").
+	Role       string // primary, follower, or fenced
+	Epoch      uint64 // fencing epoch
+	AppliedLSN uint64 // highest LSN applied to the server's state
 }
 
 // Stats fetches the server's live counters.
@@ -654,7 +661,7 @@ func (cl *Client) Stats() (ServerStats, error) {
 	if err != nil {
 		return ServerStats{}, err
 	}
-	if len(r) != 9 {
+	if len(r) < 9 {
 		return ServerStats{}, fmt.Errorf("chirp: bad stats reply %v", r)
 	}
 	var st ServerStats
@@ -671,7 +678,38 @@ func (cl *Client) Stats() (ServerStats, error) {
 			return ServerStats{}, fmt.Errorf("chirp: bad stats field %q", r[4+i])
 		}
 	}
+	if len(r) >= 12 {
+		st.Role = r[9]
+		if st.Epoch, err = strconv.ParseUint(r[10], 10, 64); err != nil {
+			return ServerStats{}, fmt.Errorf("chirp: bad stats field %q", r[10])
+		}
+		if st.AppliedLSN, err = strconv.ParseUint(r[11], 10, 64); err != nil {
+			return ServerStats{}, fmt.Errorf("chirp: bad stats field %q", r[11])
+		}
+	}
 	return st, nil
+}
+
+// WaitLSN blocks until the server's state reflects lsn, bounded by
+// timeout — the bounded-staleness read barrier against a follower: a
+// reader who knows the primary's durable LSN (or just a horizon it
+// needs) demands it before reading, and the follower parks the request
+// until replication catches up. Returns the server's applied LSN at
+// release. A standalone server answers immediately.
+func (cl *Client) WaitLSN(lsn uint64, timeout time.Duration) (uint64, error) {
+	r, _, _, err := cl.do(wireCall{
+		fields: []string{"waitlsn",
+			strconv.FormatUint(lsn, 10),
+			strconv.FormatInt(timeout.Milliseconds(), 10)},
+		class: classIdempotent,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if len(r) != 1 {
+		return 0, fmt.Errorf("chirp: bad waitlsn reply %v", r)
+	}
+	return strconv.ParseUint(r[0], 10, 64)
 }
 
 // Metrics fetches the server's full metric registry as Prometheus text

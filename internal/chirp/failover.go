@@ -1,35 +1,183 @@
 package chirp
 
 import (
+	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"identitybox/internal/kernel"
+	"identitybox/internal/obs"
 	"identitybox/internal/parrot"
 	"identitybox/internal/vfs"
 )
+
+// MetricFailoverReprobes counts background re-probes of breaker-tripped
+// replicas (see FailoverDriver.StartReprobe).
+const MetricFailoverReprobes = "chirp_failover_reprobe_total"
 
 // FailoverDriver serves one catalog name from a replica set: catalog
 // entries sharing a name are taken as replicas of the same export.
 // Reads prefer the primary but fail over, in order, to replicas when
 // the primary's circuit breaker is open or a call fails at the
 // transport level (remote error replies are final — a replica would
-// just repeat them). Writes go to the primary only — replicas are not
-// a consistency protocol — and degrade with the typed ErrDegraded
-// instead of hanging when the primary is unavailable.
+// just repeat them). Writes go to whichever member currently holds the
+// write lease: the primary index moves when a server answers
+// ENOTPRIMARY naming its successor, or when the catalog watch sees the
+// lease change hands. Writes still never fan out — a mutation lands on
+// exactly one member or degrades with the typed ErrDegraded.
 type FailoverDriver struct {
-	drivers []*Driver    // primary first
+	drivers []*Driver    // catalog-preferred order; index 0 is the initial primary
 	note    func(string) // optional failover-event sink (core audit)
+
+	// primaryIdx is the member currently believed to hold the write
+	// lease. Reads start their preference scan here too, so a promoted
+	// follower also becomes the freshest read target.
+	primaryIdx atomic.Int32
+
+	catalogAddr string
+	name        string // replica-set name in the catalog ("" disables the watch)
+
+	reprobes *obs.Counter
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// FailoverOptions configure a FailoverDriver beyond its member list.
+type FailoverOptions struct {
+	// Note, when non-nil, receives one line per failover decision
+	// (wired to the box's audit trail by MountAll).
+	Note func(string)
+	// Name is the replica-set name in the catalog; with CatalogAddr it
+	// enables StartCatalogWatch to follow lease changes.
+	Name string
+	// CatalogAddr is the catalog's TCP query endpoint.
+	CatalogAddr string
+	// Metrics receives the driver's counters (nil keeps them private).
+	Metrics *obs.Registry
 }
 
 // NewFailoverDriver builds a failover driver over a replica set,
-// primary first. note, when non-nil, receives one line per failover
-// decision (wired to the box's audit trail by MountAll).
+// primary first, with no catalog awareness — the compatibility
+// constructor; see NewFailoverDriverOpts.
 func NewFailoverDriver(drivers []*Driver, note func(string)) *FailoverDriver {
-	return &FailoverDriver{drivers: drivers, note: note}
+	return NewFailoverDriverOpts(drivers, FailoverOptions{Note: note})
 }
 
-// Primary exposes the primary's driver (tests, tools).
-func (f *FailoverDriver) Primary() *Driver { return f.drivers[0] }
+// NewFailoverDriverOpts builds a failover driver over a replica set in
+// catalog-preferred order (index 0 the presumed primary).
+func NewFailoverDriverOpts(drivers []*Driver, opts FailoverOptions) *FailoverDriver {
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	reg.Help(MetricFailoverReprobes, "Background re-probes of breaker-tripped replicas.")
+	return &FailoverDriver{
+		drivers:     drivers,
+		note:        opts.Note,
+		catalogAddr: opts.CatalogAddr,
+		name:        opts.Name,
+		reprobes:    reg.Counter(MetricFailoverReprobes),
+		stop:        make(chan struct{}),
+	}
+}
+
+// Primary exposes the current primary's driver (tests, tools).
+func (f *FailoverDriver) Primary() *Driver { return f.drivers[f.primaryIdx.Load()] }
+
+// setPrimaryAddr points the write path at the member advertising addr,
+// reporting whether a member matched.
+func (f *FailoverDriver) setPrimaryAddr(addr, why string) bool {
+	for i, d := range f.drivers {
+		if d.Client().Addr() == addr {
+			if f.primaryIdx.Swap(int32(i)) != int32(i) {
+				f.notef("chirp failover: primary is now %s (%s)", addr, why)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Stop ends the background catalog watch and re-probe loops.
+func (f *FailoverDriver) Stop() {
+	f.stopOnce.Do(func() { close(f.stop) })
+	f.wg.Wait()
+}
+
+// StartCatalogWatch polls the catalog every interval and re-points the
+// write path at whichever replica-set member reports the primary role,
+// so writes follow the lease even when no write has yet been told
+// ENOTPRIMARY. Needs Name and a catalog address (the option or the
+// argument); returns false when either is missing.
+func (f *FailoverDriver) StartCatalogWatch(catalogAddr string, interval time.Duration) bool {
+	if catalogAddr == "" {
+		catalogAddr = f.catalogAddr
+	}
+	if catalogAddr == "" || f.name == "" || interval <= 0 {
+		return false
+	}
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-f.stop:
+				return
+			case <-t.C:
+				entries, err := QueryCatalog(catalogAddr)
+				if err != nil {
+					continue
+				}
+				for _, e := range entries {
+					if e.Name == f.name && e.Role == "primary" {
+						f.setPrimaryAddr(e.Addr, "catalog")
+						break
+					}
+				}
+			}
+		}
+	}()
+	return true
+}
+
+// StartReprobe probes breaker-tripped members every interval with a
+// cheap whoami, so a replica that recovered rejoins the read
+// preference order without waiting for live traffic to trip over it.
+// Each probe is counted in chirp_failover_reprobe_total.
+func (f *FailoverDriver) StartReprobe(interval time.Duration) bool {
+	if interval <= 0 {
+		return false
+	}
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-f.stop:
+				return
+			case <-t.C:
+				for _, d := range f.drivers {
+					if d.Client().Breaker().State() != BreakerOpen {
+						continue
+					}
+					f.reprobes.Inc()
+					if _, err := d.Client().Whoami(); err == nil {
+						f.notef("chirp failover: %s recovered (reprobe)", d.Client().Addr())
+					}
+				}
+			}
+		}
+	}()
+	return true
+}
 
 func (f *FailoverDriver) notef(format string, args ...any) {
 	if f.note != nil {
@@ -37,21 +185,25 @@ func (f *FailoverDriver) notef(format string, args ...any) {
 	}
 }
 
-// readDriver runs op against the first usable replica: open-breaker
-// drivers are skipped (unless every breaker is open, when the primary
-// is probed anyway rather than failing without trying), and transport
-// failures advance to the next replica.
+// readDriver runs op against the first usable replica, starting the
+// preference scan at the current primary: open-breaker drivers are
+// skipped (unless every breaker is open, when the primary is probed
+// anyway rather than failing without trying), and transport failures
+// advance to the next replica.
 func (f *FailoverDriver) readDriver(what string, op func(d *Driver) error) error {
 	var lastErr error
 	tried := 0
-	for i, d := range f.drivers {
+	start := int(f.primaryIdx.Load())
+	for n := 0; n < len(f.drivers); n++ {
+		i := (start + n) % len(f.drivers)
+		d := f.drivers[i]
 		if d.Client().Breaker().State() == BreakerOpen {
 			continue
 		}
 		tried++
 		err := op(d)
 		if err == nil || !isTransient(err) {
-			if i > 0 {
+			if i != start {
 				f.notef("chirp failover: %s served by replica %s", what, d.Client().Addr())
 			}
 			return err
@@ -62,29 +214,72 @@ func (f *FailoverDriver) readDriver(what string, op func(d *Driver) error) error
 	if tried == 0 {
 		// Every breaker is open. Probe the primary rather than reporting
 		// staleness forever: Allow() readmits traffic after the cooloff.
-		if f.drivers[0].Client().Breaker().Allow() {
-			return op(f.drivers[0])
+		if f.Primary().Client().Breaker().Allow() {
+			return op(f.Primary())
 		}
 		return ErrBreakerOpen
 	}
 	return lastErr
 }
 
-// writeDriver runs op against the primary, degrading with ErrDegraded
-// when it is unavailable. Writes never fail over: applying a mutation
-// to a replica would fork the replica set's state.
+// writeDriver runs op against the lease holder, degrading with
+// ErrDegraded when it is unavailable. A member that answers
+// ENOTPRIMARY names its successor; the write retries exactly once
+// against it (safe — the refused attempt executed nothing). Writes
+// never fan out: a mutation lands on one member or not at all.
 func (f *FailoverDriver) writeDriver(op func(d *Driver) error) error {
-	primary := f.drivers[0]
+	primary := f.Primary()
 	if primary.Client().Breaker().State() == BreakerOpen && !primary.Client().Breaker().Allow() {
-		f.notef("chirp failover: write degraded, primary %s breaker open", primary.Client().Addr())
-		return fmt.Errorf("%w (primary %s)", ErrDegraded, primary.Client().Addr())
+		// Before declaring degradation, let another member claim the
+		// write: after a failover the old primary's breaker is open but
+		// the promoted follower is healthy.
+		if redirected := f.promoteHealthyLocked(); redirected != nil {
+			primary = redirected
+		} else {
+			f.notef("chirp failover: write degraded, primary %s breaker open", primary.Client().Addr())
+			return fmt.Errorf("%w (primary %s)", ErrDegraded, primary.Client().Addr())
+		}
 	}
 	err := op(primary)
+	if errors.Is(err, ErrNotPrimary) {
+		if addr := PrimaryFromError(err); addr != "" && f.setPrimaryAddr(addr, "redirect") {
+			next := f.Primary()
+			if rerr := op(next); !isTransient(rerr) && !errors.Is(rerr, ErrNotPrimary) {
+				return rerr
+			} else if rerr != nil {
+				err = rerr
+			}
+		}
+		f.notef("chirp failover: write degraded, no reachable primary: %v", err)
+		return fmt.Errorf("%w: %v", ErrDegraded, err)
+	}
 	if isTransient(err) {
 		f.notef("chirp failover: write degraded, primary %s: %v", primary.Client().Addr(), err)
 		return fmt.Errorf("%w (primary %s): %v", ErrDegraded, primary.Client().Addr(), err)
 	}
 	return err
+}
+
+// promoteHealthyLocked scans for a member with a closed breaker whose
+// server explicitly reports the primary role, re-pointing the write
+// path at it. Members of a role-less replica set never qualify —
+// without a lease protocol, writing to a replica would fork the set's
+// state, so those keep the classic writes-never-fail-over behavior.
+func (f *FailoverDriver) promoteHealthyLocked() *Driver {
+	for i, d := range f.drivers {
+		if d.Client().Breaker().State() == BreakerOpen {
+			continue
+		}
+		st, err := d.Client().Stats()
+		if err != nil || st.Role != "primary" {
+			continue
+		}
+		if f.primaryIdx.Swap(int32(i)) != int32(i) {
+			f.notef("chirp failover: primary is now %s (probe)", d.Client().Addr())
+		}
+		return d
+	}
+	return nil
 }
 
 // Open implements parrot.Driver. Read-only opens may fail over;
@@ -196,7 +391,7 @@ func (f *FailoverDriver) Rename(p *kernel.Proc, oldPath, newPath string) error {
 
 // Chmod implements parrot.Driver (a no-op on Chirp, as in Driver).
 func (f *FailoverDriver) Chmod(p *kernel.Proc, path string, mode uint32) error {
-	return f.drivers[0].Chmod(p, path, mode)
+	return f.Primary().Chmod(p, path, mode)
 }
 
 // Truncate implements parrot.Driver.

@@ -147,6 +147,18 @@ func (c *codec) readFrameLine(n int) (string, error) {
 // version exchange itself has against v1 servers.
 const capTrace = "trace"
 
+// capRepl is the capability token a replication follower appends to its
+// version exchange to subscribe to the server's WAL ship stream. Only
+// sessions that negotiated it may issue replsub, and only they ever see
+// server-initiated push frames — an ordinary client mux (which kills
+// the session on unknown tags) never negotiates it.
+const capRepl = "repl"
+
+// replPushTag is the reserved frame tag for server-initiated
+// replication pushes on a repl-capable session. Client request tags are
+// small positive integers; the top-bit tag can never collide with one.
+const replPushTag = uint64(1) << 63
+
 // versionFields builds the v1-style negotiation line a v2 client sends
 // as its first request: "version 2 <window> <maxbytes> [caps...]". A v1
 // server answers it with ENOSYS like any unknown command, which is the

@@ -26,20 +26,27 @@ import (
 
 // errno names carried on the wire, mapped to the kernel/vfs sentinels.
 var errnoByName = map[string]error{
-	"ENOENT":    vfs.ErrNotExist,
-	"EEXIST":    vfs.ErrExist,
-	"EPERM":     vfs.ErrPermission,
-	"EISDIR":    vfs.ErrIsDir,
-	"ENOTDIR":   vfs.ErrNotDir,
-	"ENOTEMPTY": vfs.ErrNotEmpty,
-	"EINVAL":    vfs.ErrInvalid,
-	"ELOOP":     vfs.ErrLoop,
-	"EXDEV":     vfs.ErrCrossDevice,
-	"EBADF":     kernel.ErrBadFD,
-	"ENOSYS":    kernel.ErrNoSys,
-	"ESRCH":     kernel.ErrSearch,
-	"EIO":       errors.New("input/output error"),
+	"ENOENT":      vfs.ErrNotExist,
+	"EEXIST":      vfs.ErrExist,
+	"EPERM":       vfs.ErrPermission,
+	"EISDIR":      vfs.ErrIsDir,
+	"ENOTDIR":     vfs.ErrNotDir,
+	"ENOTEMPTY":   vfs.ErrNotEmpty,
+	"EINVAL":      vfs.ErrInvalid,
+	"ELOOP":       vfs.ErrLoop,
+	"EXDEV":       vfs.ErrCrossDevice,
+	"EBADF":       kernel.ErrBadFD,
+	"ENOSYS":      kernel.ErrNoSys,
+	"ESRCH":       kernel.ErrSearch,
+	"EIO":         errors.New("input/output error"),
+	"ENOTPRIMARY": ErrNotPrimary,
 }
+
+// ErrNotPrimary means a mutating command reached a replica that does
+// not hold the write lease (a follower, or a fenced former primary).
+// The RemoteError message names the current primary's address when the
+// server knows it, so a failover-aware client can re-target.
+var ErrNotPrimary = errors.New("chirp: not the primary replica")
 
 // nameForError picks the wire name for an error.
 func nameForError(err error) string {
@@ -68,6 +75,8 @@ func nameForError(err error) string {
 		return "ESRCH"
 	case errors.Is(err, kernel.ErrNoSys):
 		return "ENOSYS"
+	case errors.Is(err, ErrNotPrimary):
+		return "ENOTPRIMARY"
 	default:
 		return "EIO"
 	}

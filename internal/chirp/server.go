@@ -18,6 +18,7 @@ import (
 	"identitybox/internal/identity"
 	"identitybox/internal/kernel"
 	"identitybox/internal/obs"
+	"identitybox/internal/replica"
 	"identitybox/internal/vfs"
 )
 
@@ -120,6 +121,36 @@ type ServerOptions struct {
 	// every traced request — what the tracing end-to-end CI step uses to
 	// capture complete chains.
 	TraceSlow time.Duration
+	// Repl, when set, exposes this server's WAL ship stream: v2
+	// sessions that negotiate the "repl" capability may subscribe
+	// (replsub) and receive every committed group as a pushed frame.
+	// Nil refuses replication subscriptions.
+	Repl *replica.Publisher
+	// Role, when set, makes the server replication-aware: mutating
+	// commands are refused with ENOTPRIMARY (naming the current
+	// primary) unless the role is primary, stats and heartbeats carry
+	// role/epoch/applied-LSN, and waitlsn serves bounded-staleness read
+	// barriers. Nil behaves as a standalone primary.
+	Role RoleSource
+	// HeartbeatEvery re-announces the server to its catalog on this
+	// period, keeping the catalog's freshness and role views live. Zero
+	// preserves the single at-listen heartbeat.
+	HeartbeatEvery time.Duration
+}
+
+// RoleSource reports a server's replication role. replica.Node
+// implements it; the server only reads.
+type RoleSource interface {
+	// Role reports the node's role (replica.RolePrimary et al.) and
+	// fencing epoch.
+	Role() (string, uint64)
+	// AppliedLSN reports the highest LSN applied to local state.
+	AppliedLSN() uint64
+	// WaitApplied blocks until local state reflects lsn (bounded by
+	// timeout) — the waitlsn read barrier.
+	WaitApplied(lsn uint64, timeout time.Duration) error
+	// PrimaryAddr reports where writes should be sent.
+	PrimaryAddr() string
 }
 
 // DedupeJournal persists tokened replies across restarts. The durable
@@ -276,6 +307,8 @@ type Server struct {
 	draining bool // refusing new connections, finishing in-flight RPCs
 	conns    map[net.Conn]*connState
 	wg       sync.WaitGroup
+	stop     chan struct{} // closed once, when Close or Shutdown begins
+	stopOnce sync.Once
 
 	log     logger
 	metrics *srvMetrics
@@ -294,7 +327,7 @@ func NewServer(k *kernel.Kernel, opts ServerOptions) (*Server, error) {
 	if opts.Owner == "" {
 		opts.Owner = "chirp"
 	}
-	s := &Server{k: k, fs: k.FS(), opts: opts, conns: make(map[net.Conn]*connState)}
+	s := &Server{k: k, fs: k.FS(), opts: opts, conns: make(map[net.Conn]*connState), stop: make(chan struct{})}
 	s.log = logger{sink: opts.Logf}
 	s.dedupe = newDedupeTable(opts.DedupeCapacity)
 	for key, reply := range opts.DedupeSeed {
@@ -331,8 +364,30 @@ func (s *Server) Listen(addr string) error {
 	go s.acceptLoop()
 	if s.opts.CatalogAddr != "" {
 		s.SendHeartbeat()
+		if every := s.opts.HeartbeatEvery; every > 0 {
+			s.wg.Add(1)
+			go s.heartbeatLoop(every)
+		}
 	}
 	return nil
+}
+
+// heartbeatLoop re-announces the server to the catalog until shutdown,
+// so the catalog's last-seen ages and role views stay fresh.
+func (s *Server) heartbeatLoop(every time.Duration) {
+	defer s.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			if err := s.SendHeartbeat(); err != nil {
+				s.log.printf("heartbeat: %v", err)
+			}
+		}
+	}
 }
 
 // Addr reports the bound address.
@@ -347,6 +402,7 @@ func (s *Server) Addr() string {
 // for the connection goroutines to drain. For a graceful stop that
 // lets in-flight RPCs finish, use Shutdown.
 func (s *Server) Close() error {
+	s.stopOnce.Do(func() { close(s.stop) })
 	s.mu.Lock()
 	already := s.closed
 	s.closed = true
@@ -368,6 +424,7 @@ func (s *Server) Close() error {
 // goroutines to exit before severing stragglers. It returns an error
 // if any session had to be severed.
 func (s *Server) Shutdown(timeout time.Duration) error {
+	s.stopOnce.Do(func() { close(s.stop) })
 	s.mu.Lock()
 	if s.closed || s.draining {
 		s.mu.Unlock()
@@ -440,7 +497,9 @@ func (s *Server) untrack(c net.Conn) {
 	s.metrics.conns.Dec()
 }
 
-// SendHeartbeat reports the server to its catalog over UDP.
+// SendHeartbeat reports the server to its catalog over UDP. A
+// replication-aware server (opts.Role set) appends epoch/lsn/role
+// tokens; an old catalog ignores trailing tokens it does not know.
 func (s *Server) SendHeartbeat() error {
 	if s.opts.CatalogAddr == "" {
 		return errors.New("chirp: no catalog configured")
@@ -450,8 +509,27 @@ func (s *Server) SendHeartbeat() error {
 		return err
 	}
 	defer conn.Close()
-	_, err = fmt.Fprintf(conn, "chirp %s %s %s\n", q(s.opts.Name), q(s.Addr()), q(s.opts.Owner))
+	line := fmt.Sprintf("chirp %s %s %s", q(s.opts.Name), q(s.Addr()), q(s.opts.Owner))
+	if rs := s.opts.Role; rs != nil {
+		role, epoch := rs.Role()
+		line += fmt.Sprintf(" epoch=%d lsn=%d role=%s", epoch, rs.AppliedLSN(), role)
+	}
+	_, err = fmt.Fprintln(conn, line)
 	return err
+}
+
+// ReseedDedupe folds entries — the dedupe journal a durable store
+// recovered — into the live dedupe table. A promoted follower calls it
+// so tokened retries the old primary already answered replay here
+// instead of re-executing: the journal replicated with the WAL, so the
+// table converges on exactly the replies the old primary acknowledged.
+func (s *Server) ReseedDedupe(entries map[string][]string) {
+	for key, reply := range entries {
+		s.dedupe.store(key, reply)
+	}
+	if _, size := s.dedupe.stats(); size > 0 {
+		s.metrics.dedupeEntries.Set(int64(size))
+	}
 }
 
 // countingConn wraps a client connection so every wire byte — including
@@ -559,6 +637,15 @@ type session struct {
 	inflight int
 
 	writeMu sync.Mutex // serializes v2 reply frames on the shared codec
+
+	// replOK records that this session negotiated the repl capability
+	// (written before the v2 workers start, read-only after). replSub is
+	// the session's live replication subscription; pushWG tracks its
+	// pusher goroutine so the codec is not released under it.
+	replOK  bool
+	replMu  sync.Mutex
+	replSub *replica.Subscription
+	pushWG  sync.WaitGroup
 }
 
 // v2Conf is the outcome of a version negotiation.
@@ -566,6 +653,7 @@ type v2Conf struct {
 	window   int
 	maxBytes int64
 	traced   bool // both sides negotiated the trace capability
+	repl     bool // both sides negotiated the repl capability
 }
 
 // --- session state accessors (v2 workers run concurrently) -------------
@@ -650,7 +738,21 @@ func (s *Server) serveConn(conn net.Conn, st *connState) {
 	sess.slotCond = sync.NewCond(&sess.slotMu)
 	sess.log.printf("session for %s from %s", ident, remoteHost)
 	sess.loop()
+	sess.closeReplSub()
+	sess.pushWG.Wait() // the pusher writes through the codec; outlast it
 	sess.c.release()
+}
+
+// closeReplSub detaches the session's replication subscription, waking
+// its pusher goroutine if one is blocked waiting for batches.
+func (sess *session) closeReplSub() {
+	sess.replMu.Lock()
+	sub := sess.replSub
+	sess.replSub = nil
+	sess.replMu.Unlock()
+	if sub != nil {
+		sub.Close()
+	}
 }
 
 // isDraining reports whether the server has begun a graceful shutdown.
@@ -741,14 +843,18 @@ func (sess *session) serveVersion(args []string) error {
 	// Capability tokens: echoed only when both sides support them, so a
 	// client never sends trace context to a server that cannot strip it.
 	traced := s.opts.Spans != nil && hasCap(caps, capTrace)
+	repl := s.opts.Repl != nil && hasCap(caps, capRepl)
 	okFields := []string{strconv.Itoa(ProtocolV2), strconv.Itoa(window), strconv.FormatInt(maxBytes, 10)}
 	if traced {
 		okFields = append(okFields, capTrace)
 	}
+	if repl {
+		okFields = append(okFields, capRepl)
+	}
 	if err := sess.ok(okFields...); err != nil {
 		return err
 	}
-	sess.upgraded = &v2Conf{window: window, maxBytes: maxBytes, traced: traced}
+	sess.upgraded = &v2Conf{window: window, maxBytes: maxBytes, traced: traced, repl: repl}
 	return nil
 }
 
@@ -869,6 +975,54 @@ func (sess *session) ok(fields ...string) error {
 // fail sends an error reply (v1 path).
 func (sess *session) fail(err error, context string) error {
 	return sess.reply(sess.failf(err, context).fields)
+}
+
+// roleRefusal reports the refusal for a mutating command when this
+// server is not the primary replica (a follower, or a fenced former
+// primary), nil when the command may proceed. The error message names
+// the current primary so a failover-aware client can re-target; this
+// check is the server half of epoch fencing — a deposed primary
+// answers every write with it, no matter how stale its own view is.
+func (sess *session) roleRefusal(cmd string, args []string) *hres {
+	rs := sess.s.opts.Role
+	if rs == nil || !mutatingCmds[cmd] {
+		return nil
+	}
+	if cmd == "open" && len(args) >= 1 {
+		// A read-only open without create/truncate mutates nothing, and
+		// followers must serve it: bounded-staleness reads (waitlsn +
+		// get) are the whole point of read replicas.
+		if flags, err := strconv.Atoi(args[0]); err == nil &&
+			flags&3 == kernel.ORdonly && flags&(kernel.OCreat|kernel.OTrunc) == 0 {
+			return nil
+		}
+	}
+	role, _ := rs.Role()
+	if role == "" || role == replica.RolePrimary {
+		return nil
+	}
+	err := ErrNotPrimary
+	if p := rs.PrimaryAddr(); p != "" {
+		err = fmt.Errorf("%w (%s); primary is %s", ErrNotPrimary, role, p)
+	}
+	res := sess.failf(err, "not primary")
+	return &res
+}
+
+// PrimaryFromError extracts the primary address a server named in an
+// ENOTPRIMARY refusal, or "" when the error is something else (or the
+// refusing server did not know the holder).
+func PrimaryFromError(err error) string {
+	var re *RemoteError
+	if !errors.As(err, &re) || !errors.Is(err, ErrNotPrimary) {
+		return ""
+	}
+	const marker = "primary is "
+	i := strings.LastIndex(re.Message, marker)
+	if i < 0 {
+		return ""
+	}
+	return strings.TrimSpace(re.Message[i+len(marker):])
 }
 
 // RequestCount reports the number of requests dispatched across all
@@ -1008,6 +1162,13 @@ func (sess *session) dispatch(fields []string) error {
 		}
 		payload = data
 	}
+	if rr := sess.roleRefusal(cmd, args); rr != nil {
+		// Not the primary: refuse after the payload is consumed (wire
+		// stays aligned) and without touching dedupe — the retry belongs
+		// to whichever server holds the lease, not this table.
+		sess.pendingDedupe, sess.needBarrier = "", false
+		return sess.reply(rr.fields)
+	}
 	res := sess.handle(cmd, args, payload, sess.c.scratchBuf, 0)
 	if err := sess.reply(res.fields); err != nil {
 		return err
@@ -1078,7 +1239,7 @@ func (sess *session) handle(cmd string, args []string, payload []byte, buf func(
 		s.mu.Lock()
 		conns := len(s.conns)
 		s.mu.Unlock()
-		return okres(
+		fields := []string{
 			strconv.Itoa(conns),
 			strconv.Itoa(sess.fdCount()),
 			strconv.Itoa(sess.grantCount()),
@@ -1087,7 +1248,38 @@ func (sess *session) handle(cmd string, args []string, payload []byte, buf func(
 			strconv.FormatInt(s.errors.Load(), 10),
 			strconv.FormatInt(s.sessions.Load(), 10),
 			strconv.FormatInt(s.rxBytes.Load(), 10),
-			strconv.FormatInt(s.txBytes.Load(), 10))
+			strconv.FormatInt(s.txBytes.Load(), 10),
+		}
+		// Replication-aware servers append role, epoch and applied LSN;
+		// old clients that expect exactly nine fields never see them
+		// because a nil Role keeps the classic shape.
+		if rs := s.opts.Role; rs != nil {
+			role, epoch := rs.Role()
+			fields = append(fields,
+				q(role),
+				strconv.FormatUint(epoch, 10),
+				strconv.FormatUint(rs.AppliedLSN(), 10))
+		}
+		return okres(fields...)
+
+	case "waitlsn": // waitlsn <lsn> <timeoutms>: bounded-staleness read barrier
+		if len(args) != 2 {
+			return sess.failf(vfs.ErrInvalid, "waitlsn wants lsn and timeout")
+		}
+		lsn, err1 := strconv.ParseUint(args[0], 10, 64)
+		ms, err2 := strconv.ParseInt(args[1], 10, 64)
+		if err1 != nil || err2 != nil || ms < 0 {
+			return sess.failf(vfs.ErrInvalid, "bad waitlsn args")
+		}
+		rs := s.opts.Role
+		if rs == nil {
+			// A standalone server's state is always authoritative.
+			return okres("0")
+		}
+		if err := rs.WaitApplied(lsn, time.Duration(ms)*time.Millisecond); err != nil {
+			return sess.failf(err, "waitlsn")
+		}
+		return okres(strconv.FormatUint(rs.AppliedLSN(), 10))
 
 	case "metrics": // full registry as a counted text-exposition payload
 		text := s.metrics.reg.Text()
@@ -1423,6 +1615,7 @@ var orderedCmds = map[string]bool{
 	"assert":   true,
 	"exec":     true,
 	"token":    true,
+	"replsub":  true, // subscription registration must not race itself
 }
 
 // muxJob is one tagged request handed from the v2 reader to a worker
@@ -1447,6 +1640,7 @@ type muxJob struct {
 func (sess *session) loopV2(conf *v2Conf) {
 	s := sess.s
 	window, maxBytes := conf.window, conf.maxBytes
+	sess.replOK = conf.repl // workers start below: safely published
 	s.metrics.v2Sessions.Inc()
 	sess.log.printf("upgraded to protocol 2 (window=%d maxbytes=%d traced=%v)", window, maxBytes, conf.traced)
 	ordered := make(chan muxJob, window)
@@ -1558,6 +1752,14 @@ func (sess *session) loopV2(conf *v2Conf) {
 func (sess *session) serveTagged(j muxJob, sc *payloadScratch) {
 	s := sess.s
 	cmd, args := j.cmd, j.args
+	switch cmd {
+	case "replsub":
+		sess.serveReplSub(j)
+		return
+	case "replack":
+		sess.serveReplAck(j)
+		return
+	}
 	var dk string
 	if cmd == "token" {
 		if len(args) < 2 {
@@ -1578,6 +1780,12 @@ func (sess *session) serveTagged(j muxJob, sc *payloadScratch) {
 			return
 		}
 		dk = key
+	}
+	if rr := sess.roleRefusal(cmd, args); rr != nil {
+		// Not the primary: refuse without touching dedupe — the retry
+		// belongs to whichever server holds the lease, not this table.
+		sess.writeFrame(j.tag, rr.fields, nil)
+		return
 	}
 	barrier := s.opts.Durability != nil && mutatingCmds[cmd]
 	if j.trace == 0 {
@@ -1669,6 +1877,102 @@ func (sess *session) writeFrame(tag uint64, fields []string, body []byte) error 
 func (sess *session) failTagged(tag uint64, err error, context string) error {
 	res := sess.failf(err, context)
 	return sess.writeFrame(tag, res.fields, nil)
+}
+
+// serveReplSub handles `replsub <fromLSN>`: it registers the session
+// as a replication follower and answers with its catch-up — either the
+// WAL tail past fromLSN ("ok tail <epoch> <first> <last> <records>
+// <len>" plus the frames) or, when compaction already dropped that
+// history, a full snapshot ("ok snap <epoch> <lsn> <len>" plus the
+// blob). From then on every committed group is pushed to the session
+// as a replPushTag frame until the session ends or the subscriber
+// falls too far behind (a "replgap" push tells it to resubscribe).
+// Runs on the ordered lane so a session cannot race two registrations.
+func (sess *session) serveReplSub(j muxJob) {
+	s := sess.s
+	pub := s.opts.Repl
+	if pub == nil || !sess.replOK {
+		sess.failTagged(j.tag, kernel.ErrNoSys, "replication not negotiated")
+		return
+	}
+	if len(j.args) != 1 {
+		sess.failTagged(j.tag, vfs.ErrInvalid, "replsub wants a start lsn")
+		return
+	}
+	from, err := strconv.ParseUint(j.args[0], 10, 64)
+	if err != nil {
+		sess.failTagged(j.tag, vfs.ErrInvalid, "bad replsub lsn")
+		return
+	}
+	sess.replMu.Lock()
+	if sess.replSub != nil {
+		sess.replMu.Unlock()
+		sess.failTagged(j.tag, vfs.ErrInvalid, "session already subscribed")
+		return
+	}
+	sub, catchup, snap, snapLSN, err := pub.Subscribe(from)
+	if err != nil {
+		sess.replMu.Unlock()
+		sess.failTagged(j.tag, err, "replsub")
+		return
+	}
+	sess.replSub = sub
+	sess.replMu.Unlock()
+	sess.log.printf("replication subscriber from lsn %d (%s)", from, sess.ident)
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	switch {
+	case snap != nil:
+		sess.writeFrame(j.tag, []string{"ok", "snap", u(pub.Epoch()), u(snapLSN), strconv.Itoa(len(snap))}, snap)
+	case catchup != nil:
+		sess.writeFrame(j.tag, []string{"ok", "tail", u(catchup.Epoch), u(catchup.First), u(catchup.Last),
+			strconv.Itoa(catchup.Records), strconv.Itoa(len(catchup.Frames))}, catchup.Frames)
+	default:
+		sess.writeFrame(j.tag, []string{"ok", "tail", u(pub.Epoch()), "0", "0", "0", "0"}, nil)
+	}
+	sess.pushWG.Add(1)
+	go sess.replPush(sub)
+}
+
+// serveReplAck handles `replack <lsn>`: the follower's applied horizon,
+// which releases the primary's semi-sync barriers at or below it.
+func (sess *session) serveReplAck(j muxJob) {
+	if len(j.args) != 1 {
+		sess.failTagged(j.tag, vfs.ErrInvalid, "replack wants an lsn")
+		return
+	}
+	lsn, err := strconv.ParseUint(j.args[0], 10, 64)
+	if err != nil {
+		sess.failTagged(j.tag, vfs.ErrInvalid, "bad replack lsn")
+		return
+	}
+	sess.replMu.Lock()
+	sub := sess.replSub
+	sess.replMu.Unlock()
+	if sub == nil {
+		sess.failTagged(j.tag, vfs.ErrInvalid, "no replication subscription")
+		return
+	}
+	sub.Ack(lsn)
+	sess.writeFrame(j.tag, []string{"ok"}, nil)
+}
+
+// replPush streams the subscription's batches to the session as pushed
+// frames. It exits when the channel closes: a publisher-side cut
+// (overflow or shutdown) gets a final "replgap" push so the follower
+// knows to resubscribe rather than wait forever; a session-side close
+// just ends (the transport is going away with it).
+func (sess *session) replPush(sub *replica.Subscription) {
+	defer sess.pushWG.Done()
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	for b := range sub.C {
+		fields := []string{"replpush", u(b.Epoch), u(b.First), u(b.Last),
+			strconv.Itoa(b.Records), strconv.Itoa(len(b.Frames))}
+		if err := sess.writeFrame(replPushTag, fields, b.Frames); err != nil {
+			sub.Close()
+			return
+		}
+	}
+	sess.writeFrame(replPushTag, []string{"replgap"}, nil)
 }
 
 // acquireSlot blocks until the session's credit window has room, then

@@ -45,6 +45,14 @@ type GroupConfig struct {
 	// WAL lock, after the group is durable. When unset, Append never
 	// looks at traces and the pipeline carries no per-record state.
 	OnTraceCommit func(trace, lsn uint64, queued, commit time.Duration)
+	// OnShip, if set, receives every committed group's raw frame bytes
+	// for replication: the first and last LSN in the group, the record
+	// count, and the encoded frames exactly as written to the log.
+	// Called outside the WAL lock, after the group is durable, in
+	// commit order. Ownership of the frames buffer transfers to the
+	// hook (the committer skips buffer recycling for shipped groups),
+	// so the replication layer may retain or fan it out without a copy.
+	OnShip func(first, last uint64, records int, frames []byte)
 }
 
 // tracedRec remembers one queued record that carries a trace ID, so the
@@ -63,6 +71,7 @@ type groupState struct {
 	onGroup       func(records, bytes int, latency time.Duration)
 	onError       func(err error)
 	onTraceCommit func(trace, lsn uint64, queued, commit time.Duration)
+	onShip        func(first, last uint64, records int, frames []byte)
 
 	queue   []byte      // encoded frames waiting for the committer
 	queued  int         // records in queue
@@ -107,6 +116,7 @@ func (w *WAL) StartGroupCommit(cfg GroupConfig) {
 		onGroup:       cfg.OnGroup,
 		onError:       cfg.OnError,
 		onTraceCommit: cfg.OnTraceCommit,
+		onShip:        cfg.OnShip,
 		advanceCh:     make(chan struct{}),
 		kick:          make(chan struct{}, 1),
 		full:          make(chan struct{}, 1),
@@ -261,7 +271,9 @@ func (w *WAL) commitGroup(g *groupState) bool {
 			g.durable = last
 		}
 		g.lastGroup = count
-		if g.recycle == nil && cap(batch) <= maxRecycledBatch {
+		// A shipped batch is handed to OnShip, which takes ownership of
+		// the buffer; only unshipped batches go back in the recycle slot.
+		if g.onShip == nil && g.recycle == nil && cap(batch) <= maxRecycledBatch {
 			g.recycle = batch[:0]
 		}
 		g.advanceLocked()
@@ -281,6 +293,11 @@ func (w *WAL) commitGroup(g *groupState) bool {
 		onSync()
 	}
 	commitLat := time.Since(start)
+	if g.onShip != nil {
+		// LSNs in a group are contiguous: Append assigns them
+		// sequentially under the lock that also queues the frames.
+		g.onShip(last-uint64(count)+1, last, count, batch)
+	}
 	if g.onGroup != nil {
 		g.onGroup(count, len(batch), commitLat)
 	}

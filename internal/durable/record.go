@@ -31,6 +31,12 @@ const (
 	// DedupeType journals a tokened request's reply so retried
 	// mutations stay exactly-once across a restart.
 	DedupeType uint8 = 12
+	// EpochType journals a replication epoch change: written when a
+	// store becomes primary (first lease grant, or promotion after the
+	// old primary's lease expired). The record rides the same LSN
+	// sequence as mutations, so followers learn epochs from the
+	// replicated stream itself and recovery restores the fence.
+	EpochType uint8 = 13
 )
 
 // recVersion is the record-format version written into every record. A
@@ -58,6 +64,9 @@ type Record struct {
 	// DedupeKey/DedupeReply hold the dedupe entry for DedupeType.
 	DedupeKey   string
 	DedupeReply []string
+
+	// Epoch holds the new replication epoch for EpochType.
+	Epoch uint64
 }
 
 // IsMutation reports whether the record is a VFS mutation.
@@ -113,6 +122,8 @@ func EncodeRecord(dst []byte, rec Record) []byte {
 		for _, f := range rec.DedupeReply {
 			body = appendString(body, f)
 		}
+	case rec.Type == EpochType:
+		body = binary.AppendUvarint(body, rec.Epoch)
 	}
 	var hdr [frameHeaderLen]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
@@ -213,6 +224,8 @@ func decodeBody(body []byte) (Record, error) {
 		for i := uint64(0); i < n; i++ {
 			rec.DedupeReply = append(rec.DedupeReply, r.string())
 		}
+	case typ == EpochType:
+		rec.Epoch = r.uvarint()
 	default:
 		return Record{}, fmt.Errorf("%w: unknown type %d", ErrTorn, typ)
 	}

@@ -1,0 +1,327 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"identitybox/internal/vfs"
+)
+
+// Replication errors. ErrStaleEpoch is the fencing signal: a batch (or
+// subscription) from a primary whose epoch a newer lease has
+// superseded. ErrReplicaGap means the follower missed groups and must
+// resubscribe from its applied LSN.
+var (
+	ErrStaleEpoch = errors.New("durable: stale replication epoch")
+	ErrNotReplica = errors.New("durable: store is not in replica mode")
+	ErrReplicaGap = errors.New("durable: replication gap")
+)
+
+// Epoch reports the replication fencing term this store last saw.
+func (s *Store) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// IsReplica reports whether the store is (still) a replication
+// follower.
+func (s *Store) IsReplica() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.replica
+}
+
+// AppliedLSN reports the highest LSN applied to the in-memory state: a
+// follower's replication horizon, or (on a primary) the last journaled
+// mutation.
+func (s *Store) AppliedLSN() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.replica {
+		return s.lastApplied
+	}
+	return s.wal.NextLSN() - 1
+}
+
+// DurableLSN reports the highest LSN known durable per the sync
+// policy.
+func (s *Store) DurableLSN() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wal.DurableLSN()
+}
+
+// SetEpochDurable advances the store's epoch, journaling an epoch
+// record and waiting for it to reach stable storage. A primary calls
+// this when it first wins (or re-wins) the lease; the record ships to
+// followers like any other, so the whole cluster learns the term from
+// the replicated stream. Epochs never regress: a stale or equal value
+// is a no-op.
+func (s *Store) SetEpochDurable(epoch uint64) error {
+	s.mu.Lock()
+	if epoch <= s.epoch {
+		s.mu.Unlock()
+		return nil
+	}
+	s.epoch = epoch
+	lsn, err := s.wal.Append(Record{Type: EpochType, Epoch: epoch})
+	s.mu.Unlock()
+	if err != nil {
+		s.metrics.appendErrs.Inc()
+		return err
+	}
+	return s.wal.WaitDurable(lsn)
+}
+
+// ApplyReplicated applies one shipped commit group to a follower:
+// epoch-fenced, gap-checked, written to the follower's own WAL under
+// the primary's LSNs (and fsynced per the sync policy) before the
+// records touch the in-memory state, so the follower's acknowledgement
+// means the group would survive its own crash. Batches at or below the
+// applied horizon are skipped idempotently (a resubscribe overlaps the
+// live stream by design); partial overlaps apply only the new suffix.
+// It returns how many records were newly applied.
+func (s *Store) ApplyReplicated(epoch, first, last uint64, frames []byte) (applied int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.replica {
+		return 0, ErrNotReplica
+	}
+	if epoch < s.epoch {
+		return 0, fmt.Errorf("%w: batch epoch %d, follower epoch %d", ErrStaleEpoch, epoch, s.epoch)
+	}
+	if epoch > s.epoch {
+		// The stream's source won a newer lease; adopt its term so an
+		// older primary resurfacing after a partition is fenced even
+		// before this batch's epoch record is applied.
+		s.epoch = epoch
+	}
+	if last <= s.lastApplied {
+		return 0, nil // already applied (stream overlap after resubscribe)
+	}
+	if first > s.lastApplied+1 {
+		return 0, fmt.Errorf("%w: batch starts at lsn %d, applied horizon %d", ErrReplicaGap, first, s.lastApplied)
+	}
+	recs, valid, torn := DecodeAll(frames)
+	if torn || int64(len(frames)) != valid {
+		return 0, fmt.Errorf("%w: undecodable replicated batch", ErrTorn)
+	}
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	if recs[0].LSN != first || recs[len(recs)-1].LSN != last {
+		return 0, fmt.Errorf("durable: replicated batch lsns [%d,%d] disagree with header [%d,%d]",
+			recs[0].LSN, recs[len(recs)-1].LSN, first, last)
+	}
+
+	// Drop the already-applied prefix of a partially overlapping batch,
+	// re-encoding the suffix so the local log never holds duplicates.
+	durableFrames := frames
+	if first <= s.lastApplied {
+		keep := recs[:0]
+		for _, rec := range recs {
+			if rec.LSN > s.lastApplied {
+				keep = append(keep, rec)
+			}
+		}
+		recs = keep
+		durableFrames = durableFrames[:0:0]
+		for _, rec := range recs {
+			durableFrames = EncodeRecord(durableFrames, rec)
+		}
+	}
+	if err := s.wal.AppendFrames(durableFrames, last, len(recs)); err != nil {
+		s.metrics.appendErrs.Inc()
+		return 0, err
+	}
+	for _, rec := range recs {
+		if err := s.applyRecord(rec); err != nil {
+			// The primary applied this same sequence; a failure here is
+			// a replica bug, not a reason to drop the rest of the group.
+			s.logf("durable: applying replicated lsn %d (%s %s): %v", rec.LSN, vfs.MutOp(rec.Type), rec.Mut.Path, err)
+			continue
+		}
+		applied++
+	}
+	s.lastApplied = last
+	close(s.appliedCh)
+	s.appliedCh = make(chan struct{})
+	return applied, nil
+}
+
+// WaitApplied blocks until the follower's applied horizon reaches lsn,
+// the timeout passes, or the store stops being a replica (promotion
+// makes the local state authoritative, satisfying any freshness
+// demand). This is the bounded-staleness read barrier: a client that
+// saw the primary acknowledge LSN n can demand a follower read reflect
+// it.
+func (s *Store) WaitApplied(lsn uint64, timeout time.Duration) error {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		s.mu.Lock()
+		if !s.replica || s.lastApplied >= lsn {
+			s.mu.Unlock()
+			return nil
+		}
+		ch := s.appliedCh
+		applied := s.lastApplied
+		s.mu.Unlock()
+		select {
+		case <-ch:
+		case <-deadline.C:
+			return fmt.Errorf("durable: applied horizon %d short of demanded lsn %d after %v", applied, lsn, timeout)
+		}
+	}
+}
+
+// ReplSnapshot serializes the current state for bootstrapping a
+// follower that is too far behind the log: the same image Compact
+// publishes, bound to the LSN and epoch it covers. Taken under
+// quiesce + barrier so the image is a clean prefix of history.
+func (s *Store) ReplSnapshot() (blob []byte, lsn, epoch uint64, err error) {
+	err = s.fs.Quiesce(func() error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.wal.Barrier()
+		lsn = s.wal.NextLSN() - 1
+		epoch = s.epoch
+		var img bytes.Buffer
+		if err := s.fs.Save(&img); err != nil {
+			return fmt.Errorf("durable: serializing tree: %w", err)
+		}
+		snap := snapFile{Version: snapFileVersion, LSN: lsn, Epoch: s.epoch, Dedupe: s.dedupe, FS: img.Bytes()}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&snap); err != nil {
+			return fmt.Errorf("durable: encoding snapshot: %w", err)
+		}
+		blob = buf.Bytes()
+		return nil
+	})
+	return blob, lsn, epoch, err
+}
+
+// LoadReplicaSnapshot bootstraps a follower from a primary's
+// ReplSnapshot image: the in-memory state, dedupe table, epoch and
+// applied horizon are replaced wholesale, the image is persisted as
+// this store's own snapshot, and the local log is reset. Only valid in
+// replica mode, and only before the recovered file system has been
+// shared (the *vfs.FS pointer changes); callers bootstrap first, then
+// build the kernel and server on top.
+func (s *Store) LoadReplicaSnapshot(blob []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.replica {
+		return ErrNotReplica
+	}
+	var snap snapFile
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&snap); err != nil {
+		return fmt.Errorf("durable: decoding replica snapshot: %w", err)
+	}
+	if snap.Version != snapFileVersion {
+		return fmt.Errorf("durable: unsupported replica snapshot version %d", snap.Version)
+	}
+	if snap.Epoch < s.epoch {
+		return fmt.Errorf("%w: snapshot epoch %d, follower epoch %d", ErrStaleEpoch, snap.Epoch, s.epoch)
+	}
+	fs, err := vfs.Load(bytes.NewReader(snap.FS))
+	if err != nil {
+		return fmt.Errorf("durable: replica snapshot image: %w", err)
+	}
+	if err := s.publishSnapshotLocked(blob, snap.LSN); err != nil {
+		return err
+	}
+	s.fs = fs
+	s.dedupe = make(map[string][]string, len(snap.Dedupe))
+	for k, v := range snap.Dedupe {
+		s.dedupe[k] = v
+	}
+	s.epoch = snap.Epoch
+	s.lastApplied = snap.LSN
+	close(s.appliedCh)
+	s.appliedCh = make(chan struct{})
+	return nil
+}
+
+// WALTailSince re-encodes every logged record past lsn, for catching a
+// subscribing follower up from the primary's own log. It fails with
+// ErrReplicaGap when compaction already truncated that history (the
+// follower needs ReplSnapshot instead). Holding s.mu excludes every
+// append source, and the barrier idles the committer, so the read sees
+// a complete log.
+func (s *Store) WALTailSince(lsn uint64) (frames []byte, first, last uint64, records int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if lsn < s.snapLSN {
+		return nil, 0, 0, 0, fmt.Errorf("%w: lsn %d predates snapshot lsn %d", ErrReplicaGap, lsn, s.snapLSN)
+	}
+	s.wal.Barrier()
+	data, err := readWALFile(s.dir)
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	recs, _, _ := DecodeAll(data)
+	for _, rec := range recs {
+		if rec.LSN <= lsn {
+			continue
+		}
+		if first == 0 {
+			first = rec.LSN
+		}
+		last = rec.LSN
+		records++
+		frames = EncodeRecord(frames, rec)
+	}
+	return frames, first, last, records, nil
+}
+
+// readWALFile reads the log file, tolerating its absence.
+func readWALFile(dir string) ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(dir, WALName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("durable: reading wal: %w", err)
+	}
+	return data, nil
+}
+
+// Promote turns a follower into a primary under a new epoch: the
+// group-commit pipeline starts (appends resume at the applied horizon
+// plus one — the LSN sequence continues unbroken from the old
+// primary's history), the epoch record is journaled and made durable,
+// and the file system is journaled from here on. The caller flips its
+// serving role only after Promote returns, so no write can land before
+// the fence is on disk.
+func (s *Store) Promote(epoch uint64) error {
+	s.mu.Lock()
+	if !s.replica {
+		s.mu.Unlock()
+		return ErrNotReplica
+	}
+	if epoch <= s.epoch {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: promotion epoch %d not past follower epoch %d", ErrStaleEpoch, epoch, s.epoch)
+	}
+	s.replica = false
+	if !s.opts.DisableGroupCommit {
+		s.wal.StartGroupCommit(s.gcCfg)
+	}
+	// Promotion satisfies any parked freshness demand: the local state
+	// is authoritative now.
+	close(s.appliedCh)
+	s.appliedCh = make(chan struct{})
+	s.mu.Unlock()
+	if err := s.SetEpochDurable(epoch); err != nil {
+		return err
+	}
+	s.fs.SetJournal(s)
+	return nil
+}

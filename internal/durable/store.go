@@ -81,6 +81,17 @@ type Options struct {
 	OpenAppend func(path string) (File, error)
 	// Logf, when set, receives recovery and degradation notices.
 	Logf func(format string, args ...any)
+	// ReplicaMode opens the store as a replication follower: the file
+	// system is not journaled (mutations arrive pre-encoded from the
+	// primary via ApplyReplicated, which writes them to this store's own
+	// WAL under the primary's LSNs), and the group-commit pipeline stays
+	// off until Promote turns the follower into a primary.
+	ReplicaMode bool
+	// OnShip, when set on a primary, receives every durable commit
+	// group's raw frames for replication fan-out (see
+	// GroupConfig.OnShip). Requires the group-commit pipeline; ignored
+	// with DisableGroupCommit. On a replica it takes effect at Promote.
+	OnShip func(first, last uint64, records int, frames []byte)
 }
 
 // RecoveryInfo describes what Open found and did.
@@ -151,10 +162,13 @@ func newStoreMetrics(reg *obs.Registry) *storeMetrics {
 }
 
 // snapFile is the serialized snapshot: the VFS image from vfs.Save plus
-// the dedupe table, bound to the log position they cover.
+// the dedupe table, bound to the log position they cover. Epoch is the
+// replication fencing term at snapshot time (0 on pre-replication
+// snapshots, which gob decodes as the zero value).
 type snapFile struct {
 	Version int
 	LSN     uint64
+	Epoch   uint64
 	Dedupe  map[string][]string
 	FS      []byte
 }
@@ -170,10 +184,22 @@ type Store struct {
 	fs   *vfs.FS
 	opts Options
 
-	mu      sync.Mutex // guards wal swaps, dedupe, snapLSN
+	mu      sync.Mutex // guards wal swaps, dedupe, snapLSN, replica state
 	wal     *WAL
 	dedupe  map[string][]string
 	snapLSN uint64
+
+	// Replication state. epoch is the fencing term this store last saw
+	// (recovered from the snapshot and epoch records, advanced by
+	// SetEpochDurable on a primary and by replicated epoch records on a
+	// follower). replica marks follower mode until Promote; lastApplied
+	// is the follower's applied-LSN horizon, and appliedCh is closed and
+	// replaced whenever it advances, waking WaitApplied parkers.
+	epoch       uint64
+	replica     bool
+	lastApplied uint64
+	appliedCh   chan struct{}
+	gcCfg       GroupConfig // saved for Promote (replica mode defers StartGroupCommit)
 
 	metrics  *storeMetrics
 	recovery RecoveryInfo
@@ -211,11 +237,13 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, fmt.Errorf("durable: state dir: %w", err)
 	}
 	s := &Store{
-		dir:     dir,
-		opts:    opts,
-		dedupe:  make(map[string][]string),
-		metrics: newStoreMetrics(reg),
-		logf:    opts.Logf,
+		dir:       dir,
+		opts:      opts,
+		dedupe:    make(map[string][]string),
+		replica:   opts.ReplicaMode,
+		appliedCh: make(chan struct{}),
+		metrics:   newStoreMetrics(reg),
+		logf:      opts.Logf,
 	}
 	if s.logf == nil {
 		s.logf = func(string, ...any) {}
@@ -288,6 +316,7 @@ func Open(dir string, opts Options) (*Store, error) {
 				s.metrics.appendErrs.Inc()
 				s.logf("durable: wal append failed, durability degraded until compaction: %v", err)
 			},
+			OnShip: opts.OnShip,
 		}
 		if spans := opts.Spans; spans != nil {
 			cfg.OnTraceCommit = func(trace, lsn uint64, queued, commit time.Duration) {
@@ -304,11 +333,21 @@ func Open(dir string, opts Options) (*Store, error) {
 				spans.Record(sp)
 			}
 		}
-		s.wal.StartGroupCommit(cfg)
+		s.gcCfg = cfg
+		if !s.replica {
+			s.wal.StartGroupCommit(cfg)
+		}
 	}
 	s.metrics.walSize.Set(size)
 	s.metrics.recoveries.Inc()
 	s.recovery.DedupeEntries = len(s.dedupe)
+	if s.replica {
+		// A follower applies pre-encoded records from the primary; its
+		// own file system is never journaled, and its applied horizon
+		// resumes where the recovered log ended.
+		s.lastApplied = nextLSN - 1
+		return s, nil
+	}
 	fs.SetJournal(s)
 	return s, nil
 }
@@ -338,6 +377,7 @@ func (s *Store) loadSnapshot() (*vfs.FS, error) {
 		s.dedupe[k] = v
 	}
 	s.snapLSN = snap.LSN
+	s.epoch = snap.Epoch
 	s.metrics.snapBytes.Set(int64(len(data)))
 	return fs, nil
 }
@@ -390,6 +430,12 @@ func (s *Store) replayWAL() (uint64, error) {
 func (s *Store) applyRecord(rec Record) error {
 	if rec.Type == DedupeType {
 		s.dedupe[rec.DedupeKey] = rec.DedupeReply
+		return nil
+	}
+	if rec.Type == EpochType {
+		if rec.Epoch > s.epoch {
+			s.epoch = rec.Epoch
+		}
 		return nil
 	}
 	m := rec.Mut
@@ -549,54 +595,65 @@ func (s *Store) Compact() error {
 		if err := s.fs.Save(&img); err != nil {
 			return fmt.Errorf("durable: serializing tree: %w", err)
 		}
-		snap := snapFile{Version: snapFileVersion, LSN: lsn, Dedupe: s.dedupe, FS: img.Bytes()}
+		snap := snapFile{Version: snapFileVersion, LSN: lsn, Epoch: s.epoch, Dedupe: s.dedupe, FS: img.Bytes()}
 		var buf bytes.Buffer
 		if err := gob.NewEncoder(&buf).Encode(&snap); err != nil {
 			return fmt.Errorf("durable: encoding snapshot: %w", err)
 		}
-
-		tmpPath := filepath.Join(s.dir, snapshotTmp)
-		tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
-		if err != nil {
-			return fmt.Errorf("durable: snapshot tmp: %w", err)
+		if err := s.publishSnapshotLocked(buf.Bytes(), lsn); err != nil {
+			return err
 		}
-		if _, err := tmp.Write(buf.Bytes()); err != nil {
-			tmp.Close()
-			return fmt.Errorf("durable: writing snapshot: %w", err)
-		}
-		if err := tmp.Sync(); err != nil {
-			tmp.Close()
-			return fmt.Errorf("durable: syncing snapshot: %w", err)
-		}
-		if err := tmp.Close(); err != nil {
-			return fmt.Errorf("durable: closing snapshot: %w", err)
-		}
-		if err := os.Rename(tmpPath, filepath.Join(s.dir, SnapshotName)); err != nil {
-			return fmt.Errorf("durable: publishing snapshot: %w", err)
-		}
-		if d, err := os.Open(s.dir); err == nil {
-			d.Sync()
-			d.Close()
-		}
-
-		// The log's records are now all covered by the snapshot; reset it.
-		walPath := filepath.Join(s.dir, WALName)
-		if err := os.Truncate(walPath, 0); err != nil {
-			return fmt.Errorf("durable: resetting wal: %w", err)
-		}
-		f, err := s.opts.OpenAppend(walPath)
-		if err != nil {
-			return fmt.Errorf("durable: reopening wal: %w", err)
-		}
-		if err := s.wal.swapFile(f); err != nil {
-			s.logf("durable: closing old wal file: %v", err)
-		}
-		s.snapLSN = lsn
 		s.metrics.compactions.Inc()
-		s.metrics.snapBytes.Set(int64(buf.Len()))
-		s.metrics.walSize.Set(0)
 		return nil
 	})
+}
+
+// publishSnapshotLocked atomically publishes an encoded snapshot and
+// resets the log: snapshot.tmp written and fsynced, renamed over
+// snapshot.img with a directory sync, then the WAL truncated and its
+// file swapped. Caller holds s.mu with appends excluded (the commit
+// pipeline, if running, barriered and idle).
+func (s *Store) publishSnapshotLocked(encoded []byte, lsn uint64) error {
+	tmpPath := filepath.Join(s.dir, snapshotTmp)
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: snapshot tmp: %w", err)
+	}
+	if _, err := tmp.Write(encoded); err != nil {
+		tmp.Close()
+		return fmt.Errorf("durable: writing snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("durable: syncing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("durable: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmpPath, filepath.Join(s.dir, SnapshotName)); err != nil {
+		return fmt.Errorf("durable: publishing snapshot: %w", err)
+	}
+	if d, err := os.Open(s.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+
+	// The log's records are now all covered by the snapshot; reset it.
+	walPath := filepath.Join(s.dir, WALName)
+	if err := os.Truncate(walPath, 0); err != nil {
+		return fmt.Errorf("durable: resetting wal: %w", err)
+	}
+	f, err := s.opts.OpenAppend(walPath)
+	if err != nil {
+		return fmt.Errorf("durable: reopening wal: %w", err)
+	}
+	if err := s.wal.swapFile(f); err != nil {
+		s.logf("durable: closing old wal file: %v", err)
+	}
+	s.snapLSN = lsn
+	s.metrics.snapBytes.Set(int64(len(encoded)))
+	s.metrics.walSize.Set(0)
+	return nil
 }
 
 // Close syncs and closes the log. The store must not be used after.

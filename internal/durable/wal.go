@@ -134,6 +134,71 @@ func (w *WAL) Append(rec Record) (uint64, error) {
 	return rec.LSN, nil
 }
 
+// AppendFrames writes a batch of pre-encoded record frames — a
+// replicated commit group shipped from a primary — and advances the
+// LSN cursor to lastLSN+1. The frames carry the primary's LSNs, so the
+// follower's log is byte-for-byte a prefix-preserving copy of the
+// primary's history and promotion continues the same sequence. Only
+// valid in synchronous mode (a replica never runs the group-commit
+// pipeline; its groups were formed on the primary). The batch syncs
+// per the sync policy, counting one pending record per replicated
+// record.
+func (w *WAL) AppendFrames(frames []byte, lastLSN uint64, records int) error {
+	w.mu.Lock()
+	if w.gc != nil {
+		w.mu.Unlock()
+		return errors.New("durable: AppendFrames on a group-commit wal")
+	}
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	n, err := w.f.Write(frames)
+	w.size += int64(n)
+	if err == nil && n < len(frames) {
+		err = io.ErrShortWrite
+	}
+	if err != nil {
+		w.err = err
+		w.mu.Unlock()
+		return err
+	}
+	w.nextLSN = lastLSN + 1
+	w.pending += records
+	synced := false
+	if w.syncEveryN > 0 && w.pending >= w.syncEveryN {
+		if err := w.f.Sync(); err != nil {
+			w.err = err
+			w.mu.Unlock()
+			return err
+		}
+		w.pending = 0
+		synced = true
+	}
+	onAppend, onSync := w.onAppend, w.onSync
+	w.mu.Unlock()
+	if onAppend != nil {
+		onAppend(records, len(frames))
+	}
+	if synced && onSync != nil {
+		onSync()
+	}
+	return nil
+}
+
+// DurableLSN reports the highest LSN known durable per the sync policy:
+// the group-commit horizon, or (synchronous mode) the last appended
+// record, which was committed inline.
+func (w *WAL) DurableLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.gc != nil {
+		return w.gc.durable
+	}
+	return w.nextLSN - 1
+}
+
 // Sync forces outstanding records to stable storage. In group-commit
 // mode it first waits for the pipeline to drain.
 func (w *WAL) Sync() error {

@@ -36,9 +36,13 @@ func (c *Counter) Add(n int64) {
 func (c *Counter) Value() int64 { return c.v.Load() }
 
 // Gauge is an atomic instantaneous value that may move both ways
-// (live connections, open descriptors).
+// (live connections, open descriptors). A gauge may instead be backed
+// by a sampling function (Registry.GaugeFunc): derived values like a
+// replication lag — primary LSN minus follower-acked LSN — are then
+// computed at read time instead of being pushed on every event.
 type Gauge struct {
-	v atomic.Int64
+	v  atomic.Int64
+	fn atomic.Pointer[func() int64]
 }
 
 // Set replaces the gauge value.
@@ -53,5 +57,22 @@ func (g *Gauge) Inc() { g.v.Add(1) }
 // Dec subtracts one.
 func (g *Gauge) Dec() { g.v.Add(-1) }
 
-// Value reports the current value.
-func (g *Gauge) Value() int64 { return g.v.Load() }
+// SetFunc binds the gauge to a sampler: Value (and every exposition)
+// reports what fn returns at that moment. Set/Add/Inc/Dec still move
+// the stored value, but it stays shadowed until SetFunc(nil) unbinds.
+// fn must be safe for concurrent use and must not block.
+func (g *Gauge) SetFunc(fn func() int64) {
+	if fn == nil {
+		g.fn.Store(nil)
+		return
+	}
+	g.fn.Store(&fn)
+}
+
+// Value reports the current value (the sampler's, when bound).
+func (g *Gauge) Value() int64 {
+	if fn := g.fn.Load(); fn != nil {
+		return (*fn)()
+	}
+	return g.v.Load()
+}

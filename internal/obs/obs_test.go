@@ -218,3 +218,33 @@ func BenchmarkTraceEmit(b *testing.B) {
 		tr.Emit(Event{Phase: PhaseTrapEntry, PID: 1, Sys: "stat"})
 	}
 }
+
+func TestGaugeFuncSamplesAtReadTime(t *testing.T) {
+	r := NewRegistry()
+	var lsn int64 = 7
+	g := r.GaugeFunc("applied_lsn", func() int64 { return lsn })
+	if got := g.Value(); got != 7 {
+		t.Fatalf("sampled gauge = %d, want 7", got)
+	}
+	lsn = 42
+	if got := g.Value(); got != 42 {
+		t.Fatalf("sampled gauge after source moved = %d, want 42", got)
+	}
+	// The sampler shadows pushed values and shows up in the exposition.
+	g.Set(5)
+	if got := g.Value(); got != 42 {
+		t.Fatalf("Set leaked through the sampler: %d", got)
+	}
+	if text := r.Text(); !strings.Contains(text, "applied_lsn 42") {
+		t.Fatalf("exposition missing sampled value:\n%s", text)
+	}
+	// Rebinding replaces the sampler; unbinding restores pushed values.
+	r.GaugeFunc("applied_lsn", func() int64 { return -1 })
+	if got := g.Value(); got != -1 {
+		t.Fatalf("rebound gauge = %d, want -1", got)
+	}
+	g.SetFunc(nil)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("unbound gauge = %d, want the pushed 5", got)
+	}
+}

@@ -84,6 +84,16 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// GaugeFunc returns the named gauge bound to a sampling function:
+// every read — Value, Snapshot, the text exposition — reports what fn
+// returns at that moment. Rebinding an existing gauge replaces its
+// sampler. fn must be safe for concurrent use and must not block.
+func (r *Registry) GaugeFunc(name string, fn func() int64) *Gauge {
+	g := r.Gauge(name)
+	g.SetFunc(fn)
+	return g
+}
+
 // Histogram returns the named histogram, creating it with the given
 // bounds if needed (bounds are ignored on later lookups).
 func (r *Registry) Histogram(name string, bounds []float64) *Histogram {

@@ -1,0 +1,106 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The lease protocol is four UDP datagrams on the catalog's heartbeat
+// socket:
+//
+//	claim:  lease <name> <addr> <lsn> <epoch>
+//	grant:  grant <epoch> <ttlms>
+//	deny:   deny <epoch> <holder>
+//
+// Replies carry no name — each claim rides its own UDP exchange, so
+// the socket correlates them. Claim names and addresses are Go-quoted
+// like every other catalog string; the deny holder is a bare host:port.
+//
+// A claim doubles as a renewal: the current holder extends its lease
+// and is granted its existing epoch; anyone else is denied while the
+// lease is live. When the lease has expired, the catalog opens a short
+// election window, collects claims, and grants the NEXT epoch to the
+// claimant with the highest applied LSN — so the follower that lost
+// the least takes over, and the epoch number fences whoever held the
+// lease before.
+
+// ErrLeaseTimeout means no grant or deny arrived within the claim
+// deadline — the catalog is unreachable or still electing.
+var ErrLeaseTimeout = errors.New("replica: lease claim timed out")
+
+// LeaseResult is the catalog's answer to one claim.
+type LeaseResult struct {
+	Granted bool
+	Epoch   uint64        // granted term, or the term that fences us
+	TTL     time.Duration // grant only: how long the lease runs
+	Holder  string        // deny only: who holds the lease
+}
+
+// LeaseClient claims and renews one named lease with a catalog over
+// UDP. It is stateless per call; the node drives the cadence.
+type LeaseClient struct {
+	CatalogAddr string
+	Name        string // replica-set name (the catalog name the servers share)
+	Addr        string // this server's advertised address (the lease identity)
+	Timeout     time.Duration
+}
+
+// Claim asks for (or renews) the lease, reporting this node's applied
+// LSN and current epoch. One datagram out, one back, bounded by
+// Timeout; the catalog may sit on the reply for its election window, so
+// the timeout must comfortably exceed it (the node uses the lease TTL).
+func (lc *LeaseClient) Claim(lsn, epoch uint64) (LeaseResult, error) {
+	conn, err := net.Dial("udp", lc.CatalogAddr)
+	if err != nil {
+		return LeaseResult{}, err
+	}
+	defer conn.Close()
+	timeout := lc.Timeout
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	if _, err := fmt.Fprintf(conn, "lease %s %s %d %d\n",
+		strconv.Quote(lc.Name), strconv.Quote(lc.Addr), lsn, epoch); err != nil {
+		return LeaseResult{}, err
+	}
+	if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return LeaseResult{}, err
+	}
+	buf := make([]byte, 512)
+	n, err := conn.Read(buf)
+	if err != nil {
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			return LeaseResult{}, ErrLeaseTimeout
+		}
+		return LeaseResult{}, err
+	}
+	return parseLeaseReply(strings.TrimSpace(string(buf[:n])))
+}
+
+// parseLeaseReply decodes a grant or deny datagram.
+func parseLeaseReply(line string) (LeaseResult, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 3 {
+		return LeaseResult{}, fmt.Errorf("replica: malformed lease reply %q", line)
+	}
+	epoch, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return LeaseResult{}, fmt.Errorf("replica: bad lease epoch %q", fields[1])
+	}
+	switch fields[0] {
+	case "grant":
+		ms, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil || ms < 0 {
+			return LeaseResult{}, fmt.Errorf("replica: bad lease ttl %q", fields[2])
+		}
+		return LeaseResult{Granted: true, Epoch: epoch, TTL: time.Duration(ms) * time.Millisecond}, nil
+	case "deny":
+		return LeaseResult{Granted: false, Epoch: epoch, Holder: fields[2]}, nil
+	default:
+		return LeaseResult{}, fmt.Errorf("replica: malformed lease reply %q", line)
+	}
+}
