@@ -1,0 +1,67 @@
+package identitybox
+
+// BenchmarkAdmissionOverhead pins the cost the overload-protection
+// path adds to an unsaturated request: admission ticketing, the fair
+// scheduler's fast path, and the deadline capability token on the
+// wire. The disabled variant is the pre-admission hot path; the gate
+// in BENCH_baseline.json keeps both from regressing.
+
+import (
+	"testing"
+	"time"
+
+	"identitybox/internal/acl"
+	"identitybox/internal/admission"
+	"identitybox/internal/auth"
+	"identitybox/internal/chirp"
+	"identitybox/internal/kernel"
+	"identitybox/internal/vclock"
+	"identitybox/internal/vfs"
+)
+
+func BenchmarkAdmissionOverhead(b *testing.B) {
+	for _, v := range []struct {
+		name     string
+		admitted bool
+	}{{"disabled", false}, {"enabled", true}} {
+		b.Run(v.name, func(b *testing.B) {
+			k := kernel.New(vfs.New("owner"), vclock.Default())
+			rootACL := &acl.ACL{}
+			rootACL.Set("unix:admin", acl.All, acl.None)
+			sopts := chirp.ServerOptions{
+				Owner:     "owner",
+				RootACL:   rootACL,
+				Verifiers: map[auth.Method]auth.Verifier{auth.MethodUnix: &auth.UnixVerifier{}},
+			}
+			copts := chirp.ClientOptions{}
+			if v.admitted {
+				sopts.Admission = admission.New(admission.Options{})
+				copts.DeadlineBudget = time.Minute
+			}
+			srv, err := chirp.NewServer(k, sopts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := srv.Listen("127.0.0.1:0"); err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			cl, err := chirp.DialOpts(srv.Addr(),
+				[]auth.Authenticator{&auth.UnixClient{User: "admin"}}, copts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			// stat is a Normal-class command: it pays the full admit,
+			// fair-dispatch, and release cycle (whoami would ride the
+			// exempt control class and measure nothing).
+			for i := 0; i < b.N; i++ {
+				if _, err := cl.Stat("/"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

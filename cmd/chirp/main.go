@@ -74,6 +74,7 @@ func main() {
 	window := flag.Int("window", 0, "requested v2 credit window, tags in flight (0: the built-in default)")
 	maxInflight := flag.Int64("max-inflight", 0, "requested v2 in-flight byte budget (0: the built-in default)")
 	proto := flag.Int("proto", 0, "pin the protocol version (1: classic lock-step; 0: negotiate)")
+	deadlineBudget := flag.Duration("deadline-budget", 0, "wall-clock budget per logical call, retries included; propagated so the server sheds expired work (0: none)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -88,7 +89,8 @@ func main() {
 	auths = append(auths, &auth.HostnameClient{})
 
 	opts := chirp.ClientOptions{Timeout: *timeout, MaxRetries: *retries,
-		Window: *window, MaxInflightBytes: *maxInflight, Protocol: *proto}
+		Window: *window, MaxInflightBytes: *maxInflight, Protocol: *proto,
+		DeadlineBudget: *deadlineBudget}
 	if *retries <= 0 {
 		opts.DisableRetries = true
 	}

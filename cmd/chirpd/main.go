@@ -88,6 +88,7 @@ import (
 	"time"
 
 	"identitybox/internal/acl"
+	"identitybox/internal/admission"
 	"identitybox/internal/auth"
 	"identitybox/internal/chirp"
 	"identitybox/internal/core"
@@ -122,6 +123,11 @@ func main() {
 	window := flag.Int("window", 0, "per-session v2 credit window, tags in flight (0: the built-in default)")
 	maxInflight := flag.Int64("max-inflight", 0, "per-session v2 in-flight byte budget (0: the built-in default)")
 	workers := flag.Int("workers", 0, "concurrent-lane workers per v2 session (0: the built-in default)")
+	admitQueue := flag.Int("admit-queue", 0, "bounded admit-queue depth for overload protection (0: admission control off)")
+	admitBytes := flag.Int64("admit-bytes", 0, "queued request payload byte budget with -admit-queue (0: the built-in default)")
+	execSlots := flag.Int("exec-slots", 0, "concurrent execution slots with -admit-queue (0: the built-in default)")
+	fairShare := flag.Float64("fair-share", 0, "per-principal fair-share multiplier with -admit-queue (0: the built-in default)")
+	dedupeBytes := flag.Int64("dedupe-bytes", 0, "request-dedupe table byte bound (0: the built-in default)")
 	verbose := flag.Bool("v", false, "log every request")
 	flag.Parse()
 
@@ -283,6 +289,16 @@ func main() {
 		Workers:          *workers,
 		Spans:            spans,
 		TraceSlow:        *traceSlow,
+		DedupeMaxBytes:   *dedupeBytes,
+	}
+	if *admitQueue > 0 {
+		opts.Admission = admission.New(admission.Options{
+			MaxQueue:  *admitQueue,
+			MaxBytes:  *admitBytes,
+			ExecSlots: *execSlots,
+			FairShare: *fairShare,
+			Metrics:   reg,
+		})
 	}
 	var slowLog *core.JSONLSink
 	if *traceLog != "" && spans != nil {

@@ -1,0 +1,292 @@
+package admission
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"identitybox/internal/obs"
+)
+
+func TestAdmitQueueDepthBound(t *testing.T) {
+	c := New(Options{MaxQueue: 4, ExecSlots: 2})
+	var tickets []*Ticket
+	for i := 0; i < 4; i++ {
+		tk, err := c.Admit("alice", Normal, 10, time.Time{})
+		if err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+		tickets = append(tickets, tk)
+	}
+	// The principal that filled the queue is turned away at the bound...
+	_, err := c.Admit("alice", Normal, 10, time.Time{})
+	var be *BusyError
+	if !errors.As(err, &be) {
+		t.Fatalf("5th alice admit = %v, want BusyError", err)
+	}
+	if be.RetryAfter < time.Millisecond || be.RetryAfter > time.Second {
+		t.Fatalf("retry-after %v out of [1ms,1s]", be.RetryAfter)
+	}
+	// ...but light principals may overflow a full queue (fair shedding
+	// rejects the flooder, never the victim of the flood)...
+	for _, prin := range []string{"bob", "carol", "dave", "erin"} {
+		tk, err := c.Admit(prin, Normal, 10, time.Time{})
+		if err != nil {
+			t.Fatalf("light-principal overflow admit %s: %v", prin, err)
+		}
+		tickets = append(tickets, tk)
+	}
+	// ...within a hard bound of twice MaxQueue, where even light
+	// principals are rejected.
+	if _, err := c.Admit("frank", Normal, 10, time.Time{}); !errors.As(err, &be) {
+		t.Fatalf("admit past 2x MaxQueue = %v, want BusyError", err)
+	}
+	for _, tk := range tickets {
+		tk.Done()
+	}
+	if _, err := c.Admit("bob", Normal, 10, time.Time{}); err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+	if st := c.Stats(); st.Busy != 2 {
+		t.Fatalf("busy count = %d, want 2", st.Busy)
+	}
+}
+
+func TestAdmitByteBound(t *testing.T) {
+	c := New(Options{MaxQueue: 100, MaxBytes: 1000, ExecSlots: 2})
+	// One oversized request is always admitted on an empty queue.
+	big, err := c.Admit("alice", Normal, 5000, time.Time{})
+	if err != nil {
+		t.Fatalf("oversized first admit: %v", err)
+	}
+	if _, err := c.Admit("bob", Normal, 10, time.Time{}); err == nil {
+		t.Fatal("second admit over byte budget succeeded")
+	}
+	big.Done()
+	if _, err := c.Admit("bob", Normal, 10, time.Time{}); err != nil {
+		t.Fatalf("admit after bytes released: %v", err)
+	}
+}
+
+func TestDeadlineShedAtAdmit(t *testing.T) {
+	c := New(Options{})
+	_, err := c.Admit("alice", Normal, 0, time.Now().Add(-time.Millisecond))
+	if !errors.Is(err, ErrExpired) {
+		t.Fatalf("expired admit = %v, want ErrExpired", err)
+	}
+	if st := c.Stats(); st.ShedAdmit != 1 {
+		t.Fatalf("shed admit = %d, want 1", st.ShedAdmit)
+	}
+}
+
+func TestDeadlineShedAtDispatch(t *testing.T) {
+	c := New(Options{ExecSlots: 1})
+	holder, err := c.Admit("alice", Normal, 0, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := holder.Acquire(); err != nil {
+		t.Fatal(err)
+	}
+	tk, err := c.Admit("bob", Normal, 0, time.Now().Add(20*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := tk.Acquire(); !errors.Is(err, ErrExpired) {
+		t.Fatalf("acquire = %v, want ErrExpired", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("expired acquire took %v", elapsed)
+	}
+	tk.Done()
+	holder.Done()
+	st := c.Stats()
+	if st.ShedDispatch != 1 {
+		t.Fatalf("shed dispatch = %d, want 1", st.ShedDispatch)
+	}
+	if st.Queued != 0 || st.ExecBusy != 0 {
+		t.Fatalf("leaked accounting: %+v", st)
+	}
+}
+
+func TestControlClassExempt(t *testing.T) {
+	c := New(Options{MaxQueue: 1, ExecSlots: 1})
+	tk, err := c.Admit("alice", Normal, 0, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tk.Done()
+	// Queue is full and the deadline long expired: control traffic
+	// still gets through, with a nil ticket.
+	ct, err := c.Admit("heartbeat", Control, 0, time.Now().Add(-time.Hour))
+	if err != nil || ct != nil {
+		t.Fatalf("control admit = %v, %v; want nil, nil", ct, err)
+	}
+	if err := ct.Acquire(); err != nil {
+		t.Fatalf("nil ticket acquire: %v", err)
+	}
+	ct.Done()
+	if st := c.Stats(); st.Control != 1 || st.Busy != 0 || st.ShedAdmit != 0 {
+		t.Fatalf("control accounting wrong: %+v", st)
+	}
+}
+
+func TestFairShareEarlyRejection(t *testing.T) {
+	c := New(Options{MaxQueue: 8, FairShare: 2, ExecSlots: 1})
+	// One noisy principal fills past half the queue; with one other
+	// active principal its share is 4 and its burst cap 8 — but the
+	// cap only bites past MaxQueue/2, so admit a victim first to make
+	// two active principals (share 4, burst 8 → depth cap wins), then
+	// tighten: three actives → share 8/3≈2.7, burst ≈5.3.
+	var all []*Ticket
+	for _, p := range []string{"v1", "v2"} {
+		tk, err := c.Admit(p, Normal, 0, time.Time{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, tk)
+	}
+	var noisyRejected bool
+	for i := 0; i < 8; i++ {
+		tk, err := c.Admit("noisy", Normal, 0, time.Time{})
+		if err != nil {
+			noisyRejected = true
+			break
+		}
+		all = append(all, tk)
+	}
+	if !noisyRejected {
+		t.Fatal("noisy principal was never rejected early")
+	}
+	// A well-behaved principal still gets in while the queue has room.
+	tk, err := c.Admit("v3", Normal, 0, time.Time{})
+	if err != nil {
+		t.Fatalf("victim admit after noisy rejection: %v", err)
+	}
+	all = append(all, tk)
+	for _, tk := range all {
+		tk.Done()
+	}
+}
+
+func TestRoundRobinFairGrants(t *testing.T) {
+	c := New(Options{MaxQueue: 64, ExecSlots: 1})
+	holder, _ := c.Admit("seed", Normal, 0, time.Time{})
+	if err := holder.Acquire(); err != nil {
+		t.Fatal(err)
+	}
+
+	// noisy enqueues 8 waiters, victim 2; with round-robin granting the
+	// victim's two grants land within the first four, noisy never
+	// monopolizing the slot.
+	type grant struct {
+		who string
+		seq int
+	}
+	var mu sync.Mutex
+	var grants []grant
+	var wg sync.WaitGroup
+	var seq atomic.Int64
+	start := func(who string, n int) {
+		for i := 0; i < n; i++ {
+			tk, err := c.Admit(who, Normal, 0, time.Time{})
+			if err != nil {
+				t.Errorf("%s admit: %v", who, err)
+				return
+			}
+			wg.Add(1)
+			go func(tk *Ticket) {
+				defer wg.Done()
+				if err := tk.Acquire(); err != nil {
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				mu.Lock()
+				grants = append(grants, grant{who, int(seq.Add(1))})
+				mu.Unlock()
+				tk.Done()
+			}(tk)
+		}
+	}
+	start("noisy", 8)
+	time.Sleep(20 * time.Millisecond) // let the noisy waiters park first
+	start("victim", 2)
+	time.Sleep(20 * time.Millisecond)
+	holder.Done() // release the slot; grants begin
+	wg.Wait()
+
+	var victimLast int
+	for _, g := range grants {
+		if g.who == "victim" {
+			victimLast = g.seq
+		}
+	}
+	if victimLast > 5 {
+		t.Fatalf("victim's last grant came %dth of %d; round-robin should interleave: %v",
+			victimLast, len(grants), grants)
+	}
+	st := c.Stats()
+	if st.Completions["victim"] != 2 || st.Completions["noisy"] != 8 {
+		t.Fatalf("completions wrong: %+v", st.Completions)
+	}
+}
+
+func TestConcurrentStress(t *testing.T) {
+	c := New(Options{MaxQueue: 32, ExecSlots: 4, MaxBytes: 1 << 20})
+	var wg sync.WaitGroup
+	var completed atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			prin := string(rune('a' + g%4))
+			for i := 0; i < 200; i++ {
+				var dl time.Time
+				if i%3 == 0 {
+					dl = time.Now().Add(time.Duration(i%5) * time.Millisecond)
+				}
+				tk, err := c.Admit(prin, Normal, i%512, dl)
+				if err != nil {
+					continue
+				}
+				if err := tk.Acquire(); err == nil {
+					completed.Add(1)
+				}
+				tk.Done()
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Queued != 0 || st.QueuedBytes != 0 || st.ExecBusy != 0 {
+		t.Fatalf("accounting leaked after stress: %+v", st)
+	}
+	if completed.Load() == 0 {
+		t.Fatal("nothing completed")
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(Options{MaxQueue: 2, ExecSlots: 1, Metrics: reg})
+	tk, _ := c.Admit("alice", Normal, 64, time.Time{})
+	tk.Acquire()
+	tk.Done()
+	c.Admit("alice", Normal, 0, time.Now().Add(-time.Second))
+	c.Admit("hb", Control, 0, time.Time{})
+	text := reg.Text()
+	for _, want := range []string{
+		`admission_shed_total{point="admit"} 1`,
+		"admission_control_total 1",
+		"admission_queue_depth 0",
+		"admission_exec_busy 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}

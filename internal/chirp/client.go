@@ -204,9 +204,9 @@ func (cl *Client) connectLocked() error {
 		return fmt.Errorf("chirp: redial authenticated as %q, session was %q", ident, cl.ident)
 	}
 	c := newCodec(conn)
-	proto, window, maxBytes, traced := ProtocolV1, 0, int64(0), false
+	proto, window, maxBytes, traced, deadlined := ProtocolV1, 0, int64(0), false, false
 	if cl.opts.Protocol != ProtocolV1 {
-		proto, window, maxBytes, traced, err = cl.negotiateVersion(c)
+		proto, window, maxBytes, traced, deadlined, err = cl.negotiateVersion(c)
 		if err != nil {
 			conn.Close()
 			c.release()
@@ -219,7 +219,7 @@ func (cl *Client) connectLocked() error {
 	}
 	cl.conn, cl.c, cl.broken, cl.ident, cl.proto = conn, c, false, ident, proto
 	if proto == ProtocolV2 {
-		cl.mux = newMuxSession(cl, conn, c, window, maxBytes, traced)
+		cl.mux = newMuxSession(cl, conn, c, window, maxBytes, traced, deadlined)
 		cl.m.negWindow.Set(int64(window))
 		cl.m.negMaxBytes.Set(maxBytes)
 	} else {
@@ -249,31 +249,34 @@ func (cl *Client) connectLocked() error {
 // request tracing (ClientOptions.Spans) it appends the trace capability
 // token; tracing activates only if the server echoes it back, so an
 // older v2 server silently leaves it off.
-func (cl *Client) negotiateVersion(c *codec) (proto, window int, maxBytes int64, traced bool, err error) {
+func (cl *Client) negotiateVersion(c *codec) (proto, window int, maxBytes int64, traced, deadlined bool, err error) {
 	cl.sent.Add(1)
 	var caps []string
 	if cl.opts.Spans != nil {
 		caps = append(caps, capTrace)
 	}
+	if cl.opts.DeadlineBudget > 0 {
+		caps = append(caps, capDeadline)
+	}
 	if err := c.writeLine(versionFields(cl.opts.Window, cl.opts.MaxInflightBytes, caps...)...); err != nil {
-		return 0, 0, 0, false, err
+		return 0, 0, 0, false, false, err
 	}
 	line, err := c.readLine()
 	if err != nil {
-		return 0, 0, 0, false, err
+		return 0, 0, 0, false, false, err
 	}
 	parts, err := splitFields(line)
 	if err != nil || len(parts) == 0 {
-		return 0, 0, 0, false, fmt.Errorf("chirp: malformed version reply %q", line)
+		return 0, 0, 0, false, false, fmt.Errorf("chirp: malformed version reply %q", line)
 	}
 	switch parts[0] {
 	case "ok":
 		v, w, b, echoed, err := parseVersionArgs(parts[1:])
 		if err != nil {
-			return 0, 0, 0, false, err
+			return 0, 0, 0, false, false, err
 		}
 		if v != ProtocolV2 {
-			return 0, 0, 0, false, fmt.Errorf("chirp: server negotiated unsupported protocol %d", v)
+			return 0, 0, 0, false, false, fmt.Errorf("chirp: server negotiated unsupported protocol %d", v)
 		}
 		if w > cl.opts.Window {
 			w = cl.opts.Window
@@ -282,13 +285,14 @@ func (cl *Client) negotiateVersion(c *codec) (proto, window int, maxBytes int64,
 			b = cl.opts.MaxInflightBytes
 		}
 		traced = cl.opts.Spans != nil && hasCap(echoed, capTrace)
-		return ProtocolV2, w, b, traced, nil
+		deadlined = cl.opts.DeadlineBudget > 0 && hasCap(echoed, capDeadline)
+		return ProtocolV2, w, b, traced, deadlined, nil
 	case "err":
 		// An old (or v1-pinned) server treats "version" as an unknown
 		// command; that error reply is the fallback signal.
-		return ProtocolV1, 0, 0, false, nil
+		return ProtocolV1, 0, 0, false, false, nil
 	default:
-		return 0, 0, 0, false, fmt.Errorf("chirp: malformed version reply %q", line)
+		return 0, 0, 0, false, false, fmt.Errorf("chirp: malformed version reply %q", line)
 	}
 }
 
@@ -372,6 +376,7 @@ type wireCall struct {
 	recvInto []byte    // reply payload is read directly into this buffer instead
 	class    callClass // idempotency classification
 	trace    uint64    // request-tracing ID (0 untraced); only v2 traced sessions send it
+	deadline time.Time // logical-call deadline (zero = unbounded); v2 deadlined sessions send the remaining budget
 }
 
 // attemptLocked performs exactly one wire exchange under the per-call
@@ -444,14 +449,26 @@ func (cl *Client) do(c wireCall) (resp []string, body []byte, retried bool, err 
 			c.trace = obs.NewTraceID()
 		}
 	}
+	// Stamp the logical-call deadline once: every retry and backoff sleep
+	// of this call spends from the same budget.
+	if cl.opts.DeadlineBudget > 0 && c.deadline.IsZero() {
+		c.deadline = time.Now().Add(cl.opts.DeadlineBudget)
+	}
 	attempts := 1
 	if !cl.opts.DisableRetries {
 		attempts += cl.opts.MaxRetries
 	}
 	var lastErr error
+	// busyHint is the server's EBUSY retry-after hint, consumed as a
+	// floor on the next backoff sleep.
+	var busyHint time.Duration
 	for attempt := 0; attempt < attempts; attempt++ {
 		if cl.closing.Load() {
 			return nil, nil, retried, ErrClientClosed
+		}
+		if !c.deadline.IsZero() && !time.Now().Before(c.deadline) {
+			cl.m.deadline.Inc()
+			return nil, nil, retried, deadlineErr(cl.opts.DeadlineBudget, lastErr)
 		}
 		if attempt > 0 {
 			retried = true
@@ -459,6 +476,16 @@ func (cl *Client) do(c wireCall) (resp []string, body []byte, retried bool, err 
 			cl.mu.Lock()
 			d := backoff(cl.rng, cl.opts.RetryBase, cl.opts.RetryMax, attempt)
 			cl.mu.Unlock()
+			if busyHint > d {
+				d = busyHint
+			}
+			busyHint = 0
+			if !c.deadline.IsZero() && time.Now().Add(d).After(c.deadline) {
+				// The wait alone would outlive the caller's budget; fail
+				// fast instead of sleeping toward a guaranteed miss.
+				cl.m.deadline.Inc()
+				return nil, nil, retried, deadlineErr(cl.opts.DeadlineBudget, lastErr)
+			}
 			cl.opts.Sleep(d)
 			if cl.closing.Load() {
 				return nil, nil, retried, ErrClientClosed
@@ -494,7 +521,28 @@ func (cl *Client) do(c wireCall) (resp []string, body []byte, retried bool, err 
 			}
 			var re *RemoteError
 			if errors.As(aerr, &re) {
+				// The server answered, so the session is healthy whatever
+				// the reply says.
 				cl.brk.Success()
+				if errors.Is(re.Err, ErrBusy) && !cl.opts.DisableRetries {
+					// EBUSY was rejected before anything executed, so a
+					// retry is safe for every call class. The server's
+					// retry-after hint floors the next backoff.
+					cl.m.busy.Inc()
+					busyHint = RetryAfterFromError(aerr)
+					lastErr = aerr
+					continue
+				}
+				if errors.Is(re.Err, ErrDeadline) {
+					cl.m.deadline.Inc()
+				}
+				return nil, nil, retried, aerr
+			}
+			if errors.Is(aerr, ErrDeadline) {
+				// The budget ran out client-side before the request was
+				// sent: the session is fine, the caller is just out of
+				// time.
+				cl.m.deadline.Inc()
 				return nil, nil, retried, aerr
 			}
 			if cl.dropMux(mux) {
@@ -521,9 +569,19 @@ func (cl *Client) do(c wireCall) (resp []string, body []byte, retried bool, err 
 			}
 			var re *RemoteError
 			if errors.As(aerr, &re) {
-				// The server answered; error replies are final and healthy.
+				// The server answered; error replies are final and healthy
+				// (except EBUSY, which invites a retry).
 				cl.brk.Success()
 				cl.mu.Unlock()
+				if errors.Is(re.Err, ErrBusy) && !cl.opts.DisableRetries {
+					cl.m.busy.Inc()
+					busyHint = RetryAfterFromError(aerr)
+					lastErr = aerr
+					continue
+				}
+				if errors.Is(re.Err, ErrDeadline) {
+					cl.m.deadline.Inc()
+				}
 				return nil, nil, retried, aerr
 			}
 			// Transport failure mid-exchange.

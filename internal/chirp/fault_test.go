@@ -368,7 +368,7 @@ func TestRetryCloseAfterFault(t *testing.T) {
 }
 
 func TestRetryDedupeTableBounded(t *testing.T) {
-	tbl := newDedupeTable(4)
+	tbl := newDedupeTable(4, 0)
 	for i := 0; i < 6; i++ {
 		tbl.store(dedupeKey("u", string(rune('a'+i))), []string{"ok", "1"})
 	}

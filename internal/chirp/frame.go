@@ -147,6 +147,16 @@ func (c *codec) readFrameLine(n int) (string, error) {
 // version exchange itself has against v1 servers.
 const capTrace = "trace"
 
+// capDeadline is the capability token a peer appends to its half of the
+// version exchange to request (client) or confirm (server) per-request
+// deadline-budget propagation. On a session that negotiated it, a
+// request line may lead with "deadline <remaining-ms>"; the server
+// anchors the budget at frame arrival and sheds the work with EDEADLINE
+// at whichever hop — admit, dispatch, durability barrier — finds it
+// already expired. Old peers never echo the token, so budgets degrade
+// to "no deadline" with no interop break.
+const capDeadline = "deadline"
+
 // capRepl is the capability token a replication follower appends to its
 // version exchange to subscribe to the server's WAL ship stream. Only
 // sessions that negotiated it may issue replsub, and only they ever see

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,13 +55,14 @@ type muxCall struct {
 // lock, and the client only reads session state via methods that take
 // ms.mu internally.
 type muxSession struct {
-	cl       *Client
-	conn     net.Conn
-	c        *codec // writer goroutine owns c.w, reader owns c.r and scratch
-	window   int
-	maxBytes int64
-	traced   bool          // server echoed the trace capability
-	spans    *obs.SpanRing // client-side span sink (ClientOptions.Spans)
+	cl        *Client
+	conn      net.Conn
+	c         *codec // writer goroutine owns c.w, reader owns c.r and scratch
+	window    int
+	maxBytes  int64
+	traced    bool          // server echoed the trace capability
+	deadlined bool          // server echoed the deadline capability
+	spans     *obs.SpanRing // client-side span sink (ClientOptions.Spans)
 
 	mu            sync.Mutex
 	cond          *sync.Cond // waits for credit-window space
@@ -78,18 +80,19 @@ type muxSession struct {
 	wg     sync.WaitGroup
 }
 
-func newMuxSession(cl *Client, conn net.Conn, c *codec, window int, maxBytes int64, traced bool) *muxSession {
+func newMuxSession(cl *Client, conn net.Conn, c *codec, window int, maxBytes int64, traced, deadlined bool) *muxSession {
 	ms := &muxSession{
-		cl:       cl,
-		conn:     conn,
-		c:        c,
-		window:   window,
-		maxBytes: maxBytes,
-		traced:   traced,
-		spans:    cl.opts.Spans,
-		pending:  make(map[uint64]*muxCall),
-		sendq:    make(chan *muxCall, window+1),
-		closed:   make(chan struct{}),
+		cl:        cl,
+		conn:      conn,
+		c:         c,
+		window:    window,
+		maxBytes:  maxBytes,
+		traced:    traced,
+		deadlined: deadlined,
+		spans:     cl.opts.Spans,
+		pending:   make(map[uint64]*muxCall),
+		sendq:     make(chan *muxCall, window+1),
+		closed:    make(chan struct{}),
 	}
 	ms.cond = sync.NewCond(&ms.mu)
 	ms.wg.Add(2)
@@ -146,8 +149,19 @@ func (ms *muxSession) submit(c wireCall) (*muxCall, error) {
 		start = time.Now()
 	}
 	fields := c.fields
+	if ms.deadlined && !c.deadline.IsZero() {
+		// Stamp the remaining budget on the request line so the server can
+		// shed the call at any hop once it expires. Rounded up: a sub-
+		// millisecond remainder must not serialize as "deadline 0".
+		remaining := time.Until(c.deadline)
+		if remaining <= 0 {
+			return nil, fmt.Errorf("%w before send", ErrDeadline)
+		}
+		budgetMS := (remaining + time.Millisecond - 1) / time.Millisecond
+		fields = append([]string{capDeadline, strconv.FormatInt(int64(budgetMS), 10)}, fields...)
+	}
 	if trace != 0 {
-		fields = append([]string{"trace", obs.FormatTraceID(trace)}, c.fields...)
+		fields = append([]string{"trace", obs.FormatTraceID(trace)}, fields...)
 	}
 	est := int64(len(c.sendBody)+len(c.recvInto)) + 256
 	ms.mu.Lock()

@@ -19,6 +19,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"time"
 
 	"identitybox/internal/kernel"
 	"identitybox/internal/vfs"
@@ -40,6 +41,8 @@ var errnoByName = map[string]error{
 	"ESRCH":       kernel.ErrSearch,
 	"EIO":         errors.New("input/output error"),
 	"ENOTPRIMARY": ErrNotPrimary,
+	"EDEADLINE":   ErrDeadline,
+	"EBUSY":       ErrBusy,
 }
 
 // ErrNotPrimary means a mutating command reached a replica that does
@@ -47,6 +50,40 @@ var errnoByName = map[string]error{
 // The RemoteError message names the current primary's address when the
 // server knows it, so a failover-aware client can re-target.
 var ErrNotPrimary = errors.New("chirp: not the primary replica")
+
+// ErrDeadline means the request's deadline budget was exhausted before
+// the server finished it; shed at the admit or dispatch hop the work
+// never executed, shed at the durability barrier it executed but was
+// never acknowledged (the same semantics as a client-side timeout).
+var ErrDeadline = errors.New("chirp: deadline budget exhausted")
+
+// ErrBusy means the server's admit queue rejected the request before
+// any of it executed. The RemoteError message carries a "retry after
+// <N>ms" hint; RetryAfterFromError extracts it. EBUSY is always safe
+// to retry, whatever the command, because nothing ran.
+var ErrBusy = errors.New("chirp: server overloaded")
+
+// retryAfterMarker introduces the backoff hint in an EBUSY message.
+const retryAfterMarker = "retry after "
+
+// RetryAfterFromError extracts the server's retry-after hint from an
+// EBUSY reply, or 0 when the error carries none.
+func RetryAfterFromError(err error) time.Duration {
+	var re *RemoteError
+	if !errors.As(err, &re) || !errors.Is(re.Err, ErrBusy) {
+		return 0
+	}
+	i := strings.LastIndex(re.Message, retryAfterMarker)
+	if i < 0 {
+		return 0
+	}
+	rest := strings.TrimSuffix(re.Message[i+len(retryAfterMarker):], "ms")
+	ms, perr := strconv.ParseInt(rest, 10, 64)
+	if perr != nil || ms < 0 {
+		return 0
+	}
+	return time.Duration(ms) * time.Millisecond
+}
 
 // nameForError picks the wire name for an error.
 func nameForError(err error) string {
@@ -77,6 +114,10 @@ func nameForError(err error) string {
 		return "ENOSYS"
 	case errors.Is(err, ErrNotPrimary):
 		return "ENOTPRIMARY"
+	case errors.Is(err, ErrDeadline):
+		return "EDEADLINE"
+	case errors.Is(err, ErrBusy):
+		return "EBUSY"
 	default:
 		return "EIO"
 	}

@@ -54,12 +54,21 @@ const (
 	MetricClientWindow         = "chirp_client_negotiated_window"
 	MetricClientMaxBytes       = "chirp_client_negotiated_max_bytes"
 	MetricClientRequestLatency = "chirp_client_request_latency_us"
+	// Overload-protection observability: EBUSY rejections received from
+	// the server (each carries a retry-after hint the backoff honors) and
+	// calls abandoned because the caller's deadline budget ran out —
+	// either shed by the server with EDEADLINE or given up client-side
+	// before a send or a retry sleep that could not fit in the budget.
+	MetricClientBusy            = "chirp_client_busy_total"
+	MetricClientDeadlineExpired = "chirp_client_deadline_expired_total"
 )
 
 // Server-side fault-tolerance metric names.
 const (
 	MetricDedupeHits        = "chirp_dedupe_hits_total"
 	MetricDedupeEntries     = "chirp_dedupe_entries"
+	MetricDedupeBytes       = "chirp_dedupe_bytes"
+	MetricDedupeEvictions   = "chirp_dedupe_evictions_total"
 	MetricDedupeJournalErrs = "chirp_dedupe_journal_errors_total"
 	MetricDraining          = "chirp_draining"
 	MetricBarrierErrs       = "chirp_commit_barrier_errors_total"
@@ -154,6 +163,18 @@ type ClientOptions struct {
 	// tracing never activates on a v1 session or against a server that
 	// does not echo the capability.
 	Spans *obs.SpanRing
+	// DeadlineBudget, when > 0, bounds each logical call (all retries and
+	// backoff sleeps included) by a wall-clock budget. The client requests
+	// the deadline capability during v2 negotiation and stamps every
+	// request line with the remaining budget in milliseconds; the server
+	// sheds the request with EDEADLINE at any hop — admit queue, worker
+	// dispatch, durability barrier — once the budget is gone, instead of
+	// doing work whose caller has stopped waiting. The retry layer never
+	// sleeps past the deadline and fails fast with ErrDeadline once it
+	// expires. Against an old server (no capability echo) requests carry
+	// no deadline on the wire but the client-side budget still applies.
+	// Zero (the default) keeps calls unbounded, exactly as before.
+	DeadlineBudget time.Duration
 }
 
 // withDefaults fills zero fields in place.
@@ -225,6 +246,8 @@ type clientMetrics struct {
 	negWindow      *obs.Gauge
 	negMaxBytes    *obs.Gauge
 	requestLatency *obs.Histogram
+	busy           *obs.Counter
+	deadline       *obs.Counter
 }
 
 func newClientMetrics(reg *obs.Registry) *clientMetrics {
@@ -237,6 +260,8 @@ func newClientMetrics(reg *obs.Registry) *clientMetrics {
 	reg.Help(MetricClientWindow, "Negotiated v2 credit window (0 before negotiation or on v1).")
 	reg.Help(MetricClientMaxBytes, "Negotiated v2 in-flight byte budget (0 before negotiation or on v1).")
 	reg.Help(MetricClientRequestLatency, "Client-observed tagged-call latency, submit to reply, in microseconds.")
+	reg.Help(MetricClientBusy, "EBUSY overload rejections received (retried with the server's retry-after hint).")
+	reg.Help(MetricClientDeadlineExpired, "Calls abandoned because the deadline budget ran out (server shed or client-side).")
 	return &clientMetrics{
 		reg:            reg,
 		retries:        reg.Counter(MetricClientRetries),
@@ -248,6 +273,8 @@ func newClientMetrics(reg *obs.Registry) *clientMetrics {
 		negWindow:      reg.Gauge(MetricClientWindow),
 		negMaxBytes:    reg.Gauge(MetricClientMaxBytes),
 		requestLatency: reg.Histogram(MetricClientRequestLatency, requestLatencyBuckets()),
+		busy:           reg.Counter(MetricClientBusy),
+		deadline:       reg.Counter(MetricClientDeadlineExpired),
 	}
 }
 
@@ -286,6 +313,16 @@ func NewRequestToken() string {
 		panic(fmt.Sprintf("chirp: reading random token: %v", err)) // unreachable
 	}
 	return hex.EncodeToString(b[:])
+}
+
+// deadlineErr builds the terminal error for a call whose deadline
+// budget ran out on the client side, preserving the last transport or
+// server error (if any) for diagnosis.
+func deadlineErr(budget time.Duration, lastErr error) error {
+	if lastErr != nil {
+		return fmt.Errorf("%w (budget %v): last error: %v", ErrDeadline, budget, lastErr)
+	}
+	return fmt.Errorf("%w (budget %v)", ErrDeadline, budget)
 }
 
 // isTransient reports whether an error is a transport-level failure (a

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"identitybox/internal/acl"
+	"identitybox/internal/admission"
 	"identitybox/internal/auth"
 	"identitybox/internal/core"
 	"identitybox/internal/identity"
@@ -66,6 +67,22 @@ type ServerOptions struct {
 	// DedupeCapacity bounds the idempotency-token dedupe table (default
 	// 1024 entries, FIFO eviction).
 	DedupeCapacity int
+	// DedupeMaxBytes bounds the dedupe table's memory footprint
+	// (default 8 MiB): large tokened replies under principal churn
+	// evict oldest-first once the budget is reached, tracked by the
+	// chirp_dedupe_bytes gauge and eviction counter.
+	DedupeMaxBytes int64
+	// Admission, when set, turns on overload protection: every normal
+	// request is admitted against a bounded queue (EBUSY with a
+	// retry-after hint once depth or the byte budget is exceeded),
+	// scheduled onto execution slots fairly per principal, and shed
+	// with EDEADLINE at the admit, dispatch, or durability-barrier hop
+	// once its deadline budget expires. Control-plane commands (stats,
+	// whoami, metrics, trace, waitlsn, replsub, replack) ride an exempt
+	// class so overload can never trigger spurious failover. The server
+	// echoes the "deadline" capability to v2 clients that request it.
+	// Nil keeps admission off and the hot path unchanged.
+	Admission *admission.Controller
 	// DedupeJournal, when set, receives every tokened reply as it is
 	// recorded, so the dedupe table survives a server restart and a
 	// retried mutation stays exactly-once across the crash. Journal
@@ -206,6 +223,8 @@ type srvMetrics struct {
 	conns         *obs.Gauge
 	dedupeHits    *obs.Counter
 	dedupeEntries *obs.Gauge
+	dedupeBytes   *obs.Gauge
+	dedupeEvicts  *obs.Counter
 	dedupeJErrs   *obs.Counter
 	draining      *obs.Gauge
 	barrierErrs   *obs.Counter
@@ -227,6 +246,8 @@ func newSrvMetrics(reg *obs.Registry) *srvMetrics {
 	reg.Help(MetricConns, "Connections currently tracked.")
 	reg.Help(MetricDedupeHits, "Tokened retries answered from the dedupe table.")
 	reg.Help(MetricDedupeEntries, "Replies currently held in the dedupe table.")
+	reg.Help(MetricDedupeBytes, "Approximate bytes held by the dedupe table.")
+	reg.Help(MetricDedupeEvictions, "Dedupe entries evicted by the entry or byte bound.")
 	reg.Help(MetricDedupeJournalErrs, "Tokened replies that failed to persist to the dedupe journal.")
 	reg.Help(MetricDraining, "1 while the server is draining for shutdown.")
 	reg.Help(MetricBarrierErrs, "Commit barriers that failed before a mutating reply (durability degraded).")
@@ -246,6 +267,8 @@ func newSrvMetrics(reg *obs.Registry) *srvMetrics {
 		conns:         reg.Gauge(MetricConns),
 		dedupeHits:    reg.Counter(MetricDedupeHits),
 		dedupeEntries: reg.Gauge(MetricDedupeEntries),
+		dedupeBytes:   reg.Gauge(MetricDedupeBytes),
+		dedupeEvicts:  reg.Counter(MetricDedupeEvictions),
 		dedupeJErrs:   reg.Counter(MetricDedupeJournalErrs),
 		draining:      reg.Gauge(MetricDraining),
 		barrierErrs:   reg.Counter(MetricBarrierErrs),
@@ -329,7 +352,7 @@ func NewServer(k *kernel.Kernel, opts ServerOptions) (*Server, error) {
 	}
 	s := &Server{k: k, fs: k.FS(), opts: opts, conns: make(map[net.Conn]*connState), stop: make(chan struct{})}
 	s.log = logger{sink: opts.Logf}
-	s.dedupe = newDedupeTable(opts.DedupeCapacity)
+	s.dedupe = newDedupeTable(opts.DedupeCapacity, opts.DedupeMaxBytes)
 	for key, reply := range opts.DedupeSeed {
 		s.dedupe.store(key, reply)
 	}
@@ -339,7 +362,7 @@ func NewServer(k *kernel.Kernel, opts ServerOptions) (*Server, error) {
 	}
 	s.metrics = newSrvMetrics(reg)
 	if _, size := s.dedupe.stats(); size > 0 {
-		s.metrics.dedupeEntries.Set(int64(size))
+		s.syncDedupeMetrics()
 	}
 	if opts.RootACL != nil && !s.fs.Exists("/"+acl.FileName) {
 		if err := s.fs.WriteFile("/"+acl.FileName, []byte(opts.RootACL.String()), 0o644, opts.Owner); err != nil {
@@ -406,10 +429,17 @@ func (s *Server) Close() error {
 	s.mu.Lock()
 	already := s.closed
 	s.closed = true
-	for c := range s.conns {
-		c.Close()
+	conns := make(map[net.Conn]*connState, len(s.conns))
+	for c, st := range s.conns {
+		conns[c] = st
 	}
 	s.mu.Unlock()
+	// Sever outside s.mu: the abort hook takes the session slot mutex,
+	// which workers hold while consulting server state.
+	for c, st := range conns {
+		st.sever()
+		c.Close()
+	}
 	var err error
 	if s.ln != nil && !already {
 		err = s.ln.Close()
@@ -459,10 +489,15 @@ func (s *Server) Shutdown(timeout time.Duration) error {
 	}
 	s.mu.Lock()
 	s.closed = true
-	for c := range s.conns {
-		c.Close()
+	conns := make(map[net.Conn]*connState, len(s.conns))
+	for c, st := range s.conns {
+		conns[c] = st
 	}
 	s.mu.Unlock()
+	for c, st := range conns {
+		st.sever()
+		c.Close()
+	}
 	s.wg.Wait()
 	if severed {
 		return fmt.Errorf("chirp: drain timed out after %v; severed remaining sessions", timeout)
@@ -471,9 +506,19 @@ func (s *Server) Shutdown(timeout time.Duration) error {
 }
 
 // connState is the server's per-connection bookkeeping shared with the
-// drain path: busy is true while a request is being dispatched.
+// drain path: busy is true while a request is being dispatched, and
+// abort (set once a session upgrades to v2) wakes waiters parked on
+// the session's credit window when the server severs the connection.
 type connState struct {
-	busy atomic.Bool
+	busy  atomic.Bool
+	abort atomic.Value // func(), set by v2 sessions
+}
+
+// sever calls the session's abort hook, if one is registered.
+func (st *connState) sever() {
+	if f, ok := st.abort.Load().(func()); ok {
+		f()
+	}
 }
 
 // track registers a live connection; it reports nil when the server is
@@ -528,8 +573,18 @@ func (s *Server) ReseedDedupe(entries map[string][]string) {
 		s.dedupe.store(key, reply)
 	}
 	if _, size := s.dedupe.stats(); size > 0 {
-		s.metrics.dedupeEntries.Set(int64(size))
+		s.syncDedupeMetrics()
 	}
+}
+
+// syncDedupeMetrics mirrors the dedupe table's size gauges. The
+// eviction counter is advanced at each store by its return value, not
+// here, so it stays monotonic under concurrent sessions.
+func (s *Server) syncDedupeMetrics() {
+	_, size := s.dedupe.stats()
+	bytes, _ := s.dedupe.byteStats()
+	s.metrics.dedupeEntries.Set(int64(size))
+	s.metrics.dedupeBytes.Set(bytes)
 }
 
 // countingConn wraps a client connection so every wire byte — including
@@ -631,10 +686,14 @@ type session struct {
 	upgraded *v2Conf
 
 	// v2 credit-window state: slotMu/slotCond gate frame admission so at
-	// most window requests are in flight per session.
+	// most window requests are in flight per session. stopping is set
+	// by abort() when the server severs the connection: it wakes a
+	// reader parked on a full window and tells the lane workers to
+	// drop queued jobs instead of executing them toward a dead socket.
 	slotMu   sync.Mutex
 	slotCond *sync.Cond
 	inflight int
+	stopping bool
 
 	writeMu sync.Mutex // serializes v2 reply frames on the shared codec
 
@@ -650,10 +709,11 @@ type session struct {
 
 // v2Conf is the outcome of a version negotiation.
 type v2Conf struct {
-	window   int
-	maxBytes int64
-	traced   bool // both sides negotiated the trace capability
-	repl     bool // both sides negotiated the repl capability
+	window    int
+	maxBytes  int64
+	traced    bool // both sides negotiated the trace capability
+	repl      bool // both sides negotiated the repl capability
+	deadlined bool // both sides negotiated the deadline capability
 }
 
 // --- session state accessors (v2 workers run concurrently) -------------
@@ -844,6 +904,7 @@ func (sess *session) serveVersion(args []string) error {
 	// client never sends trace context to a server that cannot strip it.
 	traced := s.opts.Spans != nil && hasCap(caps, capTrace)
 	repl := s.opts.Repl != nil && hasCap(caps, capRepl)
+	deadlined := s.opts.Admission != nil && hasCap(caps, capDeadline)
 	okFields := []string{strconv.Itoa(ProtocolV2), strconv.Itoa(window), strconv.FormatInt(maxBytes, 10)}
 	if traced {
 		okFields = append(okFields, capTrace)
@@ -851,10 +912,13 @@ func (sess *session) serveVersion(args []string) error {
 	if repl {
 		okFields = append(okFields, capRepl)
 	}
+	if deadlined {
+		okFields = append(okFields, capDeadline)
+	}
 	if err := sess.ok(okFields...); err != nil {
 		return err
 	}
-	sess.upgraded = &v2Conf{window: window, maxBytes: maxBytes, traced: traced, repl: repl}
+	sess.upgraded = &v2Conf{window: window, maxBytes: maxBytes, traced: traced, repl: repl, deadlined: deadlined}
 	return nil
 }
 
@@ -930,15 +994,16 @@ func (sess *session) recordReply(fields []string, dedupeKey string) {
 	sess.s.metrics.poolHits.Set(poolHits.Load())
 	sess.s.metrics.poolMisses.Set(poolMisses.Load())
 	if dedupeKey != "" {
-		sess.s.dedupe.store(dedupeKey, fields)
+		if evicted := sess.s.dedupe.store(dedupeKey, fields); evicted > 0 {
+			sess.s.metrics.dedupeEvicts.Add(int64(evicted))
+		}
 		if j := sess.s.opts.DedupeJournal; j != nil {
 			if err := j.AppendDedupe(dedupeKey, fields); err != nil {
 				sess.s.metrics.dedupeJErrs.Inc()
 				sess.log.printf("dedupe journal append failed: %v", err)
 			}
 		}
-		_, size := sess.s.dedupe.stats()
-		sess.s.metrics.dedupeEntries.Set(int64(size))
+		sess.s.syncDedupeMetrics()
 	}
 }
 
@@ -1627,8 +1692,9 @@ type muxJob struct {
 	cmd     string
 	args    []string
 	payload []byte
-	trace   uint64    // request-tracing ID (0 untraced)
-	arrived time.Time // when the frame was read off the wire (traced only)
+	trace   uint64            // request-tracing ID (0 untraced)
+	arrived time.Time         // when the frame was read off the wire (traced only)
+	ticket  *admission.Ticket // admission pass (nil: admission off or exempt class)
 }
 
 // loopV2 is the tagged-frame session loop a successful version exchange
@@ -1641,6 +1707,7 @@ func (sess *session) loopV2(conf *v2Conf) {
 	s := sess.s
 	window, maxBytes := conf.window, conf.maxBytes
 	sess.replOK = conf.repl // workers start below: safely published
+	sess.state.abort.Store(func() { sess.abort() })
 	s.metrics.v2Sessions.Inc()
 	sess.log.printf("upgraded to protocol 2 (window=%d maxbytes=%d traced=%v)", window, maxBytes, conf.traced)
 	ordered := make(chan muxJob, window)
@@ -1651,6 +1718,13 @@ func (sess *session) loopV2(conf *v2Conf) {
 		sc := scratchPool.Get().(*payloadScratch)
 		defer scratchPool.Put(sc)
 		for j := range ch {
+			if sess.isStopping() {
+				// Severed: the socket is gone, no reply can reach the
+				// client — drop queued work instead of executing it.
+				j.ticket.Done()
+				sess.releaseSlot()
+				continue
+			}
 			sess.serveTagged(j, sc)
 			sess.releaseSlot()
 		}
@@ -1723,6 +1797,18 @@ func (sess *session) loopV2(conf *v2Conf) {
 				arrived = time.Now()
 			}
 		}
+		// A deadlined session's frames may lead with "deadline <ms>"
+		// (after any trace prefix): the remaining budget in
+		// milliseconds, anchored here at frame arrival. Like the trace
+		// prefix, it needs at least 3 fields so a malformed bare line
+		// cannot be mistaken for one.
+		var deadline time.Time
+		if conf.deadlined && len(fields) >= 3 && fields[0] == capDeadline {
+			if ms, perr := strconv.ParseUint(fields[1], 10, 32); perr == nil {
+				deadline = time.Now().Add(time.Duration(ms) * time.Millisecond)
+				fields = fields[2:]
+			}
+		}
 		cmd := fields[0]
 		if cmd == "quit" {
 			closeLanes() // every pending reply precedes the farewell ack
@@ -1737,13 +1823,70 @@ func (sess *session) loopV2(conf *v2Conf) {
 		}
 		s.metrics.reg.Counter(obs.With(MetricRequests, "cmd", mcmd)).Inc()
 		sess.log.printf("req=%d tag=%d %s: %s %v", sess.reqs, h.tag, sess.ident, cmd, fields[1:])
-		sess.acquireSlot(window)
+		// Lane-queue admission: the overload controller sheds expired
+		// work and rejects over a bounded queue here, before the
+		// request consumes a window slot or a worker. Control-plane
+		// commands ride the exempt class (nil ticket) so overload can
+		// never choke lease heartbeats or replication traffic.
+		var ticket *admission.Ticket
+		if adm := s.opts.Admission; adm != nil {
+			class := admission.Normal
+			if controlCmds[mcmd] {
+				class = admission.Control
+			}
+			tk, aerr := adm.Admit(sess.ident.String(), class, len(payload), deadline)
+			if aerr != nil {
+				if werr := sess.failAdmission(h.tag, aerr); werr != nil {
+					return
+				}
+				continue
+			}
+			ticket = tk
+		}
+		if !sess.acquireSlot(window) {
+			ticket.Done()
+			return // server severing this session: stop reading
+		}
 		lane := pool
 		if orderedCmds[cmd] {
 			lane = ordered
 		}
-		lane <- muxJob{tag: h.tag, cmd: cmd, args: fields[1:], payload: payload, trace: trace, arrived: arrived}
+		lane <- muxJob{tag: h.tag, cmd: cmd, args: fields[1:], payload: payload, trace: trace, arrived: arrived, ticket: ticket}
 	}
+}
+
+// controlCmds are the commands admitted on the exempt priority class:
+// liveness probes, observability, and the replication control plane.
+// Shedding any of these under overload would make saturation look like
+// failure — a lease heartbeat probe timing out triggers failover, a
+// shed replsub stalls a follower — so they bypass the admit queue and
+// the fairness scheduler entirely.
+var controlCmds = map[string]bool{
+	"whoami":  true,
+	"stats":   true,
+	"metrics": true,
+	"trace":   true,
+	"waitlsn": true,
+	"replsub": true,
+	"replack": true,
+	"assert":  true,
+}
+
+// failAdmission writes the typed rejection for an admission failure:
+// EBUSY with the controller's retry-after hint, or EDEADLINE for a
+// budget already expired at admit.
+func (sess *session) failAdmission(tag uint64, aerr error) error {
+	var be *admission.BusyError
+	if errors.As(aerr, &be) {
+		ms := be.RetryAfter.Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		// The hint rides in the error text (failf sends err.Error() as
+		// the wire message); RetryAfterFromError parses it back out.
+		return sess.failTagged(tag, fmt.Errorf("%w; %s%dms", ErrBusy, retryAfterMarker, ms), "")
+	}
+	return sess.failTagged(tag, fmt.Errorf("%w before admit", ErrDeadline), "")
 }
 
 // serveTagged executes one tagged request on a worker lane and writes
@@ -1751,6 +1894,10 @@ func (sess *session) loopV2(conf *v2Conf) {
 // for pread bodies (the frame is flushed before the scratch is reused).
 func (sess *session) serveTagged(j muxJob, sc *payloadScratch) {
 	s := sess.s
+	// The admission ticket is released when the reply (or shed) is
+	// decided, whatever path this request takes; Done on a nil ticket
+	// (admission off, or an exempt control command) is a no-op.
+	defer j.ticket.Done()
 	cmd, args := j.cmd, j.args
 	switch cmd {
 	case "replsub":
@@ -1787,9 +1934,25 @@ func (sess *session) serveTagged(j muxJob, sc *payloadScratch) {
 		sess.writeFrame(j.tag, rr.fields, nil)
 		return
 	}
+	// Worker-dispatch admission hop: wait for a fair execution slot,
+	// shedding with EDEADLINE if the budget runs out in the queue —
+	// the handler (and any WAL work) never runs for shed requests.
+	if err := j.ticket.Acquire(); err != nil {
+		sess.failTagged(j.tag, fmt.Errorf("%w awaiting dispatch", ErrDeadline), "")
+		return
+	}
 	barrier := s.opts.Durability != nil && mutatingCmds[cmd]
 	if j.trace == 0 {
 		res := sess.handle(cmd, args, j.payload, sc.bytes, 0)
+		if barrier && dk == "" && j.ticket.ExpiredAtBarrier() {
+			// Durability-barrier hop: the op executed but its budget is
+			// gone, so answer EDEADLINE instead of parking on the WAL —
+			// applied-but-unacknowledged, exactly a client timeout's
+			// semantics. Tokened requests are exempt: their reply must
+			// be recorded for exactly-once replay, never a shed.
+			res = sess.failf(fmt.Errorf("%w before durability barrier", ErrDeadline), "")
+			barrier = false
+		}
 		sess.finishReply(res.fields, dk, barrier)
 		sess.writeFrame(j.tag, res.fields, res.body)
 		return
@@ -1801,6 +1964,10 @@ func (sess *session) serveTagged(j muxJob, sc *payloadScratch) {
 	handlerStart := time.Now()
 	res := sess.handle(cmd, args, j.payload, sc.bytes, j.trace)
 	handlerDur := time.Since(handlerStart)
+	if barrier && dk == "" && j.ticket.ExpiredAtBarrier() {
+		res = sess.failf(fmt.Errorf("%w before durability barrier", ErrDeadline), "")
+		barrier = false
+	}
 	var barrierWait, commitLat time.Duration
 	if barrier {
 		barrierWait, commitLat = sess.barrierBeforeReply(dk, true)
@@ -1978,11 +2145,15 @@ func (sess *session) replPush(sub *replica.Subscription) {
 // acquireSlot blocks until the session's credit window has room, then
 // claims a slot. Called only by the frame reader, so blocking here is
 // the backpressure: the next frame is not read until a slot frees.
-func (sess *session) acquireSlot(window int) {
+func (sess *session) acquireSlot(window int) bool {
 	sess.slotMu.Lock()
-	for sess.inflight >= window {
+	for sess.inflight >= window && !sess.stopping {
 		sess.s.metrics.bpStalls.Inc()
 		sess.slotCond.Wait()
+	}
+	if sess.stopping {
+		sess.slotMu.Unlock()
+		return false
 	}
 	sess.inflight++
 	sess.s.metrics.occupancy.Observe(float64(sess.inflight))
@@ -1991,6 +2162,27 @@ func (sess *session) acquireSlot(window int) {
 		sess.state.busy.Store(true)
 	}
 	sess.slotMu.Unlock()
+	return true
+}
+
+// abort marks the session severed: it wakes a frame reader parked on
+// the credit window (acquireSlot returns false) and makes the lane
+// workers drop queued jobs. Called by Close and by Shutdown's sever
+// path; without it a reader parked behind a window full of slow work
+// would hold its connection goroutine — and therefore Close — hostage
+// until every queued job had executed toward the already-dead socket.
+func (sess *session) abort() {
+	sess.slotMu.Lock()
+	sess.stopping = true
+	sess.slotCond.Broadcast()
+	sess.slotMu.Unlock()
+}
+
+// isStopping reports whether abort has severed this session.
+func (sess *session) isStopping() bool {
+	sess.slotMu.Lock()
+	defer sess.slotMu.Unlock()
+	return sess.stopping
 }
 
 // releaseSlot returns a worker's slot after its reply is on the wire.
@@ -2000,17 +2192,21 @@ func (sess *session) acquireSlot(window int) {
 func (sess *session) releaseSlot() {
 	sess.slotMu.Lock()
 	sess.inflight--
-	if sess.inflight == 0 {
+	idle := sess.inflight == 0
+	if idle {
 		sess.state.busy.Store(false)
-		if sess.s.isDraining() {
-			if err := sess.conn.SetReadDeadline(time.Now()); err != nil {
-				sess.log.printf("drain nudge: %v", err)
-			}
-		}
 	}
 	sess.s.metrics.tagsInFlight.Dec()
 	sess.slotCond.Signal()
 	sess.slotMu.Unlock()
+	// The drain check must run outside slotMu: Close and Shutdown sever
+	// sessions (taking slotMu) while holding the server mutex isDraining
+	// needs, so nesting the two here would invert the lock order.
+	if idle && sess.s.isDraining() {
+		if err := sess.conn.SetReadDeadline(time.Now()); err != nil {
+			sess.log.printf("drain nudge: %v", err)
+		}
+	}
 }
 
 func (sess *session) open(path string, flags int, mode uint32, trace uint64) (int, error) {

@@ -62,6 +62,12 @@ const (
 	// Latency sleeps Delay plus seeded jitter (up to Jitter) before
 	// every matching operation. Latency rules are recurring.
 	Latency
+	// Trickle shapes bandwidth slow-loris style: every matching
+	// operation moves at most TrickleBytes bytes per tick, sleeping
+	// Delay between ticks. A trickled write delivers the whole buffer,
+	// chunk by chunk; a trickled read returns at most one chunk per
+	// call. Trickle rules are recurring.
+	Trickle
 )
 
 func (a Action) String() string {
@@ -76,6 +82,8 @@ func (a Action) String() string {
 		return "stall"
 	case Latency:
 		return "latency"
+	case Trickle:
+		return "trickle"
 	}
 	return "unknown"
 }
@@ -99,10 +107,14 @@ type Rule struct {
 	AfterOps int
 	// Action is the fault to inject.
 	Action Action
-	// Delay is the sleep for Stall and Latency actions.
+	// Delay is the sleep for Stall and Latency actions, and the
+	// per-tick interval for Trickle.
 	Delay time.Duration
 	// Jitter adds up to this much seeded-random extra delay (Latency).
 	Jitter time.Duration
+	// TrickleBytes is the chunk a Trickle rule lets through per tick
+	// (default 1 when the action is Trickle and this is zero).
+	TrickleBytes int
 }
 
 func (r Rule) matchesConn(idx int) bool {
@@ -116,8 +128,9 @@ func (r Rule) matchesConn(idx int) bool {
 }
 
 // oneShot reports whether the rule disarms after firing once on a
-// connection. Latency recurs; everything else kills or delays once.
-func (r Rule) oneShot() bool { return r.Action != Latency }
+// connection. Latency and Trickle recur; everything else kills or
+// delays once.
+func (r Rule) oneShot() bool { return r.Action != Latency && r.Action != Trickle }
 
 // Injector owns a fault schedule and wraps transports to apply it.
 // It is safe for concurrent use by any number of wrapped connections.
@@ -236,11 +249,13 @@ type conn struct {
 
 // verdict is the outcome of consulting the schedule before one op.
 type verdict struct {
-	sleep time.Duration
-	kill  bool   // close the underlying conn
-	fail  bool   // return an injected error for this op
-	half  bool   // partial write before failing
-	cause Action // for the error message
+	sleep   time.Duration
+	kill    bool          // close the underlying conn
+	fail    bool          // return an injected error for this op
+	half    bool          // partial write before failing
+	trickle int           // max bytes this op may move per tick (0 = unshaped)
+	tick    time.Duration // sleep between trickled chunks
+	cause   Action        // for the error message
 }
 
 // decide consults armed faults then standing rules for one operation.
@@ -264,7 +279,7 @@ func (c *conn) decide(dir Op) verdict {
 			continue
 		}
 		c.inj.armed = append(c.inj.armed[:n], c.inj.armed[n+1:]...)
-		c.applyLocked(a.action, a.delay, 0, &v)
+		c.applyLocked(a.action, a.delay, 0, 0, &v)
 		break
 	}
 	// Standing rules.
@@ -281,7 +296,7 @@ func (c *conn) decide(dir Op) verdict {
 		if r.oneShot() {
 			c.fired[n] = true
 		}
-		c.applyLocked(r.Action, r.Delay, r.Jitter, &v)
+		c.applyLocked(r.Action, r.Delay, r.Jitter, r.TrickleBytes, &v)
 	}
 	c.inj.mu.Unlock()
 
@@ -295,7 +310,7 @@ func (c *conn) decide(dir Op) verdict {
 
 // applyLocked folds one firing action into the verdict. Caller holds
 // both c.mu and c.inj.mu (the latter for the jitter rng).
-func (c *conn) applyLocked(a Action, delay, jitter time.Duration, v *verdict) {
+func (c *conn) applyLocked(a Action, delay, jitter time.Duration, trickle int, v *verdict) {
 	switch a {
 	case Reset:
 		v.kill, v.fail, v.cause = true, true, a
@@ -311,6 +326,12 @@ func (c *conn) applyLocked(a Action, delay, jitter time.Duration, v *verdict) {
 			d += time.Duration(c.inj.rng.Int63n(int64(jitter) + 1))
 		}
 		v.sleep += d
+	case Trickle:
+		if trickle <= 0 {
+			trickle = 1
+		}
+		v.trickle, v.tick = trickle, delay
+		v.sleep += delay
 	}
 }
 
@@ -345,6 +366,11 @@ func (c *conn) Read(p []byte) (int, error) {
 	if c.isDead() {
 		return 0, c.injectedErr("read", Drop)
 	}
+	if v.trickle > 0 && len(p) > v.trickle {
+		// Shaped read: at most one chunk per call (the per-tick sleep
+		// already happened above), so the peer sees bytes dribble in.
+		p = p[:v.trickle]
+	}
 	n, err := c.Conn.Read(p)
 	c.mu.Lock()
 	c.nRead += int64(n)
@@ -374,6 +400,31 @@ func (c *conn) Write(p []byte) (int, error) {
 	}
 	if c.isDead() {
 		return 0, c.injectedErr("write", Drop)
+	}
+	if v.trickle > 0 && len(p) > v.trickle {
+		// Shaped write: deliver the whole buffer chunk by chunk with a
+		// tick-long sleep between chunks (the first tick already
+		// happened above). The io.Writer contract holds — a short count
+		// only ever accompanies an error.
+		var n int
+		for n < len(p) {
+			if n > 0 {
+				c.inj.sleep(v.tick)
+			}
+			end := n + v.trickle
+			if end > len(p) {
+				end = len(p)
+			}
+			m, err := c.Conn.Write(p[n:end])
+			c.mu.Lock()
+			c.nWritten += int64(m)
+			c.mu.Unlock()
+			n += m
+			if err != nil {
+				return n, err
+			}
+		}
+		return n, nil
 	}
 	n, err := c.Conn.Write(p)
 	c.mu.Lock()

@@ -249,3 +249,55 @@ func TestFaultTotalWrittenCounts(t *testing.T) {
 		t.Fatalf("TotalWritten = %d, want 10", got)
 	}
 }
+
+func TestTrickleShapesWrites(t *testing.T) {
+	ln := echoServer(t)
+	inj := New(1, Rule{Op: OpWrite, Action: Trickle, Delay: time.Millisecond, TrickleBytes: 4})
+	var slept []time.Duration
+	inj.sleep = func(d time.Duration) { slept = append(slept, d) }
+	c := dialFaulted(t, inj, ln.Addr().String())
+
+	msg := []byte("0123456789abcdef01") // 18 bytes -> 5 chunks of <=4
+	n, err := c.Write(msg)
+	if err != nil || n != len(msg) {
+		t.Fatalf("trickled write = (%d, %v), want (%d, nil)", n, err, len(msg))
+	}
+	// One pre-op tick plus one tick between each of the 4 chunk gaps.
+	if len(slept) != 5 {
+		t.Fatalf("trickled write slept %d times (%v), want 5", len(slept), slept)
+	}
+	// The peer still receives every byte, in order.
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatalf("reading echo: %v", err)
+	}
+	if string(got) != string(msg) {
+		t.Fatalf("echo = %q, want %q", got, msg)
+	}
+}
+
+func TestTrickleLimitsReads(t *testing.T) {
+	ln := echoServer(t)
+	inj := New(1, Rule{Op: OpRead, Action: Trickle, Delay: time.Millisecond, TrickleBytes: 2})
+	inj.sleep = func(time.Duration) {}
+	c := dialFaulted(t, inj, ln.Addr().String())
+
+	if _, err := c.Write([]byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	var got []byte
+	for len(got) < 6 {
+		n, err := c.Read(buf)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if n > 2 {
+			t.Fatalf("trickled read returned %d bytes, want <=2 per call", n)
+		}
+		got = append(got, buf[:n]...)
+	}
+	if string(got) != "abcdef" {
+		t.Fatalf("read %q, want %q", got, "abcdef")
+	}
+}

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// EWMA is a lock-free exponentially-weighted moving average. It is the
+// cheap estimator behind admission control's retry-after hints: one
+// float64 updated by CAS, readable from any goroutine without
+// coordination. A zero alpha disables smoothing (every observation
+// replaces the value).
+type EWMA struct {
+	alpha float64
+	bits  atomic.Uint64
+	seen  atomic.Bool
+}
+
+// NewEWMA returns an EWMA that weights each new observation by alpha
+// (0 < alpha <= 1). Typical values: 0.1 for a slow estimator, 0.5 for
+// a reactive one.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 1
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Observe folds one sample into the average.
+func (e *EWMA) Observe(v float64) {
+	if e.seen.CompareAndSwap(false, true) {
+		e.bits.Store(math.Float64bits(v))
+		return
+	}
+	for {
+		old := e.bits.Load()
+		next := math.Float64frombits(old)*(1-e.alpha) + v*e.alpha
+		if e.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// Value returns the current average, or 0 before any observation.
+func (e *EWMA) Value() float64 {
+	if !e.seen.Load() {
+		return 0
+	}
+	return math.Float64frombits(e.bits.Load())
+}
