@@ -7,6 +7,7 @@
 //	chirpd [-addr host:port] [-owner name] [-root-acl "pattern rights;..."]
 //	       [-catalog addr] [-name label] [-state dir] [-metrics host:port]
 //	       [-compact-every d] [-fsync n] [-commit-window d] [-commit-batch n]
+//	       [-wal-shards n] [-wal-segment-bytes n]
 //	       [-replicate] [-replica-of addr] [-lease-ttl d]
 //	       [-req-timeout d] [-drain d] [-window n] [-max-inflight bytes]
 //	       [-workers n] [-trace-spans n] [-trace-log file] [-trace-slow d]
@@ -21,7 +22,13 @@
 // mutations coalesce into one write and one fsync per group
 // (-commit-window bounds how long a group waits for company,
 // -commit-batch how many records it may hold), and a mutating request
-// is acknowledged on the wire only after its group is durable.
+// is acknowledged on the wire only after its group is durable. The log
+// is written as bounded, checksummed segments rotated at
+// -wal-segment-bytes and pruned once a snapshot (and every follower)
+// has passed them, and the commit pipeline is sharded per top-level
+// subtree (-wal-shards committers; a global LSN keeps total commit
+// order), so writers under independent subtrees never serialize on one
+// fsync queue and recovery replays shards in parallel.
 //
 // -replicate turns a stateful server into a replica-set member: every
 // committed WAL group is published to subscribed followers, mutating
@@ -111,6 +118,8 @@ func main() {
 	fsyncEvery := flag.Int("fsync", 1, "fsync the WAL every N records with -state (1: every record; 0: never, the OS decides)")
 	commitWindow := flag.Duration("commit-window", 0, "group-commit coalescing window with -state (0: the built-in default; negative: flush eagerly)")
 	commitBatch := flag.Int("commit-batch", 0, "max records per commit group with -state (0: the built-in default)")
+	walShards := flag.Int("wal-shards", 8, "commit-pipeline shards, one committer per top-level subtree hash bucket with -state (1: the single-shard pipeline)")
+	walSegmentBytes := flag.Int64("wal-segment-bytes", 0, "rotate WAL segments at this size with -state (0: the built-in default)")
 	replicate := flag.Bool("replicate", false, "publish the WAL to followers and contend for the write lease (needs -state)")
 	replicaOf := flag.String("replica-of", "", "start as a follower streaming from this primary (implies -replicate)")
 	leaseTTL := flag.Duration("lease-ttl", 3*time.Second, "write-lease term; failover completes within roughly one TTL")
@@ -181,9 +190,15 @@ func main() {
 			Spans:        spans,
 			Logf:         log.Printf,
 			ReplicaMode:  *replicaOf != "",
+			Shards:       *walShards,
+			SegmentBytes: *walSegmentBytes,
 		}
 		if pub != nil {
 			dopts.OnShip = pub.Ship
+			// A sealed segment stays on disk until the slowest follower
+			// has acked past it, so Subscribe can serve the tail without
+			// a snapshot transfer.
+			dopts.RetainLSN = pub.MinAcked
 		}
 		store, err = durable.Open(*state, dopts)
 		if err != nil {

@@ -24,8 +24,12 @@ import (
 // and tokened reply. It returns the server, the store, and the count of
 // sim executions on this incarnation's kernel.
 func startDurableServer(t *testing.T, dir string) (*chirp.Server, *durable.Store, *atomic.Int64) {
+	return startDurableServerOpts(t, dir, durable.Options{Owner: "owner"})
+}
+
+func startDurableServerOpts(t *testing.T, dir string, opts durable.Options) (*chirp.Server, *durable.Store, *atomic.Int64) {
 	t.Helper()
-	store, err := durable.Open(dir, durable.Options{Owner: "owner"})
+	store, err := durable.Open(dir, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,6 +54,7 @@ func startDurableServer(t *testing.T, dir string) (*chirp.Server, *durable.Store
 		Verifiers:     map[auth.Method]auth.Verifier{auth.MethodUnix: &auth.UnixVerifier{}},
 		DedupeJournal: store,
 		DedupeSeed:    store.DedupeEntries(),
+		Durability:    store,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -238,7 +243,7 @@ func TestKillAtEveryWALOffset(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	wal, err := os.ReadFile(filepath.Join(liveDir, durable.WALName))
+	wal, err := durable.LogBytes(liveDir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -357,5 +362,128 @@ func TestRecoveredServerServesAndDedupes(t *testing.T) {
 	runFigure3(t, cl2, "/rerun")
 	if execs2.Load() != 1 {
 		t.Fatalf("fresh workflow ran sim %d times, want 1", execs2.Load())
+	}
+}
+
+// TestKillAtEverySegmentBoundary extends the crash matrix to the
+// segmented log: the same workload runs with a rotation threshold small
+// enough to spread its history over many segments, and a crash is
+// simulated at every byte of every segment — full earlier segments on
+// disk, the segment holding the crash point truncated there, later
+// segments never created (exactly what a kill around a rotation
+// leaves, including the boundaries themselves). Recovery must replay
+// the surviving chain onto a history prefix, and no surviving ACL may
+// widen.
+func TestKillAtEverySegmentBoundary(t *testing.T) {
+	liveDir := t.TempDir()
+	srv, store, _ := startDurableServerOpts(t, liveDir, durable.Options{Owner: "owner", SegmentBytes: 192})
+	cl := adminDial(t, srv)
+	runFigure3(t, cl, "/work")
+	cl.Close()
+	srv.Close()
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segPaths, err := filepath.Glob(filepath.Join(liveDir, "wal.c01.s00.*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(segPaths) // fixed-width sequence numbers sort lexically
+	if len(segPaths) < 3 {
+		t.Fatalf("workload produced %d segments at a 192-byte limit; want a real chain", len(segPaths))
+	}
+	var chain [][]byte
+	var wal []byte
+	for _, p := range segPaths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chain = append(chain, data)
+		wal = append(wal, data...)
+	}
+	recs, _, torn := durable.DecodeAll(wal)
+	if torn || len(recs) == 0 {
+		t.Fatalf("workload log unusable: %d records, torn=%v", len(recs), torn)
+	}
+	t.Logf("workload produced %d records over %d segments, %d bytes", len(recs), len(chain), len(wal))
+
+	// Record end offsets over the concatenated chain (rotation never
+	// splits a record, so segment boundaries align with record ends).
+	var ends []int
+	off := 0
+	for off < len(wal) {
+		_, n, err := durable.DecodeRecord(wal[off:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		off += n
+		ends = append(ends, off)
+	}
+
+	ref := vfs.New("owner")
+	dumps := []string{dumpTree(t, ref)}
+	aclHistory := map[string]bool{}
+	for _, rec := range recs {
+		if rec.IsMutation() {
+			applyMutation(t, ref, rec.Mut)
+		}
+		dumps = append(dumps, dumpTree(t, ref))
+		for _, text := range collectACLs(t, ref) {
+			aclHistory[text] = true
+		}
+	}
+
+	cutDir := t.TempDir()
+	for cut := 0; cut <= len(wal); cut++ {
+		stateDir := filepath.Join(cutDir, fmt.Sprintf("cut%d", cut))
+		if err := os.MkdirAll(stateDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		// Materialize the crash image: whole segments below the cut, the
+		// cut segment truncated, everything after it nonexistent.
+		rem := cut
+		for i, seg := range chain {
+			if rem <= 0 {
+				break
+			}
+			n := len(seg)
+			if rem < n {
+				n = rem
+			}
+			if err := os.WriteFile(filepath.Join(stateDir, filepath.Base(segPaths[i])), seg[:n], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			rem -= n
+		}
+		s, err := durable.Open(stateDir, durable.Options{Owner: "owner"})
+		if err != nil {
+			t.Fatalf("cut %d: recovery failed: %v", cut, err)
+		}
+		k := 0
+		for i, e := range ends {
+			if e <= cut {
+				k = i + 1
+			}
+		}
+		if got := dumpTree(t, s.FS()); got != dumps[k] {
+			t.Fatalf("cut %d: recovered state is not history prefix %d:\ngot:\n%s\nwant:\n%s", cut, k, got, dumps[k])
+		}
+		ri := s.Recovery()
+		if ri.Unapplied != 0 {
+			t.Fatalf("cut %d: %d records failed to replay: %s", cut, ri.Unapplied, ri)
+		}
+		wantTorn := cut != 0 && (k == 0 || ends[k-1] != cut)
+		if ri.Torn != wantTorn {
+			t.Fatalf("cut %d: torn=%v, want %v (%s)", cut, ri.Torn, wantTorn, ri)
+		}
+		for path, text := range collectACLs(t, s.FS()) {
+			if !aclHistory[text] {
+				t.Fatalf("cut %d: ACL at %s is not a historical state:\n%s", cut, path, text)
+			}
+		}
+		s.Close()
+		os.RemoveAll(stateDir)
 	}
 }

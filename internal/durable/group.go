@@ -79,6 +79,14 @@ type groupState struct {
 	lastLSN uint64      // LSN of the last queued record
 	recycle []byte      // spare buffer the committer hands back after a write
 
+	// firstQueued is the first LSN in queue (0 when empty);
+	// inflightFirst the first LSN of the batch the committer has claimed
+	// but not yet made durable (0 when none). Together with WAL.lost
+	// they form the shard's pending floor (see WAL.pendingFloor), which
+	// caps the store's global durable horizon.
+	firstQueued   uint64
+	inflightFirst uint64
+
 	durable uint64 // highest LSN on stable storage (per sync policy)
 	// advanceCh is closed and replaced whenever durable advances or the
 	// pipeline degrades, waking every WaitDurable parked on it.
@@ -123,7 +131,7 @@ func (w *WAL) StartGroupCommit(cfg GroupConfig) {
 		done:          make(chan struct{}),
 	}
 	w.mu.Lock()
-	g.durable = w.nextLSN - 1
+	g.durable = w.lastLSN
 	w.gc = g
 	w.mu.Unlock()
 	go w.commitLoop(g)
@@ -174,10 +182,13 @@ func (w *WAL) commitGroup(g *groupState) bool {
 	w.mu.Lock()
 	if w.err != nil && g.queued > 0 {
 		// Degraded: the log must not grow past the failure. Fail the
-		// queued records' waiters rather than stranding them.
+		// queued records' waiters rather than stranding them; the
+		// dropped LSNs pin the store's durable horizon via w.lost.
+		w.noteLostLocked(g.firstQueued)
 		g.queue = g.queue[:0]
 		g.queued = 0
 		g.traced = g.traced[:0]
+		g.firstQueued = 0
 		g.advanceLocked()
 		w.mu.Unlock()
 		return false
@@ -215,6 +226,7 @@ func (w *WAL) commitGroup(g *groupState) bool {
 	// the steady state ping-pongs two buffers with zero allocation.
 	batch := g.queue
 	count := g.queued
+	first := g.firstQueued
 	last := g.lastLSN
 	traced := g.traced
 	if g.recycle != nil {
@@ -225,6 +237,8 @@ func (w *WAL) commitGroup(g *groupState) bool {
 	}
 	g.queued = 0
 	g.traced = nil
+	g.inflightFirst = first
+	g.firstQueued = 0
 	f := w.f
 	onAppend, onSync := w.onAppend, w.onSync
 	w.mu.Unlock()
@@ -258,9 +272,14 @@ func (w *WAL) commitGroup(g *groupState) bool {
 			g.errNotified = true
 			notifyErr = w.err
 		}
+		// Both the failed batch and anything queued behind it are lost.
+		w.noteLostLocked(first)
+		w.noteLostLocked(g.firstQueued)
+		g.inflightFirst = 0
 		g.queue = g.queue[:0]
 		g.queued = 0
 		g.traced = g.traced[:0]
+		g.firstQueued = 0
 		g.advanceLocked()
 	} else {
 		if needSync {
@@ -270,6 +289,7 @@ func (w *WAL) commitGroup(g *groupState) bool {
 		if g.durable < last {
 			g.durable = last
 		}
+		g.inflightFirst = 0
 		g.lastGroup = count
 		// A shipped batch is handed to OnShip, which takes ownership of
 		// the buffer; only unshipped batches go back in the recycle slot.
@@ -277,6 +297,7 @@ func (w *WAL) commitGroup(g *groupState) bool {
 			g.recycle = batch[:0]
 		}
 		g.advanceLocked()
+		w.maybeRotateLocked()
 	}
 	w.mu.Unlock()
 
@@ -294,9 +315,10 @@ func (w *WAL) commitGroup(g *groupState) bool {
 	}
 	commitLat := time.Since(start)
 	if g.onShip != nil {
-		// LSNs in a group are contiguous: Append assigns them
-		// sequentially under the lock that also queues the frames.
-		g.onShip(last-uint64(count)+1, last, count, batch)
+		// first/last bound the group's LSNs. On a single-shard store
+		// they are contiguous; on a sharded store other shards' LSNs may
+		// interleave, and the ship sequencer reorders per record.
+		g.onShip(first, last, count, batch)
 	}
 	if g.onGroup != nil {
 		g.onGroup(count, len(batch), commitLat)
@@ -343,11 +365,12 @@ func (w *WAL) WaitDurable(lsn uint64) error {
 	}
 }
 
-// Barrier blocks until every record appended before the call is durable
-// per the sync policy (or reports the degradation error).
+// Barrier blocks until every record appended to this shard before the
+// call is durable per the sync policy (or reports the degradation
+// error).
 func (w *WAL) Barrier() error {
 	w.mu.Lock()
-	target := w.nextLSN - 1
+	target := w.lastLSN
 	w.mu.Unlock()
 	return w.WaitDurable(target)
 }

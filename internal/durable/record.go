@@ -41,8 +41,24 @@ const (
 
 // recVersion is the record-format version written into every record. A
 // reader rejects versions it does not understand (treated as a torn
-// tail, truncating the log there), so the format can evolve.
-const recVersion = 1
+// tail, truncating the log there), so the format can evolve. Version 2
+// added a flags byte after the type; version-1 records (pre-segment
+// logs) decode without one.
+const (
+	recVersion       = 2
+	legacyRecVersion = 1
+)
+
+// Record flag bits (version 2+).
+const (
+	// FlagCrossShard marks a record that spans two journal shards (a
+	// rename or link whose paths live in different top-level subtrees).
+	// The record is appended to both shards' logs under the same LSN;
+	// recovery applies it once, and treats a copy whose partner never
+	// reached disk as uncommitted (see the cross-shard commit protocol
+	// in DESIGN.md §15).
+	FlagCrossShard uint8 = 1 << 0
+)
 
 // maxBodyLen bounds a single record body (a data write is capped at
 // 4 MiB by the Chirp wire protocol; 8 MiB leaves headroom for framing
@@ -55,8 +71,9 @@ const frameHeaderLen = 8
 
 // Record is one WAL entry: either a VFS mutation or a dedupe entry.
 type Record struct {
-	LSN  uint64
-	Type uint8 // vfs.MutOp value, or DedupeType
+	LSN   uint64
+	Type  uint8 // vfs.MutOp value, or DedupeType
+	Flags uint8 // FlagCrossShard et al (version 2+)
 
 	// Mut holds the mutation for types 1..11. Data is an owned copy.
 	Mut vfs.Mutation
@@ -103,7 +120,7 @@ const maxPooledBody = 1 << 20
 func EncodeRecord(dst []byte, rec Record) []byte {
 	bp := bodyPool.Get().(*[]byte)
 	body := (*bp)[:0]
-	body = append(body, recVersion, rec.Type)
+	body = append(body, recVersion, rec.Type, rec.Flags)
 	body = binary.AppendUvarint(body, rec.LSN)
 	switch {
 	case rec.IsMutation():
@@ -199,10 +216,14 @@ func decodeBody(body []byte) (Record, error) {
 	r := bodyReader{b: body}
 	ver := r.byte()
 	typ := r.byte()
-	if r.err || ver != recVersion {
+	if r.err || (ver != recVersion && ver != legacyRecVersion) {
 		return Record{}, fmt.Errorf("%w: version %d", ErrTorn, ver)
 	}
-	rec := Record{Type: typ, LSN: r.uvarint()}
+	rec := Record{Type: typ}
+	if ver >= 2 {
+		rec.Flags = r.byte()
+	}
+	rec.LSN = r.uvarint()
 	switch {
 	case rec.IsMutation():
 		rec.Mut.Op = vfs.MutOp(typ)

@@ -6,7 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"os"
-	"path/filepath"
 	"time"
 
 	"identitybox/internal/vfs"
@@ -46,15 +45,7 @@ func (s *Store) AppliedLSN() uint64 {
 	if s.replica {
 		return s.lastApplied
 	}
-	return s.wal.NextLSN() - 1
-}
-
-// DurableLSN reports the highest LSN known durable per the sync
-// policy.
-func (s *Store) DurableLSN() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.wal.DurableLSN()
+	return s.alloc.Load()
 }
 
 // SetEpochDurable advances the store's epoch, journaling an epoch
@@ -70,13 +61,14 @@ func (s *Store) SetEpochDurable(epoch uint64) error {
 		return nil
 	}
 	s.epoch = epoch
-	lsn, err := s.wal.Append(Record{Type: EpochType, Epoch: epoch})
+	w := s.wals[0] // epoch records ride shard 0's log
+	lsn, err := w.Append(Record{Type: EpochType, Epoch: epoch})
 	s.mu.Unlock()
 	if err != nil {
 		s.metrics.appendErrs.Inc()
 		return err
 	}
-	return s.wal.WaitDurable(lsn)
+	return w.WaitDurable(lsn)
 }
 
 // ApplyReplicated applies one shipped commit group to a follower:
@@ -136,7 +128,11 @@ func (s *Store) ApplyReplicated(epoch, first, last uint64, frames []byte) (appli
 			durableFrames = EncodeRecord(durableFrames, rec)
 		}
 	}
-	if err := s.wal.AppendFrames(durableFrames, last, len(recs)); err != nil {
+	// A follower's whole history lives in shard 0's chain, regardless
+	// of its Shards option: the primary already serialized the stream,
+	// and keeping it in one chain preserves its order on disk. The
+	// other shards' chains stay empty until Promote.
+	if err := s.wals[0].AppendFrames(durableFrames, last, len(recs)); err != nil {
 		s.metrics.appendErrs.Inc()
 		return 0, err
 	}
@@ -189,8 +185,10 @@ func (s *Store) ReplSnapshot() (blob []byte, lsn, epoch uint64, err error) {
 	err = s.fs.Quiesce(func() error {
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		s.wal.Barrier()
-		lsn = s.wal.NextLSN() - 1
+		for _, w := range s.wals {
+			w.Barrier()
+		}
+		lsn = s.alloc.Load()
 		epoch = s.epoch
 		var img bytes.Buffer
 		if err := s.fs.Save(&img); err != nil {
@@ -237,6 +235,16 @@ func (s *Store) LoadReplicaSnapshot(blob []byte) error {
 	if err := s.publishSnapshotLocked(blob, snap.LSN); err != nil {
 		return err
 	}
+	// Local history before the bootstrap point is superseded: seal the
+	// active segments, jump the LSN cursor to the snapshot's position,
+	// and prune everything the snapshot covers.
+	for _, w := range s.wals {
+		if err := w.resetForCompact(); err != nil {
+			s.logf("durable: sealing wal shard after replica bootstrap: %v", err)
+		}
+	}
+	s.alloc.Store(snap.LSN)
+	s.pruneLocked()
 	s.fs = fs
 	s.dedupe = make(map[string][]string, len(snap.Dedupe))
 	for k, v := range snap.Dedupe {
@@ -250,47 +258,60 @@ func (s *Store) LoadReplicaSnapshot(blob []byte) error {
 }
 
 // WALTailSince re-encodes every logged record past lsn, for catching a
-// subscribing follower up from the primary's own log. It fails with
-// ErrReplicaGap when compaction already truncated that history (the
-// follower needs ReplSnapshot instead). Holding s.mu excludes every
-// append source, and the barrier idles the committer, so the read sees
-// a complete log.
+// subscribing follower up from the primary's own log. It reads the
+// whole segment set — sealed and active across every shard — merges by
+// LSN (collapsing cross-shard duplicates and stripping their flag, so
+// the follower's log looks single-shard) and demands the result be
+// gap-free from lsn+1: a missing prefix means compaction pruned that
+// history, a hole means a degraded shard lost records; either way the
+// follower needs ReplSnapshot instead. Segments held back by
+// Options.RetainLSN make this succeed even for LSNs older than the
+// snapshot. Holding s.mu excludes every append source, and the
+// barriers idle the committers, so the read sees a complete log.
 func (s *Store) WALTailSince(lsn uint64) (frames []byte, first, last uint64, records int, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if lsn < s.snapLSN {
-		return nil, 0, 0, 0, fmt.Errorf("%w: lsn %d predates snapshot lsn %d", ErrReplicaGap, lsn, s.snapLSN)
+	for _, w := range s.wals {
+		w.Barrier()
 	}
-	s.wal.Barrier()
-	data, err := readWALFile(s.dir)
+	segs, err := scanSegments(s.dir)
 	if err != nil {
-		return nil, 0, 0, 0, err
+		return nil, 0, 0, 0, fmt.Errorf("durable: scanning log: %w", err)
 	}
-	recs, _, _ := DecodeAll(data)
-	for _, rec := range recs {
-		if rec.LSN <= lsn {
-			continue
+	var recs []Record
+	for _, seg := range segs {
+		data, err := os.ReadFile(seg.path)
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				continue // pruned between scan and read
+			}
+			return nil, 0, 0, 0, fmt.Errorf("durable: reading %s: %w", seg.path, err)
 		}
-		if first == 0 {
-			first = rec.LSN
+		fileRecs, _, _ := DecodeAll(data)
+		for _, rec := range fileRecs {
+			if rec.LSN > lsn {
+				recs = append(recs, rec)
+			}
 		}
-		last = rec.LSN
-		records++
+	}
+	sortDedupeByLSN(&recs)
+	if len(recs) == 0 {
+		if lsn >= s.alloc.Load() {
+			return nil, 0, 0, 0, nil // follower is fully caught up
+		}
+		return nil, 0, 0, 0, fmt.Errorf("%w: history past lsn %d already pruned", ErrReplicaGap, lsn)
+	}
+	if recs[0].LSN != lsn+1 {
+		return nil, 0, 0, 0, fmt.Errorf("%w: tail starts at lsn %d, follower needs %d", ErrReplicaGap, recs[0].LSN, lsn+1)
+	}
+	for i, rec := range recs {
+		if rec.LSN != recs[0].LSN+uint64(i) {
+			return nil, 0, 0, 0, fmt.Errorf("%w: hole before lsn %d (degraded shard)", ErrReplicaGap, rec.LSN)
+		}
+		rec.Flags &^= FlagCrossShard
 		frames = EncodeRecord(frames, rec)
 	}
-	return frames, first, last, records, nil
-}
-
-// readWALFile reads the log file, tolerating its absence.
-func readWALFile(dir string) ([]byte, error) {
-	data, err := os.ReadFile(filepath.Join(dir, WALName))
-	if errors.Is(err, os.ErrNotExist) {
-		return nil, nil
-	}
-	if err != nil {
-		return nil, fmt.Errorf("durable: reading wal: %w", err)
-	}
-	return data, nil
+	return frames, recs[0].LSN, recs[len(recs)-1].LSN, len(recs), nil
 }
 
 // Promote turns a follower into a primary under a new epoch: the
@@ -312,7 +333,11 @@ func (s *Store) Promote(epoch uint64) error {
 	}
 	s.replica = false
 	if !s.opts.DisableGroupCommit {
-		s.wal.StartGroupCommit(s.gcCfg)
+		cfg := s.gcCfg
+		cfg.OnShip = s.wireShip(cfg.OnShip, s.alloc.Load()+1)
+		for _, w := range s.wals {
+			w.StartGroupCommit(cfg)
+		}
 	}
 	// Promotion satisfies any parked freshness demand: the local state
 	// is authoritative now.
@@ -322,6 +347,6 @@ func (s *Store) Promote(epoch uint64) error {
 	if err := s.SetEpochDurable(epoch); err != nil {
 		return err
 	}
-	s.fs.SetJournal(s)
+	s.fs.SetJournalSharded(s, s.shards)
 	return nil
 }

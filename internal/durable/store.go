@@ -15,12 +15,19 @@ import (
 	"identitybox/internal/vfs"
 )
 
-// File names inside a state directory.
+// File names inside a state directory. WALName is the legacy
+// single-file log (pre-segmentation); a store now writes bounded
+// segments (see segment.go) but still reads and upgrades a wal.log in
+// place.
 const (
 	WALName      = "wal.log"
 	SnapshotName = "snapshot.img"
 	snapshotTmp  = "snapshot.tmp"
 )
+
+// DefaultSegmentBytes is the segment rotation threshold when
+// Options.SegmentBytes is zero.
+const DefaultSegmentBytes = 8 << 20
 
 // Metric names exported by every store.
 const (
@@ -29,6 +36,9 @@ const (
 	MetricWALFsyncs      = "durable_wal_fsyncs_total"
 	MetricWALAppendErrs  = "durable_wal_append_errors_total"
 	MetricWALSize        = "durable_wal_size_bytes"
+	MetricWALLiveBytes   = "durable_wal_bytes"
+	MetricWALSegments    = "durable_wal_segments"
+	MetricSegsPruned     = "durable_segments_pruned_total"
 	MetricReplayRecords  = "durable_replay_records_total"
 	MetricReplaySkipped  = "durable_replay_skipped_total"
 	MetricTruncatedBytes = "durable_replay_truncated_bytes_total"
@@ -56,6 +66,20 @@ type Options struct {
 	// record — every commit group, with group commit on — k>1 every k
 	// records, and a negative value never syncs.
 	SyncEveryN int
+	// Shards is the number of commit-pipeline shards: journal shard
+	// locks, WAL segment chains and committer goroutines. Mutations in
+	// different top-level subtrees commit through different shards in
+	// parallel. 0 or 1 keeps the single-shard pipeline.
+	Shards int
+	// SegmentBytes rotates the active WAL segment once it reaches this
+	// size. 0 uses DefaultSegmentBytes.
+	SegmentBytes int64
+	// RetainLSN, when set, is consulted at compaction: sealed segments
+	// are pruned only up to min(snapshot LSN, RetainLSN()). The
+	// replication layer uses it to hold segments until the slowest
+	// subscriber has acked them, so a lagging follower can still be
+	// served a log tail instead of a full snapshot.
+	RetainLSN func() uint64
 	// CommitWindow is the group-commit batch window: under load the
 	// committer waits this long for stragglers before flushing, so one
 	// fsync covers the whole group. 0 uses DefaultCommitWindow; a
@@ -76,7 +100,7 @@ type Options struct {
 	// with queue and write+fsync phases. Nil disables trace tracking in
 	// the commit pipeline entirely.
 	Spans *obs.SpanRing
-	// OpenAppend opens the WAL file for appending; tests inject
+	// OpenAppend opens WAL segment files for appending; tests inject
 	// faultdisk files here. The default opens an ordinary os file.
 	OpenAppend func(path string) (File, error)
 	// Logf, when set, receives recovery and degradation notices.
@@ -89,25 +113,29 @@ type Options struct {
 	ReplicaMode bool
 	// OnShip, when set on a primary, receives every durable commit
 	// group's raw frames for replication fan-out (see
-	// GroupConfig.OnShip). Requires the group-commit pipeline; ignored
-	// with DisableGroupCommit. On a replica it takes effect at Promote.
+	// GroupConfig.OnShip). On a sharded store the groups pass through a
+	// resequencer first, so OnShip always sees contiguous LSN runs in
+	// order. Requires the group-commit pipeline; ignored with
+	// DisableGroupCommit. On a replica it takes effect at Promote.
 	OnShip func(first, last uint64, records int, frames []byte)
 }
 
 // RecoveryInfo describes what Open found and did.
 type RecoveryInfo struct {
 	SnapshotLSN    uint64 // LSN the loaded snapshot covers (0: none)
+	Segments       int    // log files found (segments plus any legacy wal.log)
 	Replayed       int    // WAL records applied
 	Skipped        int    // records at or below the snapshot LSN
 	Unapplied      int    // records whose replay failed (should be 0)
 	TruncatedBytes int64  // torn-tail bytes discarded from the log
 	Torn           bool   // whether a torn tail was found
+	HalfCross      int    // cross-shard records found in only one shard's log
 	DedupeEntries  int    // tokened replies carried across the restart
 }
 
 func (ri RecoveryInfo) String() string {
-	return fmt.Sprintf("snapshot lsn %d, %d replayed, %d skipped, %d unapplied, %d torn bytes truncated, %d dedupe entries",
-		ri.SnapshotLSN, ri.Replayed, ri.Skipped, ri.Unapplied, ri.TruncatedBytes, ri.DedupeEntries)
+	return fmt.Sprintf("snapshot lsn %d, %d segments, %d replayed, %d skipped, %d unapplied, %d torn bytes truncated, %d half-committed cross records, %d dedupe entries",
+		ri.SnapshotLSN, ri.Segments, ri.Replayed, ri.Skipped, ri.Unapplied, ri.TruncatedBytes, ri.HalfCross, ri.DedupeEntries)
 }
 
 // storeMetrics caches the store's metric handles.
@@ -117,6 +145,9 @@ type storeMetrics struct {
 	fsyncs      *obs.Counter
 	appendErrs  *obs.Counter
 	walSize     *obs.Gauge
+	walLive     *obs.Gauge
+	walSegments *obs.Gauge
+	segsPruned  *obs.Counter
 	replayed    *obs.Counter
 	skipped     *obs.Counter
 	truncated   *obs.Counter
@@ -134,6 +165,9 @@ func newStoreMetrics(reg *obs.Registry) *storeMetrics {
 	reg.Help(MetricWALFsyncs, "fsync calls issued for the write-ahead log.")
 	reg.Help(MetricWALAppendErrs, "Append or sync failures (durability degraded until the next compaction).")
 	reg.Help(MetricWALSize, "Current write-ahead log length in bytes.")
+	reg.Help(MetricWALLiveBytes, "Live write-ahead log bytes across all segments.")
+	reg.Help(MetricWALSegments, "Live write-ahead log segment files (sealed plus active).")
+	reg.Help(MetricSegsPruned, "WAL segments pruned after snapshot compaction.")
 	reg.Help(MetricReplayRecords, "WAL records applied during recoveries.")
 	reg.Help(MetricReplaySkipped, "WAL records skipped during recoveries (already covered by the snapshot).")
 	reg.Help(MetricTruncatedBytes, "Torn-tail bytes truncated from the log during recoveries.")
@@ -149,6 +183,9 @@ func newStoreMetrics(reg *obs.Registry) *storeMetrics {
 		fsyncs:      reg.Counter(MetricWALFsyncs),
 		appendErrs:  reg.Counter(MetricWALAppendErrs),
 		walSize:     reg.Gauge(MetricWALSize),
+		walLive:     reg.Gauge(MetricWALLiveBytes),
+		walSegments: reg.Gauge(MetricWALSegments),
+		segsPruned:  reg.Counter(MetricSegsPruned),
 		replayed:    reg.Counter(MetricReplayRecords),
 		skipped:     reg.Counter(MetricReplaySkipped),
 		truncated:   reg.Counter(MetricTruncatedBytes),
@@ -175,19 +212,47 @@ type snapFile struct {
 
 const snapFileVersion = 1
 
+// sealedSeg is one sealed (no longer written) log file: a rotated-away
+// segment, a compaction-reset active segment, or a pre-existing file
+// found at Open. lastLSN is the highest LSN the file can contain; the
+// file is prunable once a snapshot and every replication subscriber
+// have passed it.
+type sealedSeg struct {
+	path    string
+	lastLSN uint64
+	size    int64
+}
+
 // Store binds a vfs.FS to a state directory: it journals every
 // mutation to the WAL (implementing vfs.Journal), persists tokened
 // replies for exactly-once retries, and compacts the log into
 // snapshots. Create one with Open, which also performs recovery.
+//
+// The commit pipeline is sharded by top-level subtree (vfs.ShardOf):
+// each shard has its own journal lock, segment chain and committer
+// goroutine, while a single atomic allocator hands out LSNs so the
+// union of all shards' records remains one totally ordered history.
 type Store struct {
 	dir  string
 	fs   *vfs.FS
 	opts Options
 
-	mu      sync.Mutex // guards wal swaps, dedupe, snapLSN, replica state
-	wal     *WAL
+	mu      sync.Mutex // guards dedupe, snapLSN, replica state, compaction
+	wals    []*WAL     // one per shard; immutable after Open
+	alloc   atomic.Uint64
+	shards  int
 	dedupe  map[string][]string
 	snapLSN uint64
+
+	// sealed tracks sealed segments for pruning. Its own lock, ordered
+	// after WAL.mu (rotation seals under the WAL lock).
+	sealMu sync.Mutex
+	sealed []sealedSeg
+
+	// shipSeq resequences sharded commit groups into one LSN-ordered
+	// stream for Options.OnShip; nil on single-shard stores (groups pass
+	// through directly) and until Promote on replicas.
+	shipSeq *shipSeq
 
 	// Replication state. epoch is the fencing term this store last saw
 	// (recovered from the snapshot and epoch records, advanced by
@@ -216,15 +281,22 @@ func defaultOpenAppend(path string) (File, error) {
 
 // Open recovers the state directory and returns the store bound to the
 // recovered file system: it loads the newest snapshot (if any), replays
-// the WAL past the snapshot's LSN, truncates any torn tail at the last
-// valid record, and attaches itself as the file system's journal so
-// every further mutation is logged.
+// the log segments past the snapshot's LSN — one worker per shard
+// chain, rendezvousing on cross-shard records — truncates any torn
+// tail at the last valid record, and attaches itself as the file
+// system's journal so every further mutation is logged.
 func Open(dir string, opts Options) (*Store, error) {
 	if opts.Owner == "" {
 		opts.Owner = "chirp"
 	}
 	if opts.SyncEveryN == 0 {
 		opts.SyncEveryN = 1
+	}
+	if opts.Shards < 1 {
+		opts.Shards = 1
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
 	}
 	if opts.OpenAppend == nil {
 		opts.OpenAppend = defaultOpenAppend
@@ -239,6 +311,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	s := &Store{
 		dir:       dir,
 		opts:      opts,
+		shards:    opts.Shards,
 		dedupe:    make(map[string][]string),
 		replica:   opts.ReplicaMode,
 		appliedCh: make(chan struct{}),
@@ -264,37 +337,52 @@ func Open(dir string, opts Options) (*Store, error) {
 	s.fs = fs
 	s.recovery.SnapshotLSN = s.snapLSN
 
-	// 2. WAL replay past the snapshot LSN, truncating a torn tail.
-	lastLSN, err := s.replayWAL()
+	// 2. Replay the log segments past the snapshot LSN, truncating any
+	// torn tail. Everything found on disk becomes a sealed segment.
+	maxLSN, nextSeq, err := s.recoverLog()
 	if err != nil {
 		return nil, err
 	}
 
-	// 3. Open the log for appending and attach as the journal.
-	nextLSN := lastLSN + 1
-	if s.snapLSN >= lastLSN {
+	// 3. Open a fresh active segment per shard and attach the journal.
+	nextLSN := maxLSN + 1
+	if s.snapLSN >= maxLSN {
 		nextLSN = s.snapLSN + 1
 	}
-	walPath := filepath.Join(dir, WALName)
-	f, err := opts.OpenAppend(walPath)
-	if err != nil {
-		return nil, fmt.Errorf("durable: opening wal: %w", err)
-	}
-	var size int64
-	if st, err := os.Stat(walPath); err == nil {
-		size = st.Size()
-	}
+	s.alloc.Store(nextLSN - 1)
 	syncN := opts.SyncEveryN
 	if syncN < 0 {
 		syncN = 0
 	}
-	s.wal = NewWAL(f, nextLSN, size, syncN)
-	s.wal.onAppend = func(recs, n int) {
+	onAppend := func(recs, n int) {
 		s.metrics.records.Add(int64(recs))
 		s.metrics.bytes.Add(int64(n))
 		s.metrics.walSize.Add(int64(n))
+		s.metrics.walLive.Add(int64(n))
 	}
-	s.wal.onSync = func() { s.metrics.fsyncs.Inc() }
+	onSync := func() { s.metrics.fsyncs.Inc() }
+	s.wals = make([]*WAL, s.shards)
+	for j := range s.wals {
+		rot := &rotator{
+			dir:    dir,
+			shards: s.shards,
+			shard:  j,
+			seq:    nextSeq[j],
+			limit:  opts.SegmentBytes,
+			open:   opts.OpenAppend,
+			onSeal: s.noteSealed,
+		}
+		f, err := opts.OpenAppend(filepath.Join(dir, segmentFileName(s.shards, j, rot.seq)))
+		if err != nil {
+			return nil, fmt.Errorf("durable: opening wal segment: %w", err)
+		}
+		w := newShardWAL(f, &s.alloc, syncN, rot)
+		w.onAppend = onAppend
+		w.onSync = onSync
+		s.wals[j] = w
+	}
+	syncDir(dir)
+
 	if !opts.DisableGroupCommit {
 		window := opts.CommitWindow
 		switch {
@@ -335,10 +423,22 @@ func Open(dir string, opts Options) (*Store, error) {
 		}
 		s.gcCfg = cfg
 		if !s.replica {
-			s.wal.StartGroupCommit(cfg)
+			cfg.OnShip = s.wireShip(cfg.OnShip, nextLSN)
+			for _, w := range s.wals {
+				w.StartGroupCommit(cfg)
+			}
 		}
 	}
-	s.metrics.walSize.Set(size)
+	var liveBytes int64
+	s.sealMu.Lock()
+	for _, seg := range s.sealed {
+		liveBytes += seg.size
+	}
+	segCount := len(s.sealed) + s.shards
+	s.sealMu.Unlock()
+	s.metrics.walSize.Set(liveBytes)
+	s.metrics.walLive.Set(liveBytes)
+	s.metrics.walSegments.Set(int64(segCount))
 	s.metrics.recoveries.Inc()
 	s.recovery.DedupeEntries = len(s.dedupe)
 	if s.replica {
@@ -348,8 +448,29 @@ func Open(dir string, opts Options) (*Store, error) {
 		s.lastApplied = nextLSN - 1
 		return s, nil
 	}
-	fs.SetJournal(s)
+	fs.SetJournalSharded(s, s.shards)
 	return s, nil
+}
+
+// wireShip adapts the OnShip hook to the shard count: single-shard
+// groups already arrive in LSN order and pass through zero-copy;
+// sharded groups go through the resequencer.
+func (s *Store) wireShip(onShip func(first, last uint64, records int, frames []byte), nextLSN uint64) func(first, last uint64, records int, frames []byte) {
+	if onShip == nil || s.shards == 1 {
+		return onShip
+	}
+	seq := newShipSeq(nextLSN, onShip)
+	s.shipSeq = seq
+	return func(_, _ uint64, _ int, frames []byte) { seq.ingest(frames) }
+}
+
+// noteSealed records a sealed segment for later pruning. Called by the
+// rotator with the sealing WAL's mu held.
+func (s *Store) noteSealed(path string, lastLSN uint64, size int64) {
+	s.sealMu.Lock()
+	s.sealed = append(s.sealed, sealedSeg{path: path, lastLSN: lastLSN, size: size})
+	s.sealMu.Unlock()
+	s.metrics.walSegments.Inc()
 }
 
 // loadSnapshot reads snapshot.img if present, returning the rebuilt
@@ -382,93 +503,6 @@ func (s *Store) loadSnapshot() (*vfs.FS, error) {
 	return fs, nil
 }
 
-// replayWAL applies logged records past the snapshot LSN and truncates
-// any torn tail. It returns the highest LSN seen in the log.
-func (s *Store) replayWAL() (uint64, error) {
-	walPath := filepath.Join(s.dir, WALName)
-	data, err := os.ReadFile(walPath)
-	if errors.Is(err, os.ErrNotExist) {
-		return 0, nil
-	}
-	if err != nil {
-		return 0, fmt.Errorf("durable: reading wal: %w", err)
-	}
-	recs, validBytes, torn := DecodeAll(data)
-	var lastLSN uint64
-	for _, rec := range recs {
-		lastLSN = rec.LSN
-		if rec.LSN <= s.snapLSN {
-			s.recovery.Skipped++
-			s.metrics.skipped.Inc()
-			continue
-		}
-		if err := s.applyRecord(rec); err != nil {
-			// Should not happen for a log this store wrote: the same
-			// sequence applied cleanly before the crash. Count it, keep
-			// going — dropping one record must not drop the rest.
-			s.recovery.Unapplied++
-			s.logf("durable: replaying lsn %d (%s %s): %v", rec.LSN, vfs.MutOp(rec.Type), rec.Mut.Path, err)
-			continue
-		}
-		s.recovery.Replayed++
-		s.metrics.replayed.Inc()
-	}
-	if torn {
-		discarded := int64(len(data)) - validBytes
-		s.recovery.Torn = true
-		s.recovery.TruncatedBytes = discarded
-		s.metrics.truncated.Add(discarded)
-		s.logf("durable: torn wal tail: truncating %d bytes at offset %d", discarded, validBytes)
-		if err := os.Truncate(walPath, validBytes); err != nil {
-			return 0, fmt.Errorf("durable: truncating torn tail: %w", err)
-		}
-	}
-	return lastLSN, nil
-}
-
-// applyRecord replays one record onto the recovering state.
-func (s *Store) applyRecord(rec Record) error {
-	if rec.Type == DedupeType {
-		s.dedupe[rec.DedupeKey] = rec.DedupeReply
-		return nil
-	}
-	if rec.Type == EpochType {
-		if rec.Epoch > s.epoch {
-			s.epoch = rec.Epoch
-		}
-		return nil
-	}
-	m := rec.Mut
-	switch m.Op {
-	case vfs.MutMkdir:
-		return s.fs.Mkdir(m.Path, m.Mode, m.Owner)
-	case vfs.MutCreate:
-		_, err := s.fs.Create(m.Path, m.Mode, m.Owner)
-		return err
-	case vfs.MutWrite:
-		_, err := s.fs.WriteAt(m.Path, m.Data, m.Off)
-		return err
-	case vfs.MutTruncate:
-		return s.fs.Truncate(m.Path, m.Size)
-	case vfs.MutUnlink:
-		return s.fs.Unlink(m.Path)
-	case vfs.MutRmdir:
-		return s.fs.Rmdir(m.Path)
-	case vfs.MutSymlink:
-		return s.fs.Symlink(m.Path2, m.Path, m.Owner)
-	case vfs.MutLink:
-		return s.fs.Link(m.Path, m.Path2)
-	case vfs.MutRename:
-		return s.fs.Rename(m.Path, m.Path2)
-	case vfs.MutChmod:
-		return s.fs.Chmod(m.Path, m.Mode)
-	case vfs.MutChown:
-		return s.fs.Chown(m.Path, m.Owner, m.Group)
-	default:
-		return fmt.Errorf("durable: unknown mutation op %d", m.Op)
-	}
-}
-
 // FS returns the recovered file system the store journals for.
 func (s *Store) FS() *vfs.FS { return s.fs }
 
@@ -479,10 +513,15 @@ func (s *Store) Recovery() RecoveryInfo { return s.recovery }
 // failing; nil means the log is healthy. It first drains the commit
 // pipeline so the verdict covers every mutation already issued.
 func (s *Store) Err() error {
-	s.wal.Barrier() // surface in-flight failures; error also lands in Err
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.wal.Err()
+	for _, w := range s.wals {
+		w.Barrier() // surface in-flight failures; error also lands in Err
+	}
+	for _, w := range s.wals {
+		if err := w.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Barrier blocks until every mutation recorded before the call is
@@ -490,7 +529,22 @@ func (s *Store) Err() error {
 // is the acked ⇒ durable contract: acknowledge an operation to a
 // client only after Barrier returns nil.
 func (s *Store) Barrier() error {
-	return s.wal.Barrier()
+	var firstErr error
+	for _, w := range s.wals {
+		if err := w.Barrier(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// BarrierPath is Barrier scoped to the shard that commits path's
+// subtree: it waits only for that shard's pipeline, leaving the other
+// shards' in-flight groups alone. Callers that know all their
+// mutations touched one subtree (the common case for a single request)
+// get durability without cross-shard convoy.
+func (s *Store) BarrierPath(path string) error {
+	return s.wals[vfs.ShardOf(path, s.shards)].Barrier()
 }
 
 // BarrierTraced is Barrier plus the timing a traced request wants: how
@@ -501,23 +555,54 @@ func (s *Store) Barrier() error {
 // published since — which is fine for observability.
 func (s *Store) BarrierTraced() (wait, commitLat time.Duration, err error) {
 	start := time.Now()
-	err = s.wal.Barrier()
+	err = s.Barrier()
 	return time.Since(start), time.Duration(s.lastCommitLat.Load()), err
 }
 
-// RecordMutation implements vfs.Journal: it appends the mutation to the
-// WAL. Called with the FS journal lock held, so records land in commit
-// order. With group commit on, this only encodes the record into the
-// commit queue — no disk I/O happens under the journal lock; the
-// committer writes and fsyncs the group, and anyone needing durability
-// parks on Barrier. Append failures are absorbed (the in-memory state
-// is already committed): they flip the sticky error, bump the
-// degradation metric, and surface through Err/Barrier and the log.
+// RecordMutation implements vfs.Journal: it appends the mutation to
+// the shard WAL owning the mutation's subtree. Called with the
+// mutation's journal shard lock(s) held, so each shard's records land
+// in commit order; no store-wide lock is taken, which is what lets
+// disjoint subtrees commit in parallel. With group commit on, this
+// only encodes the record into the shard's queue — no disk I/O under
+// the journal lock. Append failures are absorbed (the in-memory state
+// is already committed): they flip the shard's sticky error and
+// surface through Err/Barrier and the log.
+//
+// A rename or link whose two paths map to different shards is a
+// cross-shard commit: the record is appended to both shards' logs
+// under one LSN and — still inside both journal locks — waited durable
+// on both, so no later record in either shard can exist unless the
+// cross record survives recovery (see DESIGN.md §15).
 func (s *Store) RecordMutation(m vfs.Mutation) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	hadErr := s.wal.Err() != nil
-	if _, err := s.wal.Append(Record{Type: uint8(m.Op), Mut: m}); err != nil {
+	rec := Record{Type: uint8(m.Op), Mut: m}
+	if m.Op == vfs.MutRename || m.Op == vfs.MutLink {
+		a, b := vfs.ShardOf(m.Path, s.shards), vfs.ShardOf(m.Path2, s.shards)
+		if a != b {
+			if a > b {
+				a, b = b, a
+			}
+			lo, hi := s.wals[a], s.wals[b]
+			hadErr := lo.Err() != nil || hi.Err() != nil
+			lsn, err := appendCross(lo, hi, rec)
+			if err == nil {
+				err = lo.WaitDurable(lsn)
+				if err2 := hi.WaitDurable(lsn); err == nil {
+					err = err2
+				}
+			}
+			if err != nil {
+				s.metrics.appendErrs.Inc()
+				if !hadErr {
+					s.logf("durable: wal append failed, durability degraded until compaction: %v", err)
+				}
+			}
+			return
+		}
+	}
+	w := s.wals[vfs.ShardOf(m.Path, s.shards)]
+	hadErr := w.Err() != nil
+	if _, err := w.Append(rec); err != nil {
 		s.metrics.appendErrs.Inc()
 		if !hadErr {
 			s.logf("durable: wal append failed, durability degraded until compaction: %v", err)
@@ -530,18 +615,21 @@ func (s *Store) RecordMutation(m vfs.Mutation) {
 // opaque principal+token key. It returns only once the entry is durable
 // per the sync policy: the caller sends the reply on the wire after
 // this, so a crash can never have acknowledged what the log lost. The
-// durability wait happens outside s.mu — holding it would serialize
-// every concurrent mutator behind this entry's group fsync.
+// append itself happens under s.mu — which is what keeps it ordered
+// against compaction's log reset — but the durability wait happens
+// outside, so concurrent mutators are not serialized behind this
+// entry's group fsync.
 func (s *Store) AppendDedupe(key string, reply []string) error {
+	w := s.wals[vfs.ShardOfKey(key, s.shards)]
 	s.mu.Lock()
 	s.dedupe[key] = append([]string(nil), reply...)
-	lsn, err := s.wal.Append(Record{Type: DedupeType, DedupeKey: key, DedupeReply: reply})
+	lsn, err := w.Append(Record{Type: DedupeType, DedupeKey: key, DedupeReply: reply})
 	s.mu.Unlock()
 	if err != nil {
 		s.metrics.appendErrs.Inc()
 		return err
 	}
-	return s.wal.WaitDurable(lsn)
+	return w.WaitDurable(lsn)
 }
 
 // DedupeEntries returns a copy of the recovered (and since appended)
@@ -556,41 +644,62 @@ func (s *Store) DedupeEntries() map[string][]string {
 	return out
 }
 
-// WALSize reports the current log length in bytes.
+// WALSize reports the total live log length in bytes: sealed segments
+// not yet pruned plus every shard's active segment.
 func (s *Store) WALSize() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.wal.Size()
+	var total int64
+	s.sealMu.Lock()
+	for _, seg := range s.sealed {
+		total += seg.size
+	}
+	s.sealMu.Unlock()
+	for _, w := range s.wals {
+		total += w.Size()
+	}
+	return total
 }
 
-// Compact publishes a snapshot and resets the log. The protocol:
+// Segments reports how many live log files the store holds (sealed
+// plus one active per shard).
+func (s *Store) Segments() int {
+	s.sealMu.Lock()
+	defer s.sealMu.Unlock()
+	return len(s.sealed) + len(s.wals)
+}
+
+// Compact publishes a snapshot and prunes the log. The protocol:
 //
-//  1. quiesce journaled mutations (FS journal lock);
+//  1. quiesce journaled mutations (all journal shard locks) and take
+//     s.mu, excluding dedupe appends; barrier every shard so the
+//     committers are provably idle;
 //  2. serialize the tree + dedupe table bound to the current LSN;
 //  3. write snapshot.tmp, fsync it;
 //  4. rename snapshot.tmp over snapshot.img (atomic publication) and
 //     fsync the directory so the rename itself is durable;
-//  5. truncate the WAL to zero and resume appending.
+//  5. seal every shard's active segment (clearing any degraded state —
+//     the snapshot captures everything a failed log lost) and prune
+//     sealed segments up to min(snapshot LSN, RetainLSN()).
 //
 // A crash before (4) leaves the old snapshot + full log: recovery
 // replays as if no compaction happened. A crash between (4) and (5)
-// leaves the new snapshot + stale log: recovery skips every record at
-// or below the snapshot LSN. Either way, no state is lost and nothing
-// is applied twice. A successful compaction also clears a degraded
-// WAL: the snapshot captures everything the log failed to.
+// leaves the new snapshot + stale segments: recovery skips every
+// record at or below the snapshot LSN. Either way, no state is lost
+// and nothing is applied twice.
 func (s *Store) Compact() error {
 	return s.fs.Quiesce(func() error {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 
-		// Quiesce + s.mu exclude every append source, so this barrier
-		// is final: once it returns the committer is provably idle and
-		// the log file can be truncated and swapped underneath it. A
-		// degraded pipeline returns an error here — ignored, because the
-		// snapshot about to be taken captures everything the log lost.
-		s.wal.Barrier()
+		// Quiesce + s.mu exclude every append source, so these barriers
+		// are final: once they return the committers are provably idle
+		// and the active segments can be sealed underneath them. A
+		// degraded shard returns an error here — ignored, because the
+		// snapshot about to be taken captures everything its log lost.
+		for _, w := range s.wals {
+			w.Barrier()
+		}
 
-		lsn := s.wal.NextLSN() - 1 // appends are excluded by s.mu + quiesce
+		lsn := s.alloc.Load() // appends are excluded by s.mu + quiesce
 		var img bytes.Buffer
 		if err := s.fs.Save(&img); err != nil {
 			return fmt.Errorf("durable: serializing tree: %w", err)
@@ -603,16 +712,57 @@ func (s *Store) Compact() error {
 		if err := s.publishSnapshotLocked(buf.Bytes(), lsn); err != nil {
 			return err
 		}
+		for _, w := range s.wals {
+			if err := w.resetForCompact(); err != nil {
+				s.logf("durable: sealing wal shard after snapshot: %v", err)
+			}
+		}
+		if s.shipSeq != nil {
+			// Degraded shards may have dropped LSNs the sequencer is
+			// still waiting on; the snapshot covers them, so skip ahead.
+			s.shipSeq.skipTo(lsn)
+		}
+		s.pruneLocked()
 		s.metrics.compactions.Inc()
 		return nil
 	})
 }
 
-// publishSnapshotLocked atomically publishes an encoded snapshot and
-// resets the log: snapshot.tmp written and fsynced, renamed over
-// snapshot.img with a directory sync, then the WAL truncated and its
-// file swapped. Caller holds s.mu with appends excluded (the commit
-// pipeline, if running, barriered and idle).
+// pruneLocked removes sealed segments whose records are all covered by
+// the snapshot AND acked by every replication subscriber (RetainLSN).
+// Caller holds s.mu.
+func (s *Store) pruneLocked() {
+	horizon := s.snapLSN
+	if s.opts.RetainLSN != nil {
+		if r := s.opts.RetainLSN(); r < horizon {
+			horizon = r
+		}
+	}
+	s.sealMu.Lock()
+	defer s.sealMu.Unlock()
+	kept := s.sealed[:0]
+	for _, seg := range s.sealed {
+		if seg.lastLSN > horizon {
+			kept = append(kept, seg)
+			continue
+		}
+		if err := os.Remove(seg.path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			s.logf("durable: pruning %s: %v", seg.path, err)
+			kept = append(kept, seg)
+			continue
+		}
+		s.metrics.segsPruned.Inc()
+		s.metrics.walSize.Add(-seg.size)
+		s.metrics.walLive.Add(-seg.size)
+		s.metrics.walSegments.Dec()
+	}
+	s.sealed = kept
+}
+
+// publishSnapshotLocked atomically publishes an encoded snapshot:
+// snapshot.tmp written and fsynced, renamed over snapshot.img with a
+// directory sync. Caller holds s.mu with appends excluded and handles
+// the log (sealing, pruning) afterwards.
 func (s *Store) publishSnapshotLocked(encoded []byte, lsn uint64) error {
 	tmpPath := filepath.Join(s.dir, snapshotTmp)
 	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
@@ -633,32 +783,38 @@ func (s *Store) publishSnapshotLocked(encoded []byte, lsn uint64) error {
 	if err := os.Rename(tmpPath, filepath.Join(s.dir, SnapshotName)); err != nil {
 		return fmt.Errorf("durable: publishing snapshot: %w", err)
 	}
-	if d, err := os.Open(s.dir); err == nil {
-		d.Sync()
-		d.Close()
-	}
-
-	// The log's records are now all covered by the snapshot; reset it.
-	walPath := filepath.Join(s.dir, WALName)
-	if err := os.Truncate(walPath, 0); err != nil {
-		return fmt.Errorf("durable: resetting wal: %w", err)
-	}
-	f, err := s.opts.OpenAppend(walPath)
-	if err != nil {
-		return fmt.Errorf("durable: reopening wal: %w", err)
-	}
-	if err := s.wal.swapFile(f); err != nil {
-		s.logf("durable: closing old wal file: %v", err)
-	}
+	syncDir(s.dir)
 	s.snapLSN = lsn
 	s.metrics.snapBytes.Set(int64(len(encoded)))
-	s.metrics.walSize.Set(0)
 	return nil
 }
 
-// Close syncs and closes the log. The store must not be used after.
+// Close syncs and closes every shard's log. The store must not be used
+// after.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.wal.Close()
+	var firstErr error
+	for _, w := range s.wals {
+		if err := w.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Horizon helpers shared by replication and admission control.
+
+// DurableLSN reports the highest LSN through which the entire store is
+// durable: every record at or below it, in every shard, is on stable
+// storage. Computed as the allocator's position capped by each shard's
+// lowest pending (queued, in-flight, or lost) LSN.
+func (s *Store) DurableLSN() uint64 {
+	horizon := s.alloc.Load()
+	for _, w := range s.wals {
+		if floor := w.pendingFloor(); floor != 0 && floor-1 < horizon {
+			horizon = floor - 1
+		}
+	}
+	return horizon
 }

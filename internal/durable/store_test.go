@@ -168,7 +168,7 @@ func TestCrashBetweenSnapshotAndWALReset(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	staleLog, err := os.ReadFile(filepath.Join(dir, WALName))
+	staleLog, err := LogBytes(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +240,10 @@ func TestTornTailTruncatedOnDisk(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	walPath := filepath.Join(dir, WALName)
+	walPath, err := TailSegmentPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
 	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0)
 	if err != nil {
 		t.Fatal(err)

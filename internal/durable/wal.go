@@ -3,7 +3,10 @@ package durable
 import (
 	"errors"
 	"io"
+	"os"
+	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -18,8 +21,8 @@ type File interface {
 	Close() error
 }
 
-// WAL appends framed records to a log file. It is safe for concurrent
-// use and runs in one of two modes:
+// WAL appends framed records to a log. It is safe for concurrent use
+// and runs in one of two modes:
 //
 //   - Synchronous (the default): Append frames, writes and syncs the
 //     record inline, under the WAL lock. Durable when Append returns.
@@ -29,49 +32,97 @@ type File interface {
 //     write + one fsync per group. Callers that need durability park
 //     on WaitDurable or Barrier.
 //
+// A WAL is one shard of a store's commit pipeline: records draw their
+// LSNs from a shared atomic allocator (so the total order spans
+// shards) but queue, commit and fsync independently per shard. With a
+// rotator attached the log is a chain of bounded segment files,
+// rotated once the active segment reaches the configured size; without
+// one (NewWAL) it is a single file, the pre-segment behavior tests
+// still exercise.
+//
 // Either way the first write or sync error is sticky: the WAL stops
 // accepting appends and reports the error from then on, because a log
 // with a hole in it must not keep growing — recovery would stop at the
 // hole and silently drop everything after it.
 type WAL struct {
-	mu      sync.Mutex
-	f       File
-	nextLSN uint64
-	size    int64
-	pending int // records written since the last sync
+	mu sync.Mutex
+	f  File
+	// alloc is the global LSN allocator (holds the last allocated LSN),
+	// shared by every shard of a store; Add(1) under mu keeps each
+	// shard's queue LSN-monotonic while the union stays a total order.
+	alloc   *atomic.Uint64
+	lastLSN uint64 // last LSN appended to THIS shard's log
+	size    int64  // active segment length in bytes
+	pending int    // records written since the last sync
 	// syncEveryN: 1 syncs after every record (or, in group mode, every
 	// group — the only settings with no loss window), k>1 syncs every k
 	// records, 0 never syncs (the OS decides when bytes reach the
 	// platter).
 	syncEveryN int
 	err        error
+	// lost is the lowest LSN this shard accepted but then dropped to a
+	// degradation (failed write, dropped queue); 0 when none. It pins
+	// the store's global durable horizon below the hole until
+	// compaction covers it.
+	lost uint64
 
 	// scratch is the synchronous-mode frame encode buffer, reused
 	// across appends under mu so the framer does not allocate per
 	// record.
 	scratch []byte
+	// lastFrameLen/lastSynced carry writeSyncLocked's results (frame
+	// bytes written; whether it fsynced) to the callers that emit the
+	// observer hooks after unlocking. Guarded by mu.
+	lastFrameLen int
+	lastSynced   bool
 
 	// observers, optional. Emitted after mu is released so a slow sink
 	// cannot extend the commit critical section.
 	onAppend func(records, bytes int)
 	onSync   func()
 
-	gc *groupState // non-nil once StartGroupCommit has been called
+	rot *rotator    // nil: single-file WAL, never rotates
+	gc  *groupState // non-nil once StartGroupCommit has been called
 }
 
-// NewWAL wraps an open log file positioned at its end. nextLSN is the
-// LSN the next appended record receives; size is the file's current
-// length (for the size gauge).
+// rotator carries a shard WAL's segment-chain state. Guarded by WAL.mu.
+type rotator struct {
+	dir    string
+	shards int // journal shard count stamped into segment names
+	shard  int
+	seq    int   // sequence number of the active segment
+	limit  int64 // rotate once the active segment reaches this size
+	open   func(path string) (File, error)
+	// onSeal observes every sealed segment (rotated-away active), with
+	// the path, the highest LSN it can contain and its size. Called
+	// with WAL.mu held; must not call back into the WAL.
+	onSeal func(path string, lastLSN uint64, size int64)
+}
+
+// NewWAL wraps an open log file positioned at its end, as a
+// single-file, self-allocating WAL (its own LSN counter, no segment
+// rotation). nextLSN is the LSN the next appended record receives;
+// size is the file's current length (for the size gauge).
 func NewWAL(f File, nextLSN uint64, size int64, syncEveryN int) *WAL {
-	return &WAL{f: f, nextLSN: nextLSN, size: size, syncEveryN: syncEveryN}
+	alloc := new(atomic.Uint64)
+	alloc.Store(nextLSN - 1)
+	return &WAL{f: f, alloc: alloc, lastLSN: nextLSN - 1, size: size, syncEveryN: syncEveryN}
+}
+
+// newShardWAL wraps the active segment file of one store shard,
+// drawing LSNs from the store's shared allocator and rotating through
+// rot's segment chain.
+func newShardWAL(f File, alloc *atomic.Uint64, syncEveryN int, rot *rotator) *WAL {
+	return &WAL{f: f, alloc: alloc, lastLSN: alloc.Load(), syncEveryN: syncEveryN, rot: rot}
 }
 
 // ErrWALClosed is reported by appends after Close.
 var ErrWALClosed = errors.New("durable: wal closed")
 
-// Append frames rec (assigning it the next LSN) and commits it per the
-// WAL's mode: written and synced inline in synchronous mode, queued for
-// the committer in group-commit mode. It returns the assigned LSN.
+// Append frames rec (assigning it the next LSN from the shared
+// allocator) and commits it per the WAL's mode: written and synced
+// inline in synchronous mode, queued for the committer in group-commit
+// mode. It returns the assigned LSN.
 func (w *WAL) Append(rec Record) (uint64, error) {
 	w.mu.Lock()
 	if w.err != nil {
@@ -79,18 +130,10 @@ func (w *WAL) Append(rec Record) (uint64, error) {
 		w.mu.Unlock()
 		return 0, err
 	}
-	rec.LSN = w.nextLSN
+	rec.LSN = w.alloc.Add(1)
+	w.lastLSN = rec.LSN
 	if g := w.gc; g != nil {
-		w.nextLSN++
-		g.queue = EncodeRecord(g.queue, rec)
-		g.queued++
-		g.lastLSN = rec.LSN
-		if g.onTraceCommit != nil && rec.Mut.Trace != 0 {
-			g.traced = append(g.traced, tracedRec{trace: rec.Mut.Trace, lsn: rec.LSN, enq: time.Now()})
-		}
-		// Cut a batch window short when the queue fills, or when the
-		// cohort the previous group evidenced has fully arrived —
-		// waiting longer would add latency with no one left to join.
+		w.enqueueLocked(g, rec)
 		full := g.queued >= g.maxBatch || g.queued >= g.lastGroup
 		w.mu.Unlock()
 		g.wake(full)
@@ -98,6 +141,41 @@ func (w *WAL) Append(rec Record) (uint64, error) {
 	}
 
 	// Synchronous mode: frame, write and sync inline.
+	if err := w.writeSyncLocked(rec); err != nil {
+		w.mu.Unlock()
+		return 0, err
+	}
+	nb := w.lastFrameLen
+	synced := w.lastSynced
+	onAppend, onSync := w.onAppend, w.onSync
+	w.maybeRotateLocked()
+	w.mu.Unlock()
+	if onAppend != nil {
+		onAppend(1, nb)
+	}
+	if synced && onSync != nil {
+		onSync()
+	}
+	return rec.LSN, nil
+}
+
+// enqueueLocked queues one record for the committer. Caller holds mu.
+func (w *WAL) enqueueLocked(g *groupState, rec Record) {
+	if g.queued == 0 {
+		g.firstQueued = rec.LSN
+	}
+	g.queue = EncodeRecord(g.queue, rec)
+	g.queued++
+	g.lastLSN = rec.LSN
+	if g.onTraceCommit != nil && rec.Mut.Trace != 0 {
+		g.traced = append(g.traced, tracedRec{trace: rec.Mut.Trace, lsn: rec.LSN, enq: time.Now()})
+	}
+}
+
+// writeSyncLocked frames, writes and (per policy) syncs one record
+// inline. On failure the sticky error is set and rec.LSN recorded as
+// lost. Caller holds mu; results land in lastFrameLen/lastSynced.
+func (w *WAL) writeSyncLocked(rec Record) error {
 	w.scratch = EncodeRecord(w.scratch[:0], rec)
 	frame := w.scratch
 	nb := len(frame)
@@ -108,28 +186,112 @@ func (w *WAL) Append(rec Record) (uint64, error) {
 	}
 	if err != nil {
 		w.err = err
-		w.mu.Unlock()
-		return 0, err
+		w.noteLostLocked(rec.LSN)
+		return err
 	}
-	w.nextLSN++
 	w.pending++
-	synced := false
+	w.lastSynced = false
 	if w.syncEveryN > 0 && w.pending >= w.syncEveryN {
 		if err := w.f.Sync(); err != nil {
 			w.err = err
-			w.mu.Unlock()
-			return 0, err
+			w.noteLostLocked(rec.LSN)
+			return err
 		}
 		w.pending = 0
-		synced = true
+		w.lastSynced = true
 	}
-	onAppend, onSync := w.onAppend, w.onSync
-	w.mu.Unlock()
-	if onAppend != nil {
-		onAppend(1, nb)
+	w.lastFrameLen = nb
+	return nil
+}
+
+// noteLostLocked records the lowest LSN dropped to a degradation.
+func (w *WAL) noteLostLocked(lsn uint64) {
+	if lsn != 0 && (w.lost == 0 || lsn < w.lost) {
+		w.lost = lsn
 	}
-	if synced && onSync != nil {
-		onSync()
+}
+
+// appendCross appends one record to two shard logs under a single LSN,
+// setting FlagCrossShard on both copies. The caller passes the shards
+// in canonical (increasing-index) order and already holds both
+// journal-shard locks; both WAL locks are taken here in the same order
+// so allocation and enqueueing are atomic with respect to each shard's
+// other appends. In group-commit mode the caller must then WaitDurable
+// the returned LSN on BOTH shards before releasing the journal locks —
+// that synchronous commit is what guarantees no later record in either
+// shard exists until the cross record is durable everywhere (see
+// DESIGN.md §15). In synchronous mode both copies are durable on
+// return.
+func appendCross(lo, hi *WAL, rec Record) (uint64, error) {
+	if lo == hi {
+		return lo.Append(rec)
+	}
+	lo.mu.Lock()
+	hi.mu.Lock()
+	if lo.err != nil {
+		err := lo.err
+		hi.mu.Unlock()
+		lo.mu.Unlock()
+		return 0, err
+	}
+	if hi.err != nil {
+		err := hi.err
+		hi.mu.Unlock()
+		lo.mu.Unlock()
+		return 0, err
+	}
+	rec.Flags |= FlagCrossShard
+	rec.LSN = lo.alloc.Add(1) // shared allocator: one LSN for both copies
+	lo.lastLSN = rec.LSN
+	hi.lastLSN = rec.LSN
+
+	if lo.gc != nil || hi.gc != nil {
+		// Group mode: enqueue in both shards; the trace (if any) is
+		// attributed once, on the lower shard.
+		lo.enqueueLocked(lo.gc, rec)
+		hiRec := rec
+		hiRec.Mut.Trace = 0
+		hi.enqueueLocked(hi.gc, hiRec)
+		loFull := lo.gc.queued >= lo.gc.maxBatch || lo.gc.queued >= lo.gc.lastGroup
+		hiFull := hi.gc.queued >= hi.gc.maxBatch || hi.gc.queued >= hi.gc.lastGroup
+		hi.mu.Unlock()
+		lo.mu.Unlock()
+		lo.gc.wake(loFull)
+		hi.gc.wake(hiFull)
+		return rec.LSN, nil
+	}
+
+	// Synchronous mode: commit inline on both shards, lower first.
+	var firstErr error
+	var emit [2]func()
+	for i, w := range [2]*WAL{lo, hi} {
+		if err := w.writeSyncLocked(rec); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		nb, synced := w.lastFrameLen, w.lastSynced
+		onAppend, onSync := w.onAppend, w.onSync
+		w.maybeRotateLocked()
+		emit[i] = func() {
+			if onAppend != nil {
+				onAppend(1, nb)
+			}
+			if synced && onSync != nil {
+				onSync()
+			}
+		}
+	}
+	hi.mu.Unlock()
+	lo.mu.Unlock()
+	for _, fn := range emit {
+		if fn != nil {
+			fn()
+		}
+	}
+	if firstErr != nil {
+		return 0, firstErr
 	}
 	return rec.LSN, nil
 }
@@ -161,15 +323,18 @@ func (w *WAL) AppendFrames(frames []byte, lastLSN uint64, records int) error {
 	}
 	if err != nil {
 		w.err = err
+		w.noteLostLocked(lastLSN - uint64(records) + 1)
 		w.mu.Unlock()
 		return err
 	}
-	w.nextLSN = lastLSN + 1
+	w.alloc.Store(lastLSN)
+	w.lastLSN = lastLSN
 	w.pending += records
 	synced := false
 	if w.syncEveryN > 0 && w.pending >= w.syncEveryN {
 		if err := w.f.Sync(); err != nil {
 			w.err = err
+			w.noteLostLocked(lastLSN - uint64(records) + 1)
 			w.mu.Unlock()
 			return err
 		}
@@ -177,6 +342,7 @@ func (w *WAL) AppendFrames(frames []byte, lastLSN uint64, records int) error {
 		synced = true
 	}
 	onAppend, onSync := w.onAppend, w.onSync
+	w.maybeRotateLocked()
 	w.mu.Unlock()
 	if onAppend != nil {
 		onAppend(records, len(frames))
@@ -196,7 +362,25 @@ func (w *WAL) DurableLSN() uint64 {
 	if w.gc != nil {
 		return w.gc.durable
 	}
-	return w.nextLSN - 1
+	return w.lastLSN
+}
+
+// pendingFloor reports the lowest LSN this shard has accepted but not
+// yet made durable — queued, in-flight, or lost to a degradation — or
+// 0 when everything accepted is durable. The store's global durable
+// horizon is min over shards of (floor-1).
+func (w *WAL) pendingFloor() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	floor := w.lost
+	if g := w.gc; g != nil {
+		for _, f := range [2]uint64{g.inflightFirst, g.firstQueued} {
+			if f != 0 && (floor == 0 || f < floor) {
+				floor = f
+			}
+		}
+	}
+	return floor
 }
 
 // Sync forces outstanding records to stable storage. In group-commit
@@ -204,7 +388,7 @@ func (w *WAL) DurableLSN() uint64 {
 func (w *WAL) Sync() error {
 	w.mu.Lock()
 	if w.gc != nil {
-		target := w.nextLSN - 1
+		target := w.lastLSN
 		w.mu.Unlock()
 		if err := w.WaitDurable(target); err != nil {
 			return err
@@ -239,15 +423,22 @@ func (w *WAL) syncPendingLocked() (synced bool, err error) {
 	return true, nil
 }
 
-// NextLSN reports the LSN the next append will receive.
+// NextLSN reports the LSN the next append (to any shard sharing this
+// WAL's allocator) will receive.
 func (w *WAL) NextLSN() uint64 {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.nextLSN
+	return w.alloc.Load() + 1
 }
 
-// Size reports the log file's length in bytes. In group-commit mode it
-// counts committed groups only; Barrier first for an exact figure.
+// LastLSN reports the last LSN appended to this shard's log.
+func (w *WAL) LastLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastLSN
+}
+
+// Size reports the active segment's length in bytes. In group-commit
+// mode it counts committed groups only; Barrier first for an exact
+// figure.
 func (w *WAL) Size() int64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -294,29 +485,99 @@ func (w *WAL) Close() error {
 	return err
 }
 
-// swapFile atomically replaces the underlying file (after compaction
-// truncated the log) and resets size/pending. LSNs keep counting up:
-// records in the fresh log carry LSNs above the snapshot's, which is
-// what lets recovery skip duplicates if a crash lands between snapshot
-// publication and log reset. In group-commit mode the caller must have
-// drained the pipeline (Barrier) with further appends excluded; the
-// durable horizon jumps to the snapshot LSN, releasing any waiter a
-// degraded pipeline stranded — the snapshot now carries its mutation.
-func (w *WAL) swapFile(f File) error {
-	w.mu.Lock()
+// maybeRotateLocked seals the active segment and opens the next one
+// once the active segment reached the rotation limit. Called with mu
+// held at a point where no write is in flight (synchronous appends
+// hold mu across the write; in group mode only the committer writes,
+// and it rotates between groups). Rotation is rare — once per
+// segment-size bytes — so the file operations run under mu.
+func (w *WAL) maybeRotateLocked() {
+	if w.rot == nil || w.err != nil || w.size < w.rot.limit {
+		return
+	}
+	w.rotateLocked()
+}
+
+// rotateLocked seals the active segment (fsync), opens the next
+// segment in the chain, fsyncs the directory so the new entry is
+// durable before any record lands in it, and hands the sealed segment
+// to the rotator's onSeal observer. On any failure the WAL degrades
+// (sticky error) rather than continuing into an uncertain chain.
+func (w *WAL) rotateLocked() {
+	rot := w.rot
+	if w.pending > 0 {
+		if err := w.f.Sync(); err != nil {
+			w.err = err
+			return
+		}
+		w.pending = 0
+	}
+	next := rot.seq + 1
+	path := filepath.Join(rot.dir, segmentFileName(rot.shards, rot.shard, next))
+	f, err := rot.open(path)
+	if err != nil {
+		w.err = err
+		return
+	}
+	syncDir(rot.dir)
 	old := w.f
+	oldPath := filepath.Join(rot.dir, segmentFileName(rot.shards, rot.shard, rot.seq))
+	oldSize := w.size
 	w.f = f
 	w.size = 0
-	w.pending = 0
+	rot.seq = next
+	if rot.onSeal != nil {
+		rot.onSeal(oldPath, w.lastLSN, oldSize)
+	}
+	old.Close()
+}
+
+// resetForCompact rotates the shard onto a fresh segment after a
+// snapshot covered everything appended so far, clearing any degraded
+// state: the sealed (possibly failed) segment becomes immediately
+// prunable, queued-but-unwritten records are dropped (the snapshot
+// carries their effects), and the durable horizon jumps to the shard's
+// last accepted LSN, releasing any waiter a degraded pipeline
+// stranded. The caller must have excluded all appends (quiesce + store
+// lock) and drained the committer (Barrier).
+func (w *WAL) resetForCompact() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.rot == nil {
+		return nil
+	}
+	if w.err != nil || w.size > 0 {
+		hadErr := w.err
+		w.err = nil // allow the rotate; restored on failure below
+		w.rotateLocked()
+		if w.err != nil {
+			if hadErr != nil {
+				w.err = hadErr
+			}
+			return w.err
+		}
+	}
 	w.err = nil
+	w.lost = 0
 	if g := w.gc; g != nil {
 		g.queue = g.queue[:0]
 		g.queued = 0
 		g.traced = g.traced[:0]
-		g.durable = w.nextLSN - 1
+		g.firstQueued = 0
+		g.inflightFirst = 0
+		g.durable = w.lastLSN
 		g.errNotified = false
 		g.advanceLocked()
 	}
-	w.mu.Unlock()
-	return old.Close()
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-created file's directory entry
+// is durable. Best-effort: filesystems that refuse directory fsync are
+// no worse off than before.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
 }

@@ -2,6 +2,7 @@ package replica
 
 import (
 	"errors"
+	"math"
 	"sync"
 	"time"
 
@@ -256,6 +257,24 @@ func (p *Publisher) MaxAcked() uint64 {
 		}
 	}
 	return max
+}
+
+// MinAcked reports the lowest LSN any subscribed follower has
+// acknowledged — the retention horizon for WAL segment pruning: a
+// sealed segment whose records a follower has not yet acked must stay
+// on disk so Subscribe can serve the tail without forcing a full
+// snapshot transfer. With no subscribers it returns MaxUint64 (nothing
+// holds retention back). Wire it to durable.Options.RetainLSN.
+func (p *Publisher) MinAcked() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	min := uint64(math.MaxUint64)
+	for _, s := range p.subs {
+		if s.acked < min {
+			min = s.acked
+		}
+	}
+	return min
 }
 
 // WaitShipped blocks until some follower has acknowledged lsn — the

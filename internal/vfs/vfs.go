@@ -157,12 +157,23 @@ type FS struct {
 	root   *Inode
 	clock  atomic.Int64 // monotonic event counter used for mtimes
 
-	// journalMu serializes journaled mutations so the journal sees them
-	// in commit order; it is untouched (and uncontended) when journal is
-	// nil. journal is set once via SetJournal before concurrent use.
-	// Lock order: journalMu before treeMu before any inode mu.
-	journalMu sync.Mutex
-	journal   Journal
+	// journalShards holds the per-subtree serialization locks for
+	// journaled mutations (one entry with SetJournal, N with
+	// SetJournalSharded); each mutation takes its path's shard lock so
+	// the journal sees one commit order per shard. Untouched (and
+	// uncontended) when journal is nil. journal is set once via
+	// SetJournal/SetJournalSharded before concurrent use.
+	// Lock order: journal shard locks (increasing index) before treeMu
+	// before any inode mu.
+	journalShards []journalShard
+	journal       Journal
+}
+
+// journalShard is one journal serialization lock, padded so adjacent
+// shards' locks do not false-share a cache line under contention.
+type journalShard struct {
+	mu sync.Mutex
+	_  [56]byte
 }
 
 // New returns an empty file system whose root directory is owned by
@@ -307,7 +318,7 @@ func (fs *FS) Mkdir(path string, mode uint32, owner string) error {
 }
 
 func (fs *FS) mkdir(path string, mode uint32, owner string, trace uint64) error {
-	defer fs.beginJournal()()
+	defer fs.endJournal(fs.beginJournal(path))
 	fs.treeMu.Lock()
 	defer fs.treeMu.Unlock()
 	n, parent, base, err := fs.resolve(path, true, 0)
@@ -354,7 +365,7 @@ func (fs *FS) Create(path string, mode uint32, owner string) (Stat, error) {
 }
 
 func (fs *FS) create(path string, mode uint32, owner string, trace uint64) (Stat, error) {
-	defer fs.beginJournal()()
+	defer fs.endJournal(fs.beginJournal(path))
 	fs.treeMu.Lock()
 	defer fs.treeMu.Unlock()
 	n, parent, base, err := fs.resolve(path, true, 0)
@@ -483,7 +494,7 @@ func (fs *FS) WriteAt(path string, p []byte, off int64) (int, error) {
 }
 
 func (fs *FS) writeAt(path string, p []byte, off int64, trace uint64) (int, error) {
-	defer fs.beginJournal()()
+	defer fs.endJournal(fs.beginJournal(path))
 	n, err := fs.resolveShared(path, true)
 	if err != nil {
 		return 0, &PathError{"write", path, err}
@@ -514,7 +525,7 @@ func (fs *FS) Truncate(path string, size int64) error {
 }
 
 func (fs *FS) truncate(path string, size int64, trace uint64) error {
-	defer fs.beginJournal()()
+	defer fs.endJournal(fs.beginJournal(path))
 	n, err := fs.resolveShared(path, true)
 	if err != nil {
 		return &PathError{"truncate", path, err}
@@ -546,7 +557,7 @@ func (fs *FS) Unlink(path string) error {
 }
 
 func (fs *FS) unlink(path string, trace uint64) error {
-	defer fs.beginJournal()()
+	defer fs.endJournal(fs.beginJournal(path))
 	fs.treeMu.Lock()
 	defer fs.treeMu.Unlock()
 	n, parent, base, err := fs.resolve(path, false, 0)
@@ -569,7 +580,7 @@ func (fs *FS) Rmdir(path string) error {
 }
 
 func (fs *FS) rmdir(path string, trace uint64) error {
-	defer fs.beginJournal()()
+	defer fs.endJournal(fs.beginJournal(path))
 	fs.treeMu.Lock()
 	defer fs.treeMu.Unlock()
 	n, parent, base, err := fs.resolve(path, false, 0)
@@ -598,7 +609,7 @@ func (fs *FS) Symlink(target, linkPath string, owner string) error {
 }
 
 func (fs *FS) symlink(target, linkPath string, owner string, trace uint64) error {
-	defer fs.beginJournal()()
+	defer fs.endJournal(fs.beginJournal(linkPath))
 	fs.treeMu.Lock()
 	defer fs.treeMu.Unlock()
 	_, parent, base, err := fs.resolve(linkPath, false, 0)
@@ -642,7 +653,8 @@ func (fs *FS) Link(oldPath, newPath string) error {
 }
 
 func (fs *FS) link(oldPath, newPath string, trace uint64) error {
-	defer fs.beginJournal()()
+	ja, jb := fs.beginJournal2(oldPath, newPath)
+	defer fs.endJournal2(ja, jb)
 	fs.treeMu.Lock()
 	defer fs.treeMu.Unlock()
 	src, _, _, err := fs.resolve(oldPath, true, 0)
@@ -673,7 +685,8 @@ func (fs *FS) Rename(oldPath, newPath string) error {
 }
 
 func (fs *FS) rename(oldPath, newPath string, trace uint64) error {
-	defer fs.beginJournal()()
+	ja, jb := fs.beginJournal2(oldPath, newPath)
+	defer fs.endJournal2(ja, jb)
 	fs.treeMu.Lock()
 	defer fs.treeMu.Unlock()
 	src, srcParent, srcBase, err := fs.resolve(oldPath, false, 0)
@@ -749,7 +762,7 @@ func (fs *FS) Chmod(path string, mode uint32) error {
 }
 
 func (fs *FS) chmod(path string, mode uint32, trace uint64) error {
-	defer fs.beginJournal()()
+	defer fs.endJournal(fs.beginJournal(path))
 	n, err := fs.resolveShared(path, true)
 	if err != nil {
 		return &PathError{"chmod", path, err}
@@ -768,7 +781,7 @@ func (fs *FS) Chown(path, owner, group string) error {
 }
 
 func (fs *FS) chown(path, owner, group string, trace uint64) error {
-	defer fs.beginJournal()()
+	defer fs.endJournal(fs.beginJournal(path))
 	n, err := fs.resolveShared(path, true)
 	if err != nil {
 		return &PathError{"chown", path, err}
